@@ -1,0 +1,116 @@
+// Benchmark harness: one testing.B target per paper table/figure (the
+// E1–E11 index of DESIGN.md). Each target regenerates its experiment at
+// quick scale and logs the table; run the paper-scale version with
+// cmd/dstress-bench -full.
+package dstress_test
+
+import (
+	"testing"
+
+	"dstress/internal/experiments"
+)
+
+var quick = experiments.Options{}
+
+// logTable reports the regenerated table through the benchmark log so
+// `go test -bench` output contains the actual figures.
+func logTable(b *testing.B, t *experiments.Table) {
+	b.Helper()
+	if t == nil {
+		b.Fatal("experiment returned no table")
+	}
+	if len(t.Rows) == 0 {
+		b.Fatalf("experiment %s produced no rows: %v", t.ID, t.Notes)
+	}
+	b.Logf("\n%s", t.String())
+}
+
+// BenchmarkFig3LeftMPCSteps regenerates Figure 3 (left): MPC time per step
+// type across block sizes (E1).
+func BenchmarkFig3LeftMPCSteps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Fig3Left(quick))
+	}
+}
+
+// BenchmarkFig3RightSweeps regenerates Figure 3 (right): MPC time vs degree
+// bound and aggregation population (E2).
+func BenchmarkFig3RightSweeps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Fig3Right(quick))
+	}
+}
+
+// BenchmarkTransferLatency regenerates §5.2's message-transfer
+// microbenchmark (E3).
+func BenchmarkTransferLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.TransferLatency(quick))
+	}
+}
+
+// BenchmarkFig4Traffic regenerates Figure 4: per-node MPC traffic (E4).
+func BenchmarkFig4Traffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Fig4Traffic(quick))
+	}
+}
+
+// BenchmarkTransferTraffic regenerates §5.3's role-based transfer traffic
+// breakdown (E5).
+func BenchmarkTransferTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.TransferTraffic(quick))
+	}
+}
+
+// BenchmarkFig5EndToEnd regenerates Figure 5: full EN and EGJ runs with
+// phase split and per-node traffic (E6).
+func BenchmarkFig5EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Fig5EndToEnd(quick))
+	}
+}
+
+// BenchmarkFig6Projection regenerates Figure 6: projected large-deployment
+// cost plus measured validation points (E7).
+func BenchmarkFig6Projection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Fig6Projection(quick))
+	}
+}
+
+// BenchmarkNaiveMPCMatrix regenerates §5.5's monolithic-MPC baseline (E8).
+func BenchmarkNaiveMPCMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.NaiveMPCBaseline(quick))
+	}
+}
+
+// BenchmarkUtilityCalc regenerates §4.5's utility worked example (E9).
+func BenchmarkUtilityCalc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.UtilityTable())
+	}
+}
+
+// BenchmarkEdgeBudget regenerates Appendix B's edge-privacy budget (E10).
+func BenchmarkEdgeBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.EdgeBudgetTable())
+	}
+}
+
+// BenchmarkContagionSim regenerates Appendix C's contagion scenarios (E11).
+func BenchmarkContagionSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.ContagionSim(quick))
+	}
+}
+
+// BenchmarkAblations regenerates the E12 design-choice ablations.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Ablation(quick))
+	}
+}

@@ -1,0 +1,82 @@
+// dstress-bench regenerates the paper's evaluation tables and figures
+// (§5, Appendices B–C). Without flags it runs the quick-scale suite; -full
+// switches to the paper's parameters (hours of CPU).
+//
+// Usage:
+//
+//	dstress-bench                     # all experiments, quick scale
+//	dstress-bench -experiment e6      # Figure 5 only
+//	dstress-bench -full -group p256   # paper-scale parameters
+//	dstress-bench -list               # experiment index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dstress/internal/experiments"
+	"dstress/internal/group"
+)
+
+var index = []struct{ id, desc string }{
+	{"E1", "Figure 3 (left): MPC step time vs block size"},
+	{"E2", "Figure 3 (right): MPC step time vs degree bound and population"},
+	{"E3", "§5.2: message transfer latency vs block size"},
+	{"E4", "Figure 4: per-node MPC traffic vs block size"},
+	{"E5", "§5.3: transfer traffic by protocol role"},
+	{"E6", "Figure 5: end-to-end EN/EGJ runs, phase split + traffic"},
+	{"E7", "Figure 6: projected cost vs network size + validation runs"},
+	{"E8", "§5.5: naive monolithic-MPC baseline extrapolation"},
+	{"E9", "§4.5: utility / privacy-budget worked example"},
+	{"E10", "Appendix B: edge-privacy budget"},
+	{"E11", "Appendix C: core-periphery contagion scenarios"},
+	{"E12", "Ablations: transfer aggregation, adders, bucketing, aggregation tree"},
+}
+
+func main() {
+	var (
+		expID     = flag.String("experiment", "all", "experiment id (e1..e11) or 'all'")
+		full      = flag.Bool("full", false, "use the paper-scale parameters (slow)")
+		groupName = flag.String("group", "", "crypto group: p256, p384, modp256 (default: modp256 quick / p256 full)")
+		list      = flag.Bool("list", false, "print the experiment index and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range index {
+			fmt.Printf("%-4s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	opts := experiments.Options{Full: *full}
+	if *groupName != "" {
+		g, err := group.ByName(*groupName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Group = g
+	}
+
+	run := func(t *experiments.Table) {
+		fmt.Println(t.String())
+	}
+
+	start := time.Now()
+	if *expID == "all" {
+		for _, t := range experiments.All(opts) {
+			run(t)
+		}
+	} else {
+		t := experiments.ByID(*expID, opts)
+		if t == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expID)
+			os.Exit(2)
+		}
+		run(t)
+	}
+	fmt.Fprintf(os.Stderr, "completed in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,129 @@
+// dstress-netgen generates synthetic interbank networks (Appendix C
+// style) and writes them as JSON, for feeding external tooling or
+// inspecting the workloads the benchmarks run on.
+//
+// Usage:
+//
+//	dstress-netgen -topology core-periphery -n 50 -core 10 -model en
+//	dstress-netgen -topology scale-free -n 100 -model egj -o net.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dstress"
+)
+
+type output struct {
+	Topology string      `json:"topology"`
+	Model    string      `json:"model"`
+	N        int         `json:"n"`
+	Edges    [][2]int    `json:"edges"`
+	EN       *enJSON     `json:"eisenberg_noe,omitempty"`
+	EGJ      *egjJSON    `json:"elliott_golub_jackson,omitempty"`
+	Summary  summaryJSON `json:"summary"`
+}
+
+type enJSON struct {
+	Cash []float64   `json:"cash"`
+	Debt [][]float64 `json:"debt"`
+}
+
+type egjJSON struct {
+	Base      []float64   `json:"base"`
+	OrigVal   []float64   `json:"orig_val"`
+	Holdings  [][]float64 `json:"holdings"`
+	Threshold []float64   `json:"threshold"`
+	Penalty   []float64   `json:"penalty"`
+}
+
+type summaryJSON struct {
+	Edges     int     `json:"edges"`
+	MaxDegree int     `json:"max_degree"`
+	BaselineT float64 `json:"baseline_tds"`
+}
+
+func main() {
+	var (
+		topo  = flag.String("topology", "core-periphery", "core-periphery, scale-free, or erdos-renyi")
+		model = flag.String("model", "en", "balance-sheet model: en or egj")
+		n     = flag.Int("n", 50, "number of banks")
+		core  = flag.Int("core", 10, "core size (core-periphery)")
+		d     = flag.Int("d", 20, "degree bound")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		out   = flag.String("o", "-", "output file (- for stdout)")
+	)
+	flag.Parse()
+
+	var top *dstress.Topology
+	var err error
+	switch *topo {
+	case "core-periphery":
+		top, err = dstress.CorePeriphery(dstress.CorePeripheryParams{
+			N: *n, Core: *core, D: *d, PeriLink: 2, Seed: *seed,
+		})
+	case "scale-free":
+		top, err = dstress.ScaleFree(dstress.ScaleFreeParams{N: *n, M: 2, D: *d, Seed: *seed})
+	case "erdos-renyi":
+		top, err = dstress.ErdosRenyi(dstress.ErdosRenyiParams{N: *n, P: 0.1, D: *d, Seed: *seed})
+	default:
+		log.Fatalf("unknown -topology %q", *topo)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	o := output{Topology: *topo, Model: *model, N: *n}
+	maxDeg := 0
+	for u, outs := range top.Out {
+		if len(outs) > maxDeg {
+			maxDeg = len(outs)
+		}
+		for _, v := range outs {
+			o.Edges = append(o.Edges, [2]int{u, v})
+		}
+	}
+	switch *model {
+	case "en":
+		net := dstress.BuildEN(top, dstress.ENParams{
+			CoreCash: 60, PeriCash: 5, CoreSize: *core, DebtScale: 25, Seed: *seed,
+		})
+		o.EN = &enJSON{Cash: net.Cash, Debt: net.Debt}
+		o.Summary.BaselineT = dstress.SolveEN(net, 4**n, 1e-9).TDS
+	case "egj":
+		net := dstress.BuildEGJ(top, dstress.EGJParams{
+			CoreBase: 60, PeriBase: 8, CoreSize: *core,
+			HoldingFrac: 0.1, ThresholdFrac: 0.9, PenaltyFrac: 0.25, Seed: *seed,
+		})
+		o.EGJ = &egjJSON{
+			Base: net.Base, OrigVal: net.OrigVal, Holdings: net.Holdings,
+			Threshold: net.Threshold, Penalty: net.Penalty,
+		}
+		o.Summary.BaselineT = dstress.SolveEGJ(net, dstress.RecommendedIterations(*n)+1).TDS
+	default:
+		log.Fatalf("unknown -model %q", *model)
+	}
+	o.Summary.Edges = len(o.Edges)
+	o.Summary.MaxDegree = maxDeg
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(o); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%s/%s network: %d banks, %d edges, max degree %d, baseline TDS %.1f\n",
+		*topo, *model, *n, o.Summary.Edges, maxDeg, o.Summary.BaselineT)
+}

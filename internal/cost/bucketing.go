@@ -1,0 +1,92 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Degree bucketing (§3.7): DStress pads every vertex to the global degree
+// bound D, so one hub bank forces every MPC to the worst-case circuit. The
+// paper proposes dividing vertices into buckets by approximate degree
+// ("one bucket for vertexes with fewer than 100 neighbors and another for
+// the rest"), revealing a small amount of information about each bank's
+// degree in exchange for much faster block computations for most banks.
+
+// BucketPlan assigns each vertex the degree bound of its bucket.
+type BucketPlan struct {
+	// Bounds are the bucket ceilings in increasing order; the last must be
+	// ≥ the maximum degree.
+	Bounds []int
+	// Count[i] is the number of vertices in bucket i.
+	Count []int
+}
+
+// PlanBuckets buckets the given vertex degrees under the supplied ceilings.
+func PlanBuckets(degrees []int, bounds []int) (*BucketPlan, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("cost: no bucket bounds")
+	}
+	sorted := append([]int{}, bounds...)
+	sort.Ints(sorted)
+	plan := &BucketPlan{Bounds: sorted, Count: make([]int, len(sorted))}
+	for _, d := range degrees {
+		placed := false
+		for i, b := range sorted {
+			if d <= b {
+				plan.Count[i]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("cost: degree %d exceeds largest bucket bound %d", d, sorted[len(sorted)-1])
+		}
+	}
+	return plan, nil
+}
+
+// UpdateWork returns the total update-circuit work (AND gates summed over
+// all vertices, one block MPC each) under the plan, where andAt maps a
+// degree bound to the compiled circuit's AND count.
+func (p *BucketPlan) UpdateWork(andAt func(D int) int) int64 {
+	var total int64
+	for i, b := range p.Bounds {
+		if p.Count[i] == 0 {
+			continue
+		}
+		total += int64(p.Count[i]) * int64(andAt(b))
+	}
+	return total
+}
+
+// SingleBoundWork returns the work if every vertex pads to the global
+// maximum bound (DStress's default).
+func SingleBoundWork(n int, maxBound int, andAt func(D int) int) int64 {
+	return int64(n) * int64(andAt(maxBound))
+}
+
+// Savings returns the fraction of update work the plan eliminates compared
+// to a single global bound.
+func (p *BucketPlan) Savings(andAt func(D int) int) float64 {
+	n := 0
+	for _, c := range p.Count {
+		n += c
+	}
+	single := SingleBoundWork(n, p.Bounds[len(p.Bounds)-1], andAt)
+	if single == 0 {
+		return 0
+	}
+	return 1 - float64(p.UpdateWork(andAt))/float64(single)
+}
+
+// LeakageBits quantifies what bucketing reveals: each vertex's bucket
+// index, i.e. log2(#buckets) bits of degree information per bank (the
+// paper notes this would correlate with bank size).
+func (p *BucketPlan) LeakageBits() float64 {
+	n := len(p.Bounds)
+	bits := 0.0
+	for x := n; x > 1; x = (x + 1) / 2 {
+		bits++
+	}
+	return bits
+}

@@ -1,0 +1,78 @@
+package cost
+
+import (
+	"math/big"
+	"sync"
+	"time"
+
+	"dstress/internal/circuit"
+	"dstress/internal/gmw"
+	"dstress/internal/group"
+	"dstress/internal/network"
+	"dstress/internal/ot"
+)
+
+// Calibrate measures the model's per-unit costs on the current machine:
+// one group exponentiation, and the GMW online AND-gate throughput for a
+// 3-party session over dealer OTs. It mirrors the paper's methodology of
+// deriving Figure 6 from microbenchmark measurements rather than guesses.
+func Calibrate(g group.Group) Calibration {
+	cal := DefaultCalibration()
+
+	// Exponentiation cost: median of a short burst.
+	k := big.NewInt(0xfedcba9876543)
+	const expIters = 20
+	start := time.Now()
+	for i := 0; i < expIters; i++ {
+		g.ScalarBaseMul(k)
+	}
+	cal.ExpNs = float64(time.Since(start).Nanoseconds()) / expIters
+
+	// AND-gate throughput: evaluate a multiplier circuit with a 3-party
+	// session and divide by gates × pairs-per-party.
+	b := circuit.NewBuilder()
+	x := b.InputWord(32)
+	y := b.InputWord(32)
+	b.OutputWord(b.Mul(x, y))
+	c := b.Build()
+
+	net := network.New()
+	parties := []network.NodeID{1, 2, 3}
+	broker := ot.NewDealerBroker()
+	var wg sync.WaitGroup
+	ps := make([]*gmw.Party, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ps[i], _ = gmw.NewParty(gmw.Config{
+				Parties: parties, Index: i, Net: net, Tag: "cal", OT: gmw.DealerOT{Broker: broker},
+			})
+		}()
+	}
+	wg.Wait()
+
+	start = time.Now()
+	const evals = 3
+	for e := 0; e < evals; e++ {
+		for i := 0; i < 3; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				in := make([]uint8, c.NumInputs)
+				if ps[i] != nil {
+					_, _ = ps[i].Evaluate(c, in)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+	// Per-party pair cost: each party handles 2 peers; wall time covers
+	// all three in parallel, so time/(gates·k) approximates the pair cost.
+	cal.ANDGatePairNs = float64(elapsed.Nanoseconds()) / float64(evals) / float64(c.NumAnd) / 2
+	cal.RoundLatencyNs = float64(elapsed.Nanoseconds()) / float64(evals) / float64(c.Depth()) / 4
+	return cal
+}

@@ -1,0 +1,290 @@
+package dp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformInRange(t *testing.T) {
+	src := CryptoSource{}
+	for i := 0; i < 1000; i++ {
+		u := src.Uniform()
+		if u <= 0 || u >= 1 {
+			t.Fatalf("Uniform() = %v out of (0,1)", u)
+		}
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	// Lap(b) has mean 0 and variance 2b².
+	src := CryptoSource{}
+	const n = 200000
+	const b = 3.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := Laplace(src, b)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("Laplace mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-2*b*b)/(2*b*b) > 0.1 {
+		t.Errorf("Laplace variance = %v, want ~%v", variance, 2*b*b)
+	}
+}
+
+func TestLaplaceMechanismCentred(t *testing.T) {
+	src := CryptoSource{}
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += LaplaceMechanism(src, 100, 1, 0.5)
+	}
+	mean := sum / n
+	if math.Abs(mean-100) > 0.2 {
+		t.Errorf("mechanism mean = %v, want ~100", mean)
+	}
+}
+
+func TestLaplaceMechanismPanics(t *testing.T) {
+	for _, tc := range []struct{ s, e float64 }{{1, 0}, {1, -1}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for sensitivity=%v epsilon=%v", tc.s, tc.e)
+				}
+			}()
+			LaplaceMechanism(CryptoSource{}, 0, tc.s, tc.e)
+		}()
+	}
+}
+
+func TestLaplaceTails(t *testing.T) {
+	// Empirical tail should match the analytic formula.
+	src := CryptoSource{}
+	const n = 100000
+	const b, thresh = 2.0, 4.0
+	count := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(Laplace(src, b)) > thresh {
+			count++
+		}
+	}
+	want := LaplaceTail(b, thresh)
+	got := float64(count) / n
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("tail = %v, want ~%v", got, want)
+	}
+	if lu := LaplaceUpperTail(b, thresh); math.Abs(lu-want/2) > 1e-12 {
+		t.Errorf("upper tail %v != half of two-sided %v", lu, want)
+	}
+}
+
+func TestGeometricDistribution(t *testing.T) {
+	// Check P[Y=0] = (1-α)/(1+α) and symmetry for α = 0.5.
+	src := CryptoSource{}
+	const n = 200000
+	const alpha = 0.5
+	counts := map[int64]int{}
+	for i := 0; i < n; i++ {
+		counts[Geometric(src, alpha)]++
+	}
+	p0 := float64(counts[0]) / n
+	want0 := (1 - alpha) / (1 + alpha)
+	if math.Abs(p0-want0) > 0.01 {
+		t.Errorf("P[Y=0] = %v, want ~%v", p0, want0)
+	}
+	for _, d := range []int64{1, 2, 3} {
+		pd := float64(counts[d]) / n
+		pm := float64(counts[-d]) / n
+		want := want0 * math.Pow(alpha, float64(d))
+		if math.Abs(pd-want) > 0.01 || math.Abs(pm-want) > 0.01 {
+			t.Errorf("P[Y=±%d] = %v/%v, want ~%v", d, pd, pm, want)
+		}
+	}
+}
+
+func TestGeometricPanicsOnBadAlpha(t *testing.T) {
+	for _, a := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for alpha=%v", a)
+				}
+			}()
+			Geometric(CryptoSource{}, a)
+		}()
+	}
+}
+
+func TestTransferNoiseEven(t *testing.T) {
+	src := CryptoSource{}
+	for i := 0; i < 1000; i++ {
+		n := TransferNoise(src, 0.5, 19)
+		if n%2 != 0 {
+			t.Fatalf("transfer noise %d is odd; parity-based recovery would break", n)
+		}
+	}
+}
+
+func TestGeometricMechanismUnbiased(t *testing.T) {
+	src := CryptoSource{}
+	const n = 100000
+	var sum int64
+	for i := 0; i < n; i++ {
+		sum += GeometricMechanism(src, 42, 3, 0.5)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-42) > 0.5 {
+		t.Errorf("geometric mechanism mean = %v, want ~42", mean)
+	}
+}
+
+func TestGeometricTailMatchesEmpirical(t *testing.T) {
+	src := CryptoSource{}
+	const n = 200000
+	const alpha = 0.8
+	const m = 5
+	count := 0
+	for i := 0; i < n; i++ {
+		v := Geometric(src, alpha)
+		if v > m || v < -m {
+			count++
+		}
+	}
+	want := GeometricTail(alpha, m)
+	got := float64(count) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("tail = %v, want ~%v", got, want)
+	}
+}
+
+func TestAccountant(t *testing.T) {
+	a := NewAccountant(1.0)
+	if err := a.Spend(0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend(0.4); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Spent()-0.8) > 1e-12 || math.Abs(a.Remaining()-0.2) > 1e-12 {
+		t.Errorf("spent/remaining = %v/%v", a.Spent(), a.Remaining())
+	}
+	if err := a.Spend(0.3); err == nil {
+		t.Error("overdraw permitted")
+	}
+	// Failed spend must not consume budget.
+	if math.Abs(a.Spent()-0.8) > 1e-12 {
+		t.Errorf("failed spend mutated accountant: %v", a.Spent())
+	}
+	if err := a.Spend(-1); err == nil {
+		t.Error("negative spend permitted")
+	}
+	a.Replenish()
+	if a.Spent() != 0 {
+		t.Error("replenish did not reset")
+	}
+	if err := a.Spend(1.0); err != nil {
+		t.Errorf("full budget spend after replenish failed: %v", err)
+	}
+}
+
+func TestUtilityPaperNumbers(t *testing.T) {
+	// §4.5: ε_query ≥ 0.23, about 3 runs per year.
+	p := DefaultUtilityParams()
+	eps := p.EpsilonPerQuery()
+	if math.Abs(eps-0.2303) > 0.005 {
+		t.Errorf("EpsilonPerQuery = %v, paper says ~0.23", eps)
+	}
+	if got := p.QueriesPerYear(); got != 3 {
+		t.Errorf("QueriesPerYear = %d, paper says 3", got)
+	}
+	// Noise scale at ε = 0.23 is T·20/0.23 ≈ $87B.
+	scale := p.NoiseScaleDollars(eps)
+	if scale < 80e9 || scale > 95e9 {
+		t.Errorf("NoiseScaleDollars = %v", scale)
+	}
+}
+
+func TestEdgeBudgetPaperNumbers(t *testing.T) {
+	// Appendix B: N_q ≈ 370 billion, ε = 2.34e-7 per transfer, 0.0014 per
+	// iteration, 0.0469 per year.
+	p := DefaultEdgeBudgetParams()
+
+	nq := p.TotalTransfers()
+	if nq < 350e9 || nq > 380e9 {
+		t.Errorf("TotalTransfers = %g, paper says ~370 billion", nq)
+	}
+	if p.Sensitivity() != 20 {
+		t.Errorf("Sensitivity = %d, want 20", p.Sensitivity())
+	}
+
+	alpha := p.AlphaMax()
+	eps := -math.Log(alpha)
+	if eps < 1.8e-7 || eps > 3.2e-7 {
+		t.Errorf("per-transfer epsilon = %g, paper says ~2.34e-7", eps)
+	}
+
+	perIter := p.EpsilonPerIteration(alpha)
+	if perIter < 0.0010 || perIter > 0.0020 {
+		t.Errorf("EpsilonPerIteration = %g, paper says ~0.0014", perIter)
+	}
+
+	perYear := p.EpsilonPerYear(alpha)
+	if perYear < 0.035 || perYear > 0.065 {
+		t.Errorf("EpsilonPerYear = %g, paper says ~0.0469", perYear)
+	}
+
+	// The chosen alpha must satisfy the failure bound.
+	if p.PFail(alpha) > 1/nq*1.0001 {
+		t.Errorf("PFail(alphaMax) = %g exceeds 1/Nq = %g", p.PFail(alpha), 1/nq)
+	}
+}
+
+func TestAlphaMaxMonotone(t *testing.T) {
+	// A bigger lookup table tolerates more noise: alphaMax must grow with
+	// TableSize.
+	p := DefaultEdgeBudgetParams()
+	small := p
+	small.TableSize = p.TableSize / 10
+	if !(small.AlphaMax() < p.AlphaMax()) {
+		t.Errorf("alphaMax not monotone in table size: %v vs %v",
+			small.AlphaMax(), p.AlphaMax())
+	}
+}
+
+func TestReaderSourceDeterministic(t *testing.T) {
+	mk := func() Source { return ReaderSource{R: &fixedReader{}} }
+	a1 := Laplace(mk(), 1)
+	a2 := Laplace(mk(), 1)
+	if a1 != a2 {
+		t.Errorf("deterministic source produced %v and %v", a1, a2)
+	}
+}
+
+type fixedReader struct{ n byte }
+
+func (f *fixedReader) Read(p []byte) (int, error) {
+	for i := range p {
+		f.n = f.n*7 + 13
+		p[i] = f.n
+	}
+	return len(p), nil
+}
+
+func BenchmarkLaplace(b *testing.B) {
+	src := CryptoSource{}
+	for i := 0; i < b.N; i++ {
+		Laplace(src, 1.0)
+	}
+}
+
+func BenchmarkGeometric(b *testing.B) {
+	src := CryptoSource{}
+	for i := 0; i < b.N; i++ {
+		Geometric(src, 0.999)
+	}
+}

@@ -1,0 +1,209 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5 and Appendices B–C). Each experiment returns a Table whose
+// rows mirror the series the paper plots; cmd/dstress-bench prints them and
+// the repository-root benchmarks wrap them in testing.B targets.
+//
+// Experiments run at two scales:
+//
+//   - Quick (default): shrunken block sizes, degrees and populations so the
+//     whole suite finishes in minutes on a laptop. The *shapes* — linear in
+//     block size, linear in D, quadratic end-to-end in k, cubic naive-MPC
+//     blowup — are preserved; EXPERIMENTS.md compares them to the paper.
+//   - Full: the paper's parameters (blocks of 8–20, D up to 100, N = 100).
+//     Hours of CPU; intended for dedicated runs via dstress-bench -full.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dstress/internal/group"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Full selects the paper-scale parameters instead of the quick ones.
+	Full bool
+	// Group backs ElGamal and base OTs; nil means P-256 for full scale and
+	// the fast mod-p test group for quick scale.
+	Group group.Group
+}
+
+func (o Options) group() group.Group {
+	if o.Group != nil {
+		return o.Group
+	}
+	if o.Full {
+		return group.P256()
+	}
+	return group.ModP256()
+}
+
+// blockSizes returns the block-size sweep (k+1 values).
+func (o Options) blockSizes() []int {
+	if o.Full {
+		return []int{8, 12, 16, 20}
+	}
+	return []int{2, 3, 4}
+}
+
+// degrees returns the degree-bound sweep for Figure 3 (right).
+func (o Options) degrees() []int {
+	if o.Full {
+		return []int{10, 40, 70, 100}
+	}
+	return []int{2, 4, 6, 8}
+}
+
+// aggSizes returns the aggregation population sweep for Figure 3 (right).
+func (o Options) aggSizes() []int {
+	if o.Full {
+		return []int{50, 100, 150, 200}
+	}
+	return []int{10, 20, 30, 40}
+}
+
+// microDegree is the degree used by the per-step microbenchmarks (Fig. 3
+// left uses D=100).
+func (o Options) microDegree() int {
+	if o.Full {
+		return 100
+	}
+	return 4
+}
+
+// microAggN is the population used by the aggregation microbenchmark
+// (Fig. 3 left uses N=100).
+func (o Options) microAggN() int {
+	if o.Full {
+		return 100
+	}
+	return 20
+}
+
+// e2e returns the end-to-end run parameters (Fig. 5 uses N=100, D=10, I=7).
+func (o Options) e2e() (n, d, iters int) {
+	if o.Full {
+		return 100, 10, 7
+	}
+	return 8, 3, 3
+}
+
+// msgBits is the transferred message width (the prototype uses 12-bit
+// shares, §5.1).
+const msgBits = 12
+
+// circuitWidth is the fixed-point word width of the risk-model circuits in
+// experiments; 32 keeps quick-scale MPC wall time low while exercising the
+// same circuit structure as the 40-bit default.
+const circuitWidth = 32
+
+// ---------------------------------------------------------------------------
+// Table rendering
+// ---------------------------------------------------------------------------
+
+// Table is a titled grid of results.
+type Table struct {
+	ID     string // experiment id (E1..E11)
+	Title  string // paper reference
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// All runs every experiment in order.
+func All(o Options) []*Table {
+	return []*Table{
+		Fig3Left(o),
+		Fig3Right(o),
+		TransferLatency(o),
+		Fig4Traffic(o),
+		TransferTraffic(o),
+		Fig5EndToEnd(o),
+		Fig6Projection(o),
+		NaiveMPCBaseline(o),
+		UtilityTable(),
+		EdgeBudgetTable(),
+		ContagionSim(o),
+		Ablation(o),
+	}
+}
+
+// ByID returns the experiment with the given id (e1..e11, case
+// insensitive), or nil.
+func ByID(id string, o Options) *Table {
+	switch strings.ToLower(id) {
+	case "e1", "fig3left":
+		return Fig3Left(o)
+	case "e2", "fig3right":
+		return Fig3Right(o)
+	case "e3", "transferlatency":
+		return TransferLatency(o)
+	case "e4", "fig4":
+		return Fig4Traffic(o)
+	case "e5", "transfertraffic":
+		return TransferTraffic(o)
+	case "e6", "fig5":
+		return Fig5EndToEnd(o)
+	case "e7", "fig6":
+		return Fig6Projection(o)
+	case "e8", "naive":
+		return NaiveMPCBaseline(o)
+	case "e9", "utility":
+		return UtilityTable()
+	case "e10", "edgebudget":
+		return EdgeBudgetTable()
+	case "e11", "contagion":
+		return ContagionSim(o)
+	case "e12", "ablation":
+		return Ablation(o)
+	default:
+		return nil
+	}
+}

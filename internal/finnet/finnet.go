@@ -1,0 +1,363 @@
+// Package finnet generates and represents synthetic financial networks.
+//
+// No public interbank data set exists — the privacy problem DStress solves
+// is precisely why (Appendix C) — so, like the paper, we evaluate on
+// synthetic networks whose shape follows the empirical literature:
+//
+//   - Core-periphery (Cocco et al. [18], the structure Appendix C uses): a
+//     small, densely connected core of large institutions surrounded by
+//     peripheral banks that each link to one or two core banks.
+//   - Scale-free (preferential attachment): banks closer to the "center"
+//     have exponentially more linkages.
+//   - Erdős–Rényi: the uniform baseline.
+//
+// Generators are deterministic in their seed (math/rand suffices: this is
+// workload synthesis, not cryptography) and respect a degree bound D so the
+// result can run under DStress's fixed-degree execution (§3.2 assumption 4).
+//
+// Two concrete network views exist, one per contagion model:
+//
+//   - ENNetwork: debt contracts (Eisenberg–Noe): cash reserves plus a debt
+//     matrix.
+//   - EGJNetwork: equity cross-holdings (Elliott–Golub–Jackson): base
+//     assets, cross-holding fractions, failure thresholds and penalties.
+package finnet
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Topology is a directed graph with bounded degree, shared by both model
+// views.
+type Topology struct {
+	N   int
+	D   int     // degree bound respected by construction
+	Out [][]int // adjacency lists
+}
+
+// edges returns the number of directed edges.
+func (t *Topology) edges() int {
+	n := 0
+	for _, out := range t.Out {
+		n += len(out)
+	}
+	return n
+}
+
+// HasEdge reports whether u → v exists.
+func (t *Topology) HasEdge(u, v int) bool {
+	for _, w := range t.Out[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// addEdge inserts u → v if absent and within degree bounds; reports
+// success.
+func (t *Topology) addEdge(u, v int, inDeg []int) bool {
+	if u == v || t.HasEdge(u, v) {
+		return false
+	}
+	if len(t.Out[u]) >= t.D || inDeg[v] >= t.D {
+		return false
+	}
+	t.Out[u] = append(t.Out[u], v)
+	inDeg[v]++
+	return true
+}
+
+// CorePeripheryParams configures the Appendix C style generator.
+type CorePeripheryParams struct {
+	N        int // total banks
+	Core     int // core size (10 of 50 in Appendix C)
+	D        int // degree bound
+	PeriLink int // links from each peripheral bank into the core (1–2)
+	Seed     int64
+}
+
+// CorePeriphery generates a two-tier topology: the core is (near-)fully
+// connected in both directions, subject to D; each peripheral bank connects
+// to PeriLink random core banks bidirectionally.
+func CorePeriphery(p CorePeripheryParams) (*Topology, error) {
+	if p.Core < 1 || p.Core > p.N {
+		return nil, fmt.Errorf("finnet: core size %d out of range", p.Core)
+	}
+	if p.PeriLink < 1 {
+		return nil, fmt.Errorf("finnet: PeriLink must be ≥ 1")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	t := &Topology{N: p.N, D: p.D, Out: make([][]int, p.N)}
+	inDeg := make([]int, p.N)
+	// Dense core.
+	for u := 0; u < p.Core; u++ {
+		for v := 0; v < p.Core; v++ {
+			if u != v {
+				t.addEdge(u, v, inDeg)
+			}
+		}
+	}
+	// Periphery: 1–2 bidirectional links into the core.
+	for u := p.Core; u < p.N; u++ {
+		links := p.PeriLink
+		for tries := 0; links > 0 && tries < 50; tries++ {
+			c := rng.Intn(p.Core)
+			if t.addEdge(u, c, inDeg) {
+				t.addEdge(c, u, inDeg)
+				links--
+			}
+		}
+	}
+	return t, nil
+}
+
+// ScaleFreeParams configures preferential attachment.
+type ScaleFreeParams struct {
+	N    int
+	M    int // links added per new node
+	D    int // degree bound
+	Seed int64
+}
+
+// ScaleFree generates a Barabási–Albert style topology with bidirectional
+// edges, truncated at the degree bound (which regulators would impose on a
+// DStress deployment anyway, §3.7).
+func ScaleFree(p ScaleFreeParams) (*Topology, error) {
+	if p.M < 1 || p.M >= p.N {
+		return nil, fmt.Errorf("finnet: M %d out of range", p.M)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	t := &Topology{N: p.N, D: p.D, Out: make([][]int, p.N)}
+	inDeg := make([]int, p.N)
+	// Seed clique of M+1 nodes.
+	for u := 0; u <= p.M; u++ {
+		for v := 0; v <= p.M; v++ {
+			if u != v {
+				t.addEdge(u, v, inDeg)
+			}
+		}
+	}
+	totalDeg := make([]int, p.N)
+	for u := 0; u <= p.M; u++ {
+		totalDeg[u] = len(t.Out[u]) + inDeg[u]
+	}
+	sum := 0
+	for _, d := range totalDeg {
+		sum += d
+	}
+	for u := p.M + 1; u < p.N; u++ {
+		added := 0
+		for tries := 0; added < p.M && tries < 200; tries++ {
+			// Preferential attachment: pick target ∝ degree.
+			r := rng.Intn(sum + 1)
+			v, acc := 0, 0
+			for ; v < u; v++ {
+				acc += totalDeg[v] + 1
+				if acc > r {
+					break
+				}
+			}
+			if v >= u {
+				v = rng.Intn(u)
+			}
+			if t.addEdge(u, v, inDeg) {
+				t.addEdge(v, u, inDeg)
+				delta := len(t.Out[u]) + inDeg[u] - totalDeg[u]
+				totalDeg[u] += delta
+				sum += delta
+				delta = len(t.Out[v]) + inDeg[v] - totalDeg[v]
+				totalDeg[v] += delta
+				sum += delta
+				added++
+			}
+		}
+	}
+	return t, nil
+}
+
+// ErdosRenyiParams configures the uniform random baseline.
+type ErdosRenyiParams struct {
+	N    int
+	P    float64 // edge probability
+	D    int
+	Seed int64
+}
+
+// ErdosRenyi generates a uniform random directed topology under the degree
+// bound.
+func ErdosRenyi(p ErdosRenyiParams) (*Topology, error) {
+	if p.P < 0 || p.P > 1 {
+		return nil, fmt.Errorf("finnet: probability %v out of range", p.P)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	t := &Topology{N: p.N, D: p.D, Out: make([][]int, p.N)}
+	inDeg := make([]int, p.N)
+	for u := 0; u < p.N; u++ {
+		for v := 0; v < p.N; v++ {
+			if u != v && rng.Float64() < p.P {
+				t.addEdge(u, v, inDeg)
+			}
+		}
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------------
+// Eisenberg–Noe view
+// ---------------------------------------------------------------------------
+
+// ENNetwork is a debt-contract network (§4.2): Debt[i][j] is the payment i
+// owes j under the stress scenario; Cash[i] is i's liquid reserve.
+type ENNetwork struct {
+	N    int
+	Cash []float64
+	Debt [][]float64
+}
+
+// TotalDebt returns Σ_j Debt[i][j].
+func (n *ENNetwork) TotalDebt(i int) float64 {
+	var t float64
+	for _, d := range n.Debt[i] {
+		t += d
+	}
+	return t
+}
+
+// Credits returns Σ_j Debt[j][i], the payments owed to i.
+func (n *ENNetwork) Credits(i int) float64 {
+	var t float64
+	for j := 0; j < n.N; j++ {
+		t += n.Debt[j][i]
+	}
+	return t
+}
+
+// ENParams sizes the balance sheets layered over a topology.
+type ENParams struct {
+	// CoreCash / PeriCash are liquid reserves for core (index < CoreSize)
+	// and peripheral banks.
+	CoreCash, PeriCash float64
+	// CoreSize marks how many leading indices count as core banks.
+	CoreSize int
+	// DebtScale is the mean per-edge debt; actual debts are uniform in
+	// [0.5, 1.5]× scale, with core-core edges 4× larger.
+	DebtScale float64
+	Seed      int64
+}
+
+// BuildEN lays Eisenberg–Noe balance sheets over a topology.
+func BuildEN(t *Topology, p ENParams) *ENNetwork {
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := &ENNetwork{N: t.N, Cash: make([]float64, t.N), Debt: make([][]float64, t.N)}
+	for i := range n.Debt {
+		n.Debt[i] = make([]float64, t.N)
+		if i < p.CoreSize {
+			n.Cash[i] = p.CoreCash * (0.8 + 0.4*rng.Float64())
+		} else {
+			n.Cash[i] = p.PeriCash * (0.8 + 0.4*rng.Float64())
+		}
+	}
+	for u := 0; u < t.N; u++ {
+		for _, v := range t.Out[u] {
+			scale := p.DebtScale
+			if u < p.CoreSize && v < p.CoreSize {
+				scale *= 4
+			}
+			n.Debt[u][v] = scale * (0.5 + rng.Float64())
+		}
+	}
+	return n
+}
+
+// ApplyCashShock multiplies the cash of the given banks by factor (e.g.
+// 0 wipes reserves out), modeling the hypothetical event a stress test
+// simulates (§2.1).
+func (n *ENNetwork) ApplyCashShock(banks []int, factor float64) {
+	for _, b := range banks {
+		n.Cash[b] *= factor
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Elliott–Golub–Jackson view
+// ---------------------------------------------------------------------------
+
+// EGJNetwork is an equity cross-holding network (§4.3). Holdings[i][j] is
+// the fraction of bank j's value held by bank i.
+type EGJNetwork struct {
+	N         int
+	Base      []float64 // value of own primitive assets
+	OrigVal   []float64 // pre-shock valuation
+	Holdings  [][]float64
+	Threshold []float64
+	Penalty   []float64
+}
+
+// EGJParams sizes the cross-holding network.
+type EGJParams struct {
+	CoreBase, PeriBase float64
+	CoreSize           int
+	// HoldingFrac is the mean cross-holding fraction per edge.
+	HoldingFrac float64
+	// ThresholdFrac sets the failure threshold as a fraction of OrigVal.
+	ThresholdFrac float64
+	// PenaltyFrac sets the failure penalty as a fraction of OrigVal.
+	PenaltyFrac float64
+	Seed        int64
+}
+
+// BuildEGJ lays Elliott–Golub–Jackson balance sheets over a topology. Edge
+// u → v in the topology means v holds a share of u (discount messages flow
+// along edges).
+func BuildEGJ(t *Topology, p EGJParams) *EGJNetwork {
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := &EGJNetwork{
+		N:         t.N,
+		Base:      make([]float64, t.N),
+		OrigVal:   make([]float64, t.N),
+		Holdings:  make([][]float64, t.N),
+		Threshold: make([]float64, t.N),
+		Penalty:   make([]float64, t.N),
+	}
+	for i := range n.Holdings {
+		n.Holdings[i] = make([]float64, t.N)
+		if i < p.CoreSize {
+			n.Base[i] = p.CoreBase * (0.8 + 0.4*rng.Float64())
+		} else {
+			n.Base[i] = p.PeriBase * (0.8 + 0.4*rng.Float64())
+		}
+	}
+	for u := 0; u < t.N; u++ {
+		for _, v := range t.Out[u] {
+			n.Holdings[v][u] = p.HoldingFrac * (0.5 + rng.Float64())
+		}
+	}
+	// Pre-shock valuation: fixpoint of value = base + Σ holdings·value,
+	// iterated to convergence.
+	vals := append([]float64{}, n.Base...)
+	for it := 0; it < 100; it++ {
+		next := make([]float64, t.N)
+		for i := 0; i < t.N; i++ {
+			next[i] = n.Base[i]
+			for j := 0; j < t.N; j++ {
+				next[i] += n.Holdings[i][j] * vals[j]
+			}
+		}
+		vals = next
+	}
+	copy(n.OrigVal, vals)
+	for i := 0; i < t.N; i++ {
+		n.Threshold[i] = p.ThresholdFrac * n.OrigVal[i]
+		n.Penalty[i] = p.PenaltyFrac * n.OrigVal[i]
+	}
+	return n
+}
+
+// ApplyBaseShock multiplies the base assets of the given banks by factor.
+func (n *EGJNetwork) ApplyBaseShock(banks []int, factor float64) {
+	for _, b := range banks {
+		n.Base[b] *= factor
+	}
+}

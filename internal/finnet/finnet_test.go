@@ -1,0 +1,284 @@
+package finnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCorePeripheryShape(t *testing.T) {
+	top, err := CorePeriphery(CorePeripheryParams{N: 50, Core: 10, D: 20, PeriLink: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.N != 50 {
+		t.Fatalf("N = %d", top.N)
+	}
+	// Core is densely connected: every core pair linked (D=20 ≥ 9+periphery
+	// load may truncate a little; require high density).
+	coreEdges := 0
+	for u := 0; u < 10; u++ {
+		for _, v := range top.Out[u] {
+			if v < 10 {
+				coreEdges++
+			}
+		}
+	}
+	if coreEdges < 60 {
+		t.Errorf("core has only %d internal edges", coreEdges)
+	}
+	// Every peripheral bank reaches the core.
+	for u := 10; u < 50; u++ {
+		hasCore := false
+		for _, v := range top.Out[u] {
+			if v < 10 {
+				hasCore = true
+			}
+		}
+		if !hasCore {
+			t.Errorf("peripheral bank %d not linked to core", u)
+		}
+	}
+}
+
+func TestDegreeBoundsRespected(t *testing.T) {
+	tops := []*Topology{}
+	cp, err := CorePeriphery(CorePeripheryParams{N: 60, Core: 12, D: 15, PeriLink: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tops = append(tops, cp)
+	sf, err := ScaleFree(ScaleFreeParams{N: 60, M: 3, D: 15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tops = append(tops, sf)
+	er, err := ErdosRenyi(ErdosRenyiParams{N: 60, P: 0.2, D: 15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tops = append(tops, er)
+
+	for ti, top := range tops {
+		inDeg := make([]int, top.N)
+		for u, out := range top.Out {
+			if len(out) > top.D {
+				t.Errorf("topology %d: node %d out-degree %d > %d", ti, u, len(out), top.D)
+			}
+			seen := map[int]bool{}
+			for _, v := range out {
+				if v == u {
+					t.Errorf("topology %d: self loop at %d", ti, u)
+				}
+				if seen[v] {
+					t.Errorf("topology %d: duplicate edge %d->%d", ti, u, v)
+				}
+				seen[v] = true
+				inDeg[v]++
+			}
+		}
+		for v, d := range inDeg {
+			if d > top.D {
+				t.Errorf("topology %d: node %d in-degree %d > %d", ti, v, d, top.D)
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, _ := ScaleFree(ScaleFreeParams{N: 40, M: 2, D: 12, Seed: 99})
+	b, _ := ScaleFree(ScaleFreeParams{N: 40, M: 2, D: 12, Seed: 99})
+	if a.edges() != b.edges() {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for u := range a.Out {
+		for i, v := range a.Out[u] {
+			if b.Out[u][i] != v {
+				t.Fatal("same seed produced different topology")
+			}
+		}
+	}
+	c, _ := ScaleFree(ScaleFreeParams{N: 40, M: 2, D: 12, Seed: 100})
+	if c.edges() == a.edges() && topoEqual(a, c) {
+		t.Error("different seeds produced identical topology")
+	}
+}
+
+func topoEqual(a, b *Topology) bool {
+	for u := range a.Out {
+		if len(a.Out[u]) != len(b.Out[u]) {
+			return false
+		}
+		for i := range a.Out[u] {
+			if a.Out[u][i] != b.Out[u][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestScaleFreeSkew(t *testing.T) {
+	// Preferential attachment: early nodes should end with far higher
+	// degree than late nodes.
+	top, err := ScaleFree(ScaleFreeParams{N: 200, M: 2, D: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := make([]int, top.N)
+	for u, out := range top.Out {
+		deg[u] += len(out)
+		for _, v := range out {
+			deg[v]++
+		}
+	}
+	early, late := 0, 0
+	for u := 0; u < 20; u++ {
+		early += deg[u]
+	}
+	for u := 180; u < 200; u++ {
+		late += deg[u]
+	}
+	if early <= late*2 {
+		t.Errorf("no hub skew: early-20 degree %d vs late-20 %d", early, late)
+	}
+}
+
+func TestBuildENBalanceSheets(t *testing.T) {
+	top, _ := CorePeriphery(CorePeripheryParams{N: 30, Core: 6, D: 12, PeriLink: 1, Seed: 5})
+	net := BuildEN(top, ENParams{CoreCash: 100, PeriCash: 10, CoreSize: 6, DebtScale: 20, Seed: 5})
+	if net.N != 30 {
+		t.Fatalf("N = %d", net.N)
+	}
+	for i := 0; i < net.N; i++ {
+		if net.Cash[i] <= 0 {
+			t.Errorf("bank %d has cash %v", i, net.Cash[i])
+		}
+	}
+	// Debt entries exist exactly on topology edges.
+	for u := 0; u < net.N; u++ {
+		for v := 0; v < net.N; v++ {
+			has := top.HasEdge(u, v)
+			if has && net.Debt[u][v] <= 0 {
+				t.Errorf("edge (%d,%d) has no debt", u, v)
+			}
+			if !has && net.Debt[u][v] != 0 {
+				t.Errorf("non-edge (%d,%d) has debt %v", u, v, net.Debt[u][v])
+			}
+		}
+	}
+	// Core-core debts are larger on average than periphery debts.
+	var coreSum, periSum float64
+	var coreN, periN int
+	for u := 0; u < net.N; u++ {
+		for v := 0; v < net.N; v++ {
+			if net.Debt[u][v] == 0 {
+				continue
+			}
+			if u < 6 && v < 6 {
+				coreSum += net.Debt[u][v]
+				coreN++
+			} else {
+				periSum += net.Debt[u][v]
+				periN++
+			}
+		}
+	}
+	if coreN == 0 || periN == 0 {
+		t.Fatal("missing core or periphery debts")
+	}
+	if coreSum/float64(coreN) <= periSum/float64(periN) {
+		t.Error("core debts not larger than periphery debts")
+	}
+}
+
+func TestTotalDebtAndCredits(t *testing.T) {
+	net := &ENNetwork{
+		N:    3,
+		Cash: []float64{1, 2, 3},
+		Debt: [][]float64{{0, 5, 3}, {2, 0, 0}, {0, 1, 0}},
+	}
+	if got := net.TotalDebt(0); got != 8 {
+		t.Errorf("TotalDebt(0) = %v", got)
+	}
+	if got := net.Credits(1); got != 6 {
+		t.Errorf("Credits(1) = %v", got)
+	}
+}
+
+func TestApplyCashShock(t *testing.T) {
+	net := &ENNetwork{N: 2, Cash: []float64{10, 20}, Debt: [][]float64{{0, 0}, {0, 0}}}
+	net.ApplyCashShock([]int{0}, 0)
+	if net.Cash[0] != 0 || net.Cash[1] != 20 {
+		t.Errorf("shock wrong: %v", net.Cash)
+	}
+}
+
+func TestBuildEGJValuations(t *testing.T) {
+	top, _ := CorePeriphery(CorePeripheryParams{N: 30, Core: 6, D: 12, PeriLink: 1, Seed: 5})
+	net := BuildEGJ(top, EGJParams{
+		CoreBase: 100, PeriBase: 10, CoreSize: 6,
+		HoldingFrac: 0.05, ThresholdFrac: 0.9, PenaltyFrac: 0.25, Seed: 5,
+	})
+	for i := 0; i < net.N; i++ {
+		// Pre-shock valuation includes cross-holding value: ≥ base.
+		if net.OrigVal[i] < net.Base[i] {
+			t.Errorf("bank %d OrigVal %v < Base %v", i, net.OrigVal[i], net.Base[i])
+		}
+		if net.Threshold[i] >= net.OrigVal[i] {
+			t.Errorf("bank %d starts below threshold", i)
+		}
+		if net.Penalty[i] <= 0 {
+			t.Errorf("bank %d has no penalty", i)
+		}
+	}
+	// Holdings follow topology edges (v holds u for edge u->v).
+	for u := 0; u < net.N; u++ {
+		for _, v := range top.Out[u] {
+			if net.Holdings[v][u] <= 0 {
+				t.Errorf("edge (%d,%d) has no holding", u, v)
+			}
+		}
+	}
+}
+
+func TestQuickCorePeripheryDegrees(t *testing.T) {
+	f := func(seed int64) bool {
+		top, err := CorePeriphery(CorePeripheryParams{N: 40, Core: 8, D: 12, PeriLink: 2, Seed: seed})
+		if err != nil {
+			return false
+		}
+		inDeg := make([]int, top.N)
+		for _, out := range top.Out {
+			if len(out) > top.D {
+				return false
+			}
+			for _, v := range out {
+				inDeg[v]++
+			}
+		}
+		for _, d := range inDeg {
+			if d > top.D {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := CorePeriphery(CorePeripheryParams{N: 10, Core: 20, D: 5, PeriLink: 1}); err == nil {
+		t.Error("oversized core accepted")
+	}
+	if _, err := CorePeriphery(CorePeripheryParams{N: 10, Core: 2, D: 5, PeriLink: 0}); err == nil {
+		t.Error("zero PeriLink accepted")
+	}
+	if _, err := ScaleFree(ScaleFreeParams{N: 10, M: 0, D: 5}); err == nil {
+		t.Error("zero M accepted")
+	}
+	if _, err := ErdosRenyi(ErdosRenyiParams{N: 10, P: 1.5, D: 5}); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+}

@@ -1,0 +1,228 @@
+package group
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func allGroups() []Group {
+	return []Group{ModP256(), P256(), P384()}
+}
+
+func TestGeneratorHasOrderQ(t *testing.T) {
+	for _, g := range allGroups() {
+		t.Run(g.Name(), func(t *testing.T) {
+			gq := g.ScalarMul(g.Generator(), g.Order())
+			if !g.Equal(gq, g.Identity()) {
+				t.Errorf("g^q != identity")
+			}
+		})
+	}
+}
+
+func TestOpIdentity(t *testing.T) {
+	for _, g := range allGroups() {
+		t.Run(g.Name(), func(t *testing.T) {
+			a := g.ScalarBaseMul(big.NewInt(12345))
+			if !g.Equal(g.Op(a, g.Identity()), a) {
+				t.Error("a*1 != a")
+			}
+			if !g.Equal(g.Op(g.Identity(), a), a) {
+				t.Error("1*a != a")
+			}
+		})
+	}
+}
+
+func TestInverse(t *testing.T) {
+	for _, g := range allGroups() {
+		t.Run(g.Name(), func(t *testing.T) {
+			a := g.ScalarBaseMul(big.NewInt(987654321))
+			if !g.Equal(g.Op(a, g.Inv(a)), g.Identity()) {
+				t.Error("a*a^-1 != identity")
+			}
+		})
+	}
+}
+
+func TestScalarHomomorphism(t *testing.T) {
+	// g^a * g^b == g^(a+b)
+	for _, g := range allGroups() {
+		t.Run(g.Name(), func(t *testing.T) {
+			a, b := big.NewInt(1000003), big.NewInt(777)
+			lhs := g.Op(g.ScalarBaseMul(a), g.ScalarBaseMul(b))
+			rhs := g.ScalarBaseMul(new(big.Int).Add(a, b))
+			if !g.Equal(lhs, rhs) {
+				t.Error("g^a*g^b != g^(a+b)")
+			}
+		})
+	}
+}
+
+func TestScalarMulMatchesRepeatedOp(t *testing.T) {
+	for _, g := range allGroups() {
+		t.Run(g.Name(), func(t *testing.T) {
+			acc := g.Identity()
+			base := g.ScalarBaseMul(big.NewInt(7))
+			for i := 1; i <= 5; i++ {
+				acc = g.Op(acc, base)
+				want := g.ScalarMul(base, big.NewInt(int64(i)))
+				if !g.Equal(acc, want) {
+					t.Errorf("scalar %d mismatch", i)
+				}
+			}
+		})
+	}
+}
+
+func TestNegativeScalarIsInverse(t *testing.T) {
+	for _, g := range allGroups() {
+		t.Run(g.Name(), func(t *testing.T) {
+			a := g.ScalarBaseMul(big.NewInt(5))
+			negA := g.ScalarBaseMul(big.NewInt(-5))
+			if !g.Equal(g.Op(a, negA), g.Identity()) {
+				t.Error("g^5 * g^-5 != identity")
+			}
+		})
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, g := range allGroups() {
+		t.Run(g.Name(), func(t *testing.T) {
+			for _, k := range []int64{1, 2, 3, 1 << 30, 999999937} {
+				a := g.ScalarBaseMul(big.NewInt(k))
+				enc := g.Encode(a)
+				dec, err := g.Decode(enc)
+				if err != nil {
+					t.Fatalf("Decode(%d): %v", k, err)
+				}
+				if !g.Equal(a, dec) {
+					t.Errorf("round trip failed for scalar %d", k)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, g := range allGroups() {
+		t.Run(g.Name(), func(t *testing.T) {
+			if _, err := g.Decode([]byte("not a group element at all..........")); err == nil {
+				t.Error("Decode accepted garbage")
+			}
+		})
+	}
+}
+
+func TestModPDecodeRejectsNonSubgroup(t *testing.T) {
+	g := ModP256().(*modpGroup)
+	// A generator of the full group Z_p^* (order 2q) is not a quadratic
+	// residue; find a non-residue by trying small values.
+	for v := int64(2); v < 50; v++ {
+		x := big.NewInt(v)
+		if new(big.Int).Exp(x, g.q, g.p).Cmp(big.NewInt(1)) != 0 {
+			buf := make([]byte, 32)
+			x.FillBytes(buf)
+			if _, err := g.Decode(buf); err == nil {
+				t.Fatalf("Decode accepted non-subgroup element %d", v)
+			}
+			return
+		}
+	}
+	t.Skip("no small non-residue found")
+}
+
+func TestRandomScalarInRange(t *testing.T) {
+	g := ModP256()
+	for i := 0; i < 64; i++ {
+		k := MustRandomScalar(g)
+		if k.Sign() <= 0 || k.Cmp(g.Order()) >= 0 {
+			t.Fatalf("scalar out of range: %v", k)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"p256", "p384", "modp256"} {
+		g, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if g.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, g.Name())
+		}
+	}
+	if _, err := ByName("curve25519"); err == nil {
+		t.Error("ByName accepted unknown group")
+	}
+}
+
+// Property: encode/decode round-trips for random scalars on the fast group.
+func TestQuickEncodeDecode(t *testing.T) {
+	g := ModP256()
+	f := func(k uint32) bool {
+		e := g.ScalarBaseMul(big.NewInt(int64(k) + 1))
+		dec, err := g.Decode(g.Encode(e))
+		return err == nil && g.Equal(e, dec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ScalarMul distributes over Op: (ab)^k = a^k b^k in abelian groups.
+func TestQuickScalarDistributes(t *testing.T) {
+	g := ModP256()
+	f := func(a, b uint16, k uint16) bool {
+		ea := g.ScalarBaseMul(big.NewInt(int64(a) + 1))
+		eb := g.ScalarBaseMul(big.NewInt(int64(b) + 1))
+		kk := big.NewInt(int64(k) + 1)
+		lhs := g.ScalarMul(g.Op(ea, eb), kk)
+		rhs := g.Op(g.ScalarMul(ea, kk), g.ScalarMul(eb, kk))
+		return g.Equal(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCurveIdentityEncode(t *testing.T) {
+	g := P256()
+	id := g.Identity()
+	dec, err := g.Decode(g.Encode(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(id, dec) {
+		t.Error("identity round trip failed")
+	}
+}
+
+func BenchmarkScalarBaseMulModP256(b *testing.B) {
+	g := ModP256()
+	k := big.NewInt(123456789)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.ScalarBaseMul(k)
+	}
+}
+
+func BenchmarkScalarBaseMulP256(b *testing.B) {
+	g := P256()
+	k := big.NewInt(123456789)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.ScalarBaseMul(k)
+	}
+}
+
+func BenchmarkScalarBaseMulP384(b *testing.B) {
+	g := P384()
+	k := big.NewInt(123456789)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.ScalarBaseMul(k)
+	}
+}

@@ -1,0 +1,254 @@
+// Package network provides the simulated transport that DStress nodes
+// communicate over.
+//
+// The paper's evaluation (§5) runs nodes on EC2 instances and reports two
+// quantities per experiment: computation time and traffic per node. This
+// package reproduces the measurement infrastructure: every node owns an
+// Endpoint, messages are delivered in-process through unbounded mailboxes
+// (so protocol goroutines can never deadlock on back-pressure), and the hub
+// keeps per-node byte and message counters that the benchmark harness reads
+// after a run. A configurable per-message header overhead models framing
+// (TCP/IP + TLS record) so traffic numbers are comparable in spirit to the
+// paper's packet captures.
+//
+// Messages are addressed by (sender, receiver, tag). Tags multiplex the many
+// concurrent protocol instances a node participates in — a node may be a
+// member of several blocks (§5.4 observes nodes "handle multiple blocks in
+// parallel") plus the relay for its own vertex's transfers.
+package network
+
+import (
+	"fmt"
+	"sync"
+)
+
+// NodeID identifies a node (a participant machine, not a vertex).
+type NodeID int32
+
+// DefaultHeaderOverhead is the per-message framing cost, in bytes, added to
+// traffic counters: a conservative stand-in for TCP/IP+TLS framing.
+const DefaultHeaderOverhead = 64
+
+// Network is the in-process message hub.
+type Network struct {
+	mu        sync.Mutex
+	endpoints map[NodeID]*Endpoint
+	overhead  int
+
+	// Traffic accounting.
+	sentBytes map[NodeID]int64
+	recvBytes map[NodeID]int64
+	sentMsgs  map[NodeID]int64
+}
+
+// New creates an empty network with the default header overhead.
+func New() *Network {
+	return &Network{
+		endpoints: make(map[NodeID]*Endpoint),
+		overhead:  DefaultHeaderOverhead,
+		sentBytes: make(map[NodeID]int64),
+		recvBytes: make(map[NodeID]int64),
+		sentMsgs:  make(map[NodeID]int64),
+	}
+}
+
+// SetHeaderOverhead overrides the per-message framing cost (bytes). It must
+// be called before traffic starts flowing.
+func (n *Network) SetHeaderOverhead(b int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.overhead = b
+}
+
+// Endpoint returns (creating if necessary) the endpoint for id.
+func (n *Network) Endpoint(id NodeID) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e, ok := n.endpoints[id]; ok {
+		return e
+	}
+	e := &Endpoint{net: n, id: id, boxes: make(map[boxKey]*mailbox)}
+	n.endpoints[id] = e
+	return e
+}
+
+func (n *Network) account(from, to NodeID, payload int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := int64(payload + n.overhead)
+	n.sentBytes[from] += total
+	n.recvBytes[to] += total
+	n.sentMsgs[from]++
+}
+
+// Stats is a snapshot of a node's traffic counters.
+type Stats struct {
+	BytesSent     int64
+	BytesReceived int64
+	MessagesSent  int64
+}
+
+// NodeStats returns the traffic snapshot for one node.
+func (n *Network) NodeStats(id NodeID) Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return Stats{
+		BytesSent:     n.sentBytes[id],
+		BytesReceived: n.recvBytes[id],
+		MessagesSent:  n.sentMsgs[id],
+	}
+}
+
+// TotalBytes returns the sum of bytes sent by all nodes.
+func (n *Network) TotalBytes() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var t int64
+	for _, b := range n.sentBytes {
+		t += b
+	}
+	return t
+}
+
+// MaxNodeBytes returns the largest per-node sent+received byte count: the
+// "traffic per node" quantity Figures 4–6 plot.
+func (n *Network) MaxNodeBytes() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var m int64
+	for id := range n.endpoints {
+		if v := n.sentBytes[id] + n.recvBytes[id]; v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// AvgNodeBytes returns the mean per-node sent+received byte count over all
+// endpoints that exist.
+func (n *Network) AvgNodeBytes() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.endpoints) == 0 {
+		return 0
+	}
+	var t int64
+	for id := range n.endpoints {
+		t += n.sentBytes[id] + n.recvBytes[id]
+	}
+	return float64(t) / float64(len(n.endpoints))
+}
+
+// ResetStats zeroes all traffic counters (between experiment phases).
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sentBytes = make(map[NodeID]int64)
+	n.recvBytes = make(map[NodeID]int64)
+	n.sentMsgs = make(map[NodeID]int64)
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint and mailboxes
+// ---------------------------------------------------------------------------
+
+type boxKey struct {
+	from NodeID
+	tag  string
+}
+
+// mailbox is an unbounded FIFO queue guarded by a condition variable.
+// Unbounded buffering is deliberate: GMW rounds have all-to-all traffic and
+// bounded channels could deadlock when two parties send before receiving.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue [][]byte
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(p []byte) {
+	m.mu.Lock()
+	m.queue = append(m.queue, p)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+func (m *mailbox) get() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 {
+		m.cond.Wait()
+	}
+	p := m.queue[0]
+	m.queue = m.queue[1:]
+	return p
+}
+
+// Endpoint is one node's attachment to the network.
+type Endpoint struct {
+	net *Network
+	id  NodeID
+
+	mu    sync.Mutex
+	boxes map[boxKey]*mailbox
+}
+
+// ID returns the node id this endpoint belongs to.
+func (e *Endpoint) ID() NodeID { return e.id }
+
+// Network returns the owning hub (for stats access).
+func (e *Endpoint) Network() *Network { return e.net }
+
+func (e *Endpoint) box(from NodeID, tag string) *mailbox {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := boxKey{from, tag}
+	b, ok := e.boxes[k]
+	if !ok {
+		b = newMailbox()
+		e.boxes[k] = b
+	}
+	return b
+}
+
+// Send delivers payload to node `to` under the given tag. The payload is
+// copied, so callers may reuse their buffer.
+func (e *Endpoint) Send(to NodeID, tag string, payload []byte) {
+	dst := e.net.Endpoint(to)
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	e.net.account(e.id, to, len(payload))
+	dst.box(e.id, tag).put(cp)
+}
+
+// Recv blocks until a message from `from` with the given tag arrives and
+// returns its payload.
+func (e *Endpoint) Recv(from NodeID, tag string) []byte {
+	return e.box(from, tag).get()
+}
+
+// Exchange sends payload to peer and receives the peer's payload under the
+// same tag: the symmetric step most MPC rounds need.
+func (e *Endpoint) Exchange(peer NodeID, tag string, payload []byte) []byte {
+	e.Send(peer, tag, payload)
+	return e.Recv(peer, tag)
+}
+
+// Tag builds a hierarchical tag from parts; a helper so protocol layers
+// construct collision-free namespaces.
+func Tag(parts ...interface{}) string {
+	s := ""
+	for i, p := range parts {
+		if i > 0 {
+			s += "/"
+		}
+		s += fmt.Sprint(p)
+	}
+	return s
+}

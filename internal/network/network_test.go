@@ -1,0 +1,203 @@
+package network
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSendRecv(t *testing.T) {
+	n := New()
+	a := n.Endpoint(1)
+	b := n.Endpoint(2)
+	go a.Send(2, "t", []byte("hello"))
+	got := b.Recv(1, "t")
+	if string(got) != "hello" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	n := New()
+	a := n.Endpoint(1)
+	b := n.Endpoint(2)
+	for i := 0; i < 100; i++ {
+		a.Send(2, "seq", []byte{byte(i)})
+	}
+	for i := 0; i < 100; i++ {
+		got := b.Recv(1, "seq")
+		if got[0] != byte(i) {
+			t.Fatalf("message %d out of order: %d", i, got[0])
+		}
+	}
+}
+
+func TestTagsIsolate(t *testing.T) {
+	n := New()
+	a := n.Endpoint(1)
+	b := n.Endpoint(2)
+	a.Send(2, "x", []byte("for x"))
+	a.Send(2, "y", []byte("for y"))
+	if got := b.Recv(1, "y"); string(got) != "for y" {
+		t.Errorf("tag y got %q", got)
+	}
+	if got := b.Recv(1, "x"); string(got) != "for x" {
+		t.Errorf("tag x got %q", got)
+	}
+}
+
+func TestSendersIsolate(t *testing.T) {
+	n := New()
+	n.Endpoint(1).Send(3, "t", []byte("from 1"))
+	n.Endpoint(2).Send(3, "t", []byte("from 2"))
+	c := n.Endpoint(3)
+	if got := c.Recv(2, "t"); string(got) != "from 2" {
+		t.Errorf("from 2 got %q", got)
+	}
+	if got := c.Recv(1, "t"); string(got) != "from 1" {
+		t.Errorf("from 1 got %q", got)
+	}
+}
+
+func TestPayloadCopied(t *testing.T) {
+	n := New()
+	a := n.Endpoint(1)
+	b := n.Endpoint(2)
+	buf := []byte("original")
+	a.Send(2, "t", buf)
+	copy(buf, "CLOBBER!")
+	if got := b.Recv(1, "t"); string(got) != "original" {
+		t.Errorf("payload aliased sender buffer: %q", got)
+	}
+}
+
+func TestExchange(t *testing.T) {
+	n := New()
+	var wg sync.WaitGroup
+	var gotA, gotB []byte
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		gotA = n.Endpoint(1).Exchange(2, "x", []byte("from A"))
+	}()
+	go func() {
+		defer wg.Done()
+		gotB = n.Endpoint(2).Exchange(1, "x", []byte("from B"))
+	}()
+	wg.Wait()
+	if string(gotA) != "from B" || string(gotB) != "from A" {
+		t.Errorf("exchange got %q / %q", gotA, gotB)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	n := New()
+	n.SetHeaderOverhead(10)
+	a := n.Endpoint(1)
+	a.Send(2, "t", make([]byte, 100))
+	a.Send(2, "t", make([]byte, 50))
+	n.Endpoint(2).Send(1, "t", make([]byte, 5))
+
+	s1 := n.NodeStats(1)
+	if s1.BytesSent != 170 { // 100+10 + 50+10
+		t.Errorf("node1 sent %d, want 170", s1.BytesSent)
+	}
+	if s1.BytesReceived != 15 {
+		t.Errorf("node1 received %d, want 15", s1.BytesReceived)
+	}
+	if s1.MessagesSent != 2 {
+		t.Errorf("node1 msgs %d, want 2", s1.MessagesSent)
+	}
+	if n.TotalBytes() != 185 {
+		t.Errorf("total %d, want 185", n.TotalBytes())
+	}
+	if n.MaxNodeBytes() != 185 { // node1: 170 sent + 15 received
+		t.Errorf("max node bytes %d, want 185", n.MaxNodeBytes())
+	}
+	if avg := n.AvgNodeBytes(); avg != 185 { // both nodes total 185 each
+		t.Errorf("avg node bytes %v, want 185", avg)
+	}
+	n.ResetStats()
+	if n.TotalBytes() != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestConcurrentManySenders(t *testing.T) {
+	n := New()
+	const senders = 16
+	const msgs = 200
+	recv := n.Endpoint(0)
+	var wg sync.WaitGroup
+	for s := 1; s <= senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			e := n.Endpoint(NodeID(s))
+			for i := 0; i < msgs; i++ {
+				e.Send(0, "load", []byte{byte(s), byte(i)})
+			}
+		}(s)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for s := 1; s <= senders; s++ {
+			for i := 0; i < msgs; i++ {
+				got := recv.Recv(NodeID(s), "load")
+				if got[0] != byte(s) || got[1] != byte(i) {
+					t.Errorf("sender %d msg %d corrupted: %v", s, i, got)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+}
+
+func TestTagHelper(t *testing.T) {
+	if got := Tag("gmw", 3, "round", 7); got != "gmw/3/round/7" {
+		t.Errorf("Tag = %q", got)
+	}
+}
+
+func TestEndpointIdempotent(t *testing.T) {
+	n := New()
+	if n.Endpoint(5) != n.Endpoint(5) {
+		t.Error("Endpoint not idempotent")
+	}
+}
+
+func BenchmarkSendRecv(b *testing.B) {
+	n := New()
+	a := n.Endpoint(1)
+	c := n.Endpoint(2)
+	payload := make([]byte, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Send(2, "b", payload)
+		c.Recv(1, "b")
+	}
+}
+
+func BenchmarkParallelPairs(b *testing.B) {
+	n := New()
+	const pairs = 8
+	b.RunParallel(func(pb *testing.PB) {
+		// Each goroutine uses its own pair of endpoints keyed by a counter.
+		idBase := NodeID(1000)
+		var mu sync.Mutex
+		mu.Lock()
+		idBase += 2
+		a, c := n.Endpoint(idBase), n.Endpoint(idBase+1)
+		mu.Unlock()
+		payload := make([]byte, 64)
+		tag := fmt.Sprint(idBase)
+		for pb.Next() {
+			a.Send(c.ID(), tag, payload)
+			c.Recv(a.ID(), tag)
+		}
+	})
+	_ = pairs
+}

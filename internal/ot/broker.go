@@ -1,0 +1,52 @@
+package ot
+
+import (
+	"crypto/rand"
+	"sync"
+)
+
+// DealerBroker hands out the two halves of dealt random-OT streams for
+// ordered party pairs. It plays the trusted party's role in the offline
+// phase: each directed pair (sender i → receiver j) gets one correlated
+// stream, and each half is claimed exactly once by the party that owns it.
+//
+// The broker is safe for concurrent use; parties typically claim their
+// halves from separate goroutines during session setup.
+type DealerBroker struct {
+	mu    sync.Mutex
+	pairs map[[2]int]*brokerEntry
+}
+
+type brokerEntry struct {
+	s *DealerSender
+	r *DealerReceiver
+}
+
+// NewDealerBroker creates an empty broker.
+func NewDealerBroker() *DealerBroker {
+	return &DealerBroker{pairs: make(map[[2]int]*brokerEntry)}
+}
+
+func (b *DealerBroker) entry(i, j int) *brokerEntry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	k := [2]int{i, j}
+	e, ok := b.pairs[k]
+	if !ok {
+		var seed [SeedLen]byte
+		if _, err := rand.Read(seed[:]); err != nil {
+			panic(err)
+		}
+		s, r := NewDealerPair(seed)
+		e = &brokerEntry{s: s, r: r}
+		b.pairs[k] = e
+	}
+	return e
+}
+
+// Sender returns the sender half of the stream for directed pair (i → j).
+func (b *DealerBroker) Sender(i, j int) *DealerSender { return b.entry(i, j).s }
+
+// Receiver returns the receiver half of the stream for directed pair
+// (i → j).
+func (b *DealerBroker) Receiver(i, j int) *DealerReceiver { return b.entry(i, j).r }

@@ -1,0 +1,259 @@
+package ot
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+
+	"dstress/internal/group"
+	"dstress/internal/network"
+)
+
+// IKNP OT extension (Ishai, Kilian, Nissim, Petrank): stretches λ = 128
+// base OTs into an unbounded stream of random bit-OTs using a pseudorandom
+// generator (AES-CTR) and a fixed-key AES correlation-robust hash. This is
+// the optimization the paper credits for GMW's low bandwidth (§5.3,
+// citations [41, 46]).
+//
+// Role reversal is inherent to IKNP: the party who will *receive* the
+// extended OTs acts as the *sender* of the base OTs, and vice versa.
+//
+// Per extension chunk of m OTs:
+//
+//	receiver: ρ ← {0,1}^m; for each j < λ:
+//	            t_j = PRG(k0_j, m),  u_j = t_j ⊕ PRG(k1_j, m) ⊕ ρ   → sender
+//	          row i of T gives wρ_i = lsb(H(i, t_i))
+//	sender:   q_j = PRG(k_{s_j}, m) ⊕ s_j·u_j; row i of Q gives
+//	            w0_i = lsb(H(i, q_i)),  w1_i = lsb(H(i, q_i ⊕ s))
+//
+// Since q_i = t_i ⊕ ρ_i·s, the receiver's pad equals w0 when ρ_i = 0 and w1
+// when ρ_i = 1, which is exactly a random OT.
+
+// Lambda is the IKNP security parameter (number of base OTs).
+const Lambda = 128
+
+// extChunk is the minimum extension batch, in OT instances; small requests
+// are rounded up and buffered.
+const extChunk = 2048
+
+// hashKey is the fixed AES key of the correlation-robust hash. Any fixed
+// public constant works; this spells "dstress-iknp-crh".
+var hashKey = []byte("dstress-iknp-crh")
+
+func newCRH() cipher.Block {
+	b, err := aes.NewCipher(hashKey)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// crhBit hashes a 16-byte row with its index and returns a single pad bit.
+func crhBit(crh cipher.Block, idx uint64, row []byte) uint8 {
+	var buf [16]byte
+	copy(buf[:], row)
+	var ib [8]byte
+	binary.LittleEndian.PutUint64(ib[:], idx)
+	for i := 0; i < 8; i++ {
+		buf[i] ^= ib[i]
+	}
+	var out [16]byte
+	crh.Encrypt(out[:], buf[:])
+	return (out[0] ^ buf[0]) & 1
+}
+
+// prg wraps AES-CTR as a deterministic byte stream.
+type prg struct{ stream cipher.Stream }
+
+func newPRG(seed []byte) *prg {
+	block, err := aes.NewCipher(seed[:SeedLen])
+	if err != nil {
+		panic(err)
+	}
+	iv := make([]byte, aes.BlockSize)
+	return &prg{stream: cipher.NewCTR(block, iv)}
+}
+
+func (p *prg) next(n int) []byte {
+	out := make([]byte, n)
+	p.stream.XORKeyStream(out, out)
+	return out
+}
+
+// transpose converts λ columns of mBytes each into m rows of λ/8 bytes.
+func transpose(cols [][]byte, m int) []byte {
+	rows := make([]byte, m*Lambda/8)
+	for j := 0; j < Lambda; j++ {
+		col := cols[j]
+		for i := 0; i < m; i++ {
+			if (col[i/8]>>(i%8))&1 == 1 {
+				rows[i*(Lambda/8)+j/8] |= 1 << (j % 8)
+			}
+		}
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Sender
+// ---------------------------------------------------------------------------
+
+// IKNPSender produces random pads (w0, w1); it is the *receiver* of the
+// base OTs.
+type IKNPSender struct {
+	ep    *network.Endpoint
+	peer  network.NodeID
+	tag   string
+	s     []uint8 // λ base-OT choice bits
+	prgs  []*prg  // PRG(k_{s_j})
+	crh   cipher.Block
+	chunk int
+	ctr   uint64
+
+	buf0, buf1 []uint8 // unpacked buffered pads
+}
+
+// NewIKNPSender bootstraps the extension as the pad-producing side. It
+// blocks until the peer runs NewIKNPReceiver with the same tag.
+func NewIKNPSender(g group.Group, ep *network.Endpoint, peer network.NodeID, tag string) (*IKNPSender, error) {
+	s := make([]uint8, Lambda)
+	var sb [Lambda / 8]byte
+	if _, err := rand.Read(sb[:]); err != nil {
+		return nil, fmt.Errorf("ot: drawing IKNP correlation vector: %w", err)
+	}
+	copy(s, UnpackBits(sb[:], Lambda))
+	seeds, err := BaseOTReceive(g, ep, peer, network.Tag(tag, "base"), s)
+	if err != nil {
+		return nil, fmt.Errorf("ot: IKNP base phase: %w", err)
+	}
+	prgs := make([]*prg, Lambda)
+	for j := range prgs {
+		prgs[j] = newPRG(seeds[j])
+	}
+	return &IKNPSender{ep: ep, peer: peer, tag: tag, s: s, prgs: prgs, crh: newCRH(), chunk: extChunk}, nil
+}
+
+// RandomPads implements RandomOTSender; returned slices are bit-packed.
+func (s *IKNPSender) RandomPads(n int) ([]uint8, []uint8, error) {
+	for len(s.buf0) < n {
+		if err := s.extend(); err != nil {
+			return nil, nil, err
+		}
+	}
+	w0 := PackBits(s.buf0[:n])
+	w1 := PackBits(s.buf1[:n])
+	s.buf0 = s.buf0[n:]
+	s.buf1 = s.buf1[n:]
+	return w0, w1, nil
+}
+
+func (s *IKNPSender) extend() error {
+	m := s.chunk
+	mBytes := m / 8
+	blob := s.ep.Recv(s.peer, network.Tag(s.tag, "ext", s.ctr/uint64(m)))
+	if len(blob) != Lambda*mBytes {
+		return fmt.Errorf("ot: IKNP extension blob has %d bytes, want %d", len(blob), Lambda*mBytes)
+	}
+	cols := make([][]byte, Lambda)
+	for j := 0; j < Lambda; j++ {
+		q := s.prgs[j].next(mBytes)
+		if s.s[j] == 1 {
+			u := blob[j*mBytes : (j+1)*mBytes]
+			for i := range q {
+				q[i] ^= u[i]
+			}
+		}
+		cols[j] = q
+	}
+	rows := transpose(cols, m)
+	sPacked := PackBits(s.s)
+	row1 := make([]byte, Lambda/8)
+	for i := 0; i < m; i++ {
+		row := rows[i*(Lambda/8) : (i+1)*(Lambda/8)]
+		for k := range row1 {
+			row1[k] = row[k] ^ sPacked[k]
+		}
+		idx := s.ctr + uint64(i)
+		s.buf0 = append(s.buf0, crhBit(s.crh, idx, row))
+		s.buf1 = append(s.buf1, crhBit(s.crh, idx, row1))
+	}
+	s.ctr += uint64(m)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Receiver
+// ---------------------------------------------------------------------------
+
+// IKNPReceiver produces random choices (ρ, wρ); it is the *sender* of the
+// base OTs.
+type IKNPReceiver struct {
+	ep    *network.Endpoint
+	peer  network.NodeID
+	tag   string
+	prg0s []*prg // PRG(k0_j)
+	prg1s []*prg // PRG(k1_j)
+	crh   cipher.Block
+	chunk int
+	ctr   uint64
+
+	bufRho, bufW []uint8
+}
+
+// NewIKNPReceiver bootstraps the extension as the choice-consuming side.
+func NewIKNPReceiver(g group.Group, ep *network.Endpoint, peer network.NodeID, tag string) (*IKNPReceiver, error) {
+	k0, k1, err := BaseOTSend(g, ep, peer, network.Tag(tag, "base"), Lambda)
+	if err != nil {
+		return nil, fmt.Errorf("ot: IKNP base phase: %w", err)
+	}
+	p0 := make([]*prg, Lambda)
+	p1 := make([]*prg, Lambda)
+	for j := 0; j < Lambda; j++ {
+		p0[j] = newPRG(k0[j])
+		p1[j] = newPRG(k1[j])
+	}
+	return &IKNPReceiver{ep: ep, peer: peer, tag: tag, prg0s: p0, prg1s: p1, crh: newCRH(), chunk: extChunk}, nil
+}
+
+// RandomChoices implements RandomOTReceiver; returned slices are bit-packed.
+func (r *IKNPReceiver) RandomChoices(n int) ([]uint8, []uint8, error) {
+	for len(r.bufRho) < n {
+		r.extend()
+	}
+	rho := PackBits(r.bufRho[:n])
+	w := PackBits(r.bufW[:n])
+	r.bufRho = r.bufRho[n:]
+	r.bufW = r.bufW[n:]
+	return rho, w, nil
+}
+
+func (r *IKNPReceiver) extend() {
+	m := r.chunk
+	mBytes := m / 8
+	rhoPacked := make([]byte, mBytes)
+	if _, err := rand.Read(rhoPacked); err != nil {
+		panic(fmt.Sprintf("ot: entropy failure: %v", err))
+	}
+	blob := make([]byte, 0, Lambda*mBytes)
+	cols := make([][]byte, Lambda)
+	for j := 0; j < Lambda; j++ {
+		t := r.prg0s[j].next(mBytes)
+		u := r.prg1s[j].next(mBytes)
+		for i := range u {
+			u[i] ^= t[i] ^ rhoPacked[i]
+		}
+		cols[j] = t
+		blob = append(blob, u...)
+	}
+	r.ep.Send(r.peer, network.Tag(r.tag, "ext", r.ctr/uint64(m)), blob)
+	rows := transpose(cols, m)
+	rho := UnpackBits(rhoPacked, m)
+	for i := 0; i < m; i++ {
+		row := rows[i*(Lambda/8) : (i+1)*(Lambda/8)]
+		r.bufRho = append(r.bufRho, rho[i])
+		r.bufW = append(r.bufW, crhBit(r.crh, r.ctr+uint64(i), row))
+	}
+	r.ctr += uint64(m)
+}

@@ -1,0 +1,183 @@
+// Package ot implements oblivious transfer, the interaction primitive
+// behind GMW's AND gates.
+//
+// In GMW, evaluating an AND gate over XOR-shared bits requires each ordered
+// pair of parties (i, j) to run one 1-of-2 bit OT: party i (the sender)
+// inputs two bits derived from its share, party j (the receiver) selects one
+// of them with its own share without revealing which, and learns nothing
+// about the other. The paper's prototype uses the GMW implementation of
+// Choi et al. with the oblivious-transfer extensions of Ishai et al. as an
+// optimization (§5.3); this package provides the same stack:
+//
+//   - baseot.go: a Diffie–Hellman random OT (Bellare–Micali style, secure
+//     against honest-but-curious parties, matching §3.2's threat model) used
+//     to bootstrap 128 seed OTs per party pair;
+//   - iknp.go: the IKNP OT extension, which stretches those seeds into an
+//     effectively unlimited stream of random bit-OTs using only AES and
+//     bit-matrix transposition;
+//   - dealer.go: a trusted-dealer source that draws the same correlated
+//     randomness locally. DStress already assumes a trusted party for setup
+//     (§3.4, assumption 5); the dealer models a TP-supplied offline phase
+//     and lets large benchmark configurations skip the public-key
+//     bootstrap. The online derandomization traffic is identical.
+//
+// Both sources produce *random* OTs — the sender gets random pads (w0, w1),
+// the receiver a random choice ρ and wρ — which the standard Beaver
+// derandomization (this file) converts into chosen-message, chosen-choice
+// OTs at a cost of three bits of online communication per OT.
+package ot
+
+import (
+	"fmt"
+
+	"dstress/internal/network"
+)
+
+// RandomOTSource produces batches of random OTs for one direction of one
+// party pair. Implementations: *IKNPSender/*IKNPReceiver, *DealerSender/
+// *DealerReceiver.
+type RandomOTSender interface {
+	// RandomPads returns n pairs of random pad bits (w0, w1), bit-packed.
+	RandomPads(n int) (w0, w1 []uint8, err error)
+}
+
+// RandomOTReceiver is the receiving half of a random OT source.
+type RandomOTReceiver interface {
+	// RandomChoices returns n random choice bits ρ and the corresponding
+	// pads wρ.
+	RandomChoices(n int) (rho, wRho []uint8, err error)
+}
+
+// ---------------------------------------------------------------------------
+// Chosen-message bit OT via Beaver derandomization
+// ---------------------------------------------------------------------------
+
+// BitSender executes chosen-message bit OTs as the sender.
+type BitSender struct {
+	src  RandomOTSender
+	ep   *network.Endpoint
+	peer network.NodeID
+	tag  string
+	seq  int
+}
+
+// BitReceiver executes chosen-message bit OTs as the receiver.
+type BitReceiver struct {
+	src  RandomOTReceiver
+	ep   *network.Endpoint
+	peer network.NodeID
+	tag  string
+	seq  int
+}
+
+// NewBitSender wraps a random-OT source into a chosen-message sender
+// speaking to peer under the tag namespace.
+func NewBitSender(src RandomOTSender, ep *network.Endpoint, peer network.NodeID, tag string) *BitSender {
+	return &BitSender{src: src, ep: ep, peer: peer, tag: tag}
+}
+
+// NewBitReceiver wraps a random-OT source into a chosen-message receiver.
+func NewBitReceiver(src RandomOTReceiver, ep *network.Endpoint, peer network.NodeID, tag string) *BitReceiver {
+	return &BitReceiver{src: src, ep: ep, peer: peer, tag: tag}
+}
+
+// SendBits runs len(m0) parallel OTs: the receiver obtains m0[i] or m1[i]
+// according to its choice bit. m0 and m1 are unpacked bit slices.
+func (s *BitSender) SendBits(m0, m1 []uint8) error {
+	if len(m0) != len(m1) {
+		return fmt.Errorf("ot: message slices differ: %d vs %d", len(m0), len(m1))
+	}
+	n := len(m0)
+	if n == 0 {
+		return nil
+	}
+	w0, w1, err := s.src.RandomPads(n)
+	if err != nil {
+		return err
+	}
+	tag := network.Tag(s.tag, "derand", s.seq)
+	s.seq++
+	// Receiver announces e = c ⊕ ρ.
+	e := UnpackBits(s.ep.Recv(s.peer, tag), n)
+	// y0 = m0 ⊕ w_e, y1 = m1 ⊕ w_{1-e}.
+	y0 := make([]uint8, n)
+	y1 := make([]uint8, n)
+	w0b := UnpackBits(w0, n)
+	w1b := UnpackBits(w1, n)
+	for i := 0; i < n; i++ {
+		we, wne := w0b[i], w1b[i]
+		if e[i] == 1 {
+			we, wne = wne, we
+		}
+		y0[i] = m0[i] ^ we
+		y1[i] = m1[i] ^ wne
+	}
+	payload := append(PackBits(y0), PackBits(y1)...)
+	s.ep.Send(s.peer, tag, payload)
+	return nil
+}
+
+// ReceiveBits runs len(choices) parallel OTs and returns the selected bits.
+func (r *BitReceiver) ReceiveBits(choices []uint8) ([]uint8, error) {
+	n := len(choices)
+	if n == 0 {
+		return nil, nil
+	}
+	rho, wRho, err := r.src.RandomChoices(n)
+	if err != nil {
+		return nil, err
+	}
+	rhoB := UnpackBits(rho, n)
+	wB := UnpackBits(wRho, n)
+	e := make([]uint8, n)
+	for i := 0; i < n; i++ {
+		if choices[i] > 1 {
+			return nil, fmt.Errorf("ot: choice %d is not a bit: %d", i, choices[i])
+		}
+		e[i] = choices[i] ^ rhoB[i]
+	}
+	tag := network.Tag(r.tag, "derand", r.seq)
+	r.seq++
+	r.ep.Send(r.peer, tag, PackBits(e))
+	payload := r.ep.Recv(r.peer, tag)
+	nb := (n + 7) / 8
+	if len(payload) != 2*nb {
+		return nil, fmt.Errorf("ot: bad derandomization payload length %d", len(payload))
+	}
+	y0 := UnpackBits(payload[:nb], n)
+	y1 := UnpackBits(payload[nb:], n)
+	out := make([]uint8, n)
+	for i := 0; i < n; i++ {
+		y := y0[i]
+		if choices[i] == 1 {
+			y = y1[i]
+		}
+		out[i] = y ^ wB[i]
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Bit packing helpers
+// ---------------------------------------------------------------------------
+
+// PackBits packs a slice of 0/1 bytes into a bitmap, LSB-first within each
+// byte.
+func PackBits(bits []uint8) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b&1 == 1 {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+// UnpackBits expands a bitmap into n 0/1 bytes.
+func UnpackBits(packed []byte, n int) []uint8 {
+	out := make([]uint8, n)
+	for i := 0; i < n; i++ {
+		out[i] = (packed[i/8] >> (i % 8)) & 1
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package risk
+
+import (
+	"fmt"
+
+	"dstress/internal/circuit"
+	"dstress/internal/finnet"
+	"dstress/internal/fixed"
+	"dstress/internal/vertex"
+)
+
+// EGJResult is the outcome of an Elliott–Golub–Jackson contagion
+// computation.
+type EGJResult struct {
+	// Value[i] is bank i's valuation after the run (post-penalty).
+	Value []float64
+	// Failed[i] reports whether i ended below its threshold.
+	Failed []bool
+	// TDS sums threshold−value over failed banks (§4.3's aggregation).
+	TDS float64
+	// Iterations is the number of steps performed.
+	Iterations int
+}
+
+// SolveEGJ runs the Elliott–Golub–Jackson fixpoint for a fixed number of
+// iterations. Values decline monotonically ([39]), so a capped iteration
+// count yields a lower bound on the damage that converges quickly.
+func SolveEGJ(net *finnet.EGJNetwork, iterations int) *EGJResult {
+	n := net.N
+	discount := make([]float64, n)
+	value := make([]float64, n)
+	for it := 0; it < iterations; it++ {
+		next := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v := net.Base[i]
+			for j := 0; j < n; j++ {
+				if net.Holdings[i][j] != 0 {
+					v += net.Holdings[i][j] * (1 - discount[j]) * net.OrigVal[j]
+				}
+			}
+			if v < net.Threshold[i] {
+				v -= net.Penalty[i]
+			}
+			value[i] = v
+			d := 0.0
+			if net.OrigVal[i] > 0 {
+				d = 1 - v/net.OrigVal[i]
+			}
+			if d < 0 {
+				d = 0
+			}
+			if d > 1 {
+				d = 1
+			}
+			next[i] = d
+		}
+		discount = next
+	}
+	res := &EGJResult{Value: value, Failed: make([]bool, n), Iterations: iterations}
+	for i := 0; i < n; i++ {
+		if value[i] < net.Threshold[i] {
+			res.Failed[i] = true
+			res.TDS += net.Threshold[i] - value[i]
+		}
+	}
+	return res
+}
+
+// EGJProgram compiles Figure 2(b) into a DStress vertex program.
+//
+// State: the bank's dollar shortfall relative to its failure threshold,
+// max(threshold − value, 0) (what AGGREGATE sums). Message: the bank's
+// valuation discount 1 − value/origVal, clamped to [0,1]. Private inputs:
+// base assets, threshold, penalty, origVal, and per in-slot d the
+// premultiplied cross-holding value c_d = holdings[i][j_d]·origVal[j_d]
+// (constant across iterations, so it folds into one private word).
+func EGJProgram(cfg CircuitConfig, granularityDollars, leverage float64) *vertex.Program {
+	w := cfg.Width
+	aggBits := w + 12
+	if aggBits > 63 {
+		aggBits = 63
+	}
+	return &vertex.Program{
+		Name:        "elliott-golub-jackson",
+		StateBits:   w,
+		MsgBits:     w,
+		AggBits:     aggBits,
+		NoOp:        0,
+		Sensitivity: ProgramSensitivity(EGJSensitivity(leverage), granularityDollars, cfg),
+		PrivBits:    func(D int) int { return w * (4 + D) },
+		BuildUpdate: func(b *circuit.Builder, D int, state, priv circuit.Word, msgs []circuit.Word) (circuit.Word, []circuit.Word) {
+			word := func(idx int) circuit.Word { return priv[idx*w : (idx+1)*w] }
+			base := word(0)
+			threshold := word(1)
+			penalty := word(2)
+			origVal := word(3)
+			// value = base + Σ_d (c_d − c_d·discount_d); padding slots have
+			// c_d = 0 and ⊥ = 0, contributing nothing.
+			value := base
+			for d := 0; d < D; d++ {
+				cd := word(4 + d)
+				value = b.Add(value, b.Sub(cd, b.MulFixed(cd, msgs[d], fixed.Frac)))
+			}
+			failed := b.LessS(value, threshold)
+			value = b.MuxWord(failed, b.Sub(value, penalty), value)
+			// Post-penalty shortfall (the penalty deepens it; value stays
+			// below threshold once failed).
+			zero := b.ConstWord(0, w)
+			shortfall := b.MuxWord(failed, b.Sub(threshold, value), zero)
+			// discount = clamp(1 − value/origVal, 0, 1).
+			one := b.ConstWord(int64(fixed.One), w)
+			disc := b.Sub(one, b.DivFixed(value, origVal, fixed.Frac))
+			disc = b.MaxS(disc, zero)
+			disc = b.MinS(disc, one)
+			out := make([]circuit.Word, D)
+			for d := 0; d < D; d++ {
+				out[d] = disc
+			}
+			return shortfall, out
+		},
+		BuildAggregate: func(b *circuit.Builder, states []circuit.Word) circuit.Word {
+			acc := b.ConstWord(0, aggBits)
+			for _, s := range states {
+				acc = b.Add(acc, b.SignExtend(s, aggBits))
+			}
+			return acc
+		},
+	}
+}
+
+// EGJGraph converts a finnet cross-holding network into a vertex.Graph for
+// EGJProgram: edge j → i wherever Holdings[i][j] > 0 (j's discount flows to
+// its holders).
+func EGJGraph(net *finnet.EGJNetwork, cfg CircuitConfig, D int) (*vertex.Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := vertex.NewGraph(net.N, D)
+	for i := 0; i < net.N; i++ {
+		for j := 0; j < net.N; j++ {
+			if net.Holdings[i][j] > 0 {
+				if err := g.AddEdge(j, i); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	w := cfg.Width
+	for i := 0; i < net.N; i++ {
+		vals := make([]int64, 0, 4+D)
+		for _, dollars := range []float64{net.Base[i], net.Threshold[i], net.Penalty[i], net.OrigVal[i]} {
+			v, err := cfg.Encode(dollars)
+			if err != nil {
+				return nil, fmt.Errorf("risk: bank %d balance sheet: %w", i, err)
+			}
+			vals = append(vals, v)
+		}
+		for d := 0; d < D; d++ {
+			var v int64
+			if d < len(g.In[i]) {
+				j := g.In[i][d]
+				var err error
+				if v, err = cfg.Encode(net.Holdings[i][j] * net.OrigVal[j]); err != nil {
+					return nil, fmt.Errorf("risk: bank %d holding slot %d: %w", i, d, err)
+				}
+			}
+			vals = append(vals, v)
+		}
+		var bits []uint8
+		for _, v := range vals {
+			bits = append(bits, circuit.EncodeWord(v, w)...)
+		}
+		g.Priv[i] = bits
+		g.InitState[i] = 0
+	}
+	return g, nil
+}

@@ -1,0 +1,107 @@
+// Package risk implements the two systemic-risk models of §4 — Eisenberg–
+// Noe (debt contagion) and Elliott–Golub–Jackson (equity cross-holdings
+// with failure costs) — in three coordinated forms:
+//
+//  1. Plaintext float64 solvers (SolveEN, SolveEGJ): the economics-
+//     literature fixpoint computations, used as ground truth and for the
+//     Appendix C convergence experiments.
+//  2. DStress vertex programs (ENProgram, EGJProgram): Figure 2's
+//     pseudocode compiled to Boolean circuits over fixed-point words.
+//  3. Graph builders (ENGraph, EGJGraph) that turn a finnet network into a
+//     vertex.Graph with per-vertex private inputs.
+//
+// Both models measure systemic risk as the total dollar shortfall (TDS,
+// §4.1) and release it under dollar-differential privacy: data sets are
+// similar when one can be transformed into the other by reallocating at
+// most T dollars in one portfolio, giving sensitivities 1/r (EN) and 2/r
+// (EGJ) where r bounds bank leverage (§4.4, Hemenway–Khanna).
+package risk
+
+import (
+	"fmt"
+	"math"
+
+	"dstress/internal/fixed"
+)
+
+// CircuitConfig fixes the fixed-point representation used by the circuit
+// programs.
+type CircuitConfig struct {
+	// Width is the word width in bits (state, messages, private inputs).
+	Width int
+	// Unit is the dollar value of 1.0 in fixed point (e.g. 1e6 = work in
+	// millions).
+	Unit float64
+}
+
+// DefaultCircuitConfig works in millions of dollars with 40-bit words:
+// magnitudes up to ±2^23 units (≈ $8.4 trillion) at ≈ $15 resolution.
+func DefaultCircuitConfig() CircuitConfig {
+	return CircuitConfig{Width: 40, Unit: 1e6}
+}
+
+// Validate checks representable ranges.
+func (c CircuitConfig) Validate() error {
+	if c.Width < 24 || c.Width > 60 {
+		return fmt.Errorf("risk: width %d out of [24,60]", c.Width)
+	}
+	if c.Unit <= 0 {
+		return fmt.Errorf("risk: unit %v must be positive", c.Unit)
+	}
+	return nil
+}
+
+// MaxDollars returns the largest representable magnitude.
+func (c CircuitConfig) MaxDollars() float64 {
+	return float64(int64(1)<<(c.Width-1)) / float64(fixed.One) * c.Unit
+}
+
+// Encode converts dollars to a fixed-point raw word, checking range.
+func (c CircuitConfig) Encode(dollars float64) (int64, error) {
+	raw := fixed.FromFloat(dollars / c.Unit).Raw()
+	limit := int64(1) << (c.Width - 1)
+	if raw >= limit || raw < -limit {
+		return 0, fmt.Errorf("risk: %v dollars exceeds %d-bit fixed range (max %v)", dollars, c.Width, c.MaxDollars())
+	}
+	return raw, nil
+}
+
+// Decode converts a raw circuit output word back to dollars.
+func (c CircuitConfig) Decode(raw int64) float64 {
+	return fixed.FromRaw(raw).Float() * c.Unit
+}
+
+// ENSensitivity returns the Eisenberg–Noe sensitivity bound 1/r, where the
+// leverage ratio of every bank is capped at 1:r (§4.4).
+func ENSensitivity(r float64) float64 {
+	if r <= 0 {
+		panic("risk: leverage bound must be positive")
+	}
+	return 1 / r
+}
+
+// EGJSensitivity returns the Elliott–Golub–Jackson sensitivity bound 2/r
+// (Hemenway–Khanna, §4.4).
+func EGJSensitivity(r float64) float64 {
+	if r <= 0 {
+		panic("risk: leverage bound must be positive")
+	}
+	return 2 / r
+}
+
+// ProgramSensitivity converts a model sensitivity and a dollar granularity
+// T (§4.5's $1 billion) into the aggregate-unit sensitivity the vertex
+// runtime's noise generator expects.
+func ProgramSensitivity(modelSensitivity, granularityDollars float64, cfg CircuitConfig) float64 {
+	return modelSensitivity * granularityDollars / cfg.Unit
+}
+
+// RecommendedIterations returns the iteration count the Appendix C
+// experiments support: shocks traverse the core-periphery network within
+// log2(N) hops.
+func RecommendedIterations(n int) int {
+	if n < 2 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}

@@ -1,0 +1,268 @@
+// Package tcpnet is the deployment transport: the same
+// (sender, receiver, tag)-addressed messaging semantics as the in-process
+// hub in internal/network, carried over real TCP connections.
+//
+// The paper's nodes are banks' machines communicating over the Internet
+// (§3.3); the evaluation ran on EC2 instances in one region. This package
+// provides that wire layer for out-of-process deployments: each node runs
+// a Peer that listens on a TCP address, dials its counterparties lazily,
+// and frames messages as
+//
+//	uint32 length | int32 from | uint16 tagLen | tag | payload
+//
+// Delivery preserves per-(sender, tag) FIFO order (messages from one
+// sender travel on one connection in order and are queued in order).
+// Traffic counters mirror internal/network so measurements stay
+// comparable. Confidentiality/integrity of the channel itself is expected
+// from the usual TLS layer in a real deployment; the DStress protocols
+// additionally never place bare secrets on the wire (shares are encrypted
+// or information-theoretically masked).
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"dstress/internal/network"
+)
+
+// maxFrame bounds a single message; GMW rounds batch at most a few MB.
+const maxFrame = 64 << 20
+
+// Peer is one node's TCP attachment.
+type Peer struct {
+	id       network.NodeID
+	listener net.Listener
+
+	mu    sync.Mutex
+	dials map[network.NodeID]net.Conn // outbound connections by peer id
+	addrs map[network.NodeID]string   // directory: node id → address
+	boxes map[boxKey]*mailbox
+
+	bytesSent, bytesRecv, msgsSent atomic.Int64
+
+	closed  atomic.Bool
+	writeMu sync.Map // per-conn *sync.Mutex
+}
+
+type boxKey struct {
+	from network.NodeID
+	tag  string
+}
+
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue [][]byte
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Listen starts a peer on addr ("127.0.0.1:0" for an ephemeral port).
+func Listen(id network.NodeID, addr string) (*Peer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+	}
+	p := &Peer{
+		id:       id,
+		listener: l,
+		dials:    make(map[network.NodeID]net.Conn),
+		addrs:    make(map[network.NodeID]string),
+		boxes:    make(map[boxKey]*mailbox),
+	}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// ID returns this peer's node id.
+func (p *Peer) ID() network.NodeID { return p.id }
+
+// Addr returns the listening address (for directory registration).
+func (p *Peer) Addr() string { return p.listener.Addr().String() }
+
+// Register adds a node-id → address mapping; in a deployment the trusted
+// party's signed node list (§3.4) plays this role.
+func (p *Peer) Register(id network.NodeID, addr string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.addrs[id] = addr
+}
+
+// Close shuts the peer down; in-flight Recv calls are released with
+// zero-length results only if the sender closed first, otherwise they
+// block forever (protocol-level completion is the caller's business).
+func (p *Peer) Close() error {
+	p.closed.Store(true)
+	err := p.listener.Close()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.dials {
+		c.Close()
+	}
+	return err
+}
+
+// Stats returns the traffic snapshot, aligned with network.Stats.
+func (p *Peer) Stats() network.Stats {
+	return network.Stats{
+		BytesSent:     p.bytesSent.Load(),
+		BytesReceived: p.bytesRecv.Load(),
+		MessagesSent:  p.msgsSent.Load(),
+	}
+}
+
+func (p *Peer) acceptLoop() {
+	for {
+		conn, err := p.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go p.readLoop(conn)
+	}
+}
+
+func (p *Peer) readLoop(conn net.Conn) {
+	defer conn.Close()
+	for {
+		from, tag, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		p.bytesRecv.Add(int64(len(payload)))
+		p.box(from, tag).put(payload)
+	}
+}
+
+func (p *Peer) box(from network.NodeID, tag string) *mailbox {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := boxKey{from, tag}
+	b, ok := p.boxes[k]
+	if !ok {
+		b = newMailbox()
+		p.boxes[k] = b
+	}
+	return b
+}
+
+func (m *mailbox) put(payload []byte) {
+	m.mu.Lock()
+	m.queue = append(m.queue, payload)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+func (m *mailbox) get() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 {
+		m.cond.Wait()
+	}
+	v := m.queue[0]
+	m.queue = m.queue[1:]
+	return v
+}
+
+// conn returns (dialing lazily) the outbound connection to peer `to`.
+func (p *Peer) conn(to network.NodeID) (net.Conn, error) {
+	p.mu.Lock()
+	if c, ok := p.dials[to]; ok {
+		p.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := p.addrs[to]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tcpnet: no address registered for node %d", to)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dial node %d at %s: %w", to, addr, err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if existing, ok := p.dials[to]; ok {
+		c.Close()
+		return existing, nil
+	}
+	p.dials[to] = c
+	return c, nil
+}
+
+// Send delivers payload to node `to` under tag.
+func (p *Peer) Send(to network.NodeID, tag string, payload []byte) error {
+	c, err := p.conn(to)
+	if err != nil {
+		return err
+	}
+	muI, _ := p.writeMu.LoadOrStore(to, &sync.Mutex{})
+	mu := muI.(*sync.Mutex)
+	mu.Lock()
+	defer mu.Unlock()
+	if err := writeFrame(c, p.id, tag, payload); err != nil {
+		return fmt.Errorf("tcpnet: send to %d: %w", to, err)
+	}
+	p.bytesSent.Add(int64(len(payload)))
+	p.msgsSent.Add(1)
+	return nil
+}
+
+// Recv blocks until a message from `from` with the given tag arrives.
+func (p *Peer) Recv(from network.NodeID, tag string) []byte {
+	return p.box(from, tag).get()
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+func writeFrame(w io.Writer, from network.NodeID, tag string, payload []byte) error {
+	if len(tag) > 0xffff {
+		return errors.New("tcpnet: tag too long")
+	}
+	total := 4 + 2 + len(tag) + len(payload)
+	if total > maxFrame {
+		return fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", total)
+	}
+	buf := make([]byte, 4+total)
+	binary.BigEndian.PutUint32(buf[0:], uint32(total))
+	binary.BigEndian.PutUint32(buf[4:], uint32(from))
+	binary.BigEndian.PutUint16(buf[8:], uint16(len(tag)))
+	copy(buf[10:], tag)
+	copy(buf[10+len(tag):], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFrame(r io.Reader) (from network.NodeID, tag string, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, "", nil, err
+	}
+	total := binary.BigEndian.Uint32(hdr[:])
+	if total > maxFrame || total < 6 {
+		return 0, "", nil, fmt.Errorf("tcpnet: bad frame length %d", total)
+	}
+	body := make([]byte, total)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return 0, "", nil, err
+	}
+	from = network.NodeID(binary.BigEndian.Uint32(body[0:]))
+	tagLen := int(binary.BigEndian.Uint16(body[4:]))
+	if 6+tagLen > int(total) {
+		return 0, "", nil, errors.New("tcpnet: tag overruns frame")
+	}
+	tag = string(body[6 : 6+tagLen])
+	payload = body[6+tagLen:]
+	return from, tag, payload, nil
+}

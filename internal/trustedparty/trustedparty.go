@@ -1,0 +1,331 @@
+// Package trustedparty implements the one-time setup step of §3.4.
+//
+// DStress assumes a trusted party (TP) — e.g. the Federal Reserve in the
+// banking scenario — that knows the identities of all nodes, assigns each
+// node a block of k+1 members, and equips every node with D block
+// certificates. The TP can be offline afterwards and never learns the graph
+// topology or any private data.
+//
+// Setup protocol:
+//
+//  1. Each node i sends the TP its L ElGamal public keys (one per message
+//     bit, enabling the Kurosawa shared-ephemeral optimization of §5.1) and
+//     D secret "neighbor keys" n_1…n_D drawn from Z_q.
+//  2. The TP randomly assigns each node a block B_i of k+1 distinct nodes
+//     including i (preventing Sybil-stuffed blocks), plus a special
+//     aggregation block B_A, and publishes the signed assignment. The
+//     assignment reveals nothing about edges.
+//  3. For each node i and each slot j ≤ D, the TP builds a block
+//     certificate containing the public keys of B_i's members re-randomized
+//     with n_j (h ↦ h^{n_j}) and signs it. Node i forwards its j-th
+//     certificate to its j-th neighbor (discarding leftovers if it has
+//     fewer than D neighbors, so neighbors cannot be counted); the neighbor
+//     hands it to the members of its own block, identified only as "the
+//     certificate for my j-th neighbor".
+//
+// During a transfer over edge (u → v), the members of B_u encrypt under the
+// re-randomized keys from v's certificate, and v later adjusts the
+// ciphertexts with the matching neighbor key (§3.5), so B_u's members never
+// see a key they could link to a node identity.
+package trustedparty
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"dstress/internal/elgamal"
+	"dstress/internal/group"
+	"dstress/internal/network"
+)
+
+// Params are the public system parameters fixed before setup.
+type Params struct {
+	Group group.Group
+	K     int // collusion bound; blocks have K+1 members
+	D     int // public degree bound
+	L     int // message bit-length (keys per node)
+}
+
+// Validate checks the parameter ranges.
+func (p Params) Validate() error {
+	if p.Group == nil {
+		return fmt.Errorf("trustedparty: nil group")
+	}
+	if p.K < 1 {
+		return fmt.Errorf("trustedparty: collusion bound k must be ≥ 1, got %d", p.K)
+	}
+	if p.D < 1 {
+		return fmt.Errorf("trustedparty: degree bound D must be ≥ 1, got %d", p.D)
+	}
+	if p.L < 1 || p.L > 64 {
+		return fmt.Errorf("trustedparty: message length L must be in [1,64], got %d", p.L)
+	}
+	return nil
+}
+
+// NodeRegistration is what a node submits to the TP: its public keys and
+// its D neighbor keys. Neighbor keys are scalars the node chooses; the TP
+// uses them for re-randomization and the node later uses them for
+// ciphertext adjustment.
+type NodeRegistration struct {
+	ID           network.NodeID
+	PublicKeys   []elgamal.PublicKey // L keys, one per bit position
+	NeighborKeys []*big.Int          // D scalars
+}
+
+// NodeSecrets is the node-local private state generated alongside a
+// registration.
+type NodeSecrets struct {
+	PrivateKeys  []*elgamal.PrivateKey // L keys
+	NeighborKeys []*big.Int            // D scalars (shared with TP only)
+}
+
+// RegisterNode draws fresh keys for a node and returns the registration to
+// send to the TP plus the secrets to keep.
+func RegisterNode(p Params, id network.NodeID) (NodeRegistration, NodeSecrets, error) {
+	if err := p.Validate(); err != nil {
+		return NodeRegistration{}, NodeSecrets{}, err
+	}
+	reg := NodeRegistration{ID: id}
+	sec := NodeSecrets{}
+	for b := 0; b < p.L; b++ {
+		sk, err := elgamal.GenerateKey(p.Group)
+		if err != nil {
+			return NodeRegistration{}, NodeSecrets{}, fmt.Errorf("trustedparty: keygen: %w", err)
+		}
+		sec.PrivateKeys = append(sec.PrivateKeys, sk)
+		reg.PublicKeys = append(reg.PublicKeys, sk.PublicKey)
+	}
+	for j := 0; j < p.D; j++ {
+		nk := group.MustRandomScalar(p.Group)
+		reg.NeighborKeys = append(reg.NeighborKeys, nk)
+		sec.NeighborKeys = append(sec.NeighborKeys, nk)
+	}
+	return reg, sec, nil
+}
+
+// BlockCert is one signed block certificate: the re-randomized public keys
+// of a block's members. Keys[m][b] is member m's key for bit b, in the
+// block's canonical member order.
+type BlockCert struct {
+	Keys [][]elgamal.PublicKey
+	Sig  []byte
+}
+
+// Assignment is the TP's published, signed output.
+type Assignment struct {
+	// Blocks[i] lists the members of node i's block (always contains i).
+	Blocks map[network.NodeID][]network.NodeID
+	// AggBlock is the special aggregation block B_A (§3.6).
+	AggBlock []network.NodeID
+	// Sig signs the canonical serialization of the assignment.
+	Sig []byte
+}
+
+// SetupResult bundles everything the TP produces.
+type SetupResult struct {
+	Assignment Assignment
+	// Certs[i] holds node i's D block certificates: certificate j carries
+	// B_i's keys re-randomized with i's j-th neighbor key.
+	Certs map[network.NodeID][]BlockCert
+	// VerifyKey is the TP's ECDSA public key for signature checks.
+	VerifyKey *ecdsa.PublicKey
+}
+
+// TrustedParty holds the TP's signing key.
+type TrustedParty struct {
+	params Params
+	sk     *ecdsa.PrivateKey
+}
+
+// New creates a TP with a fresh ECDSA P-256 signing key.
+func New(p Params) (*TrustedParty, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sk, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("trustedparty: signing keygen: %w", err)
+	}
+	return &TrustedParty{params: p, sk: sk}, nil
+}
+
+// Setup performs the one-time setup over the given registrations. The
+// registrations must all carry distinct IDs and consistent key counts.
+func (tp *TrustedParty) Setup(regs []NodeRegistration) (*SetupResult, error) {
+	p := tp.params
+	n := len(regs)
+	if n < p.K+1 {
+		return nil, fmt.Errorf("trustedparty: need at least k+1 = %d nodes, got %d", p.K+1, n)
+	}
+	byID := make(map[network.NodeID]NodeRegistration, n)
+	ids := make([]network.NodeID, 0, n)
+	for _, r := range regs {
+		if _, dup := byID[r.ID]; dup {
+			return nil, fmt.Errorf("trustedparty: duplicate registration for node %d", r.ID)
+		}
+		if len(r.PublicKeys) != p.L {
+			return nil, fmt.Errorf("trustedparty: node %d registered %d keys, want %d", r.ID, len(r.PublicKeys), p.L)
+		}
+		if len(r.NeighborKeys) != p.D {
+			return nil, fmt.Errorf("trustedparty: node %d registered %d neighbor keys, want %d", r.ID, len(r.NeighborKeys), p.D)
+		}
+		byID[r.ID] = r
+		ids = append(ids, r.ID)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+
+	// Random block assignment: each block contains its owner plus k random
+	// distinct other nodes. Randomness comes from crypto/rand — nodes
+	// cannot stuff their own blocks (§3.4).
+	result := &SetupResult{
+		Assignment: Assignment{Blocks: make(map[network.NodeID][]network.NodeID, n)},
+		Certs:      make(map[network.NodeID][]BlockCert, n),
+		VerifyKey:  &tp.sk.PublicKey,
+	}
+	for _, id := range ids {
+		members, err := sampleBlock(ids, id, p.K+1)
+		if err != nil {
+			return nil, err
+		}
+		result.Assignment.Blocks[id] = members
+	}
+	agg, err := sampleBlock(ids, ids[0], p.K+1)
+	if err != nil {
+		return nil, err
+	}
+	result.Assignment.AggBlock = agg
+	result.Assignment.Sig, err = tp.sign(assignmentDigest(result.Assignment))
+	if err != nil {
+		return nil, err
+	}
+
+	// Block certificates: for node i, certificate j re-randomizes every key
+	// of every member of B_i with i's j-th neighbor key.
+	for _, id := range ids {
+		reg := byID[id]
+		members := result.Assignment.Blocks[id]
+		certs := make([]BlockCert, p.D)
+		for j := 0; j < p.D; j++ {
+			nk := reg.NeighborKeys[j]
+			keys := make([][]elgamal.PublicKey, len(members))
+			for m, member := range members {
+				mreg, ok := byID[member]
+				if !ok {
+					return nil, fmt.Errorf("trustedparty: member %d not registered", member)
+				}
+				keys[m] = make([]elgamal.PublicKey, p.L)
+				for b := 0; b < p.L; b++ {
+					keys[m][b] = mreg.PublicKeys[b].Randomize(nk)
+				}
+			}
+			sig, err := tp.sign(certDigest(p.Group, keys))
+			if err != nil {
+				return nil, err
+			}
+			certs[j] = BlockCert{Keys: keys, Sig: sig}
+		}
+		result.Certs[id] = certs
+	}
+	return result, nil
+}
+
+// sampleBlock picks size distinct members including owner, uniformly from
+// ids.
+func sampleBlock(ids []network.NodeID, owner network.NodeID, size int) ([]network.NodeID, error) {
+	if size > len(ids) {
+		return nil, fmt.Errorf("trustedparty: block size %d exceeds population %d", size, len(ids))
+	}
+	chosen := map[network.NodeID]bool{owner: true}
+	members := []network.NodeID{owner}
+	for len(members) < size {
+		idx, err := rand.Int(rand.Reader, big.NewInt(int64(len(ids))))
+		if err != nil {
+			return nil, fmt.Errorf("trustedparty: sampling block: %w", err)
+		}
+		cand := ids[idx.Int64()]
+		if !chosen[cand] {
+			chosen[cand] = true
+			members = append(members, cand)
+		}
+	}
+	// Canonical order (owner first, rest sorted) so every party derives the
+	// same member indices.
+	rest := members[1:]
+	sort.Slice(rest, func(a, b int) bool { return rest[a] < rest[b] })
+	return members, nil
+}
+
+func (tp *TrustedParty) sign(digest []byte) ([]byte, error) {
+	return ecdsa.SignASN1(rand.Reader, tp.sk, digest)
+}
+
+// VerifyAssignment checks the TP's signature over a published assignment.
+func VerifyAssignment(vk *ecdsa.PublicKey, a Assignment) bool {
+	return ecdsa.VerifyASN1(vk, assignmentDigest(a), a.Sig)
+}
+
+// VerifyCert checks the TP's signature over a block certificate.
+func VerifyCert(vk *ecdsa.PublicKey, g group.Group, c BlockCert) bool {
+	return ecdsa.VerifyASN1(vk, certDigest(g, c.Keys), c.Sig)
+}
+
+// CheckCertMatches lets node i audit its own certificates: certificate j
+// must contain exactly the block members' registered keys raised to i's
+// j-th neighbor key.
+func CheckCertMatches(g group.Group, cert BlockCert, memberKeys [][]elgamal.PublicKey, neighborKey *big.Int) bool {
+	if len(cert.Keys) != len(memberKeys) {
+		return false
+	}
+	for m := range cert.Keys {
+		if len(cert.Keys[m]) != len(memberKeys[m]) {
+			return false
+		}
+		for b := range cert.Keys[m] {
+			want := memberKeys[m][b].Randomize(neighborKey)
+			if !g.Equal(cert.Keys[m][b].H, want.H) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func assignmentDigest(a Assignment) []byte {
+	h := sha256.New()
+	ids := make([]network.NodeID, 0, len(a.Blocks))
+	for id := range a.Blocks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(x, y int) bool { return ids[x] < ids[y] })
+	for _, id := range ids {
+		writeID(h, id)
+		for _, m := range a.Blocks[id] {
+			writeID(h, m)
+		}
+	}
+	h.Write([]byte{0xff})
+	for _, m := range a.AggBlock {
+		writeID(h, m)
+	}
+	return h.Sum(nil)
+}
+
+func certDigest(g group.Group, keys [][]elgamal.PublicKey) []byte {
+	h := sha256.New()
+	for _, member := range keys {
+		for _, pk := range member {
+			h.Write(g.Encode(pk.H))
+		}
+	}
+	return h.Sum(nil)
+}
+
+func writeID(h interface{ Write([]byte) (int, error) }, id network.NodeID) {
+	h.Write([]byte{byte(id), byte(id >> 8), byte(id >> 16), byte(id >> 24)})
+}

@@ -1,0 +1,119 @@
+package vertex
+
+import (
+	"fmt"
+
+	"dstress/internal/network"
+)
+
+// Graph is the distributed property graph a program runs over. Vertex v is
+// owned by node v+1 (each participant contributes exactly one vertex, §2).
+type Graph struct {
+	// D is the public degree bound (assumption 4, §3.2): no vertex may have
+	// more than D in-neighbors or D out-neighbors.
+	D int
+	// Out[v] lists v's out-neighbors in slot order.
+	Out [][]int
+	// In[v] lists v's in-neighbors in slot order (derived by Finalize).
+	In [][]int
+	// InitState[v] is the owner-supplied initial state word.
+	InitState []int64
+	// Priv[v] is the owner's private circuit input (PrivBits(D) bits).
+	Priv [][]uint8
+
+	// inIdx[v] maps an in-neighbor u to its slot in In[v].
+	inIdx []map[int]int
+	final bool
+}
+
+// NewGraph creates an empty graph with n vertices and degree bound d.
+func NewGraph(n, d int) *Graph {
+	return &Graph{
+		D:         d,
+		Out:       make([][]int, n),
+		In:        make([][]int, n),
+		InitState: make([]int64, n),
+		Priv:      make([][]uint8, n),
+	}
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return len(g.Out) }
+
+// NodeOf returns the network node that owns vertex v.
+func (g *Graph) NodeOf(v int) network.NodeID { return network.NodeID(v + 1) }
+
+// AddEdge appends the directed edge u → v.
+func (g *Graph) AddEdge(u, v int) error {
+	if g.final {
+		return fmt.Errorf("vertex: graph already finalized")
+	}
+	if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+		return fmt.Errorf("vertex: edge (%d,%d) out of range", u, v)
+	}
+	if u == v {
+		return fmt.Errorf("vertex: self-loop on %d", u)
+	}
+	g.Out[u] = append(g.Out[u], v)
+	g.In[v] = append(g.In[v], u)
+	return nil
+}
+
+// HasEdge reports whether u → v exists (linear scan; graphs here are
+// degree-bounded).
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, w := range g.Out[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Finalize validates degree bounds and freezes the slot maps.
+func (g *Graph) Finalize() error {
+	if g.final {
+		return nil
+	}
+	g.inIdx = make([]map[int]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		if len(g.Out[v]) > g.D {
+			return fmt.Errorf("vertex: vertex %d has out-degree %d > bound %d", v, len(g.Out[v]), g.D)
+		}
+		if len(g.In[v]) > g.D {
+			return fmt.Errorf("vertex: vertex %d has in-degree %d > bound %d", v, len(g.In[v]), g.D)
+		}
+		g.inIdx[v] = make(map[int]int, len(g.In[v]))
+		for idx, u := range g.In[v] {
+			if _, dup := g.inIdx[v][u]; dup {
+				return fmt.Errorf("vertex: duplicate edge (%d,%d)", u, v)
+			}
+			g.inIdx[v][u] = idx
+		}
+	}
+	g.final = true
+	return nil
+}
+
+// InSlot returns the slot of edge u → v on the receiving side.
+func (g *Graph) InSlot(u, v int) (int, error) {
+	if !g.final {
+		return 0, fmt.Errorf("vertex: graph not finalized")
+	}
+	idx, ok := g.inIdx[v][u]
+	if !ok {
+		return 0, fmt.Errorf("vertex: no edge (%d,%d)", u, v)
+	}
+	return idx, nil
+}
+
+// Edges returns all directed edges as (u, v) pairs in deterministic order.
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for u := range g.Out {
+		for _, v := range g.Out[u] {
+			out = append(out, [2]int{u, v})
+		}
+	}
+	return out
+}

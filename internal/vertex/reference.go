@@ -1,0 +1,113 @@
+package vertex
+
+import (
+	"fmt"
+
+	"dstress/internal/circuit"
+)
+
+// RunReference executes a program on a graph in plaintext, using exactly
+// the same circuits the MPC runtime evaluates. It is the trusted-party
+// baseline: the value DStress would compute if privacy were no concern, and
+// the oracle MPC results are tested against. No noise is added.
+func RunReference(p *Program, g *Graph, iterations int) (int64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if err := g.Finalize(); err != nil {
+		return 0, err
+	}
+	upd, err := p.UpdateCircuit(g.D)
+	if err != nil {
+		return 0, err
+	}
+	agg, err := p.AggregateCircuit(g.N(), NoiseSpec{})
+	if err != nil {
+		return 0, err
+	}
+
+	n := g.N()
+	states := make([]int64, n)
+	copy(states, p.initStates(g))
+	msgs := make([][]int64, n)
+	for v := range msgs {
+		msgs[v] = make([]int64, g.D)
+		for d := range msgs[v] {
+			msgs[v][d] = p.NoOp
+		}
+	}
+
+	// n computation+communication steps followed by a final computation
+	// step (§3.6).
+	for it := 0; it <= iterations; it++ {
+		outs := make([][]int64, n)
+		for v := 0; v < n; v++ {
+			newState, out, err := p.evalUpdate(upd, g, v, states[v], msgs[v])
+			if err != nil {
+				return 0, err
+			}
+			states[v] = newState
+			outs[v] = out
+		}
+		if it == iterations {
+			break // final computation step sends no messages
+		}
+		// Communication step: route each edge's message; refresh padding
+		// slots with ⊥.
+		for v := range msgs {
+			for d := range msgs[v] {
+				msgs[v][d] = p.NoOp
+			}
+		}
+		for u := 0; u < n; u++ {
+			for slot, v := range g.Out[u] {
+				inSlot, err := g.InSlot(u, v)
+				if err != nil {
+					return 0, err
+				}
+				msgs[v][inSlot] = outs[u][slot]
+			}
+		}
+	}
+
+	// Aggregation (noise disabled in the reference).
+	var in []uint8
+	for v := 0; v < n; v++ {
+		in = append(in, circuit.EncodeWord(states[v], p.StateBits)...)
+	}
+	out, err := agg.Eval(in)
+	if err != nil {
+		return 0, err
+	}
+	return circuit.DecodeWordS(out), nil
+}
+
+// initStates returns the initial state vector.
+func (p *Program) initStates(g *Graph) []int64 {
+	s := make([]int64, g.N())
+	copy(s, g.InitState)
+	return s
+}
+
+// evalUpdate runs the update circuit for vertex v in plaintext.
+func (p *Program) evalUpdate(upd *circuit.Circuit, g *Graph, v int, state int64, inMsgs []int64) (int64, []int64, error) {
+	in := circuit.EncodeWord(state, p.StateBits)
+	priv := g.Priv[v]
+	if len(priv) != p.PrivBits(g.D) {
+		return 0, nil, fmt.Errorf("vertex: vertex %d has %d priv bits, want %d", v, len(priv), p.PrivBits(g.D))
+	}
+	in = append(in, priv...)
+	for _, m := range inMsgs {
+		in = append(in, circuit.EncodeWord(m, p.MsgBits)...)
+	}
+	out, err := upd.Eval(in)
+	if err != nil {
+		return 0, nil, fmt.Errorf("vertex: update of %d: %w", v, err)
+	}
+	newState := circuit.DecodeWordS(out[:p.StateBits])
+	msgs := make([]int64, g.D)
+	for d := 0; d < g.D; d++ {
+		msgs[d] = circuit.DecodeWordS(out[p.StateBits+d*p.MsgBits : p.StateBits+(d+1)*p.MsgBits])
+	}
+	return newState, msgs, nil
+}

@@ -1,0 +1,837 @@
+package vertex
+
+import (
+	crand "crypto/rand"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"dstress/internal/circuit"
+	"dstress/internal/dp"
+	"dstress/internal/elgamal"
+	"dstress/internal/gmw"
+	"dstress/internal/group"
+	"dstress/internal/network"
+	"dstress/internal/ot"
+	"dstress/internal/secretshare"
+	"dstress/internal/transfer"
+	"dstress/internal/trustedparty"
+)
+
+// OTMode selects the GMW oblivious-transfer provisioning.
+type OTMode int
+
+const (
+	// OTDealer uses trusted-party-dealt correlated randomness (offline
+	// phase); the online traffic is unchanged. Default for large runs.
+	OTDealer OTMode = iota
+	// OTIKNP runs real DH base OTs plus IKNP extension — the paper-faithful
+	// configuration.
+	OTIKNP
+)
+
+// Config parameterizes a DStress deployment.
+type Config struct {
+	// Group is the cyclic group for ElGamal and base OTs.
+	Group group.Group
+	// K is the collusion bound; blocks have K+1 members (§3.2).
+	K int
+	// Alpha is the transfer-noise parameter (§3.5); 0 disables edge noising.
+	Alpha float64
+	// Epsilon is the output-privacy budget for this query; 0 disables the
+	// final Laplace noise (used by correctness tests only — a real
+	// deployment always noises, §3.6).
+	Epsilon float64
+	// NoiseShift samples output noise at a granularity of 2^NoiseShift raw
+	// LSBs (set to the program's fractional bits).
+	NoiseShift int
+	// OTMode selects dealer vs IKNP OT provisioning.
+	OTMode OTMode
+	// Parallelism caps concurrently executing block MPCs / transfers;
+	// 0 means GOMAXPROCS.
+	Parallelism int
+	// TablePFail is the per-decryption failure budget used to size the
+	// ElGamal lookup table (Appendix B); 0 means 1e-12.
+	TablePFail float64
+	// AggFanIn enables hierarchical aggregation (§3.6): when positive and
+	// smaller than N, vertices are grouped into subtrees of at most
+	// AggFanIn states, each partially aggregated by an existing block,
+	// and a root block combines the partials and adds the noise. 0 keeps
+	// the single aggregation block. The paper suggests a fan-in of 100.
+	AggFanIn int
+}
+
+func (c *Config) defaults() {
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.TablePFail == 0 {
+		c.TablePFail = 1e-12
+	}
+}
+
+// Report summarizes an execution: the quantities Figures 3–6 plot.
+type Report struct {
+	// Phase wall-clock durations. Noising happens inside the aggregation
+	// MPC, matching the paper's "Aggregation & noising" bar in Figure 5.
+	InitTime, ComputeTime, CommTime, AggTime time.Duration
+	// Phase traffic totals (bytes across all nodes).
+	InitBytes, ComputeBytes, CommBytes, AggBytes int64
+	// AvgNodeBytes and MaxNodeBytes summarize per-node traffic.
+	AvgNodeBytes float64
+	MaxNodeBytes int64
+	// Iterations actually executed.
+	Iterations int
+	// UpdateAndGates and AggAndGates record circuit sizes (cost drivers).
+	UpdateAndGates, AggAndGates int
+}
+
+// TotalTime returns the summed phase durations.
+func (r *Report) TotalTime() time.Duration {
+	return r.InitTime + r.ComputeTime + r.CommTime + r.AggTime
+}
+
+// TotalBytes returns the summed phase traffic.
+func (r *Report) TotalBytes() int64 {
+	return r.InitBytes + r.ComputeBytes + r.CommBytes + r.AggBytes
+}
+
+// Runtime executes one program over one graph. It simulates the distributed
+// deployment in-process: every node's protocol role runs in its own
+// goroutine against the shared network hub, and the hub's counters provide
+// the traffic measurements.
+type Runtime struct {
+	cfg   Config
+	prog  *Program
+	graph *Graph
+	net   *network.Network
+
+	setup   *trustedparty.SetupResult
+	secrets map[network.NodeID]trustedparty.NodeSecrets
+
+	updCirc *circuit.Circuit
+	aggCirc *circuit.Circuit
+	noise   NoiseSpec
+
+	sessions   [][]*gmw.Party // [vertex][member]
+	aggSession []*gmw.Party
+
+	table  *elgamal.Table
+	tparam transfer.Params
+
+	// Share state, indexed [vertex][member]: each member's current share.
+	stateShares [][]uint64
+	// msgShares[vertex][slot][member]: input-message shares for next step.
+	msgShares [][][]uint64
+}
+
+// New builds a runtime: trusted-party setup, block GMW sessions, circuit
+// compilation, initial share state.
+func New(cfg Config, prog *Program, g *Graph) (*Runtime, error) {
+	cfg.defaults()
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	if cfg.Group == nil {
+		return nil, fmt.Errorf("vertex: config needs a group")
+	}
+	if g.N() < cfg.K+1 {
+		return nil, fmt.Errorf("vertex: need at least K+1 = %d vertices, got %d", cfg.K+1, g.N())
+	}
+
+	r := &Runtime{cfg: cfg, prog: prog, graph: g, net: network.New()}
+
+	var err error
+	if r.updCirc, err = prog.UpdateCircuit(g.D); err != nil {
+		return nil, err
+	}
+	if cfg.Epsilon > 0 {
+		r.noise = DefaultNoiseSpec(cfg.Epsilon, prog.Sensitivity, cfg.NoiseShift)
+	}
+	if r.aggCirc, err = prog.AggregateCircuit(g.N(), r.noise); err != nil {
+		return nil, err
+	}
+
+	// Trusted-party setup (§3.4).
+	tpParams := trustedparty.Params{Group: cfg.Group, K: cfg.K, D: g.D, L: prog.MsgBits}
+	tp, err := trustedparty.New(tpParams)
+	if err != nil {
+		return nil, err
+	}
+	regs := make([]trustedparty.NodeRegistration, g.N())
+	r.secrets = make(map[network.NodeID]trustedparty.NodeSecrets, g.N())
+	for v := 0; v < g.N(); v++ {
+		id := g.NodeOf(v)
+		reg, sec, err := trustedparty.RegisterNode(tpParams, id)
+		if err != nil {
+			return nil, err
+		}
+		regs[v] = reg
+		r.secrets[id] = sec
+	}
+	if r.setup, err = tp.Setup(regs); err != nil {
+		return nil, err
+	}
+
+	r.tparam = transfer.Params{Group: cfg.Group, K: cfg.K, L: prog.MsgBits, Alpha: cfg.Alpha}
+	if err := r.tparam.Validate(); err != nil {
+		return nil, err
+	}
+	r.table = r.tparam.MakeTable(cfg.TablePFail)
+
+	if err := r.createSessions(); err != nil {
+		return nil, err
+	}
+
+	// Initial share state: everything starts as shares of ⊥ / init values;
+	// the init phase of Run distributes them (and charges traffic).
+	r.stateShares = make([][]uint64, g.N())
+	r.msgShares = make([][][]uint64, g.N())
+	for v := range r.msgShares {
+		r.msgShares[v] = make([][]uint64, g.D)
+	}
+	return r, nil
+}
+
+// createSessions builds the GMW sessions for every vertex block and the
+// aggregation block.
+func (r *Runtime) createSessions() error {
+	g := r.graph
+	r.sessions = make([][]*gmw.Party, g.N())
+
+	mkSession := func(members []network.NodeID, tag string) ([]*gmw.Party, error) {
+		parties := make([]*gmw.Party, len(members))
+		errs := make([]error, len(members))
+		var opt gmw.OTOption
+		switch r.cfg.OTMode {
+		case OTDealer:
+			opt = gmw.DealerOT{Broker: ot.NewDealerBroker()}
+		case OTIKNP:
+			opt = gmw.IKNPOT{Group: r.cfg.Group}
+		default:
+			return nil, fmt.Errorf("vertex: unknown OT mode %d", r.cfg.OTMode)
+		}
+		var wg sync.WaitGroup
+		for i := range members {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				parties[i], errs[i] = gmw.NewParty(gmw.Config{
+					Parties: members, Index: i, Net: r.net, Tag: tag, OT: opt,
+				})
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return parties, nil
+	}
+
+	sem := make(chan struct{}, r.cfg.Parallelism)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for v := 0; v < g.N(); v++ {
+		v := v
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			members := r.setup.Assignment.Blocks[g.NodeOf(v)]
+			s, err := mkSession(members, network.Tag("blk", v))
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			r.sessions[v] = s
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	agg, err := mkSession(r.setup.Assignment.AggBlock, "aggblk")
+	if err != nil {
+		return err
+	}
+	r.aggSession = agg
+	return nil
+}
+
+// Run executes `iterations` computation+communication steps, a final
+// computation step, and the aggregation+noising step, returning the opened
+// (noised) aggregate.
+func (r *Runtime) Run(iterations int) (int64, *Report, error) {
+	rep := &Report{
+		Iterations:     iterations,
+		UpdateAndGates: r.updCirc.NumAnd,
+		AggAndGates:    r.aggCirc.NumAnd,
+	}
+	phaseStart := func() (time.Time, int64) { return time.Now(), r.net.TotalBytes() }
+
+	// --- Initialization (§3.6): owners split and distribute shares. ---
+	t0, b0 := phaseStart()
+	if err := r.initShares(); err != nil {
+		return 0, nil, err
+	}
+	rep.InitTime = time.Since(t0)
+	rep.InitBytes = r.net.TotalBytes() - b0
+
+	// --- Iterations. ---
+	for it := 0; it <= iterations; it++ {
+		t0, b0 = phaseStart()
+		outShares, err := r.computeStep(it)
+		if err != nil {
+			return 0, nil, fmt.Errorf("vertex: iteration %d compute: %w", it, err)
+		}
+		rep.ComputeTime += time.Since(t0)
+		rep.ComputeBytes += r.net.TotalBytes() - b0
+
+		if it == iterations {
+			break // final computation step: no communication follows
+		}
+		t0, b0 = phaseStart()
+		if err := r.communicateStep(it, outShares); err != nil {
+			return 0, nil, fmt.Errorf("vertex: iteration %d communicate: %w", it, err)
+		}
+		rep.CommTime += time.Since(t0)
+		rep.CommBytes += r.net.TotalBytes() - b0
+	}
+
+	// --- Aggregation + noising (§3.6). ---
+	t0, b0 = phaseStart()
+	result, err := r.aggregate()
+	if err != nil {
+		return 0, nil, fmt.Errorf("vertex: aggregation: %w", err)
+	}
+	rep.AggTime = time.Since(t0)
+	rep.AggBytes = r.net.TotalBytes() - b0
+
+	rep.AvgNodeBytes = r.net.AvgNodeBytes()
+	rep.MaxNodeBytes = r.net.MaxNodeBytes()
+	return result, rep, nil
+}
+
+// initShares distributes the owner-generated initial shares: state plus D
+// copies of ⊥ per vertex (§3.6), sent over the network so setup traffic is
+// accounted.
+func (r *Runtime) initShares() error {
+	g := r.graph
+	k1 := r.cfg.K + 1
+	for v := 0; v < g.N(); v++ {
+		owner := g.NodeOf(v)
+		members := r.setup.Assignment.Blocks[owner]
+		ownerEP := r.net.Endpoint(owner)
+
+		st := secretshare.SplitXOR(uint64(g.InitState[v]), k1, r.prog.StateBits)
+		msgs := make([][]uint64, g.D)
+		for d := range msgs {
+			msgs[d] = secretshare.SplitXOR(uint64(r.prog.NoOp), k1, r.prog.MsgBits)
+		}
+		// Owner keeps its own share (index 0) and sends the rest.
+		for m := 1; m < k1; m++ {
+			payload := encodeShares(append([]uint64{st[m]}, column(msgs, m)...))
+			ownerEP.Send(members[m], network.Tag("init", v), payload)
+		}
+		r.stateShares[v] = make([]uint64, k1)
+		r.stateShares[v][0] = st[0]
+		for d := range msgs {
+			r.msgShares[v][d] = make([]uint64, k1)
+			r.msgShares[v][d][0] = msgs[d][0]
+		}
+		// Members receive their shares.
+		for m := 1; m < k1; m++ {
+			data := r.net.Endpoint(members[m]).Recv(owner, network.Tag("init", v))
+			vals, err := decodeShares(data, 1+g.D)
+			if err != nil {
+				return err
+			}
+			r.stateShares[v][m] = vals[0]
+			for d := 0; d < g.D; d++ {
+				r.msgShares[v][d][m] = vals[1+d]
+			}
+		}
+	}
+	return nil
+}
+
+// computeStep runs every block's update MPC; returns outShares[v][slot][m].
+func (r *Runtime) computeStep(iter int) ([][][]uint64, error) {
+	g := r.graph
+	_ = iter // kept for symmetry with communicateStep's tagging
+	out := make([][][]uint64, g.N())
+
+	sem := make(chan struct{}, r.cfg.Parallelism)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for v := 0; v < g.N(); v++ {
+		v := v
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			res, err := r.runBlockMPC(v)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("block %d: %w", v, err)
+			}
+			out[v] = res
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// runBlockMPC executes one vertex's update circuit in its block session.
+func (r *Runtime) runBlockMPC(v int) ([][]uint64, error) {
+	g := r.graph
+	k1 := r.cfg.K + 1
+	parties := r.sessions[v]
+
+	outShares := make([][]uint64, g.D) // [slot][member]
+	for d := range outShares {
+		outShares[d] = make([]uint64, k1)
+	}
+	newState := make([]uint64, k1)
+
+	var wg sync.WaitGroup
+	errs := make([]error, k1)
+	for m := 0; m < k1; m++ {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			in := r.memberInput(v, m)
+			outBits, err := parties[m].Evaluate(r.updCirc, in)
+			if err != nil {
+				errs[m] = err
+				return
+			}
+			newState[m] = bitsToWord(outBits[:r.prog.StateBits])
+			for d := 0; d < g.D; d++ {
+				lo := r.prog.StateBits + d*r.prog.MsgBits
+				outShares[d][m] = bitsToWord(outBits[lo : lo+r.prog.MsgBits])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	r.stateShares[v] = newState
+	return outShares, nil
+}
+
+// memberInput assembles member m's input-share bits for vertex v's update:
+// [state | priv | msgs]. The owner (member 0) supplies the private vertex
+// data; everyone else contributes zero shares for it.
+func (r *Runtime) memberInput(v, m int) []uint8 {
+	g := r.graph
+	in := wordToBits(r.stateShares[v][m], r.prog.StateBits)
+	privBits := r.prog.PrivBits(g.D)
+	if m == 0 {
+		in = append(in, g.Priv[v]...)
+	} else {
+		in = append(in, make([]uint8, privBits)...)
+	}
+	for d := 0; d < g.D; d++ {
+		in = append(in, wordToBits(r.msgShares[v][d][m], r.prog.MsgBits)...)
+	}
+	return in
+}
+
+// communicateStep runs the transfer protocol over every edge and refreshes
+// padding slots with shares of ⊥.
+func (r *Runtime) communicateStep(iter int, outShares [][][]uint64) error {
+	g := r.graph
+	k1 := r.cfg.K + 1
+
+	// Refresh all input slots with ⊥ shares first; transfers overwrite the
+	// slots that have real in-edges.
+	for v := 0; v < g.N(); v++ {
+		for d := 0; d < g.D; d++ {
+			sh := make([]uint64, k1)
+			sh[0] = uint64(r.prog.NoOp) & secretshare.Mask(r.prog.MsgBits)
+			r.msgShares[v][d] = sh
+		}
+	}
+
+	edges := g.Edges()
+	sem := make(chan struct{}, r.cfg.Parallelism)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		slotOut := outSlot(g, u, v)
+		slotIn, err := g.InSlot(u, v)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			fresh, err := r.runTransfer(iter, u, v, slotIn, outShares[u][slotOut])
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("edge (%d,%d): %w", u, v, err)
+			}
+			if err == nil {
+				r.msgShares[v][slotIn] = fresh
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// runTransfer moves one message's shares from B_u to B_v (§3.5): the
+// members of B_u send encrypted subshares through node u, which aggregates
+// and noises them; node v adjusts and fans out to B_v's members.
+func (r *Runtime) runTransfer(iter, u, v, slotIn int, shares []uint64) ([]uint64, error) {
+	g := r.graph
+	k1 := r.cfg.K + 1
+	uID, vID := g.NodeOf(u), g.NodeOf(v)
+	sendersB := r.setup.Assignment.Blocks[uID]
+	recvB := r.setup.Assignment.Blocks[vID]
+	cert := r.setup.Certs[vID][slotIn] // B_v's keys re-randomized with v's slotIn-th neighbor key
+	neighborKey := r.secrets[vID].NeighborKeys[slotIn]
+	tag := network.Tag("tx", iter, u, v)
+
+	fresh := make([]uint64, k1)
+	errCh := make(chan error, 2*k1+2)
+	var wg sync.WaitGroup
+	for m := 0; m < k1; m++ {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep := r.net.Endpoint(sendersB[m])
+			errCh <- transfer.SendShare(r.tparam, ep, uID, tag, shares[m], transfer.RecipientKeys(cert.Keys))
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errCh <- transfer.RunRelay(r.tparam, r.net.Endpoint(uID), sendersB, vID, tag, dp.CryptoSource{})
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errCh <- transfer.RunAdjust(r.tparam, r.net.Endpoint(vID), uID, recvB, neighborKey, tag)
+	}()
+	for m := 0; m < k1; m++ {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			keys := r.secrets[recvB[m]].PrivateKeys
+			share, err := transfer.ReceiveShare(r.tparam, r.net.Endpoint(recvB[m]), vID, tag, keys, r.table)
+			fresh[m] = share
+			errCh <- err
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return fresh, nil
+}
+
+// reshare moves an XOR-shared word from the members of src to the members
+// of dst: each source member splits its share into |dst| subshares and
+// sends one to each destination member, who XORs what it receives into a
+// fresh share. Block memberships are public (§3.4), so this needs only the
+// secure point-to-point channels the network layer models — the
+// identity-hiding transfer protocol is required only for graph edges.
+func (r *Runtime) reshare(shares []uint64, bits int, src, dst []network.NodeID, tag string) ([]uint64, error) {
+	for m, id := range src {
+		subs := secretshare.SplitXOR(shares[m], len(dst), bits)
+		ep := r.net.Endpoint(id)
+		for y, dest := range dst {
+			ep.Send(dest, network.Tag(tag, m), encodeShares(subs[y:y+1]))
+		}
+	}
+	fresh := make([]uint64, len(dst))
+	for y, dest := range dst {
+		epY := r.net.Endpoint(dest)
+		for m, id := range src {
+			vals, err := decodeShares(epY.Recv(id, network.Tag(tag, m)), 1)
+			if err != nil {
+				return nil, err
+			}
+			fresh[y] ^= vals[0]
+		}
+	}
+	return fresh, nil
+}
+
+// evalInBlock runs one circuit in a block session: member m supplies
+// inputs[m] and receives its output shares.
+func (r *Runtime) evalInBlock(sessions []*gmw.Party, c *circuit.Circuit, inputs [][]uint8) ([][]uint8, error) {
+	k1 := len(sessions)
+	out := make([][]uint8, k1)
+	errs := make([]error, k1)
+	var wg sync.WaitGroup
+	for m := 0; m < k1; m++ {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[m], errs[m] = sessions[m].Evaluate(c, inputs[m])
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// openInBlock opens shared bits in a block session, checking agreement.
+func (r *Runtime) openInBlock(sessions []*gmw.Party, shares [][]uint8) (int64, error) {
+	k1 := len(sessions)
+	results := make([]int64, k1)
+	errs := make([]error, k1)
+	var wg sync.WaitGroup
+	for y := 0; y < k1; y++ {
+		y := y
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			open, err := sessions[y].Open(shares[y])
+			if err != nil {
+				errs[y] = err
+				return
+			}
+			results[y] = circuit.DecodeWordS(open)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	for y := 1; y < k1; y++ {
+		if results[y] != results[0] {
+			return 0, fmt.Errorf("vertex: aggregation members disagree: %d vs %d", results[0], results[y])
+		}
+	}
+	return results[0], nil
+}
+
+// aggregate re-shares all vertex states to the aggregation machinery (flat
+// or tree-shaped, §3.6), evaluates the aggregation function plus the
+// in-MPC Laplace noise, and opens only the noised result.
+func (r *Runtime) aggregate() (int64, error) {
+	if r.cfg.AggFanIn > 0 && r.graph.N() > r.cfg.AggFanIn {
+		return r.aggregateTree()
+	}
+	g := r.graph
+	k1 := r.cfg.K + 1
+	aggMembers := r.setup.Assignment.AggBlock
+
+	aggInput := make([][]uint8, k1)
+	for v := 0; v < g.N(); v++ {
+		members := r.setup.Assignment.Blocks[g.NodeOf(v)]
+		col, err := r.reshare(r.stateShares[v], r.prog.StateBits, members, aggMembers, network.Tag("aggsh", v))
+		if err != nil {
+			return 0, err
+		}
+		for y := 0; y < k1; y++ {
+			aggInput[y] = append(aggInput[y], wordToBits(col[y], r.prog.StateBits)...)
+		}
+	}
+	// Each member contributes its own uniform random bits for the noise
+	// sampler; the circuit sees the XOR of all contributions, so one honest
+	// member suffices for uniformity.
+	for y := 0; y < k1; y++ {
+		aggInput[y] = append(aggInput[y], randomInputBits(r.noise.RandBits())...)
+	}
+	outShares, err := r.evalInBlock(r.aggSession, r.aggCirc, aggInput)
+	if err != nil {
+		return 0, err
+	}
+	return r.openInBlock(r.aggSession, outShares)
+}
+
+// aggregateTree implements the two-level aggregation tree of §3.6: leaf
+// blocks (reusing the block of each group's first vertex) partially
+// aggregate up to AggFanIn states; the root block combines the partials
+// and draws the noise.
+func (r *Runtime) aggregateTree() (int64, error) {
+	g := r.graph
+	k1 := r.cfg.K + 1
+	fanIn := r.cfg.AggFanIn
+	nGroups := (g.N() + fanIn - 1) / fanIn
+
+	partialShares := make([][]uint64, nGroups) // [group][leaf member]
+	leafBlocks := make([][]network.NodeID, nGroups)
+	for grp := 0; grp < nGroups; grp++ {
+		lo := grp * fanIn
+		hi := lo + fanIn
+		if hi > g.N() {
+			hi = g.N()
+		}
+		leader := lo // the group's first vertex hosts the leaf aggregation
+		leafMembers := r.setup.Assignment.Blocks[g.NodeOf(leader)]
+		leafBlocks[grp] = leafMembers
+
+		partialCirc, err := r.prog.PartialAggregateCircuit(hi - lo)
+		if err != nil {
+			return 0, err
+		}
+		leafInput := make([][]uint8, k1)
+		for v := lo; v < hi; v++ {
+			members := r.setup.Assignment.Blocks[g.NodeOf(v)]
+			col, err := r.reshare(r.stateShares[v], r.prog.StateBits, members, leafMembers, network.Tag("leafsh", grp, v))
+			if err != nil {
+				return 0, err
+			}
+			for y := 0; y < k1; y++ {
+				leafInput[y] = append(leafInput[y], wordToBits(col[y], r.prog.StateBits)...)
+			}
+		}
+		outShares, err := r.evalInBlock(r.sessions[leader], partialCirc, leafInput)
+		if err != nil {
+			return 0, fmt.Errorf("vertex: leaf aggregation %d: %w", grp, err)
+		}
+		partialShares[grp] = make([]uint64, k1)
+		for m := 0; m < k1; m++ {
+			partialShares[grp][m] = bitsToWord(outShares[m])
+		}
+	}
+
+	// Root: combine partials + noise in the TP's aggregation block.
+	combineCirc, err := r.prog.CombineCircuit(nGroups, r.noise)
+	if err != nil {
+		return 0, err
+	}
+	aggMembers := r.setup.Assignment.AggBlock
+	rootInput := make([][]uint8, k1)
+	for grp := 0; grp < nGroups; grp++ {
+		col, err := r.reshare(partialShares[grp], r.prog.AggBits, leafBlocks[grp], aggMembers, network.Tag("rootsh", grp))
+		if err != nil {
+			return 0, err
+		}
+		for y := 0; y < k1; y++ {
+			rootInput[y] = append(rootInput[y], wordToBits(col[y], r.prog.AggBits)...)
+		}
+	}
+	for y := 0; y < k1; y++ {
+		rootInput[y] = append(rootInput[y], randomInputBits(r.noise.RandBits())...)
+	}
+	outShares, err := r.evalInBlock(r.aggSession, combineCirc, rootInput)
+	if err != nil {
+		return 0, fmt.Errorf("vertex: root aggregation: %w", err)
+	}
+	return r.openInBlock(r.aggSession, outShares)
+}
+
+// Net exposes the network hub for traffic inspection.
+func (r *Runtime) Net() *network.Network { return r.net }
+
+// UpdateCircuit exposes the compiled update circuit (for reports/benches).
+func (r *Runtime) UpdateCircuit() *circuit.Circuit { return r.updCirc }
+
+// AggregateCircuitCompiled exposes the compiled aggregation circuit.
+func (r *Runtime) AggregateCircuitCompiled() *circuit.Circuit { return r.aggCirc }
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+func outSlot(g *Graph, u, v int) int {
+	for d, w := range g.Out[u] {
+		if w == v {
+			return d
+		}
+	}
+	return -1
+}
+
+func column(rows [][]uint64, m int) []uint64 {
+	out := make([]uint64, len(rows))
+	for i, r := range rows {
+		out[i] = r[m]
+	}
+	return out
+}
+
+func wordToBits(w uint64, bits int) []uint8 {
+	out := make([]uint8, bits)
+	for i := 0; i < bits; i++ {
+		out[i] = uint8((w >> i) & 1)
+	}
+	return out
+}
+
+func bitsToWord(bits []uint8) uint64 {
+	var w uint64
+	for i, b := range bits {
+		w |= uint64(b&1) << i
+	}
+	return w
+}
+
+func encodeShares(vals []uint64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		for b := 0; b < 8; b++ {
+			out[i*8+b] = byte(v >> (8 * b))
+		}
+	}
+	return out
+}
+
+func decodeShares(data []byte, n int) ([]uint64, error) {
+	if len(data) != 8*n {
+		return nil, fmt.Errorf("vertex: share payload has %d bytes, want %d", len(data), 8*n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		for b := 0; b < 8; b++ {
+			out[i] |= uint64(data[i*8+b]) << (8 * b)
+		}
+	}
+	return out, nil
+}
+
+func randomInputBits(n int) []uint8 {
+	if n == 0 {
+		return nil
+	}
+	return randBitsCrypto(n)
+}
+
+func randBitsCrypto(n int) []uint8 {
+	buf := make([]byte, (n+7)/8)
+	if _, err := crand.Read(buf); err != nil {
+		panic(fmt.Sprintf("vertex: entropy failure: %v", err))
+	}
+	return ot.UnpackBits(buf, n)
+}
