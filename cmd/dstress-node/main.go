@@ -1,0 +1,115 @@
+// dstress-node runs one DStress participant as a real network daemon, or —
+// in coordinator mode — the control plane that drives a fleet of them
+// through a full privacy-preserving systemic-risk computation over TCP.
+//
+// A local 4-bank cluster (5 processes, loopback TCP):
+//
+//	dstress-node -mode coordinator -listen 127.0.0.1:7000 -model en -n 4 -k 1 -d 2 &
+//	for i in 1 2 3 4; do
+//	    dstress-node -id $i -coord 127.0.0.1:7000 -listen 127.0.0.1:0 &
+//	done
+//	wait
+//
+// On a real fleet each node runs on its own machine with -listen set to a
+// routable address (and -advertise if behind NAT); only the coordinator
+// address must be known up front — the node directory is distributed by the
+// control plane, as the trusted party's signed node list would be (§3.4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"dstress/internal/cluster"
+	"dstress/internal/network"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "node", "role: node or coordinator")
+		id        = flag.Int("id", 0, "node id (node mode; node i owns vertex i-1)")
+		coord     = flag.String("coord", "127.0.0.1:7000", "coordinator control-plane address (node mode)")
+		listen    = flag.String("listen", "127.0.0.1:0", "listen address: data plane in node mode, control plane in coordinator mode")
+		advertise = flag.String("advertise", "", "address peers should dial if it differs from -listen (node mode)")
+
+		// Coordinator-mode scenario flags (mirroring dstress-run).
+		model     = flag.String("model", "en", "risk model: en or egj (coordinator mode)")
+		n         = flag.Int("n", 4, "number of banks = number of nodes (coordinator mode)")
+		core      = flag.Int("core", 2, "core size of the core-periphery topology")
+		d         = flag.Int("d", 2, "public degree bound D")
+		k         = flag.Int("k", 1, "collusion bound k (blocks of k+1)")
+		iters     = flag.Int("iters", 0, "iterations (0 = log2 N)")
+		shock     = flag.Int("shock", 1, "number of core banks whose reserves are wiped")
+		epsilon   = flag.Float64("epsilon", 0.23, "output privacy budget (0 disables noise)")
+		alpha     = flag.Float64("alpha", 0.9, "transfer-noise parameter in [0,1)")
+		groupName = flag.String("group", "modp256", "crypto group: p256, p384, modp256")
+		aggFanIn  = flag.Int("agg-fanin", 0, "aggregation-tree fan-in (0 = flat aggregation)")
+		seed      = flag.Int64("seed", 42, "synthetic network seed")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "node":
+		if *id < 1 {
+			log.Fatal("node mode needs -id ≥ 1")
+		}
+		res, err := cluster.RunNode(cluster.NodeOptions{
+			ID:            network.NodeID(*id),
+			CoordAddr:     *coord,
+			ListenAddr:    *listen,
+			AdvertiseAddr: *advertise,
+		})
+		if err != nil {
+			log.Fatalf("node %d: %v", *id, err)
+		}
+		fmt.Fprintf(os.Stderr, "node %d done: sent %d bytes in %d msgs, total time %v\n",
+			*id, res.Stats.BytesSent, res.Stats.MessagesSent, res.Report.TotalTime().Round(1e6))
+		if res.HasResult {
+			fmt.Printf("node %d (aggregation member) released aggregate: %d\n", *id, res.Result)
+		}
+
+	case "coordinator":
+		sc, exactTDS, err := cluster.BuildSynthetic(cluster.SyntheticOptions{
+			Model: *model, N: *n, Core: *core, D: *d, K: *k,
+			Iterations: *iters, Shock: *shock, Epsilon: *epsilon, Alpha: *alpha,
+			Group: *groupName, Seed: *seed, AggFanIn: *aggFanIn,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		co, err := cluster.NewCoordinator(*listen, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "coordinator on %s: waiting for %d nodes (%s, N=%d D=%d k=%d I=%d ε=%v α=%v)\n",
+			co.Addr(), sc.Graph.N(), *model, *n, *d, *k, sc.Iterations, *epsilon, *alpha)
+		sum, err := co.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("exact TDS (trusted baseline): $%.2fM\n", exactTDS/1e6)
+		fmt.Printf("released TDS (ε=%v):          $%.2fM\n", *epsilon, cluster.DecodeDollars(sc, sum.Result)/1e6)
+		fmt.Printf("\nwall time %v, cluster traffic %.1f KB (per node: avg %.1f KB, max %.1f KB)\n",
+			sum.WallTime.Round(1e6), float64(sum.TotalBytes())/1024,
+			sum.AvgNodeBytes()/1024, float64(sum.MaxNodeBytes())/1024)
+		fmt.Printf("\nnode   init         compute      transfer     agg+noise    sent bytes\n")
+		ids := make([]int, 0, len(sum.Reports))
+		for nodeID := range sum.Reports {
+			ids = append(ids, int(nodeID))
+		}
+		sort.Ints(ids)
+		for _, nodeID := range ids {
+			rep := sum.Reports[network.NodeID(nodeID)]
+			st := sum.Stats[network.NodeID(nodeID)]
+			fmt.Printf("%-5d  %-11v  %-11v  %-11v  %-11v  %d\n",
+				nodeID, rep.InitTime.Round(1e6), rep.ComputeTime.Round(1e6),
+				rep.CommTime.Round(1e6), rep.AggTime.Round(1e6), st.BytesSent)
+		}
+
+	default:
+		log.Fatalf("unknown -mode %q (want node or coordinator)", *mode)
+	}
+}

@@ -6,6 +6,13 @@
 //
 //	dstress-run -model en -n 20 -core 4 -d 6 -k 2 -shock 2 -epsilon 0.23
 //	dstress-run -model egj -n 16 -group p256 -ot iknp
+//	dstress-run -model en -n 8 -transport tcp
+//
+// -transport sim (default) executes every node's role in this process
+// against the in-memory hub; -transport tcp stands up a real cluster on
+// loopback TCP — a coordinator plus one daemon per bank, each with its own
+// tcpnet peer — and runs the identical experiment through it. For a
+// multi-machine deployment use cmd/dstress-node directly.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"os"
 
 	"dstress"
+	"dstress/internal/cluster"
 	"dstress/internal/group"
 	"dstress/internal/vertex"
 )
@@ -33,8 +41,25 @@ func main() {
 		groupName = flag.String("group", "modp256", "crypto group: p256, p384, modp256")
 		otMode    = flag.String("ot", "dealer", "OT provisioning: dealer or iknp")
 		seed      = flag.Int64("seed", 42, "synthetic network seed")
+		transport = flag.String("transport", "sim", "execution transport: sim (in-process hub) or tcp (loopback cluster of real daemons)")
 	)
 	flag.Parse()
+
+	if *transport == "tcp" {
+		// Cluster runs provision OTs with IKNP only (a dealer broker is an
+		// in-process object and cannot span machines); reject an explicit
+		// conflicting choice rather than silently mislabeling measurements.
+		otExplicit := false
+		flag.Visit(func(f *flag.Flag) { otExplicit = otExplicit || f.Name == "ot" })
+		if otExplicit && *otMode != "iknp" {
+			log.Fatalf("-transport tcp always uses IKNP OTs; -ot %q is not available on a cluster", *otMode)
+		}
+		runTCP(*model, *n, *core, *d, *k, *iters, *shock, *epsilon, *alpha, *groupName, *seed)
+		return
+	}
+	if *transport != "sim" {
+		log.Fatalf("unknown -transport %q (want sim or tcp)", *transport)
+	}
 
 	g, err := group.ByName(*groupName)
 	if err != nil {
@@ -119,4 +144,29 @@ func main() {
 	fmt.Printf("\nupdate circuit: %d AND gates; aggregate: %d AND gates\n", rep.UpdateAndGates, rep.AggAndGates)
 	fmt.Printf("traffic per node: avg %.1f KB, max %.1f KB\n",
 		rep.AvgNodeBytes/1024, float64(rep.MaxNodeBytes)/1024)
+}
+
+// runTCP executes the experiment as a loopback cluster: a coordinator plus
+// one node daemon per bank, every message crossing a real TCP socket.
+func runTCP(model string, n, core, d, k, iters, shock int, epsilon, alpha float64, groupName string, seed int64) {
+	sc, exactTDS, err := cluster.BuildSynthetic(cluster.SyntheticOptions{
+		Model: model, N: n, Core: core, D: d, K: k,
+		Iterations: iters, Shock: shock, Epsilon: epsilon, Alpha: alpha,
+		Group: groupName, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "running %s on a loopback TCP cluster: N=%d D=%d k=%d I=%d group=%s ε=%v α=%v\n",
+		model, n, d, k, sc.Iterations, groupName, epsilon, alpha)
+	sum, err := cluster.RunLoopback(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("exact TDS (trusted baseline): $%.2fM\n", exactTDS/1e6)
+	fmt.Printf("released TDS (ε=%v):          $%.2fM\n", epsilon, cluster.DecodeDollars(sc, sum.Result)/1e6)
+	fmt.Printf("\nwall time %v over real sockets; cluster traffic %.1f KB (per node: avg %.1f KB, max %.1f KB)\n",
+		sum.WallTime.Round(1e6), float64(sum.TotalBytes())/1024,
+		sum.AvgNodeBytes()/1024, float64(sum.MaxNodeBytes())/1024)
 }

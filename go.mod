@@ -1,0 +1,3 @@
+module dstress
+
+go 1.22

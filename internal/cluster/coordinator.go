@@ -1,0 +1,376 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"dstress/internal/group"
+	"dstress/internal/network"
+	"dstress/internal/trustedparty"
+	"dstress/internal/vertex"
+)
+
+// Scenario is everything the coordinator needs to drive one execution: the
+// deployment parameters, the program, the graph (with every owner's private
+// inputs — the coordinator is the experiment driver that generated the
+// scenario), and the iteration count.
+type Scenario struct {
+	Cfg        ConfigWire
+	Prog       ProgramSpec
+	Graph      *vertex.Graph
+	Iterations int
+}
+
+// Summary is the coordinator's view of a completed run.
+type Summary struct {
+	// Result is the opened noised aggregate, agreed by every
+	// aggregation-block member.
+	Result int64
+	// Reports holds each node's per-phase report.
+	Reports map[network.NodeID]vertex.Report
+	// Stats holds each node's transport counters.
+	Stats map[network.NodeID]network.Stats
+	// WallTime is the coordinator-observed duration from job dispatch to
+	// the last node's report.
+	WallTime time.Duration
+}
+
+// TotalBytes sums the bytes sent by all nodes.
+func (s *Summary) TotalBytes() int64 {
+	var t int64
+	for _, st := range s.Stats {
+		t += st.BytesSent
+	}
+	return t
+}
+
+// MaxNodeBytes returns the largest per-node sent+received byte count — the
+// "traffic per node" quantity of Figures 4–6, now measured on real sockets.
+func (s *Summary) MaxNodeBytes() int64 {
+	var m int64
+	for _, st := range s.Stats {
+		if v := st.BytesSent + st.BytesReceived; v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// AvgNodeBytes returns the mean per-node sent+received byte count.
+func (s *Summary) AvgNodeBytes() float64 {
+	if len(s.Stats) == 0 {
+		return 0
+	}
+	var t int64
+	for _, st := range s.Stats {
+		t += st.BytesSent + st.BytesReceived
+	}
+	return float64(t) / float64(len(s.Stats))
+}
+
+// Coordinator serves the control plane for one execution: it collects node
+// registrations, plays the trusted party of §3.4, publishes the job, and
+// gathers the reports.
+type Coordinator struct {
+	sc   Scenario
+	grp  group.Group
+	prog *vertex.Program
+	ln   net.Listener
+
+	// RegisterTimeout bounds the whole registration phase; if fewer than N
+	// nodes have connected and registered by then, Run fails with a clear
+	// error instead of hanging a partially launched fleet forever. The
+	// run itself, once dispatched, is not subject to it. Defaults to 2
+	// minutes; set it between NewCoordinator and Run to override.
+	RegisterTimeout time.Duration
+}
+
+// NewCoordinator validates the scenario and starts listening on ctrlAddr
+// ("127.0.0.1:0" picks an ephemeral port; see Addr).
+func NewCoordinator(ctrlAddr string, sc Scenario) (*Coordinator, error) {
+	if sc.Graph == nil {
+		return nil, fmt.Errorf("cluster: scenario has no graph")
+	}
+	if err := sc.Graph.Finalize(); err != nil {
+		return nil, err
+	}
+	if sc.Graph.N() < sc.Cfg.K+1 {
+		return nil, fmt.Errorf("cluster: need at least K+1 = %d nodes, got %d", sc.Cfg.K+1, sc.Graph.N())
+	}
+	if sc.Iterations < 0 {
+		return nil, fmt.Errorf("cluster: negative iteration count %d", sc.Iterations)
+	}
+	grp, err := group.ByName(sc.Cfg.Group)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := sc.Prog.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", ctrlAddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: control listen %s: %w", ctrlAddr, err)
+	}
+	return &Coordinator{sc: sc, grp: grp, prog: prog, ln: ln, RegisterTimeout: 2 * time.Minute}, nil
+}
+
+// Addr returns the control-plane address nodes should dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close releases the control listener (Run closes it itself on completion).
+func (c *Coordinator) Close() error { return c.ln.Close() }
+
+// RunLoopback stands up a complete cluster in this process — a coordinator
+// on an ephemeral loopback port plus one RunNode per vertex, each with its
+// own TCP data plane — and runs the scenario through it. Every message
+// crosses a real socket. Used by dstress-run's -transport tcp and the
+// end-to-end tests; multi-process deployments drive Coordinator and RunNode
+// directly.
+func RunLoopback(sc Scenario) (*Summary, error) {
+	co, err := NewCoordinator("127.0.0.1:0", sc)
+	if err != nil {
+		return nil, err
+	}
+	n := sc.Graph.N()
+	nodeErrs := make(chan error, n)
+	var wg sync.WaitGroup
+	for id := 1; id <= n; id++ {
+		id := network.NodeID(id)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := RunNode(NodeOptions{
+				ID: id, CoordAddr: co.Addr(), ListenAddr: "127.0.0.1:0",
+			}); err != nil {
+				nodeErrs <- fmt.Errorf("node %d: %w", id, err)
+			}
+		}()
+	}
+	sum, runErr := co.Run()
+	wg.Wait()
+	close(nodeErrs)
+	for err := range nodeErrs {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return sum, nil
+}
+
+type nodeConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	addr string
+	reg  trustedparty.NodeRegistration
+}
+
+// Run drives one full execution: wait for all N nodes, run trusted-party
+// setup over their registrations, dispatch the job, and collect reports.
+// It blocks until every node has reported (or a control-plane error).
+func (c *Coordinator) Run() (*Summary, error) {
+	defer c.ln.Close()
+	g := c.sc.Graph
+	n := g.N()
+	params := trustedparty.Params{Group: c.grp, K: c.sc.Cfg.K, D: g.D, L: c.prog.MsgBits}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+
+	// --- Registration: accept one connection per node, hand out the public
+	// parameters, and collect registrations (concurrently: nodes connect in
+	// any order).
+	type regResult struct {
+		id network.NodeID
+		nc *nodeConn
+		e  error
+	}
+	regCh := make(chan regResult, n)
+	// Every accepted connection is closed when Run returns, whether or not
+	// its registration completed: a node blocked in its control-plane
+	// handshake must be released when the coordinator aborts.
+	var accepted []net.Conn
+	defer func() {
+		for _, c := range accepted {
+			c.Close()
+		}
+	}()
+	var regDeadline time.Time
+	if c.RegisterTimeout > 0 {
+		regDeadline = time.Now().Add(c.RegisterTimeout)
+		if tl, ok := c.ln.(*net.TCPListener); ok {
+			tl.SetDeadline(regDeadline)
+		}
+	}
+	for i := 0; i < n; i++ {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: control accept (%d of %d nodes registered before the %v registration deadline): %w",
+				i, n, c.RegisterTimeout, err)
+		}
+		accepted = append(accepted, conn)
+		if !regDeadline.IsZero() {
+			conn.SetDeadline(regDeadline)
+		}
+		go func(conn net.Conn) {
+			nc := &nodeConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+			var hello helloMsg
+			if err := nc.dec.Decode(&hello); err != nil {
+				regCh <- regResult{e: fmt.Errorf("cluster: reading hello: %w", err)}
+				return
+			}
+			nc.addr = hello.DataAddr
+			if err := nc.enc.Encode(paramsMsg{Group: c.sc.Cfg.Group, K: c.sc.Cfg.K, D: g.D, L: c.prog.MsgBits}); err != nil {
+				regCh <- regResult{id: hello.ID, e: fmt.Errorf("cluster: sending params: %w", err)}
+				return
+			}
+			var rm regMsg
+			if err := nc.dec.Decode(&rm); err != nil {
+				regCh <- regResult{id: hello.ID, e: fmt.Errorf("cluster: reading registration: %w", err)}
+				return
+			}
+			reg, err := trustedparty.UnmarshalRegistration(c.grp, rm.Reg)
+			if err != nil {
+				regCh <- regResult{id: hello.ID, e: err}
+				return
+			}
+			if reg.ID != hello.ID {
+				regCh <- regResult{id: hello.ID, e: fmt.Errorf("cluster: registration id %d != hello id %d", reg.ID, hello.ID)}
+				return
+			}
+			nc.reg = reg
+			regCh <- regResult{id: hello.ID, nc: nc}
+		}(conn)
+	}
+	conns := make(map[network.NodeID]*nodeConn, n)
+	defer func() {
+		for _, nc := range conns {
+			nc.conn.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		r := <-regCh
+		if r.e != nil {
+			return nil, r.e
+		}
+		if r.id < 1 || int(r.id) > n {
+			return nil, fmt.Errorf("cluster: node id %d outside [1,%d]", r.id, n)
+		}
+		if _, dup := conns[r.id]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node id %d", r.id)
+		}
+		conns[r.id] = r.nc
+	}
+	// Registration is complete; the run itself may take arbitrarily long,
+	// so lift the handshake deadline from the control connections.
+	for _, nc := range conns {
+		nc.conn.SetDeadline(time.Time{})
+	}
+
+	// --- Trusted-party setup over the collected registrations.
+	tp, err := trustedparty.New(params)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]network.NodeID, 0, n)
+	for id := range conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	regs := make([]trustedparty.NodeRegistration, 0, n)
+	for _, id := range ids {
+		regs = append(regs, conns[id].reg)
+	}
+	setup, err := tp.Setup(regs)
+	if err != nil {
+		return nil, err
+	}
+	wireSetup := trustedparty.MarshalSetup(c.grp, setup)
+	directory := make(map[network.NodeID]string, n)
+	for id, nc := range conns {
+		directory[id] = nc.addr
+	}
+
+	// --- Dispatch the job; this triggers the run.
+	start := time.Now()
+	topo := TopologyWire{D: g.D, Out: g.Out}
+	for _, id := range ids {
+		job := jobMsg{
+			Cfg:        c.sc.Cfg,
+			Prog:       c.sc.Prog,
+			Topo:       topo,
+			InitState:  g.InitState[id-1],
+			Priv:       g.Priv[id-1],
+			Directory:  directory,
+			Setup:      wireSetup,
+			Iterations: c.sc.Iterations,
+		}
+		if err := conns[id].enc.Encode(job); err != nil {
+			return nil, fmt.Errorf("cluster: dispatching job to node %d: %w", id, err)
+		}
+	}
+
+	// --- Collect reports.
+	doneCh := make(chan doneMsg, n)
+	errCh := make(chan error, n)
+	for _, id := range ids {
+		nc := conns[id]
+		id := id
+		go func() {
+			var d doneMsg
+			if err := nc.dec.Decode(&d); err != nil {
+				errCh <- fmt.Errorf("cluster: node %d: reading report: %w", id, err)
+				return
+			}
+			if d.ID != id {
+				errCh <- fmt.Errorf("cluster: report id %d on node %d's connection", d.ID, id)
+				return
+			}
+			doneCh <- d
+		}()
+	}
+	sum := &Summary{
+		Reports: make(map[network.NodeID]vertex.Report, n),
+		Stats:   make(map[network.NodeID]network.Stats, n),
+	}
+	var results []int64
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-errCh:
+			return nil, err
+		case d := <-doneCh:
+			if d.Err != "" {
+				return nil, fmt.Errorf("cluster: node %d failed: %s", d.ID, d.Err)
+			}
+			sum.Reports[d.ID] = d.Report
+			sum.Stats[d.ID] = d.Stats
+			if d.HasResult {
+				results = append(results, d.Result)
+			}
+		}
+	}
+	sum.WallTime = time.Since(start)
+
+	// Every aggregation-block member opened the aggregate; they must agree.
+	if want := len(setup.Assignment.AggBlock); len(results) != want {
+		return nil, fmt.Errorf("cluster: %d nodes reported a result, want %d aggregation members", len(results), want)
+	}
+	for _, r := range results[1:] {
+		if r != results[0] {
+			return nil, fmt.Errorf("cluster: aggregation members disagree: %d vs %d", results[0], r)
+		}
+	}
+	sum.Result = results[0]
+	return sum, nil
+}

@@ -1,0 +1,795 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"dstress/internal/circuit"
+	"dstress/internal/dp"
+	"dstress/internal/elgamal"
+	"dstress/internal/gmw"
+	"dstress/internal/group"
+	"dstress/internal/network"
+	"dstress/internal/secretshare"
+	"dstress/internal/tcpnet"
+	"dstress/internal/transfer"
+	"dstress/internal/trustedparty"
+	"dstress/internal/vertex"
+)
+
+// NodeOptions configure one node daemon.
+type NodeOptions struct {
+	// ID is this node's identity; node i owns vertex i-1.
+	ID network.NodeID
+	// CoordAddr is the coordinator's control-plane address.
+	CoordAddr string
+	// ListenAddr is the data-plane listen address ("127.0.0.1:0" picks an
+	// ephemeral loopback port).
+	ListenAddr string
+	// AdvertiseAddr, when set, is the address peers dial instead of the
+	// literal listen address (NAT / container setups).
+	AdvertiseAddr string
+}
+
+// NodeResult is what a node learns from a run.
+type NodeResult struct {
+	// Result is the opened noised aggregate; only aggregation-block members
+	// have it (HasResult).
+	Result    int64
+	HasResult bool
+	Report    vertex.Report
+	Stats     network.Stats
+}
+
+// RunNode executes one participant: register with the coordinator, receive
+// the job, run every role node ID plays in the execution, and report back.
+// It returns after the coordinator has been sent the doneMsg.
+func RunNode(opt NodeOptions) (*NodeResult, error) {
+	if opt.ID < 1 {
+		return nil, fmt.Errorf("cluster: node id %d must be ≥ 1", opt.ID)
+	}
+	peer, err := tcpnet.Listen(opt.ID, opt.ListenAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer peer.Close()
+
+	conn, err := dialRetry(opt.CoordAddr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dialing coordinator %s: %w", opt.CoordAddr, err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+
+	adv := opt.AdvertiseAddr
+	if adv == "" {
+		adv = peer.Addr()
+	}
+	if err := enc.Encode(helloMsg{ID: opt.ID, DataAddr: adv}); err != nil {
+		return nil, fmt.Errorf("cluster: hello: %w", err)
+	}
+	var pm paramsMsg
+	if err := dec.Decode(&pm); err != nil {
+		return nil, fmt.Errorf("cluster: reading params: %w", err)
+	}
+	grp, err := group.ByName(pm.Group)
+	if err != nil {
+		return nil, err
+	}
+	tpParams := trustedparty.Params{Group: grp, K: pm.K, D: pm.D, L: pm.L}
+	reg, secrets, err := trustedparty.RegisterNode(tpParams, opt.ID)
+	if err != nil {
+		return nil, err
+	}
+	if err := enc.Encode(regMsg{Reg: trustedparty.MarshalRegistration(grp, reg)}); err != nil {
+		return nil, fmt.Errorf("cluster: sending registration: %w", err)
+	}
+
+	var job jobMsg
+	if err := dec.Decode(&job); err != nil {
+		return nil, fmt.Errorf("cluster: reading job: %w", err)
+	}
+	for id, addr := range job.Directory {
+		if id != opt.ID {
+			peer.Register(id, addr)
+		}
+	}
+	// Self-delivery (a node can be relay and block member at once) goes
+	// through the peer's own listener like any other traffic — dialed at
+	// the local listen address, never the advertised one, which may not be
+	// reachable from inside a NAT.
+	peer.Register(opt.ID, selfDialAddr(peer.Addr()))
+
+	// Abort watcher: the coordinator sends nothing after the job, so this
+	// Decode returns only when it closes the control connection — which it
+	// does as soon as any node reports a failure. Closing the peer then
+	// releases every blocked data-plane Recv, so this daemon fails fast
+	// even when the dead node never dialed us (tcpnet's per-sender release
+	// covers only established inbound connections).
+	go func() {
+		var m jobMsg
+		_ = dec.Decode(&m)
+		peer.Close()
+	}()
+
+	eng, err := newEngine(opt.ID, peer, grp, job, secrets)
+	var res NodeResult
+	var runErr error
+	if err != nil {
+		runErr = err
+	} else {
+		runErr = eng.run(job.Iterations, &res)
+	}
+	res.Stats = peer.Stats()
+
+	done := doneMsg{ID: opt.ID, HasResult: res.HasResult, Result: res.Result, Report: res.Report, Stats: res.Stats}
+	if runErr != nil {
+		done.Err = runErr.Error()
+	}
+	if err := enc.Encode(done); err != nil && runErr == nil {
+		runErr = fmt.Errorf("cluster: reporting result: %w", err)
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return &res, nil
+}
+
+// selfDialAddr rewrites an unspecified listen host (0.0.0.0 / ::) to
+// loopback so a node can dial its own listener.
+func selfDialAddr(listenAddr string) string {
+	host, port, err := net.SplitHostPort(listenAddr)
+	if err != nil {
+		return listenAddr
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		return net.JoinHostPort("127.0.0.1", port)
+	}
+	return listenAddr
+}
+
+// dialRetry dials addr, retrying refused connections for up to window: a
+// fleet launcher routinely starts node processes before the coordinator's
+// listener is up.
+func dialRetry(addr string, window time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(window)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil || time.Now().After(deadline) {
+			return conn, err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-node execution engine
+// ---------------------------------------------------------------------------
+
+// engine executes the roles of exactly one node. It mirrors the schedule of
+// vertex.Runtime — identical tags and message ordering — restricted to the
+// vertices whose blocks contain this node, the edges it relays or adjusts,
+// and (if assigned) the aggregation block, so a cluster of engines is
+// wire-compatible with one simulated runtime.
+type engine struct {
+	id      network.NodeID
+	tr      network.Transport
+	grp     group.Group
+	cfg     ConfigWire
+	prog    *vertex.Program
+	graph   *vertex.Graph
+	setup   *trustedparty.SetupResult
+	secrets trustedparty.NodeSecrets
+
+	updCirc *circuit.Circuit
+	aggCirc *circuit.Circuit
+	noise   vertex.NoiseSpec
+	table   *elgamal.Table
+	tparam  transfer.Params
+
+	// memberVertices lists the vertices whose block contains this node, in
+	// ascending order; memberIdx gives this node's index in each block.
+	memberVertices []int
+	memberIdx      map[int]int
+	sessions       map[int]*gmw.Party
+	aggIdx         int // index in the aggregation block, or -1
+	aggParty       *gmw.Party
+
+	// stateShare[v] / msgShare[v][slot] are this node's XOR shares for the
+	// vertices it is a block member of.
+	stateShare map[int]uint64
+	msgShare   map[int][]uint64
+}
+
+func newEngine(id network.NodeID, tr network.Transport, grp group.Group, job jobMsg, secrets trustedparty.NodeSecrets) (*engine, error) {
+	prog, err := job.Prog.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(job.Topo.Out)
+	if int(id) > n {
+		return nil, fmt.Errorf("cluster: node %d has no vertex in an %d-vertex graph", id, n)
+	}
+	g := vertex.NewGraph(n, job.Topo.D)
+	for u, outs := range job.Topo.Out {
+		for _, v := range outs {
+			if err := g.AddEdge(u, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	own := int(id) - 1
+	g.InitState[own] = job.InitState
+	if len(job.Priv) != prog.PrivBits(g.D) {
+		return nil, fmt.Errorf("cluster: node %d got %d private input bits, program wants %d",
+			id, len(job.Priv), prog.PrivBits(g.D))
+	}
+	g.Priv[own] = job.Priv
+
+	setup, err := trustedparty.UnmarshalSetup(grp, job.Setup)
+	if err != nil {
+		return nil, err
+	}
+	if !trustedparty.VerifyAssignment(setup.VerifyKey, setup.Assignment) {
+		return nil, fmt.Errorf("cluster: node %d: trusted-party assignment signature invalid", id)
+	}
+	// Verify every block certificate too: transfers encrypt subshares under
+	// these keys, so a tampered certificate would hand the ciphertexts to
+	// an attacker (§3.4 signs both artifacts; check both).
+	for certNode, certs := range setup.Certs {
+		for j, c := range certs {
+			if !trustedparty.VerifyCert(setup.VerifyKey, grp, c) {
+				return nil, fmt.Errorf("cluster: node %d: certificate %d of node %d has an invalid signature", id, j, certNode)
+			}
+		}
+	}
+
+	e := &engine{
+		id: id, tr: tr, grp: grp, cfg: job.Cfg, prog: prog, graph: g,
+		setup: setup, secrets: secrets,
+		memberIdx:  make(map[int]int),
+		sessions:   make(map[int]*gmw.Party),
+		aggIdx:     -1,
+		stateShare: make(map[int]uint64),
+		msgShare:   make(map[int][]uint64),
+	}
+	if e.updCirc, err = prog.UpdateCircuit(g.D); err != nil {
+		return nil, err
+	}
+	if job.Cfg.Epsilon > 0 {
+		e.noise = vertex.DefaultNoiseSpec(job.Cfg.Epsilon, prog.Sensitivity, job.Cfg.NoiseShift)
+	}
+	if e.aggCirc, err = prog.AggregateCircuit(n, e.noise); err != nil {
+		return nil, err
+	}
+
+	e.tparam = transfer.Params{Group: grp, K: job.Cfg.K, L: prog.MsgBits, Alpha: job.Cfg.Alpha}
+	if err := e.tparam.Validate(); err != nil {
+		return nil, err
+	}
+	pFail := job.Cfg.TablePFail
+	if pFail == 0 {
+		pFail = 1e-12
+	}
+	e.table = e.tparam.MakeTable(pFail)
+
+	for v := 0; v < n; v++ {
+		members := setup.Assignment.Blocks[g.NodeOf(v)]
+		if len(members) != job.Cfg.K+1 {
+			return nil, fmt.Errorf("cluster: block of vertex %d has %d members, want %d", v, len(members), job.Cfg.K+1)
+		}
+		if mi := indexOf(members, id); mi >= 0 {
+			e.memberIdx[v] = mi
+			e.memberVertices = append(e.memberVertices, v)
+		}
+	}
+	sort.Ints(e.memberVertices)
+	if mi, ok := e.memberIdx[own]; !ok || mi != 0 {
+		return nil, fmt.Errorf("cluster: node %d is not the first member of its own block", id)
+	}
+	e.aggIdx = indexOf(setup.Assignment.AggBlock, id)
+	return e, nil
+}
+
+func indexOf(ids []network.NodeID, id network.NodeID) int {
+	for i, x := range ids {
+		if x == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// createSessions joins every GMW session this node is a member of. All
+// sessions are joined concurrently and unboundedly: IKNP handshakes block
+// until every member of a session arrives, and nodes discover their
+// sessions in different orders, so any bounded schedule could deadlock
+// across processes.
+func (e *engine) createSessions() error {
+	opt := gmw.IKNPOT{Group: e.grp}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	join := func(v int, members []network.NodeID, mi int, tag string, store func(*gmw.Party)) {
+		defer wg.Done()
+		p, err := gmw.NewParty(gmw.Config{
+			Parties: members, Index: mi, Transport: e.tr, Tag: tag, OT: opt,
+		})
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: session %s: %w", tag, err)
+		}
+		store(p)
+	}
+	for _, v := range e.memberVertices {
+		v := v
+		members := e.setup.Assignment.Blocks[e.graph.NodeOf(v)]
+		wg.Add(1)
+		go join(v, members, e.memberIdx[v], network.Tag("blk", v), func(p *gmw.Party) { e.sessions[v] = p })
+	}
+	if e.aggIdx >= 0 {
+		wg.Add(1)
+		go join(-1, e.setup.Assignment.AggBlock, e.aggIdx, "aggblk", func(p *gmw.Party) { e.aggParty = p })
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// run executes the full schedule and fills res.
+func (e *engine) run(iterations int, res *NodeResult) error {
+	rep := &vertex.Report{
+		Iterations:     iterations,
+		UpdateAndGates: e.updCirc.NumAnd,
+		AggAndGates:    e.aggCirc.NumAnd,
+	}
+	phaseStart := func() (time.Time, int64) {
+		s := e.tr.Stats()
+		return time.Now(), s.BytesSent + s.BytesReceived
+	}
+	phaseBytes := func(b0 int64) int64 {
+		s := e.tr.Stats()
+		return s.BytesSent + s.BytesReceived - b0
+	}
+
+	// --- Initialization: session handshakes + owner share distribution. ---
+	t0, b0 := phaseStart()
+	if err := e.createSessions(); err != nil {
+		return err
+	}
+	if err := e.initShares(); err != nil {
+		return err
+	}
+	rep.InitTime = time.Since(t0)
+	rep.InitBytes = phaseBytes(b0)
+
+	// --- Iterations. ---
+	for it := 0; it <= iterations; it++ {
+		t0, b0 = phaseStart()
+		out, err := e.computeStep()
+		if err != nil {
+			return fmt.Errorf("cluster: node %d iteration %d compute: %w", e.id, it, err)
+		}
+		rep.ComputeTime += time.Since(t0)
+		rep.ComputeBytes += phaseBytes(b0)
+
+		if it == iterations {
+			break
+		}
+		t0, b0 = phaseStart()
+		if err := e.communicateStep(it, out); err != nil {
+			return fmt.Errorf("cluster: node %d iteration %d communicate: %w", e.id, it, err)
+		}
+		rep.CommTime += time.Since(t0)
+		rep.CommBytes += phaseBytes(b0)
+	}
+
+	// --- Aggregation + noising. ---
+	t0, b0 = phaseStart()
+	result, hasResult, err := e.aggregate()
+	if err != nil {
+		return fmt.Errorf("cluster: node %d aggregation: %w", e.id, err)
+	}
+	rep.AggTime = time.Since(t0)
+	rep.AggBytes = phaseBytes(b0)
+
+	res.Result = result
+	res.HasResult = hasResult
+	res.Report = *rep
+	return nil
+}
+
+// initShares distributes the owner-generated initial shares: this node
+// splits its own vertex's state plus D no-op slots and ships the shares to
+// its block; then it collects its shares of every other vertex it is a
+// block member of. All sends happen before any receive so no pair of nodes
+// can wait on each other.
+func (e *engine) initShares() error {
+	g := e.graph
+	k1 := e.cfg.K + 1
+	own := int(e.id) - 1
+	members := e.setup.Assignment.Blocks[e.id]
+
+	st := secretshare.SplitXOR(uint64(g.InitState[own]), k1, e.prog.StateBits)
+	msgs := make([][]uint64, g.D)
+	for d := range msgs {
+		msgs[d] = secretshare.SplitXOR(uint64(e.prog.NoOp), k1, e.prog.MsgBits)
+	}
+	for m := 1; m < k1; m++ {
+		vals := append([]uint64{st[m]}, vertex.Column(msgs, m)...)
+		if err := e.tr.Send(members[m], network.Tag("init", own), vertex.EncodeShares(vals)); err != nil {
+			return err
+		}
+	}
+	e.stateShare[own] = st[0]
+	e.msgShare[own] = make([]uint64, g.D)
+	for d := range msgs {
+		e.msgShare[own][d] = msgs[d][0]
+	}
+
+	for _, v := range e.memberVertices {
+		if v == own {
+			continue
+		}
+		data, err := e.tr.Recv(g.NodeOf(v), network.Tag("init", v))
+		if err != nil {
+			return err
+		}
+		vals, err := vertex.DecodeShares(data, 1+g.D)
+		if err != nil {
+			return err
+		}
+		e.stateShare[v] = vals[0]
+		e.msgShare[v] = vals[1:]
+	}
+	return nil
+}
+
+// memberInput assembles this node's input-share bits for vertex v's update:
+// [state | priv | msgs]; only the owner contributes the private data.
+func (e *engine) memberInput(v int) []uint8 {
+	g := e.graph
+	in := vertex.WordToBits(e.stateShare[v], e.prog.StateBits)
+	if e.memberIdx[v] == 0 {
+		in = append(in, g.Priv[v]...)
+	} else {
+		in = append(in, make([]uint8, e.prog.PrivBits(g.D))...)
+	}
+	for d := 0; d < g.D; d++ {
+		in = append(in, vertex.WordToBits(e.msgShare[v][d], e.prog.MsgBits)...)
+	}
+	return in
+}
+
+// computeStep runs the update MPC of every block this node belongs to, all
+// concurrently (each session's other members run theirs concurrently too).
+// It returns this node's fresh output-message shares, [vertex][slot].
+func (e *engine) computeStep() (map[int][]uint64, error) {
+	g := e.graph
+	out := make(map[int][]uint64, len(e.memberVertices))
+	// Inputs are assembled up front: memberInput reads the share maps,
+	// which the evaluation goroutines mutate.
+	inputs := make(map[int][]uint8, len(e.memberVertices))
+	for _, v := range e.memberVertices {
+		inputs[v] = e.memberInput(v)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, v := range e.memberVertices {
+		v := v
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outBits, err := e.sessions[v].Evaluate(e.updCirc, inputs[v])
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("block %d: %w", v, err)
+				}
+				return
+			}
+			e.stateShare[v] = vertex.BitsToWord(outBits[:e.prog.StateBits])
+			slots := make([]uint64, g.D)
+			for d := 0; d < g.D; d++ {
+				lo := e.prog.StateBits + d*e.prog.MsgBits
+				slots[d] = vertex.BitsToWord(outBits[lo : lo+e.prog.MsgBits])
+			}
+			out[v] = slots
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// communicateStep runs this node's roles in every edge transfer: sender-
+// block member, relay (node u), adjuster (node v), receiver-block member.
+// All roles across all edges run concurrently; transfers for edges this
+// node plays no role in cost it nothing.
+func (e *engine) communicateStep(iter int, out map[int][]uint64) error {
+	g := e.graph
+	// Refresh all input slots with ⊥ shares; transfers overwrite the slots
+	// with real in-edges. Share 0 (the owner's) carries ⊥, the rest zero.
+	for _, v := range e.memberVertices {
+		for d := 0; d < g.D; d++ {
+			if e.memberIdx[v] == 0 {
+				e.msgShare[v][d] = uint64(e.prog.NoOp) & secretshare.Mask(e.prog.MsgBits)
+			} else {
+				e.msgShare[v][d] = 0
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	record := func(u, v int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("edge (%d,%d): %w", u, v, err)
+		}
+	}
+	for _, edge := range g.Edges() {
+		u, v := edge[0], edge[1]
+		uID, vID := g.NodeOf(u), g.NodeOf(v)
+		slotIn, err := g.InSlot(u, v)
+		if err != nil {
+			return err
+		}
+		tag := network.Tag("tx", iter, u, v)
+		sendersB := e.setup.Assignment.Blocks[uID]
+		recvB := e.setup.Assignment.Blocks[vID]
+
+		if _, ok := e.memberIdx[u]; ok {
+			share := out[u][vertex.OutSlot(g, u, v)]
+			cert := e.setup.Certs[vID][slotIn]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				record(u, v, transfer.SendShare(e.tparam, e.tr, uID, tag, share, transfer.RecipientKeys(cert.Keys)))
+			}()
+		}
+		if e.id == uID {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				record(u, v, transfer.RunRelay(e.tparam, e.tr, sendersB, vID, tag, dp.CryptoSource{}))
+			}()
+		}
+		if e.id == vID {
+			nk := e.secrets.NeighborKeys[slotIn]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				record(u, v, transfer.RunAdjust(e.tparam, e.tr, uID, recvB, nk, tag))
+			}()
+		}
+		if _, ok := e.memberIdx[v]; ok {
+			v, slotIn := v, slotIn
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				share, err := transfer.ReceiveShare(e.tparam, e.tr, vID, tag, e.secrets.PrivateKeys, e.table)
+				if err != nil {
+					record(u, v, err)
+					return
+				}
+				mu.Lock()
+				e.msgShare[v][slotIn] = share
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// reshareSend splits this node's share of an srcBits-wide word into one
+// subshare per destination member and ships them under tag/<myIdx>,
+// matching vertex.Runtime's reshare wire format.
+func (e *engine) reshareSend(share uint64, bits, myIdx int, dst []network.NodeID, tag string) error {
+	subs := secretshare.SplitXOR(share, len(dst), bits)
+	for y, dest := range dst {
+		if err := e.tr.Send(dest, network.Tag(tag, myIdx), vertex.EncodeShares(subs[y:y+1])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reshareRecv collects one subshare from every source member and XORs them
+// into this destination member's fresh share.
+func (e *engine) reshareRecv(src []network.NodeID, tag string) (uint64, error) {
+	var fresh uint64
+	for m, id := range src {
+		data, err := e.tr.Recv(id, network.Tag(tag, m))
+		if err != nil {
+			return 0, err
+		}
+		vals, err := vertex.DecodeShares(data, 1)
+		if err != nil {
+			return 0, err
+		}
+		fresh ^= vals[0]
+	}
+	return fresh, nil
+}
+
+// aggregate re-shares vertex states into the aggregation machinery (flat or
+// tree-shaped), runs the aggregation MPC with in-MPC noise, and — for
+// aggregation-block members — opens the noised result.
+func (e *engine) aggregate() (int64, bool, error) {
+	if e.cfg.AggFanIn > 0 && e.graph.N() > e.cfg.AggFanIn {
+		return e.aggregateTree()
+	}
+	g := e.graph
+	aggMembers := e.setup.Assignment.AggBlock
+
+	for _, v := range e.memberVertices {
+		if err := e.reshareSend(e.stateShare[v], e.prog.StateBits, e.memberIdx[v], aggMembers, network.Tag("aggsh", v)); err != nil {
+			return 0, false, err
+		}
+	}
+	if e.aggIdx < 0 {
+		return 0, false, nil
+	}
+	var input []uint8
+	for v := 0; v < g.N(); v++ {
+		members := e.setup.Assignment.Blocks[g.NodeOf(v)]
+		col, err := e.reshareRecv(members, network.Tag("aggsh", v))
+		if err != nil {
+			return 0, false, err
+		}
+		input = append(input, vertex.WordToBits(col, e.prog.StateBits)...)
+	}
+	input = append(input, vertex.RandomInputBits(e.noise.RandBits())...)
+	outShares, err := e.aggParty.Evaluate(e.aggCirc, input)
+	if err != nil {
+		return 0, false, err
+	}
+	open, err := e.aggParty.Open(outShares)
+	if err != nil {
+		return 0, false, err
+	}
+	return circuit.DecodeWordS(open), true, nil
+}
+
+// aggregateTree is the two-level aggregation tree of §3.6: each group of up
+// to AggFanIn vertices is partially aggregated by the block of the group's
+// first vertex, and the aggregation block combines the partials and draws
+// the noise.
+func (e *engine) aggregateTree() (int64, bool, error) {
+	g := e.graph
+	fanIn := e.cfg.AggFanIn
+	nGroups := (g.N() + fanIn - 1) / fanIn
+	aggMembers := e.setup.Assignment.AggBlock
+	groupRange := func(grp int) (int, int) {
+		lo := grp * fanIn
+		hi := lo + fanIn
+		if hi > g.N() {
+			hi = g.N()
+		}
+		return lo, hi
+	}
+
+	// Phase A: every member ships its state subshares to its group's leaf
+	// block. All sends complete before any leaf evaluation blocks.
+	for grp := 0; grp < nGroups; grp++ {
+		lo, hi := groupRange(grp)
+		leafMembers := e.setup.Assignment.Blocks[g.NodeOf(lo)]
+		for v := lo; v < hi; v++ {
+			mi, ok := e.memberIdx[v]
+			if !ok {
+				continue
+			}
+			if err := e.reshareSend(e.stateShare[v], e.prog.StateBits, mi, leafMembers, network.Tag("leafsh", grp, v)); err != nil {
+				return 0, false, err
+			}
+		}
+	}
+
+	// Phase B: leaf evaluations, concurrently across the groups whose leaf
+	// block contains this node (each group uses a distinct session).
+	partial := make(map[int]uint64)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for grp := 0; grp < nGroups; grp++ {
+		lo, hi := groupRange(grp)
+		if _, ok := e.memberIdx[lo]; !ok {
+			continue
+		}
+		grp, lo, hi := grp, lo, hi
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			partialCirc, err := e.prog.PartialAggregateCircuit(hi - lo)
+			if err == nil {
+				var input []uint8
+				for v := lo; v < hi && err == nil; v++ {
+					members := e.setup.Assignment.Blocks[g.NodeOf(v)]
+					var col uint64
+					col, err = e.reshareRecv(members, network.Tag("leafsh", grp, v))
+					input = append(input, vertex.WordToBits(col, e.prog.StateBits)...)
+				}
+				if err == nil {
+					var outShares []uint8
+					outShares, err = e.sessions[lo].Evaluate(partialCirc, input)
+					if err == nil {
+						mu.Lock()
+						partial[grp] = vertex.BitsToWord(outShares)
+						mu.Unlock()
+					}
+				}
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("leaf aggregation %d: %w", grp, err)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, false, firstErr
+	}
+
+	// Phase C: leaf members ship partial subshares to the root block.
+	for grp := 0; grp < nGroups; grp++ {
+		lo, _ := groupRange(grp)
+		mi, ok := e.memberIdx[lo]
+		if !ok {
+			continue
+		}
+		if err := e.reshareSend(partial[grp], e.prog.AggBits, mi, aggMembers, network.Tag("rootsh", grp)); err != nil {
+			return 0, false, err
+		}
+	}
+
+	// Phase D: root combine + noise + open, by aggregation-block members.
+	if e.aggIdx < 0 {
+		return 0, false, nil
+	}
+	combineCirc, err := e.prog.CombineCircuit(nGroups, e.noise)
+	if err != nil {
+		return 0, false, err
+	}
+	var input []uint8
+	for grp := 0; grp < nGroups; grp++ {
+		lo, _ := groupRange(grp)
+		leafMembers := e.setup.Assignment.Blocks[g.NodeOf(lo)]
+		col, err := e.reshareRecv(leafMembers, network.Tag("rootsh", grp))
+		if err != nil {
+			return 0, false, err
+		}
+		input = append(input, vertex.WordToBits(col, e.prog.AggBits)...)
+	}
+	input = append(input, vertex.RandomInputBits(e.noise.RandBits())...)
+	outShares, err := e.aggParty.Evaluate(combineCirc, input)
+	if err != nil {
+		return 0, false, fmt.Errorf("root aggregation: %w", err)
+	}
+	open, err := e.aggParty.Open(outShares)
+	if err != nil {
+		return 0, false, err
+	}
+	return circuit.DecodeWordS(open), true, nil
+}

@@ -1,0 +1,96 @@
+package cluster
+
+// Control-plane protocol. Each node keeps one TCP connection to the
+// coordinator and the conversation on it is strictly ordered, so messages
+// are plain gob-encoded structs in a fixed sequence:
+//
+//	node → coordinator   helloMsg     (node id + data-plane address)
+//	coordinator → node   paramsMsg    (public system parameters, §3.4 step 1)
+//	node → coordinator   regMsg       (ElGamal public keys + neighbor keys;
+//	                                   the private halves never leave the node)
+//	coordinator → node   jobMsg       (program spec, topology, owner inputs,
+//	                                   node directory, signed setup, iteration
+//	                                   count — the §3.4 step-2/3 publication)
+//	node → coordinator   doneMsg      (per-node report; the opened aggregate
+//	                                   from aggregation-block members)
+//
+// The coordinator doubles as the trusted party: like the Federal Reserve in
+// the paper's banking scenario it knows who participates and runs Setup,
+// and it never sees cryptographic secrets or shares — nodes generate their
+// keys locally and register only public material. One honest deviation from
+// the paper's trust model: the coordinator is also the experiment driver
+// that generates the scenario, so each node's private vertex inputs ride to
+// it on jobMsg. A production deployment would have every participant supply
+// its own inputs out of band (see DESIGN.md).
+
+import (
+	"dstress/internal/network"
+	"dstress/internal/trustedparty"
+	"dstress/internal/vertex"
+)
+
+// ConfigWire is the serializable subset of vertex.Config. The crypto group
+// travels by name; OT provisioning is not included because cluster runs
+// always use IKNP (a dealer broker is an in-process object and cannot span
+// machines — the paper-faithful configuration needs no dealer anyway).
+type ConfigWire struct {
+	Group      string
+	K          int
+	Alpha      float64
+	Epsilon    float64
+	NoiseShift int
+	TablePFail float64
+	AggFanIn   int
+}
+
+// TopologyWire is the public part of the graph: degree bound and edge
+// lists. Vertex v is owned by node v+1. Private inputs are NOT part of the
+// topology; each node receives only its own in jobMsg.
+type TopologyWire struct {
+	D   int
+	Out [][]int
+}
+
+type helloMsg struct {
+	ID network.NodeID
+	// DataAddr is the address other nodes should dial for the tcpnet data
+	// plane.
+	DataAddr string
+}
+
+type paramsMsg struct {
+	Group string
+	K     int
+	D     int
+	L     int
+}
+
+type regMsg struct {
+	Reg trustedparty.WireRegistration
+}
+
+type jobMsg struct {
+	Cfg  ConfigWire
+	Prog ProgramSpec
+	Topo TopologyWire
+	// InitState and Priv are the receiving node's own vertex inputs.
+	InitState int64
+	Priv      []uint8
+	// Directory maps node id → data-plane address for every participant.
+	Directory map[network.NodeID]string
+	Setup     trustedparty.WireSetup
+	// Iterations triggers the run: compute/communicate steps followed by
+	// the final computation step and aggregation.
+	Iterations int
+}
+
+type doneMsg struct {
+	ID  network.NodeID
+	Err string
+	// HasResult is set by aggregation-block members, the only nodes that
+	// learn the opened (noised) aggregate.
+	HasResult bool
+	Result    int64
+	Report    vertex.Report
+	Stats     network.Stats
+}

@@ -47,7 +47,7 @@ func Calibrate(g group.Group) Calibration {
 		go func() {
 			defer wg.Done()
 			ps[i], _ = gmw.NewParty(gmw.Config{
-				Parties: parties, Index: i, Net: net, Tag: "cal", OT: gmw.DealerOT{Broker: broker},
+				Parties: parties, Index: i, Transport: net.Endpoint(parties[i]), Tag: "cal", OT: gmw.DealerOT{Broker: broker},
 			})
 		}()
 	}

@@ -53,7 +53,7 @@ func measureBlockMPC(g group.Group, blockSize int, c *circuit.Circuit) mpcMeasur
 		go func() {
 			defer wg.Done()
 			ps[i], _ = gmw.NewParty(gmw.Config{
-				Parties: parties, Index: i, Net: net, Tag: "micro", OT: gmw.DealerOT{Broker: broker},
+				Parties: parties, Index: i, Transport: net.Endpoint(parties[i]), Tag: "micro", OT: gmw.DealerOT{Broker: broker},
 			})
 		}()
 	}
@@ -86,10 +86,10 @@ func measureInit(blockSize, d, stateBits int) mpcMeasurement {
 	for m := 1; m < blockSize; m++ {
 		payload := make([]byte, 8*(1+d))
 		_ = st
-		owner.Send(network.NodeID(m+1), "init", payload)
+		_ = owner.Send(network.NodeID(m+1), "init", payload)
 	}
 	for m := 1; m < blockSize; m++ {
-		net.Endpoint(network.NodeID(m+1)).Recv(1, "init")
+		_, _ = net.Endpoint(network.NodeID(m+1)).Recv(1, "init")
 	}
 	return mpcMeasurement{elapsed: time.Since(start), avgNodeBytes: net.AvgNodeBytes()}
 }

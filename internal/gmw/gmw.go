@@ -63,8 +63,10 @@ type Config struct {
 	Parties []network.NodeID
 	// Index is this party's position in Parties.
 	Index int
-	// Net is the transport hub.
-	Net *network.Network
+	// Transport is this party's attachment to the messaging layer (the
+	// in-process hub endpoint or a tcpnet peer); its ID must equal
+	// Parties[Index].
+	Transport network.Transport
 	// Tag namespaces this session's traffic.
 	Tag string
 	// OT selects the OT provisioning (IKNPOT or DealerOT).
@@ -75,7 +77,7 @@ type Config struct {
 // same sequence of Evaluate/Open calls with the same circuits.
 type Party struct {
 	cfg  Config
-	ep   *network.Endpoint
+	ep   network.Transport
 	n    int
 	me   int
 	send map[int]*ot.BitSender   // ordered pair me→j
@@ -94,9 +96,16 @@ func NewParty(cfg Config) (*Party, error) {
 	if cfg.Index < 0 || cfg.Index >= n {
 		return nil, fmt.Errorf("gmw: index %d out of range", cfg.Index)
 	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("gmw: nil transport")
+	}
+	if cfg.Transport.ID() != cfg.Parties[cfg.Index] {
+		return nil, fmt.Errorf("gmw: transport belongs to node %d, party %d is node %d",
+			cfg.Transport.ID(), cfg.Index, cfg.Parties[cfg.Index])
+	}
 	p := &Party{
 		cfg:  cfg,
-		ep:   cfg.Net.Endpoint(cfg.Parties[cfg.Index]),
+		ep:   cfg.Transport,
 		n:    n,
 		me:   cfg.Index,
 		send: make(map[int]*ot.BitSender),
@@ -310,7 +319,9 @@ func (p *Party) Open(shares []uint8) ([]uint8, error) {
 	packed := ot.PackBits(shares)
 	for j := 0; j < p.n; j++ {
 		if j != p.me {
-			p.ep.Send(p.cfg.Parties[j], tag, packed)
+			if err := p.ep.Send(p.cfg.Parties[j], tag, packed); err != nil {
+				return nil, fmt.Errorf("gmw: open: %w", err)
+			}
 		}
 	}
 	out := make([]uint8, len(shares))
@@ -319,7 +330,11 @@ func (p *Party) Open(shares []uint8) ([]uint8, error) {
 		if j == p.me {
 			continue
 		}
-		theirs := ot.UnpackBits(p.ep.Recv(p.cfg.Parties[j], tag), len(shares))
+		data, err := p.ep.Recv(p.cfg.Parties[j], tag)
+		if err != nil {
+			return nil, fmt.Errorf("gmw: open: %w", err)
+		}
+		theirs := ot.UnpackBits(data, len(shares))
 		for i := range out {
 			out[i] ^= theirs[i]
 		}

@@ -43,7 +43,7 @@ func runSession(t testing.TB, n int, c *circuit.Circuit, inputs []uint8, otOpt f
 		go func() {
 			defer wg.Done()
 			p, err := NewParty(Config{
-				Parties: parties, Index: i, Net: net, Tag: "sess", OT: opt,
+				Parties: parties, Index: i, Transport: net.Endpoint(parties[i]), Tag: "sess", OT: opt,
 			})
 			if err != nil {
 				errs[i] = err
@@ -204,7 +204,7 @@ func TestMultipleEvaluationsPerSession(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p, err := NewParty(Config{Parties: parties, Index: i, Net: net, Tag: "multi", OT: DealerOT{Broker: broker}})
+			p, err := NewParty(Config{Parties: parties, Index: i, Transport: net.Endpoint(parties[i]), Tag: "multi", OT: DealerOT{Broker: broker}})
 			if err != nil {
 				errs[i] = err
 				return
@@ -261,11 +261,11 @@ func TestEvaluateValidatesInput(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		p0, _ = NewParty(Config{Parties: []network.NodeID{1, 2}, Index: 0, Net: net, Tag: "v", OT: DealerOT{Broker: broker}})
+		p0, _ = NewParty(Config{Parties: []network.NodeID{1, 2}, Index: 0, Transport: net.Endpoint(1), Tag: "v", OT: DealerOT{Broker: broker}})
 	}()
 	go func() {
 		defer wg.Done()
-		p1, _ = NewParty(Config{Parties: []network.NodeID{1, 2}, Index: 1, Net: net, Tag: "v", OT: DealerOT{Broker: broker}})
+		p1, _ = NewParty(Config{Parties: []network.NodeID{1, 2}, Index: 1, Transport: net.Endpoint(2), Tag: "v", OT: DealerOT{Broker: broker}})
 	}()
 	wg.Wait()
 	if p0 == nil || p1 == nil {
@@ -281,13 +281,13 @@ func TestEvaluateValidatesInput(t *testing.T) {
 
 func TestNewPartyValidation(t *testing.T) {
 	net := network.New()
-	if _, err := NewParty(Config{Parties: []network.NodeID{1}, Index: 0, Net: net, OT: dealerOpt()}); err == nil {
+	if _, err := NewParty(Config{Parties: []network.NodeID{1}, Index: 0, Transport: net.Endpoint(1), OT: dealerOpt()}); err == nil {
 		t.Error("single-party session accepted")
 	}
-	if _, err := NewParty(Config{Parties: []network.NodeID{1, 2}, Index: 5, Net: net, OT: dealerOpt()}); err == nil {
+	if _, err := NewParty(Config{Parties: []network.NodeID{1, 2}, Index: 5, Transport: net.Endpoint(1), OT: dealerOpt()}); err == nil {
 		t.Error("out-of-range index accepted")
 	}
-	if _, err := NewParty(Config{Parties: []network.NodeID{1, 2}, Index: 0, Net: net, OT: nil}); err == nil {
+	if _, err := NewParty(Config{Parties: []network.NodeID{1, 2}, Index: 0, Transport: net.Endpoint(1), OT: nil}); err == nil {
 		t.Error("nil OT option accepted")
 	}
 }
@@ -326,7 +326,7 @@ func TestIntermediatesStayShared(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				p, err := NewParty(Config{Parties: parties, Index: i, Net: net, Tag: "mask", OT: DealerOT{Broker: broker}})
+				p, err := NewParty(Config{Parties: parties, Index: i, Transport: net.Endpoint(parties[i]), Tag: "mask", OT: DealerOT{Broker: broker}})
 				if err != nil {
 					t.Error(err)
 					return
@@ -374,7 +374,7 @@ func TestTrafficScalesWithParties(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				p, err := NewParty(Config{Parties: parties, Index: i, Net: net, Tag: "tr", OT: DealerOT{Broker: broker}})
+				p, err := NewParty(Config{Parties: parties, Index: i, Transport: net.Endpoint(parties[i]), Tag: "tr", OT: DealerOT{Broker: broker}})
 				if err != nil {
 					t.Error(err)
 					return

@@ -1,0 +1,18 @@
+package network_test
+
+import (
+	"testing"
+
+	"dstress/internal/network"
+	"dstress/internal/network/networktest"
+)
+
+// TestHubTransportConformance runs the shared Transport conformance suite
+// against the in-process hub; internal/tcpnet runs the same suite against
+// TCP peers.
+func TestHubTransportConformance(t *testing.T) {
+	networktest.RunConformance(t, func(t *testing.T) networktest.Pair {
+		n := network.New()
+		return networktest.Pair{A: n.Endpoint(1), B: n.Endpoint(2)}
+	})
+}

@@ -25,6 +25,31 @@ import (
 // NodeID identifies a node (a participant machine, not a vertex).
 type NodeID int32
 
+// Transport is one node's view of the messaging layer: point-to-point
+// (peer, tag)-addressed messages with per-(sender, tag) FIFO ordering, plus
+// traffic counters. Two implementations exist: the in-process hub Endpoint
+// in this package (simulation and tests) and tcpnet.Peer (real deployments
+// over TCP). Protocol layers (ot, gmw, transfer, vertex, cluster) are
+// written against this interface, so the same protocol code runs unchanged
+// in a single process or across machines.
+//
+// Send must not block on the receiver making progress (implementations
+// buffer unboundedly), because MPC rounds have all-to-all traffic where
+// everyone sends before anyone receives. Recv blocks until a matching
+// message arrives or the transport is shut down, in which case it returns
+// an error.
+type Transport interface {
+	// ID returns the node this transport belongs to.
+	ID() NodeID
+	// Send delivers payload to node `to` under tag. The payload is copied
+	// (or serialized) before Send returns, so callers may reuse the buffer.
+	Send(to NodeID, tag string, payload []byte) error
+	// Recv blocks until a message from `from` with the given tag arrives.
+	Recv(from NodeID, tag string) ([]byte, error)
+	// Stats returns this node's traffic counters.
+	Stats() Stats
+}
+
 // DefaultHeaderOverhead is the per-message framing cost, in bytes, added to
 // traffic counters: a conservative stand-in for TCP/IP+TLS framing.
 const DefaultHeaderOverhead = 64
@@ -190,7 +215,8 @@ func (m *mailbox) get() []byte {
 	return p
 }
 
-// Endpoint is one node's attachment to the network.
+// Endpoint is one node's attachment to the network. It is the in-process
+// Transport implementation.
 type Endpoint struct {
 	net *Network
 	id  NodeID
@@ -199,11 +225,16 @@ type Endpoint struct {
 	boxes map[boxKey]*mailbox
 }
 
+var _ Transport = (*Endpoint)(nil)
+
 // ID returns the node id this endpoint belongs to.
 func (e *Endpoint) ID() NodeID { return e.id }
 
 // Network returns the owning hub (for stats access).
 func (e *Endpoint) Network() *Network { return e.net }
+
+// Stats returns this endpoint's traffic counters.
+func (e *Endpoint) Stats() Stats { return e.net.NodeStats(e.id) }
 
 func (e *Endpoint) box(from NodeID, tag string) *mailbox {
 	e.mu.Lock()
@@ -218,25 +249,29 @@ func (e *Endpoint) box(from NodeID, tag string) *mailbox {
 }
 
 // Send delivers payload to node `to` under the given tag. The payload is
-// copied, so callers may reuse their buffer.
-func (e *Endpoint) Send(to NodeID, tag string, payload []byte) {
+// copied, so callers may reuse their buffer. In-process delivery cannot
+// fail; the error return satisfies Transport.
+func (e *Endpoint) Send(to NodeID, tag string, payload []byte) error {
 	dst := e.net.Endpoint(to)
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
 	e.net.account(e.id, to, len(payload))
 	dst.box(e.id, tag).put(cp)
+	return nil
 }
 
 // Recv blocks until a message from `from` with the given tag arrives and
 // returns its payload.
-func (e *Endpoint) Recv(from NodeID, tag string) []byte {
-	return e.box(from, tag).get()
+func (e *Endpoint) Recv(from NodeID, tag string) ([]byte, error) {
+	return e.box(from, tag).get(), nil
 }
 
 // Exchange sends payload to peer and receives the peer's payload under the
 // same tag: the symmetric step most MPC rounds need.
-func (e *Endpoint) Exchange(peer NodeID, tag string, payload []byte) []byte {
-	e.Send(peer, tag, payload)
+func (e *Endpoint) Exchange(peer NodeID, tag string, payload []byte) ([]byte, error) {
+	if err := e.Send(peer, tag, payload); err != nil {
+		return nil, err
+	}
 	return e.Recv(peer, tag)
 }
 

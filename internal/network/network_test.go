@@ -6,12 +6,23 @@ import (
 	"testing"
 )
 
+// mustRecv unwraps the (payload, error) pair for hub endpoints, whose Recv
+// never fails.
+func mustRecv(t testing.TB, e *Endpoint, from NodeID, tag string) []byte {
+	t.Helper()
+	got, err := e.Recv(from, tag)
+	if err != nil {
+		t.Fatalf("Recv(%d, %q): %v", from, tag, err)
+	}
+	return got
+}
+
 func TestSendRecv(t *testing.T) {
 	n := New()
 	a := n.Endpoint(1)
 	b := n.Endpoint(2)
 	go a.Send(2, "t", []byte("hello"))
-	got := b.Recv(1, "t")
+	got := mustRecv(t, b, 1, "t")
 	if string(got) != "hello" {
 		t.Errorf("got %q", got)
 	}
@@ -25,7 +36,7 @@ func TestFIFOOrder(t *testing.T) {
 		a.Send(2, "seq", []byte{byte(i)})
 	}
 	for i := 0; i < 100; i++ {
-		got := b.Recv(1, "seq")
+		got := mustRecv(t, b, 1, "seq")
 		if got[0] != byte(i) {
 			t.Fatalf("message %d out of order: %d", i, got[0])
 		}
@@ -38,10 +49,10 @@ func TestTagsIsolate(t *testing.T) {
 	b := n.Endpoint(2)
 	a.Send(2, "x", []byte("for x"))
 	a.Send(2, "y", []byte("for y"))
-	if got := b.Recv(1, "y"); string(got) != "for y" {
+	if got := mustRecv(t, b, 1, "y"); string(got) != "for y" {
 		t.Errorf("tag y got %q", got)
 	}
-	if got := b.Recv(1, "x"); string(got) != "for x" {
+	if got := mustRecv(t, b, 1, "x"); string(got) != "for x" {
 		t.Errorf("tag x got %q", got)
 	}
 }
@@ -51,10 +62,10 @@ func TestSendersIsolate(t *testing.T) {
 	n.Endpoint(1).Send(3, "t", []byte("from 1"))
 	n.Endpoint(2).Send(3, "t", []byte("from 2"))
 	c := n.Endpoint(3)
-	if got := c.Recv(2, "t"); string(got) != "from 2" {
+	if got := mustRecv(t, c, 2, "t"); string(got) != "from 2" {
 		t.Errorf("from 2 got %q", got)
 	}
-	if got := c.Recv(1, "t"); string(got) != "from 1" {
+	if got := mustRecv(t, c, 1, "t"); string(got) != "from 1" {
 		t.Errorf("from 1 got %q", got)
 	}
 }
@@ -66,7 +77,7 @@ func TestPayloadCopied(t *testing.T) {
 	buf := []byte("original")
 	a.Send(2, "t", buf)
 	copy(buf, "CLOBBER!")
-	if got := b.Recv(1, "t"); string(got) != "original" {
+	if got := mustRecv(t, b, 1, "t"); string(got) != "original" {
 		t.Errorf("payload aliased sender buffer: %q", got)
 	}
 }
@@ -78,11 +89,11 @@ func TestExchange(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		gotA = n.Endpoint(1).Exchange(2, "x", []byte("from A"))
+		gotA, _ = n.Endpoint(1).Exchange(2, "x", []byte("from A"))
 	}()
 	go func() {
 		defer wg.Done()
-		gotB = n.Endpoint(2).Exchange(1, "x", []byte("from B"))
+		gotB, _ = n.Endpoint(2).Exchange(1, "x", []byte("from B"))
 	}()
 	wg.Wait()
 	if string(gotA) != "from B" || string(gotB) != "from A" {
@@ -144,7 +155,7 @@ func TestConcurrentManySenders(t *testing.T) {
 		defer close(done)
 		for s := 1; s <= senders; s++ {
 			for i := 0; i < msgs; i++ {
-				got := recv.Recv(NodeID(s), "load")
+				got := mustRecv(t, recv, NodeID(s), "load")
 				if got[0] != byte(s) || got[1] != byte(i) {
 					t.Errorf("sender %d msg %d corrupted: %v", s, i, got)
 					return
@@ -177,7 +188,8 @@ func BenchmarkSendRecv(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		a.Send(2, "b", payload)
-		c.Recv(1, "b")
+		c.Recv(1, "b") //nolint:errcheck
+
 	}
 }
 
@@ -196,7 +208,8 @@ func BenchmarkParallelPairs(b *testing.B) {
 		tag := fmt.Sprint(idBase)
 		for pb.Next() {
 			a.Send(c.ID(), tag, payload)
-			c.Recv(a.ID(), tag)
+			c.Recv(a.ID(), tag) //nolint:errcheck
+
 		}
 	})
 	_ = pairs

@@ -1,0 +1,157 @@
+// Package networktest provides a conformance suite for network.Transport
+// implementations. Both transports — the in-process hub (internal/network)
+// and the TCP peer (internal/tcpnet) — must exhibit identical messaging
+// semantics, because the protocol layers above are written once against the
+// interface and a cluster run must be wire-compatible with a simulated one.
+package networktest
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"dstress/internal/network"
+)
+
+// Pair is two connected transports that can reach each other by ID.
+type Pair struct {
+	A, B network.Transport
+}
+
+// RunConformance exercises the Transport contract against pairs produced by
+// mk: delivery, payload integrity, per-(sender, tag) FIFO order, tag and
+// sender isolation, non-blocking sends ahead of receives, concurrent
+// all-to-all exchange, and traffic accounting. mk is called once per
+// subtest so state does not leak between them.
+func RunConformance(t *testing.T, mk func(t *testing.T) Pair) {
+	t.Run("RoundTrip", func(t *testing.T) {
+		p := mk(t)
+		want := []byte("payload")
+		if err := p.A.Send(p.B.ID(), "t", want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.B.Recv(p.A.ID(), "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	})
+
+	t.Run("FIFOPerSenderTag", func(t *testing.T) {
+		p := mk(t)
+		const n = 200
+		for i := 0; i < n; i++ {
+			if err := p.A.Send(p.B.ID(), "seq", []byte{byte(i), byte(i >> 8)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			got, err := p.B.Recv(p.A.ID(), "seq")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(got[0])|int(got[1])<<8 != i {
+				t.Fatalf("message %d out of order", i)
+			}
+		}
+	})
+
+	t.Run("TagsIsolate", func(t *testing.T) {
+		p := mk(t)
+		if err := p.A.Send(p.B.ID(), "x", []byte("for x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.A.Send(p.B.ID(), "y", []byte("for y")); err != nil {
+			t.Fatal(err)
+		}
+		// Receiving in the opposite order must still route by tag.
+		if got, err := p.B.Recv(p.A.ID(), "y"); err != nil || string(got) != "for y" {
+			t.Errorf("tag y got %q, %v", got, err)
+		}
+		if got, err := p.B.Recv(p.A.ID(), "x"); err != nil || string(got) != "for x" {
+			t.Errorf("tag x got %q, %v", got, err)
+		}
+	})
+
+	t.Run("PayloadCopied", func(t *testing.T) {
+		p := mk(t)
+		buf := []byte("original")
+		if err := p.A.Send(p.B.ID(), "t", buf); err != nil {
+			t.Fatal(err)
+		}
+		copy(buf, "CLOBBER!")
+		if got, _ := p.B.Recv(p.A.ID(), "t"); string(got) != "original" {
+			t.Errorf("payload aliased sender buffer: %q", got)
+		}
+	})
+
+	t.Run("SendBeforeRecvDoesNotBlock", func(t *testing.T) {
+		// The MPC pattern: both sides send a round's worth of messages
+		// before either receives. Bounded transports would deadlock here.
+		p := mk(t)
+		const rounds = 50
+		for i := 0; i < rounds; i++ {
+			if err := p.A.Send(p.B.ID(), "r", []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.B.Send(p.A.ID(), "r", []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < rounds; i++ {
+			if got, err := p.A.Recv(p.B.ID(), "r"); err != nil || got[0] != byte(i) {
+				t.Fatalf("A round %d: %v %v", i, got, err)
+			}
+			if got, err := p.B.Recv(p.A.ID(), "r"); err != nil || got[0] != byte(i) {
+				t.Fatalf("B round %d: %v %v", i, got, err)
+			}
+		}
+	})
+
+	t.Run("ConcurrentExchange", func(t *testing.T) {
+		p := mk(t)
+		const msgs = 100
+		var wg sync.WaitGroup
+		run := func(me, peer network.Transport) {
+			defer wg.Done()
+			tag := fmt.Sprintf("ex/%d", me.ID())
+			for i := 0; i < msgs; i++ {
+				if err := me.Send(peer.ID(), tag, []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			peerTag := fmt.Sprintf("ex/%d", peer.ID())
+			for i := 0; i < msgs; i++ {
+				got, err := me.Recv(peer.ID(), peerTag)
+				if err != nil || got[0] != byte(i) {
+					t.Errorf("node %d msg %d: %v %v", me.ID(), i, got, err)
+					return
+				}
+			}
+		}
+		wg.Add(2)
+		go run(p.A, p.B)
+		go run(p.B, p.A)
+		wg.Wait()
+	})
+
+	t.Run("StatsCount", func(t *testing.T) {
+		p := mk(t)
+		if err := p.A.Send(p.B.ID(), "t", make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.B.Recv(p.A.ID(), "t"); err != nil {
+			t.Fatal(err)
+		}
+		if s := p.A.Stats(); s.BytesSent < 64 || s.MessagesSent < 1 {
+			t.Errorf("sender stats %+v", s)
+		}
+		if s := p.B.Stats(); s.BytesReceived < 64 {
+			t.Errorf("receiver stats %+v", s)
+		}
+	})
+}

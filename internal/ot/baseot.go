@@ -31,7 +31,7 @@ const SeedLen = 16
 
 // BaseOTSend runs `count` base-OT instances as the sender, returning the
 // seed pairs.
-func BaseOTSend(g group.Group, ep *network.Endpoint, peer network.NodeID, tag string, count int) (k0, k1 [][]byte, err error) {
+func BaseOTSend(g group.Group, ep network.Transport, peer network.NodeID, tag string, count int) (k0, k1 [][]byte, err error) {
 	k0 = make([][]byte, count)
 	k1 = make([][]byte, count)
 	scalars := make([]*big.Int, count)
@@ -42,9 +42,14 @@ func BaseOTSend(g group.Group, ep *network.Endpoint, peer network.NodeID, tag st
 		scalars[j] = a
 		blobA = appendLenPrefixed(blobA, g.Encode(g.ScalarBaseMul(a)))
 	}
-	ep.Send(peer, network.Tag(tag, "A"), blobA)
+	if err := ep.Send(peer, network.Tag(tag, "A"), blobA); err != nil {
+		return nil, nil, err
+	}
 
-	blobB := ep.Recv(peer, network.Tag(tag, "B"))
+	blobB, err := ep.Recv(peer, network.Tag(tag, "B"))
+	if err != nil {
+		return nil, nil, err
+	}
 	for j := 0; j < count; j++ {
 		var encB []byte
 		encB, blobB, err = splitLenPrefixed(blobB)
@@ -66,9 +71,12 @@ func BaseOTSend(g group.Group, ep *network.Endpoint, peer network.NodeID, tag st
 
 // BaseOTReceive runs `count` base-OT instances as the receiver with the
 // given choice bits, returning the chosen seeds.
-func BaseOTReceive(g group.Group, ep *network.Endpoint, peer network.NodeID, tag string, choices []uint8) ([][]byte, error) {
+func BaseOTReceive(g group.Group, ep network.Transport, peer network.NodeID, tag string, choices []uint8) ([][]byte, error) {
 	count := len(choices)
-	blobA := ep.Recv(peer, network.Tag(tag, "A"))
+	blobA, err := ep.Recv(peer, network.Tag(tag, "A"))
+	if err != nil {
+		return nil, err
+	}
 	As := make([]group.Element, count)
 	for j := 0; j < count; j++ {
 		var encA []byte
@@ -93,7 +101,9 @@ func BaseOTReceive(g group.Group, ep *network.Endpoint, peer network.NodeID, tag
 		blobB = appendLenPrefixed(blobB, g.Encode(B))
 		seeds[j] = kdf(g, g.ScalarMul(As[j], b), j, int(choices[j]&1))
 	}
-	ep.Send(peer, network.Tag(tag, "B"), blobB)
+	if err := ep.Send(peer, network.Tag(tag, "B"), blobB); err != nil {
+		return nil, err
+	}
 	return seeds, nil
 }
 

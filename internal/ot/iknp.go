@@ -103,7 +103,7 @@ func transpose(cols [][]byte, m int) []byte {
 // IKNPSender produces random pads (w0, w1); it is the *receiver* of the
 // base OTs.
 type IKNPSender struct {
-	ep    *network.Endpoint
+	ep    network.Transport
 	peer  network.NodeID
 	tag   string
 	s     []uint8 // λ base-OT choice bits
@@ -117,7 +117,7 @@ type IKNPSender struct {
 
 // NewIKNPSender bootstraps the extension as the pad-producing side. It
 // blocks until the peer runs NewIKNPReceiver with the same tag.
-func NewIKNPSender(g group.Group, ep *network.Endpoint, peer network.NodeID, tag string) (*IKNPSender, error) {
+func NewIKNPSender(g group.Group, ep network.Transport, peer network.NodeID, tag string) (*IKNPSender, error) {
 	s := make([]uint8, Lambda)
 	var sb [Lambda / 8]byte
 	if _, err := rand.Read(sb[:]); err != nil {
@@ -152,7 +152,10 @@ func (s *IKNPSender) RandomPads(n int) ([]uint8, []uint8, error) {
 func (s *IKNPSender) extend() error {
 	m := s.chunk
 	mBytes := m / 8
-	blob := s.ep.Recv(s.peer, network.Tag(s.tag, "ext", s.ctr/uint64(m)))
+	blob, err := s.ep.Recv(s.peer, network.Tag(s.tag, "ext", s.ctr/uint64(m)))
+	if err != nil {
+		return err
+	}
 	if len(blob) != Lambda*mBytes {
 		return fmt.Errorf("ot: IKNP extension blob has %d bytes, want %d", len(blob), Lambda*mBytes)
 	}
@@ -190,7 +193,7 @@ func (s *IKNPSender) extend() error {
 // IKNPReceiver produces random choices (ρ, wρ); it is the *sender* of the
 // base OTs.
 type IKNPReceiver struct {
-	ep    *network.Endpoint
+	ep    network.Transport
 	peer  network.NodeID
 	tag   string
 	prg0s []*prg // PRG(k0_j)
@@ -203,7 +206,7 @@ type IKNPReceiver struct {
 }
 
 // NewIKNPReceiver bootstraps the extension as the choice-consuming side.
-func NewIKNPReceiver(g group.Group, ep *network.Endpoint, peer network.NodeID, tag string) (*IKNPReceiver, error) {
+func NewIKNPReceiver(g group.Group, ep network.Transport, peer network.NodeID, tag string) (*IKNPReceiver, error) {
 	k0, k1, err := BaseOTSend(g, ep, peer, network.Tag(tag, "base"), Lambda)
 	if err != nil {
 		return nil, fmt.Errorf("ot: IKNP base phase: %w", err)
@@ -220,7 +223,9 @@ func NewIKNPReceiver(g group.Group, ep *network.Endpoint, peer network.NodeID, t
 // RandomChoices implements RandomOTReceiver; returned slices are bit-packed.
 func (r *IKNPReceiver) RandomChoices(n int) ([]uint8, []uint8, error) {
 	for len(r.bufRho) < n {
-		r.extend()
+		if err := r.extend(); err != nil {
+			return nil, nil, err
+		}
 	}
 	rho := PackBits(r.bufRho[:n])
 	w := PackBits(r.bufW[:n])
@@ -229,7 +234,7 @@ func (r *IKNPReceiver) RandomChoices(n int) ([]uint8, []uint8, error) {
 	return rho, w, nil
 }
 
-func (r *IKNPReceiver) extend() {
+func (r *IKNPReceiver) extend() error {
 	m := r.chunk
 	mBytes := m / 8
 	rhoPacked := make([]byte, mBytes)
@@ -247,7 +252,9 @@ func (r *IKNPReceiver) extend() {
 		cols[j] = t
 		blob = append(blob, u...)
 	}
-	r.ep.Send(r.peer, network.Tag(r.tag, "ext", r.ctr/uint64(m)), blob)
+	if err := r.ep.Send(r.peer, network.Tag(r.tag, "ext", r.ctr/uint64(m)), blob); err != nil {
+		return err
+	}
 	rows := transpose(cols, m)
 	rho := UnpackBits(rhoPacked, m)
 	for i := 0; i < m; i++ {
@@ -256,4 +263,5 @@ func (r *IKNPReceiver) extend() {
 		r.bufW = append(r.bufW, crhBit(r.crh, r.ctr+uint64(i), row))
 	}
 	r.ctr += uint64(m)
+	return nil
 }

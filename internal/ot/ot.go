@@ -55,7 +55,7 @@ type RandomOTReceiver interface {
 // BitSender executes chosen-message bit OTs as the sender.
 type BitSender struct {
 	src  RandomOTSender
-	ep   *network.Endpoint
+	ep   network.Transport
 	peer network.NodeID
 	tag  string
 	seq  int
@@ -64,7 +64,7 @@ type BitSender struct {
 // BitReceiver executes chosen-message bit OTs as the receiver.
 type BitReceiver struct {
 	src  RandomOTReceiver
-	ep   *network.Endpoint
+	ep   network.Transport
 	peer network.NodeID
 	tag  string
 	seq  int
@@ -72,12 +72,12 @@ type BitReceiver struct {
 
 // NewBitSender wraps a random-OT source into a chosen-message sender
 // speaking to peer under the tag namespace.
-func NewBitSender(src RandomOTSender, ep *network.Endpoint, peer network.NodeID, tag string) *BitSender {
+func NewBitSender(src RandomOTSender, ep network.Transport, peer network.NodeID, tag string) *BitSender {
 	return &BitSender{src: src, ep: ep, peer: peer, tag: tag}
 }
 
 // NewBitReceiver wraps a random-OT source into a chosen-message receiver.
-func NewBitReceiver(src RandomOTReceiver, ep *network.Endpoint, peer network.NodeID, tag string) *BitReceiver {
+func NewBitReceiver(src RandomOTReceiver, ep network.Transport, peer network.NodeID, tag string) *BitReceiver {
 	return &BitReceiver{src: src, ep: ep, peer: peer, tag: tag}
 }
 
@@ -98,7 +98,11 @@ func (s *BitSender) SendBits(m0, m1 []uint8) error {
 	tag := network.Tag(s.tag, "derand", s.seq)
 	s.seq++
 	// Receiver announces e = c ⊕ ρ.
-	e := UnpackBits(s.ep.Recv(s.peer, tag), n)
+	ePacked, err := s.ep.Recv(s.peer, tag)
+	if err != nil {
+		return err
+	}
+	e := UnpackBits(ePacked, n)
 	// y0 = m0 ⊕ w_e, y1 = m1 ⊕ w_{1-e}.
 	y0 := make([]uint8, n)
 	y1 := make([]uint8, n)
@@ -113,8 +117,7 @@ func (s *BitSender) SendBits(m0, m1 []uint8) error {
 		y1[i] = m1[i] ^ wne
 	}
 	payload := append(PackBits(y0), PackBits(y1)...)
-	s.ep.Send(s.peer, tag, payload)
-	return nil
+	return s.ep.Send(s.peer, tag, payload)
 }
 
 // ReceiveBits runs len(choices) parallel OTs and returns the selected bits.
@@ -138,8 +141,13 @@ func (r *BitReceiver) ReceiveBits(choices []uint8) ([]uint8, error) {
 	}
 	tag := network.Tag(r.tag, "derand", r.seq)
 	r.seq++
-	r.ep.Send(r.peer, tag, PackBits(e))
-	payload := r.ep.Recv(r.peer, tag)
+	if err := r.ep.Send(r.peer, tag, PackBits(e)); err != nil {
+		return nil, err
+	}
+	payload, err := r.ep.Recv(r.peer, tag)
+	if err != nil {
+		return nil, err
+	}
 	nb := (n + 7) / 8
 	if len(payload) != 2*nb {
 		return nil, fmt.Errorf("ot: bad derandomization payload length %d", len(payload))

@@ -1,0 +1,17 @@
+package tcpnet
+
+import (
+	"testing"
+
+	"dstress/internal/network/networktest"
+)
+
+// TestTCPTransportConformance runs the shared Transport conformance suite
+// against real loopback TCP peers, proving tcpnet.Peer and the in-process
+// hub expose identical messaging semantics.
+func TestTCPTransportConformance(t *testing.T) {
+	networktest.RunConformance(t, func(t *testing.T) networktest.Pair {
+		a, b := newPair(t)
+		return networktest.Pair{A: a, B: b}
+	})
+}

@@ -12,8 +12,10 @@
 //
 // Delivery preserves per-(sender, tag) FIFO order (messages from one
 // sender travel on one connection in order and are queued in order).
-// Traffic counters mirror internal/network so measurements stay
-// comparable. Confidentiality/integrity of the channel itself is expected
+// Traffic counters record the actual framed wire bytes (header + tag +
+// payload) on both sides, where the in-process hub adds a modeled
+// per-message overhead; both therefore approximate the same packet-capture
+// quantity. Confidentiality/integrity of the channel itself is expected
 // from the usual TLS layer in a real deployment; the DStress protocols
 // additionally never place bare secrets on the wire (shares are encrypted
 // or information-theoretically masked).
@@ -34,6 +36,13 @@ import (
 // maxFrame bounds a single message; GMW rounds batch at most a few MB.
 const maxFrame = 64 << 20
 
+// identTag marks the greeting frame a dialer sends first on every outbound
+// connection, so the accepting side knows which node feeds the connection
+// before any data arrives — and can release that sender's mailboxes if the
+// connection dies even mid-handshake. The NUL prefix keeps it out of the
+// protocol tag namespace.
+const identTag = "\x00tcpnet/ident"
+
 // Peer is one node's TCP attachment.
 type Peer struct {
 	id       network.NodeID
@@ -43,6 +52,7 @@ type Peer struct {
 	dials map[network.NodeID]net.Conn // outbound connections by peer id
 	addrs map[network.NodeID]string   // directory: node id → address
 	boxes map[boxKey]*mailbox
+	dead  map[network.NodeID]bool // senders whose inbound connection died
 
 	bytesSent, bytesRecv, msgsSent atomic.Int64
 
@@ -50,15 +60,18 @@ type Peer struct {
 	writeMu sync.Map // per-conn *sync.Mutex
 }
 
+var _ network.Transport = (*Peer)(nil)
+
 type boxKey struct {
 	from network.NodeID
 	tag  string
 }
 
 type mailbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue [][]byte
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	closed bool
 }
 
 func newMailbox() *mailbox {
@@ -79,6 +92,7 @@ func Listen(id network.NodeID, addr string) (*Peer, error) {
 		dials:    make(map[network.NodeID]net.Conn),
 		addrs:    make(map[network.NodeID]string),
 		boxes:    make(map[boxKey]*mailbox),
+		dead:     make(map[network.NodeID]bool),
 	}
 	go p.acceptLoop()
 	return p, nil
@@ -98,9 +112,9 @@ func (p *Peer) Register(id network.NodeID, addr string) {
 	p.addrs[id] = addr
 }
 
-// Close shuts the peer down; in-flight Recv calls are released with
-// zero-length results only if the sender closed first, otherwise they
-// block forever (protocol-level completion is the caller's business).
+// Close shuts the peer down: the listener and all outbound connections are
+// closed, every blocked or future Recv is released with an error (queued
+// messages still drain), and subsequent Sends fail.
 func (p *Peer) Close() error {
 	p.closed.Store(true)
 	err := p.listener.Close()
@@ -108,6 +122,9 @@ func (p *Peer) Close() error {
 	defer p.mu.Unlock()
 	for _, c := range p.dials {
 		c.Close()
+	}
+	for _, b := range p.boxes {
+		b.close()
 	}
 	return err
 }
@@ -131,15 +148,43 @@ func (p *Peer) acceptLoop() {
 	}
 }
 
+// readLoop drains one inbound connection. A sender's messages all travel on
+// its single outbound connection, so when that connection dies the sender
+// is gone for good (there is no reconnection — fail-stop, like the paper's
+// prototype): every mailbox fed by it is released so blocked Recvs fail
+// instead of hanging the surviving daemons forever. Already-queued messages
+// still drain first.
 func (p *Peer) readLoop(conn net.Conn) {
 	defer conn.Close()
+	var lastFrom network.NodeID
+	seen := false
 	for {
 		from, tag, payload, err := readFrame(conn)
 		if err != nil {
+			if seen && !p.closed.Load() {
+				p.markDead(lastFrom)
+			}
 			return
 		}
-		p.bytesRecv.Add(int64(len(payload)))
+		lastFrom, seen = from, true
+		p.bytesRecv.Add(frameBytes(tag, payload))
+		if tag == identTag {
+			continue
+		}
 		p.box(from, tag).put(payload)
+	}
+}
+
+// markDead releases every mailbox fed by the given sender, present and
+// future.
+func (p *Peer) markDead(from network.NodeID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dead[from] = true
+	for k, b := range p.boxes {
+		if k.from == from {
+			b.close()
+		}
 	}
 }
 
@@ -150,6 +195,9 @@ func (p *Peer) box(from network.NodeID, tag string) *mailbox {
 	b, ok := p.boxes[k]
 	if !ok {
 		b = newMailbox()
+		if p.closed.Load() || p.dead[from] {
+			b.closed = true
+		}
 		p.boxes[k] = b
 	}
 	return b
@@ -162,19 +210,34 @@ func (m *mailbox) put(payload []byte) {
 	m.cond.Signal()
 }
 
-func (m *mailbox) get() []byte {
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// get returns the next queued message; queued messages drain even after
+// close, so an orderly shutdown does not drop deliveries.
+func (m *mailbox) get() ([]byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.queue) == 0 {
+	for len(m.queue) == 0 && !m.closed {
 		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return nil, errors.New("tcpnet: peer closed")
 	}
 	v := m.queue[0]
 	m.queue = m.queue[1:]
-	return v
+	return v, nil
 }
 
 // conn returns (dialing lazily) the outbound connection to peer `to`.
 func (p *Peer) conn(to network.NodeID) (net.Conn, error) {
+	if p.closed.Load() {
+		return nil, fmt.Errorf("tcpnet: peer %d is closed", p.id)
+	}
 	p.mu.Lock()
 	if c, ok := p.dials[to]; ok {
 		p.mu.Unlock()
@@ -191,10 +254,24 @@ func (p *Peer) conn(to network.NodeID) (net.Conn, error) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// Re-check under the lock: a concurrent Close may have already swept
+	// p.dials, and a connection stored now would outlive the peer.
+	if p.closed.Load() {
+		c.Close()
+		return nil, fmt.Errorf("tcpnet: peer %d is closed", p.id)
+	}
 	if existing, ok := p.dials[to]; ok {
 		c.Close()
 		return existing, nil
 	}
+	// Greet before the connection becomes visible to Send: the accepting
+	// side learns who feeds this connection even if we die before sending
+	// any data, so its blocked Recvs can be released.
+	if err := writeFrame(c, p.id, identTag, nil); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("tcpnet: greeting node %d: %w", to, err)
+	}
+	p.bytesSent.Add(frameBytes(identTag, nil))
 	p.dials[to] = c
 	return c, nil
 }
@@ -212,13 +289,20 @@ func (p *Peer) Send(to network.NodeID, tag string, payload []byte) error {
 	if err := writeFrame(c, p.id, tag, payload); err != nil {
 		return fmt.Errorf("tcpnet: send to %d: %w", to, err)
 	}
-	p.bytesSent.Add(int64(len(payload)))
+	p.bytesSent.Add(frameBytes(tag, payload))
 	p.msgsSent.Add(1)
 	return nil
 }
 
-// Recv blocks until a message from `from` with the given tag arrives.
-func (p *Peer) Recv(from network.NodeID, tag string) []byte {
+// frameBytes is the exact on-the-wire size of one message:
+// uint32 length | int32 from | uint16 tagLen | tag | payload.
+func frameBytes(tag string, payload []byte) int64 {
+	return int64(4 + 4 + 2 + len(tag) + len(payload))
+}
+
+// Recv blocks until a message from `from` with the given tag arrives, or
+// the peer is closed.
+func (p *Peer) Recv(from network.NodeID, tag string) ([]byte, error) {
 	return p.box(from, tag).get()
 }
 

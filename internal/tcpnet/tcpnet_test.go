@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"dstress/internal/network"
 	"dstress/internal/secretshare"
@@ -27,12 +28,23 @@ func newPair(t *testing.T) (*Peer, *Peer) {
 	return a, b
 }
 
+// mustRecv unwraps Recv's (payload, error) pair in tests that expect
+// delivery to succeed.
+func mustRecv(t testing.TB, p *Peer, from network.NodeID, tag string) []byte {
+	t.Helper()
+	got, err := p.Recv(from, tag)
+	if err != nil {
+		t.Fatalf("Recv(%d, %q): %v", from, tag, err)
+	}
+	return got
+}
+
 func TestSendRecvOverTCP(t *testing.T) {
 	a, b := newPair(t)
 	if err := a.Send(2, "greet", []byte("hello over tcp")); err != nil {
 		t.Fatal(err)
 	}
-	if got := b.Recv(1, "greet"); string(got) != "hello over tcp" {
+	if got := mustRecv(t, b, 1, "greet"); string(got) != "hello over tcp" {
 		t.Errorf("got %q", got)
 	}
 }
@@ -44,14 +56,14 @@ func TestBidirectional(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		a.Send(2, "x", []byte("from a"))
-		if got := a.Recv(2, "x"); string(got) != "from b" {
+		if got := mustRecv(t, a, 2, "x"); string(got) != "from b" {
 			t.Errorf("a got %q", got)
 		}
 	}()
 	go func() {
 		defer wg.Done()
 		b.Send(1, "x", []byte("from b"))
-		if got := b.Recv(1, "x"); string(got) != "from a" {
+		if got := mustRecv(t, b, 1, "x"); string(got) != "from a" {
 			t.Errorf("b got %q", got)
 		}
 	}()
@@ -67,7 +79,7 @@ func TestFIFOPerSenderTag(t *testing.T) {
 		}
 	}()
 	for i := 0; i < n; i++ {
-		got := b.Recv(1, "seq")
+		got := mustRecv(t, b, 1, "seq")
 		if int(got[0])|int(got[1])<<8 != i {
 			t.Fatalf("message %d out of order", i)
 		}
@@ -78,10 +90,10 @@ func TestTagsIsolateOverTCP(t *testing.T) {
 	a, b := newPair(t)
 	a.Send(2, "one", []byte("1"))
 	a.Send(2, "two", []byte("2"))
-	if got := b.Recv(1, "two"); string(got) != "2" {
+	if got := mustRecv(t, b, 1, "two"); string(got) != "2" {
 		t.Errorf("tag two got %q", got)
 	}
-	if got := b.Recv(1, "one"); string(got) != "1" {
+	if got := mustRecv(t, b, 1, "one"); string(got) != "1" {
 		t.Errorf("tag one got %q", got)
 	}
 }
@@ -95,7 +107,7 @@ func TestLargePayload(t *testing.T) {
 	if err := a.Send(2, "big", payload); err != nil {
 		t.Fatal(err)
 	}
-	if got := b.Recv(1, "big"); !bytes.Equal(got, payload) {
+	if got := mustRecv(t, b, 1, "big"); !bytes.Equal(got, payload) {
 		t.Error("large payload corrupted")
 	}
 }
@@ -103,15 +115,18 @@ func TestLargePayload(t *testing.T) {
 func TestTrafficCounters(t *testing.T) {
 	a, b := newPair(t)
 	a.Send(2, "t", make([]byte, 100))
-	got := b.Recv(1, "t")
+	got := mustRecv(t, b, 1, "t")
 	if len(got) != 100 {
 		t.Fatal("payload lost")
 	}
-	if s := a.Stats(); s.BytesSent != 100 || s.MessagesSent != 1 {
-		t.Errorf("sender stats %+v", s)
+	// Counters record full frames (10-byte header + tag + payload),
+	// including the one-time greeting frame on the new connection.
+	want := frameBytes(identTag, nil) + frameBytes("t", make([]byte, 100))
+	if s := a.Stats(); s.BytesSent != want || s.MessagesSent != 1 {
+		t.Errorf("sender stats %+v, want %d bytes", s, want)
 	}
-	if s := b.Stats(); s.BytesReceived != 100 {
-		t.Errorf("receiver stats %+v", s)
+	if s := b.Stats(); s.BytesReceived != want {
+		t.Errorf("receiver stats %+v, want %d bytes", s, want)
 	}
 }
 
@@ -158,7 +173,7 @@ func TestThreePeerShareExchange(t *testing.T) {
 	}
 	got := shares[0]
 	for m := 1; m < 3; m++ {
-		raw := peers[m].Recv(1, "init")
+		raw := mustRecv(t, peers[m], 1, "init")
 		got ^= uint64(raw[0]) | uint64(raw[1])<<8
 	}
 	if got != secret {
@@ -213,6 +228,84 @@ func BenchmarkTCPRoundTrip(b *testing.B) {
 		if err := a.Send(2, "b", payload); err != nil {
 			b.Fatal(err)
 		}
-		c.Recv(1, "b")
+		if _, err := c.Recv(1, "b"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRemotePeerDeathUnblocksRecv(t *testing.T) {
+	a, b := newPair(t)
+	// Establish a's inbound connection at b and queue one message.
+	if err := a.Send(2, "queued", []byte("drains")); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustRecv(t, b, 1, "queued"); string(got) != "drains" {
+		t.Fatalf("warm-up delivery got %q", got)
+	}
+
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := b.Recv(1, "never-sent")
+		recvErr <- err
+	}()
+	if err := a.Send(2, "final", []byte("in flight")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close() // node 1 dies
+
+	// The blocked Recv must be released with an error, not hang.
+	select {
+	case err := <-recvErr:
+		if err == nil {
+			t.Error("Recv from a dead sender returned without error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv still blocked 5s after the sender died")
+	}
+	// Messages sent before the death still drain.
+	if got, err := b.Recv(1, "final"); err != nil || string(got) != "in flight" {
+		t.Errorf("pre-death message lost: %q, %v", got, err)
+	}
+	// Future Recvs from the dead sender fail fast instead of blocking.
+	if _, err := b.Recv(1, "some-new-tag"); err == nil {
+		t.Error("Recv on a fresh tag from a dead sender did not fail")
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	a, b := newPair(t)
+	if err := a.Send(2, "t", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	mustRecv(t, b, 1, "t")
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, "t", []byte("after close")); err == nil {
+		t.Error("Send on a closed peer succeeded")
+	}
+}
+
+func TestDialerDeathBeforeFirstDataReleasesRecv(t *testing.T) {
+	a, b := newPair(t)
+	// Open the connection (greeting frame only — no data ever sent).
+	if _, err := a.conn(2); err != nil {
+		t.Fatal(err)
+	}
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := b.Recv(1, "never")
+		recvErr <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the Recv block and the greeting land
+	a.Close()
+	select {
+	case err := <-recvErr:
+		if err == nil {
+			t.Error("Recv returned without error after the dialer died pre-data")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv still blocked after a pre-data dialer death")
 	}
 }

@@ -27,7 +27,7 @@ import (
 
 // Strawman1Send encrypts the member's whole share for a single recipient
 // (the member's own index) and sends it to the relay.
-func Strawman1Send(p Params, ep *network.Endpoint, relay network.NodeID, tag string, selfIdx int, share uint64, keys RecipientKeys) error {
+func Strawman1Send(p Params, ep network.Transport, relay network.NodeID, tag string, selfIdx int, share uint64, keys RecipientKeys) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -44,31 +44,43 @@ func Strawman1Send(p Params, ep *network.Endpoint, relay network.NodeID, tag str
 	for b, ct := range cts {
 		bd.C2[b] = ct.C2
 	}
-	ep.Send(relay, network.Tag(tag, "s1", selfIdx), p.encodeBundle(bd))
+	if err := ep.Send(relay, network.Tag(tag, "s1", selfIdx), p.encodeBundle(bd)); err != nil {
+		return err
+	}
 	return nil
 }
 
 // Strawman1Relay forwards the per-member ciphertexts unmodified.
-func Strawman1Relay(p Params, ep *network.Endpoint, senders []network.NodeID, peer network.NodeID, tag string) error {
+func Strawman1Relay(p Params, ep network.Transport, senders []network.NodeID, peer network.NodeID, tag string) error {
 	for idx, s := range senders {
-		data := ep.Recv(s, network.Tag(tag, "s1", idx))
-		ep.Send(peer, network.Tag(tag, "s1fwd", idx), data)
+		data, err := ep.Recv(s, network.Tag(tag, "s1", idx))
+		if err != nil {
+			return err
+		}
+		if err := ep.Send(peer, network.Tag(tag, "s1fwd", idx), data); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // Strawman1Adjust adjusts each forwarded bundle and delivers it to the
 // matching member of B_v.
-func Strawman1Adjust(p Params, ep *network.Endpoint, relay network.NodeID, members []network.NodeID, neighborKey *big.Int, tag string) error {
+func Strawman1Adjust(p Params, ep network.Transport, relay network.NodeID, members []network.NodeID, neighborKey *big.Int, tag string) error {
 	g := p.Group
 	for idx, m := range members {
-		data := ep.Recv(relay, network.Tag(tag, "s1fwd", idx))
+		data, err := ep.Recv(relay, network.Tag(tag, "s1fwd", idx))
+		if err != nil {
+			return err
+		}
 		bd, _, err := p.decodeBundle(data)
 		if err != nil {
 			return err
 		}
 		bd.C1 = g.ScalarMul(bd.C1, neighborKey)
-		ep.Send(m, network.Tag(tag, "s1out"), p.encodeBundle(bd))
+		if err := ep.Send(m, network.Tag(tag, "s1out"), p.encodeBundle(bd)); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -76,8 +88,11 @@ func Strawman1Adjust(p Params, ep *network.Endpoint, relay network.NodeID, membe
 // Strawman1Receive decrypts the member's share directly. The decrypted
 // values are the sender's exact share bits — the linkability Strawman #2
 // fixes.
-func Strawman1Receive(p Params, ep *network.Endpoint, from network.NodeID, tag string, keys []*elgamal.PrivateKey, table *elgamal.Table) (uint64, error) {
-	data := ep.Recv(from, network.Tag(tag, "s1out"))
+func Strawman1Receive(p Params, ep network.Transport, from network.NodeID, tag string, keys []*elgamal.PrivateKey, table *elgamal.Table) (uint64, error) {
+	data, err := ep.Recv(from, network.Tag(tag, "s1out"))
+	if err != nil {
+		return 0, err
+	}
 	bd, _, err := p.decodeBundle(data)
 	if err != nil {
 		return 0, err
@@ -97,7 +112,7 @@ func Strawman1Receive(p Params, ep *network.Endpoint, from network.NodeID, tag s
 
 // Strawman2Send splits the share into subshares like the final protocol but
 // keeps one bundle per (sender, recipient) pair all the way through.
-func Strawman2Send(p Params, ep *network.Endpoint, relay network.NodeID, tag string, selfIdx int, share uint64, keys RecipientKeys) error {
+func Strawman2Send(p Params, ep network.Transport, relay network.NodeID, tag string, selfIdx int, share uint64, keys RecipientKeys) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -119,27 +134,37 @@ func Strawman2Send(p Params, ep *network.Endpoint, relay network.NodeID, tag str
 		}
 		payload = append(payload, p.encodeBundle(bd)...)
 	}
-	ep.Send(relay, network.Tag(tag, "s2", selfIdx), payload)
+	if err := ep.Send(relay, network.Tag(tag, "s2", selfIdx), payload); err != nil {
+		return err
+	}
 	return nil
 }
 
 // Strawman2Relay forwards all (K+1)² bundles without aggregation — the
 // traffic blow-up the final protocol's homomorphic sum avoids.
-func Strawman2Relay(p Params, ep *network.Endpoint, senders []network.NodeID, peer network.NodeID, tag string) error {
+func Strawman2Relay(p Params, ep network.Transport, senders []network.NodeID, peer network.NodeID, tag string) error {
 	for idx, s := range senders {
-		data := ep.Recv(s, network.Tag(tag, "s2", idx))
-		ep.Send(peer, network.Tag(tag, "s2fwd", idx), data)
+		data, err := ep.Recv(s, network.Tag(tag, "s2", idx))
+		if err != nil {
+			return err
+		}
+		if err := ep.Send(peer, network.Tag(tag, "s2fwd", idx), data); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // Strawman2Adjust adjusts every bundle and routes bundle m of every sender
 // to member m.
-func Strawman2Adjust(p Params, ep *network.Endpoint, relay network.NodeID, members []network.NodeID, neighborKey *big.Int, tag string) error {
+func Strawman2Adjust(p Params, ep network.Transport, relay network.NodeID, members []network.NodeID, neighborKey *big.Int, tag string) error {
 	g := p.Group
 	perMember := make([][]byte, len(members))
 	for idx := range members {
-		data := ep.Recv(relay, network.Tag(tag, "s2fwd", idx))
+		data, err := ep.Recv(relay, network.Tag(tag, "s2fwd", idx))
+		if err != nil {
+			return err
+		}
 		for m := 0; m <= p.K; m++ {
 			bd, rest, err := p.decodeBundle(data)
 			if err != nil {
@@ -151,15 +176,20 @@ func Strawman2Adjust(p Params, ep *network.Endpoint, relay network.NodeID, membe
 		}
 	}
 	for m, member := range members {
-		ep.Send(member, network.Tag(tag, "s2out"), perMember[m])
+		if err := ep.Send(member, network.Tag(tag, "s2out"), perMember[m]); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // Strawman2Receive decrypts the K+1 subshare bundles addressed to this
 // member and XORs them into a fresh share.
-func Strawman2Receive(p Params, ep *network.Endpoint, from network.NodeID, tag string, keys []*elgamal.PrivateKey, table *elgamal.Table) (uint64, error) {
-	data := ep.Recv(from, network.Tag(tag, "s2out"))
+func Strawman2Receive(p Params, ep network.Transport, from network.NodeID, tag string, keys []*elgamal.PrivateKey, table *elgamal.Table) (uint64, error) {
+	data, err := ep.Recv(from, network.Tag(tag, "s2out"))
+	if err != nil {
+		return 0, err
+	}
 	var share uint64
 	for s := 0; s <= p.K; s++ {
 		bd, rest, err := p.decodeBundle(data)

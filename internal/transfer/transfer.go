@@ -179,7 +179,7 @@ type RecipientKeys [][]elgamal.PublicKey
 // SendShare runs the sender-member role: split the local share into K+1
 // subshares, encrypt each bitwise for its recipient, and send the bundles
 // to the relay node u. share must fit in L bits.
-func SendShare(p Params, ep *network.Endpoint, relay network.NodeID, tag string, share uint64, keys RecipientKeys) error {
+func SendShare(p Params, ep network.Transport, relay network.NodeID, tag string, share uint64, keys RecipientKeys) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -210,7 +210,9 @@ func SendShare(p Params, ep *network.Endpoint, relay network.NodeID, tag string,
 		}
 		payload = append(payload, p.encodeBundle(bd)...)
 	}
-	ep.Send(relay, network.Tag(tag, "sub"), payload)
+	if err := ep.Send(relay, network.Tag(tag, "sub"), payload); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -222,7 +224,7 @@ func SendShare(p Params, ep *network.Endpoint, relay network.NodeID, tag string,
 // homomorphically per recipient and bit, add even geometric noise, and
 // forward the aggregates to the adjusting node v. noise supplies the
 // randomness (dp.CryptoSource{} in production).
-func RunRelay(p Params, ep *network.Endpoint, senders []network.NodeID, peer network.NodeID, tag string, noise dp.Source) error {
+func RunRelay(p Params, ep network.Transport, senders []network.NodeID, peer network.NodeID, tag string, noise dp.Source) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -233,7 +235,10 @@ func RunRelay(p Params, ep *network.Endpoint, senders []network.NodeID, peer net
 	// agg[m] aggregates recipient m's bundle across senders.
 	agg := make([]bundle, p.K+1)
 	for _, s := range senders {
-		data := ep.Recv(s, network.Tag(tag, "sub"))
+		data, err := ep.Recv(s, network.Tag(tag, "sub"))
+		if err != nil {
+			return err
+		}
 		for m := 0; m <= p.K; m++ {
 			bd, rest, err := p.decodeBundle(data)
 			if err != nil {
@@ -265,7 +270,9 @@ func RunRelay(p Params, ep *network.Endpoint, senders []network.NodeID, peer net
 		}
 		payload = append(payload, p.encodeBundle(agg[m])...)
 	}
-	ep.Send(peer, network.Tag(tag, "agg"), payload)
+	if err := ep.Send(peer, network.Tag(tag, "agg"), payload); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -277,7 +284,7 @@ func RunRelay(p Params, ep *network.Endpoint, senders []network.NodeID, peer net
 // adjust each ephemeral with the neighbor key that re-randomized the
 // certificate v originally handed to u, and deliver each bundle to its
 // block member.
-func RunAdjust(p Params, ep *network.Endpoint, relay network.NodeID, members []network.NodeID, neighborKey *big.Int, tag string) error {
+func RunAdjust(p Params, ep network.Transport, relay network.NodeID, members []network.NodeID, neighborKey *big.Int, tag string) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -285,7 +292,10 @@ func RunAdjust(p Params, ep *network.Endpoint, relay network.NodeID, members []n
 		return fmt.Errorf("transfer: %d members, want %d", len(members), p.K+1)
 	}
 	g := p.Group
-	data := ep.Recv(relay, network.Tag(tag, "agg"))
+	data, err := ep.Recv(relay, network.Tag(tag, "agg"))
+	if err != nil {
+		return err
+	}
 	for m := 0; m <= p.K; m++ {
 		bd, rest, err := p.decodeBundle(data)
 		if err != nil {
@@ -295,7 +305,9 @@ func RunAdjust(p Params, ep *network.Endpoint, relay network.NodeID, members []n
 		// One exponentiation adjusts the whole bundle: the Kurosawa
 		// optimization shares C1 across the L bit positions.
 		bd.C1 = g.ScalarMul(bd.C1, neighborKey)
-		ep.Send(members[m], network.Tag(tag, "out"), p.encodeBundle(bd))
+		if err := ep.Send(members[m], network.Tag(tag, "out"), p.encodeBundle(bd)); err != nil {
+			return err
+		}
 	}
 	if len(data) != 0 {
 		return fmt.Errorf("transfer: %d trailing bytes from relay", len(data))
@@ -310,14 +322,17 @@ func RunAdjust(p Params, ep *network.Endpoint, relay network.NodeID, members []n
 // ReceiveShare runs the receiver-member role: decrypt the L noised sums and
 // recover the fresh share bit per position as the sum's parity. keys are
 // the member's L private keys; table must cover [-noise, K+1+noise].
-func ReceiveShare(p Params, ep *network.Endpoint, from network.NodeID, tag string, keys []*elgamal.PrivateKey, table *elgamal.Table) (uint64, error) {
+func ReceiveShare(p Params, ep network.Transport, from network.NodeID, tag string, keys []*elgamal.PrivateKey, table *elgamal.Table) (uint64, error) {
 	if err := p.Validate(); err != nil {
 		return 0, err
 	}
 	if len(keys) != p.L {
 		return 0, fmt.Errorf("transfer: %d private keys, want %d", len(keys), p.L)
 	}
-	data := ep.Recv(from, network.Tag(tag, "out"))
+	data, err := ep.Recv(from, network.Tag(tag, "out"))
+	if err != nil {
+		return 0, err
+	}
 	bd, rest, err := p.decodeBundle(data)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,143 @@
+package trustedparty
+
+// Wire forms for the setup artifacts. The cluster control plane (and any
+// future persistent deployment) must move registrations and the setup
+// result between processes; the in-memory types are not directly
+// serializable (group elements carry big.Int pairs whose encoding is
+// group-specific, and ecdsa.PublicKey embeds an elliptic.Curve interface).
+// The Wire* types below are plain data — every element is the group's
+// canonical byte encoding, every scalar a big-endian byte string — so they
+// encode cleanly with encoding/gob or encoding/json.
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"fmt"
+	"math/big"
+
+	"dstress/internal/elgamal"
+	"dstress/internal/group"
+	"dstress/internal/network"
+)
+
+// WireRegistration is the serializable form of a NodeRegistration.
+type WireRegistration struct {
+	ID           network.NodeID
+	PublicKeys   [][]byte // L canonical group-element encodings
+	NeighborKeys [][]byte // D big-endian scalars
+}
+
+// WireCert is the serializable form of a BlockCert.
+type WireCert struct {
+	Keys [][][]byte // [member][bit] canonical group-element encodings
+	Sig  []byte
+}
+
+// WireSetup is the serializable form of a SetupResult.
+type WireSetup struct {
+	Blocks        map[network.NodeID][]network.NodeID
+	AggBlock      []network.NodeID
+	AssignmentSig []byte
+	Certs         map[network.NodeID][]WireCert
+	// VerifyKey is the TP's ECDSA P-256 public key, SEC1-compressed.
+	VerifyKey []byte
+}
+
+// MarshalRegistration converts a registration to its wire form.
+func MarshalRegistration(g group.Group, r NodeRegistration) WireRegistration {
+	w := WireRegistration{ID: r.ID}
+	for _, pk := range r.PublicKeys {
+		w.PublicKeys = append(w.PublicKeys, g.Encode(pk.H))
+	}
+	for _, nk := range r.NeighborKeys {
+		w.NeighborKeys = append(w.NeighborKeys, nk.Bytes())
+	}
+	return w
+}
+
+// UnmarshalRegistration parses a wire registration, validating every
+// element against the group.
+func UnmarshalRegistration(g group.Group, w WireRegistration) (NodeRegistration, error) {
+	r := NodeRegistration{ID: w.ID}
+	for i, enc := range w.PublicKeys {
+		h, err := g.Decode(enc)
+		if err != nil {
+			return r, fmt.Errorf("trustedparty: registration key %d: %w", i, err)
+		}
+		r.PublicKeys = append(r.PublicKeys, elgamal.PublicKey{Group: g, H: h})
+	}
+	for _, nk := range w.NeighborKeys {
+		r.NeighborKeys = append(r.NeighborKeys, new(big.Int).SetBytes(nk))
+	}
+	return r, nil
+}
+
+// MarshalSetup converts a setup result to its wire form.
+func MarshalSetup(g group.Group, s *SetupResult) WireSetup {
+	w := WireSetup{
+		Blocks:        s.Assignment.Blocks,
+		AggBlock:      s.Assignment.AggBlock,
+		AssignmentSig: s.Assignment.Sig,
+		Certs:         make(map[network.NodeID][]WireCert, len(s.Certs)),
+	}
+	for id, certs := range s.Certs {
+		wcs := make([]WireCert, len(certs))
+		for j, c := range certs {
+			wc := WireCert{Sig: c.Sig, Keys: make([][][]byte, len(c.Keys))}
+			for m, member := range c.Keys {
+				wc.Keys[m] = make([][]byte, len(member))
+				for b, pk := range member {
+					wc.Keys[m][b] = g.Encode(pk.H)
+				}
+			}
+			wcs[j] = wc
+		}
+		w.Certs[id] = wcs
+	}
+	if s.VerifyKey != nil {
+		w.VerifyKey = elliptic.MarshalCompressed(elliptic.P256(), s.VerifyKey.X, s.VerifyKey.Y)
+	}
+	return w
+}
+
+// UnmarshalSetup parses a wire setup, validating every element against the
+// group.
+func UnmarshalSetup(g group.Group, w WireSetup) (*SetupResult, error) {
+	s := &SetupResult{
+		Assignment: Assignment{
+			Blocks:   w.Blocks,
+			AggBlock: w.AggBlock,
+			Sig:      w.AssignmentSig,
+		},
+		Certs: make(map[network.NodeID][]BlockCert, len(w.Certs)),
+	}
+	for id, wcs := range w.Certs {
+		certs := make([]BlockCert, len(wcs))
+		for j, wc := range wcs {
+			c := BlockCert{Sig: wc.Sig, Keys: make([][]elgamal.PublicKey, len(wc.Keys))}
+			for m, member := range wc.Keys {
+				c.Keys[m] = make([]elgamal.PublicKey, len(member))
+				for b, enc := range member {
+					h, err := g.Decode(enc)
+					if err != nil {
+						return nil, fmt.Errorf("trustedparty: cert for node %d: %w", id, err)
+					}
+					c.Keys[m][b] = elgamal.PublicKey{Group: g, H: h}
+				}
+			}
+			certs[j] = c
+		}
+		s.Certs[id] = certs
+	}
+	// The verify key is mandatory: downstream signature checks would
+	// otherwise dereference a nil key on remotely supplied input.
+	if len(w.VerifyKey) == 0 {
+		return nil, fmt.Errorf("trustedparty: setup is missing the verify key")
+	}
+	x, y := elliptic.UnmarshalCompressed(elliptic.P256(), w.VerifyKey)
+	if x == nil {
+		return nil, fmt.Errorf("trustedparty: bad verify key encoding")
+	}
+	s.VerifyKey = &ecdsa.PublicKey{Curve: elliptic.P256(), X: x, Y: y}
+	return s, nil
+}

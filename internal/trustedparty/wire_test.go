@@ -1,0 +1,79 @@
+package trustedparty
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"dstress/internal/group"
+	"dstress/internal/network"
+)
+
+// TestWireRoundTrip runs registrations and a full setup result through the
+// wire forms plus a gob cycle (the cluster control plane's encoding) and
+// checks the reconstruction is usable: signatures verify and every group
+// element decodes to the original.
+func TestWireRoundTrip(t *testing.T) {
+	g := group.ModP256()
+	p := Params{Group: g, K: 1, D: 2, L: 4}
+	tp, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regs []NodeRegistration
+	for id := 1; id <= 3; id++ {
+		reg, _, err := RegisterNode(p, network.NodeID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round-trip the registration the way a node ships it.
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(MarshalRegistration(g, reg)); err != nil {
+			t.Fatal(err)
+		}
+		var w WireRegistration
+		if err := gob.NewDecoder(&buf).Decode(&w); err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalRegistration(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != reg.ID || len(got.PublicKeys) != p.L || len(got.NeighborKeys) != p.D {
+			t.Fatalf("registration mangled: %+v", got)
+		}
+		for b := range got.PublicKeys {
+			if !g.Equal(got.PublicKeys[b].H, reg.PublicKeys[b].H) {
+				t.Fatalf("public key %d changed in transit", b)
+			}
+		}
+		regs = append(regs, got)
+	}
+
+	setup, err := tp.Setup(regs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(MarshalSetup(g, setup)); err != nil {
+		t.Fatal(err)
+	}
+	var ws WireSetup
+	if err := gob.NewDecoder(&buf).Decode(&ws); err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSetup(g, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyAssignment(got.VerifyKey, got.Assignment) {
+		t.Error("assignment signature broken by wire round trip")
+	}
+	for id, certs := range got.Certs {
+		for j, c := range certs {
+			if !VerifyCert(got.VerifyKey, g, c) {
+				t.Errorf("cert %d of node %d broken by wire round trip", j, id)
+			}
+		}
+	}
+}

@@ -76,7 +76,11 @@ type Report struct {
 	// Phase wall-clock durations. Noising happens inside the aggregation
 	// MPC, matching the paper's "Aggregation & noising" bar in Figure 5.
 	InitTime, ComputeTime, CommTime, AggTime time.Duration
-	// Phase traffic totals (bytes across all nodes).
+	// Phase traffic totals. Simulated runs fill these with bytes summed
+	// across all nodes (session bootstrap happens in New, before any phase
+	// is charged); cluster runs fill them with the one node's sent+received
+	// bytes, and its Init phase includes the GMW/OT session handshakes. The
+	// two modes' phase-byte tables are therefore not directly comparable.
 	InitBytes, ComputeBytes, CommBytes, AggBytes int64
 	// AvgNodeBytes and MaxNodeBytes summarize per-node traffic.
 	AvgNodeBytes float64
@@ -222,7 +226,7 @@ func (r *Runtime) createSessions() error {
 			go func() {
 				defer wg.Done()
 				parties[i], errs[i] = gmw.NewParty(gmw.Config{
-					Parties: members, Index: i, Net: r.net, Tag: tag, OT: opt,
+					Parties: members, Index: i, Transport: r.net.Endpoint(members[i]), Tag: tag, OT: opt,
 				})
 			}()
 		}
@@ -339,8 +343,10 @@ func (r *Runtime) initShares() error {
 		}
 		// Owner keeps its own share (index 0) and sends the rest.
 		for m := 1; m < k1; m++ {
-			payload := encodeShares(append([]uint64{st[m]}, column(msgs, m)...))
-			ownerEP.Send(members[m], network.Tag("init", v), payload)
+			payload := EncodeShares(append([]uint64{st[m]}, Column(msgs, m)...))
+			if err := ownerEP.Send(members[m], network.Tag("init", v), payload); err != nil {
+				return err
+			}
 		}
 		r.stateShares[v] = make([]uint64, k1)
 		r.stateShares[v][0] = st[0]
@@ -350,8 +356,11 @@ func (r *Runtime) initShares() error {
 		}
 		// Members receive their shares.
 		for m := 1; m < k1; m++ {
-			data := r.net.Endpoint(members[m]).Recv(owner, network.Tag("init", v))
-			vals, err := decodeShares(data, 1+g.D)
+			data, err := r.net.Endpoint(members[m]).Recv(owner, network.Tag("init", v))
+			if err != nil {
+				return err
+			}
+			vals, err := DecodeShares(data, 1+g.D)
 			if err != nil {
 				return err
 			}
@@ -421,10 +430,10 @@ func (r *Runtime) runBlockMPC(v int) ([][]uint64, error) {
 				errs[m] = err
 				return
 			}
-			newState[m] = bitsToWord(outBits[:r.prog.StateBits])
+			newState[m] = BitsToWord(outBits[:r.prog.StateBits])
 			for d := 0; d < g.D; d++ {
 				lo := r.prog.StateBits + d*r.prog.MsgBits
-				outShares[d][m] = bitsToWord(outBits[lo : lo+r.prog.MsgBits])
+				outShares[d][m] = BitsToWord(outBits[lo : lo+r.prog.MsgBits])
 			}
 		}()
 	}
@@ -443,7 +452,7 @@ func (r *Runtime) runBlockMPC(v int) ([][]uint64, error) {
 // data; everyone else contributes zero shares for it.
 func (r *Runtime) memberInput(v, m int) []uint8 {
 	g := r.graph
-	in := wordToBits(r.stateShares[v][m], r.prog.StateBits)
+	in := WordToBits(r.stateShares[v][m], r.prog.StateBits)
 	privBits := r.prog.PrivBits(g.D)
 	if m == 0 {
 		in = append(in, g.Priv[v]...)
@@ -451,7 +460,7 @@ func (r *Runtime) memberInput(v, m int) []uint8 {
 		in = append(in, make([]uint8, privBits)...)
 	}
 	for d := 0; d < g.D; d++ {
-		in = append(in, wordToBits(r.msgShares[v][d][m], r.prog.MsgBits)...)
+		in = append(in, WordToBits(r.msgShares[v][d][m], r.prog.MsgBits)...)
 	}
 	return in
 }
@@ -479,7 +488,7 @@ func (r *Runtime) communicateStep(iter int, outShares [][][]uint64) error {
 	var firstErr error
 	for _, e := range edges {
 		u, v := e[0], e[1]
-		slotOut := outSlot(g, u, v)
+		slotOut := OutSlot(g, u, v)
 		slotIn, err := g.InSlot(u, v)
 		if err != nil {
 			return err
@@ -570,14 +579,20 @@ func (r *Runtime) reshare(shares []uint64, bits int, src, dst []network.NodeID, 
 		subs := secretshare.SplitXOR(shares[m], len(dst), bits)
 		ep := r.net.Endpoint(id)
 		for y, dest := range dst {
-			ep.Send(dest, network.Tag(tag, m), encodeShares(subs[y:y+1]))
+			if err := ep.Send(dest, network.Tag(tag, m), EncodeShares(subs[y:y+1])); err != nil {
+				return nil, err
+			}
 		}
 	}
 	fresh := make([]uint64, len(dst))
 	for y, dest := range dst {
 		epY := r.net.Endpoint(dest)
 		for m, id := range src {
-			vals, err := decodeShares(epY.Recv(id, network.Tag(tag, m)), 1)
+			data, err := epY.Recv(id, network.Tag(tag, m))
+			if err != nil {
+				return nil, err
+			}
+			vals, err := DecodeShares(data, 1)
 			if err != nil {
 				return nil, err
 			}
@@ -663,14 +678,14 @@ func (r *Runtime) aggregate() (int64, error) {
 			return 0, err
 		}
 		for y := 0; y < k1; y++ {
-			aggInput[y] = append(aggInput[y], wordToBits(col[y], r.prog.StateBits)...)
+			aggInput[y] = append(aggInput[y], WordToBits(col[y], r.prog.StateBits)...)
 		}
 	}
 	// Each member contributes its own uniform random bits for the noise
 	// sampler; the circuit sees the XOR of all contributions, so one honest
 	// member suffices for uniformity.
 	for y := 0; y < k1; y++ {
-		aggInput[y] = append(aggInput[y], randomInputBits(r.noise.RandBits())...)
+		aggInput[y] = append(aggInput[y], RandomInputBits(r.noise.RandBits())...)
 	}
 	outShares, err := r.evalInBlock(r.aggSession, r.aggCirc, aggInput)
 	if err != nil {
@@ -713,7 +728,7 @@ func (r *Runtime) aggregateTree() (int64, error) {
 				return 0, err
 			}
 			for y := 0; y < k1; y++ {
-				leafInput[y] = append(leafInput[y], wordToBits(col[y], r.prog.StateBits)...)
+				leafInput[y] = append(leafInput[y], WordToBits(col[y], r.prog.StateBits)...)
 			}
 		}
 		outShares, err := r.evalInBlock(r.sessions[leader], partialCirc, leafInput)
@@ -722,7 +737,7 @@ func (r *Runtime) aggregateTree() (int64, error) {
 		}
 		partialShares[grp] = make([]uint64, k1)
 		for m := 0; m < k1; m++ {
-			partialShares[grp][m] = bitsToWord(outShares[m])
+			partialShares[grp][m] = BitsToWord(outShares[m])
 		}
 	}
 
@@ -739,11 +754,11 @@ func (r *Runtime) aggregateTree() (int64, error) {
 			return 0, err
 		}
 		for y := 0; y < k1; y++ {
-			rootInput[y] = append(rootInput[y], wordToBits(col[y], r.prog.AggBits)...)
+			rootInput[y] = append(rootInput[y], WordToBits(col[y], r.prog.AggBits)...)
 		}
 	}
 	for y := 0; y < k1; y++ {
-		rootInput[y] = append(rootInput[y], randomInputBits(r.noise.RandBits())...)
+		rootInput[y] = append(rootInput[y], RandomInputBits(r.noise.RandBits())...)
 	}
 	outShares, err := r.evalInBlock(r.aggSession, combineCirc, rootInput)
 	if err != nil {
@@ -763,9 +778,14 @@ func (r *Runtime) AggregateCircuitCompiled() *circuit.Circuit { return r.aggCirc
 
 // ---------------------------------------------------------------------------
 // Helpers
+//
+// The wire-format primitives below are exported because the cluster engine
+// (internal/cluster) must stay byte-compatible with this runtime: both
+// sides of every share message use exactly these encodings.
 // ---------------------------------------------------------------------------
 
-func outSlot(g *Graph, u, v int) int {
+// OutSlot returns the slot of edge u → v on the sending side, or -1.
+func OutSlot(g *Graph, u, v int) int {
 	for d, w := range g.Out[u] {
 		if w == v {
 			return d
@@ -774,7 +794,8 @@ func outSlot(g *Graph, u, v int) int {
 	return -1
 }
 
-func column(rows [][]uint64, m int) []uint64 {
+// Column extracts entry m of every row.
+func Column(rows [][]uint64, m int) []uint64 {
 	out := make([]uint64, len(rows))
 	for i, r := range rows {
 		out[i] = r[m]
@@ -782,7 +803,8 @@ func column(rows [][]uint64, m int) []uint64 {
 	return out
 }
 
-func wordToBits(w uint64, bits int) []uint8 {
+// WordToBits unpacks the low `bits` bits of w, LSB first.
+func WordToBits(w uint64, bits int) []uint8 {
 	out := make([]uint8, bits)
 	for i := 0; i < bits; i++ {
 		out[i] = uint8((w >> i) & 1)
@@ -790,7 +812,8 @@ func wordToBits(w uint64, bits int) []uint8 {
 	return out
 }
 
-func bitsToWord(bits []uint8) uint64 {
+// BitsToWord packs LSB-first bits into a word.
+func BitsToWord(bits []uint8) uint64 {
 	var w uint64
 	for i, b := range bits {
 		w |= uint64(b&1) << i
@@ -798,7 +821,8 @@ func bitsToWord(bits []uint8) uint64 {
 	return w
 }
 
-func encodeShares(vals []uint64) []byte {
+// EncodeShares serializes share words as little-endian uint64s.
+func EncodeShares(vals []uint64) []byte {
 	out := make([]byte, 8*len(vals))
 	for i, v := range vals {
 		for b := 0; b < 8; b++ {
@@ -808,7 +832,8 @@ func encodeShares(vals []uint64) []byte {
 	return out
 }
 
-func decodeShares(data []byte, n int) ([]uint64, error) {
+// DecodeShares parses exactly n little-endian uint64 share words.
+func DecodeShares(data []byte, n int) ([]uint64, error) {
 	if len(data) != 8*n {
 		return nil, fmt.Errorf("vertex: share payload has %d bytes, want %d", len(data), 8*n)
 	}
@@ -821,7 +846,8 @@ func decodeShares(data []byte, n int) ([]uint64, error) {
 	return out, nil
 }
 
-func randomInputBits(n int) []uint8 {
+// RandomInputBits draws n uniform unpacked bits from crypto/rand.
+func RandomInputBits(n int) []uint8 {
 	if n == 0 {
 		return nil
 	}

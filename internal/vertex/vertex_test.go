@@ -323,7 +323,7 @@ func TestNoiseCircuitDistribution(t *testing.T) {
 	const samples = 3000
 	var sum, sumSq float64
 	for i := 0; i < samples; i++ {
-		in := randomInputBits(spec.RandBits())
+		in := RandomInputBits(spec.RandBits())
 		out, err := c.Eval(in)
 		if err != nil {
 			t.Fatal(err)
@@ -351,7 +351,7 @@ func TestNoiseCircuitShift(t *testing.T) {
 	b.OutputWord(spec.Build(b, rnd, 16))
 	c := b.Build()
 	for i := 0; i < 50; i++ {
-		out, err := c.Eval(randomInputBits(spec.RandBits()))
+		out, err := c.Eval(RandomInputBits(spec.RandBits()))
 		if err != nil {
 			t.Fatal(err)
 		}
