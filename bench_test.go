@@ -1,5 +1,5 @@
 // Benchmark harness: one testing.B target per paper table/figure (the
-// E1–E11 index of DESIGN.md). Each target regenerates its experiment at
+// E1–E12 index of DESIGN.md). Each target regenerates its experiment at
 // quick scale and logs the table; run the paper-scale version with
 // cmd/dstress-bench -full.
 package dstress_test

@@ -7,47 +7,61 @@
 //	dstress-bench                     # all experiments, quick scale
 //	dstress-bench -experiment e6      # Figure 5 only
 //	dstress-bench -full -group p256   # paper-scale parameters
-//	dstress-bench -list               # experiment index
+//	dstress-bench -json BENCH.json    # machine-readable results
+//	dstress-bench -list               # experiment index (e1..e12)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"dstress/internal/experiments"
 	"dstress/internal/group"
 )
 
-var index = []struct{ id, desc string }{
-	{"E1", "Figure 3 (left): MPC step time vs block size"},
-	{"E2", "Figure 3 (right): MPC step time vs degree bound and population"},
-	{"E3", "§5.2: message transfer latency vs block size"},
-	{"E4", "Figure 4: per-node MPC traffic vs block size"},
-	{"E5", "§5.3: transfer traffic by protocol role"},
-	{"E6", "Figure 5: end-to-end EN/EGJ runs, phase split + traffic"},
-	{"E7", "Figure 6: projected cost vs network size + validation runs"},
-	{"E8", "§5.5: naive monolithic-MPC baseline extrapolation"},
-	{"E9", "§4.5: utility / privacy-budget worked example"},
-	{"E10", "Appendix B: edge-privacy budget"},
-	{"E11", "Appendix C: core-periphery contagion scenarios"},
-	{"E12", "Ablations: transfer aggregation, adders, bucketing, aggregation tree"},
+// jsonExperiment is one experiment's machine-readable record: the table
+// cells (times, bytes, gate counts) exactly as rendered, plus wall time.
+type jsonExperiment struct {
+	Experiment string     `json:"experiment"`
+	Title      string     `json:"title"`
+	Header     []string   `json:"header"`
+	Rows       [][]string `json:"rows"`
+	Notes      []string   `json:"notes,omitempty"`
+	ElapsedMS  float64    `json:"elapsed_ms"`
+}
+
+// jsonReport is the top-level -json document, with enough run metadata to
+// compare perf trajectories (BENCH_*.json) across commits and machines.
+type jsonReport struct {
+	Timestamp   string           `json:"timestamp"`
+	Group       string           `json:"group"`
+	Full        bool             `json:"full"`
+	GoVersion   string           `json:"go_version"`
+	GOOS        string           `json:"goos"`
+	GOARCH      string           `json:"goarch"`
+	NumCPU      int              `json:"num_cpu"`
+	ElapsedMS   float64          `json:"elapsed_ms"`
+	Experiments []jsonExperiment `json:"experiments"`
 }
 
 func main() {
 	var (
-		expID     = flag.String("experiment", "all", "experiment id (e1..e11) or 'all'")
+		expID     = flag.String("experiment", "all", "experiment id (e1..e12) or 'all'")
 		full      = flag.Bool("full", false, "use the paper-scale parameters (slow)")
 		groupName = flag.String("group", "", "crypto group: p256, p384, modp256 (default: modp256 quick / p256 full)")
+		jsonPath  = flag.String("json", "", "also write results as JSON to this file ('-' for stdout)")
 		list      = flag.Bool("list", false, "print the experiment index and exit")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, e := range index {
-			fmt.Printf("%-4s %s\n", e.id, e.desc)
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Desc)
 		}
 		return
 	}
@@ -61,22 +75,63 @@ func main() {
 		opts.Group = g
 	}
 
-	run := func(t *experiments.Table) {
-		fmt.Println(t.String())
+	report := jsonReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Group:     opts.GroupName(),
+		Full:      *full,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	// With -json - the JSON owns stdout, so the human tables move to
+	// stderr to keep the output parseable.
+	tableOut := os.Stdout
+	if *jsonPath == "-" {
+		tableOut = os.Stderr
+	}
+	run := func(id string) {
+		t0 := time.Now()
+		t := experiments.ByID(id, opts)
+		elapsed := time.Since(t0)
+		if t == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+			os.Exit(2)
+		}
+		fmt.Fprintln(tableOut, t.String())
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			Experiment: t.ID,
+			Title:      t.Title,
+			Header:     t.Header,
+			Rows:       t.Rows,
+			Notes:      t.Notes,
+			ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+		})
 	}
 
 	start := time.Now()
 	if *expID == "all" {
-		for _, t := range experiments.All(opts) {
-			run(t)
+		for _, e := range experiments.Registry() {
+			run(e.ID)
 		}
 	} else {
-		t := experiments.ByID(*expID, opts)
-		if t == nil {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expID)
-			os.Exit(2)
-		}
-		run(t)
+		run(*expID)
 	}
-	fmt.Fprintf(os.Stderr, "completed in %v\n", time.Since(start).Round(time.Millisecond))
+	total := time.Since(start)
+	report.ElapsedMS = float64(total) / float64(time.Millisecond)
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "completed in %v\n", total.Round(time.Millisecond))
 }

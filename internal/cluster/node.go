@@ -192,6 +192,12 @@ type engine struct {
 	table   *elgamal.Table
 	tparam  transfer.Params
 
+	// certCache holds precomputed fixed-base tables for the certificate
+	// keys this node encrypts under, the same cache vertex.Runtime uses,
+	// so cluster runs get the same steady-state speedup; run enables it
+	// when the iteration count amortizes the builds.
+	certCache *transfer.CertKeyCache
+
 	// memberVertices lists the vertices whose block contains this node, in
 	// ascending order; memberIdx gives this node's index in each block.
 	memberVertices []int
@@ -263,6 +269,7 @@ func newEngine(id network.NodeID, tr network.Transport, grp group.Group, job job
 		aggIdx:     -1,
 		stateShare: make(map[int]uint64),
 		msgShare:   make(map[int][]uint64),
+		certCache:  transfer.NewCertKeyCache(),
 	}
 	if e.updCirc, err = prog.UpdateCircuit(g.D); err != nil {
 		return nil, err
@@ -353,6 +360,11 @@ func (e *engine) run(iterations int, res *NodeResult) error {
 		Iterations:     iterations,
 		UpdateAndGates: e.updCirc.NumAnd,
 		AggAndGates:    e.aggCirc.NumAnd,
+	}
+	// A cluster node is a single sender, so each certificate key it
+	// caches is used once per iteration.
+	if e.tparam.PrecomputeWorthwhile(iterations) {
+		e.certCache.Enable()
 	}
 	phaseStart := func() (time.Time, int64) {
 		s := e.tr.Stats()
@@ -558,11 +570,15 @@ func (e *engine) communicateStep(iter int, out map[int][]uint64) error {
 
 		if _, ok := e.memberIdx[u]; ok {
 			share := out[u][vertex.OutSlot(g, u, v)]
-			cert := e.setup.Certs[vID][slotIn]
+			v, slotIn := v, slotIn
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				record(u, v, transfer.SendShare(e.tparam, e.tr, uID, tag, share, transfer.RecipientKeys(cert.Keys)))
+				// Key lookup (and a possible first-iteration table build)
+				// runs in the goroutine so builds for different edges
+				// overlap instead of stalling the dispatch loop.
+				keys := e.recipientKeys(v, slotIn, vID)
+				record(u, v, transfer.SendShare(e.tparam, e.tr, uID, tag, share, keys))
 			}()
 		}
 		if e.id == uID {
@@ -598,6 +614,13 @@ func (e *engine) communicateStep(iter int, out map[int][]uint64) error {
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// recipientKeys returns the certificate keys for edge slot (v, slotIn)
+// belonging to node vID, with fixed-base tables when the run is long
+// enough to amortize them.
+func (e *engine) recipientKeys(v, slotIn int, vID network.NodeID) transfer.RecipientKeys {
+	return e.certCache.Keys(v, slotIn, transfer.RecipientKeys(e.setup.Certs[vID][slotIn].Keys))
 }
 
 // reshareSend splits this node's share of an srcBits-wide word into one

@@ -19,12 +19,18 @@ import (
 func Calibrate(g group.Group) Calibration {
 	cal := DefaultCalibration()
 
-	// Exponentiation cost: median of a short burst.
+	// Exponentiation cost: median of a short burst. Measured as a
+	// variable-base ScalarMul because the model prices every transfer
+	// role with one ExpNs and the cold variable-base operations dominate
+	// it (receiver decryption C1^x, ephemeral adjustment C1^r); a
+	// ScalarBaseMul figure would undercharge them now that generator
+	// exponentiations run off the fixed-base table.
 	k := big.NewInt(0xfedcba9876543)
+	h := g.ScalarBaseMul(big.NewInt(0x1337))
 	const expIters = 20
 	start := time.Now()
 	for i := 0; i < expIters; i++ {
-		g.ScalarBaseMul(k)
+		g.ScalarMul(h, k)
 	}
 	cal.ExpNs = float64(time.Since(start).Nanoseconds()) / expIters
 

@@ -35,6 +35,30 @@ import (
 type PublicKey struct {
 	Group group.Group
 	H     group.Element
+
+	// tab is an optional fixed-base table for H. Encryption raises H to a
+	// fresh full-width ephemeral for every message, so long-lived keys
+	// (the block-certificate keys reused across all iterations) gain a
+	// multi-× speedup from precomputation; see Precompute.
+	tab *group.FixedBase
+}
+
+// Precompute returns a copy of pk carrying a fixed-base table for H.
+// Encrypt, EncryptWithEphemeral and EncryptMulti use the table when
+// present; the ciphertexts produced are identical to the uncached path
+// (same group elements, same wire encoding), only faster. The table is
+// immutable, so the returned key is safe for concurrent use.
+func (pk PublicKey) Precompute() PublicKey {
+	pk.tab = group.Precompute(pk.Group, pk.H)
+	return pk
+}
+
+// mulH returns H^y through the table when one is attached.
+func (pk PublicKey) mulH(y *big.Int) group.Element {
+	if pk.tab != nil {
+		return pk.tab.ScalarMul(y)
+	}
+	return pk.Group.ScalarMul(pk.H, y)
 }
 
 // PrivateKey holds the secret exponent and the matching public key.
@@ -77,9 +101,21 @@ func (pk PublicKey) Encrypt(m int64) Ciphertext {
 func (pk PublicKey) EncryptWithEphemeral(m int64, y *big.Int) Ciphertext {
 	g := pk.Group
 	c1 := g.ScalarBaseMul(y)
-	gm := g.ScalarBaseMul(big.NewInt(m))
-	hy := g.ScalarMul(pk.H, y)
-	return Ciphertext{C1: c1, C2: g.Op(gm, hy)}
+	hy := pk.mulH(y)
+	return Ciphertext{C1: c1, C2: mulGm(g, hy, m)}
+}
+
+// mulGm returns g^m·e. The transfer protocol encrypts single bits, so the
+// m = 0 (no-op) and m = 1 (one generator multiplication) cases shortcut
+// the general encoding.
+func mulGm(g group.Group, e group.Element, m int64) group.Element {
+	switch m {
+	case 0:
+		return e
+	case 1:
+		return g.Op(g.Generator(), e)
+	}
+	return g.Op(g.ScalarBaseMul(big.NewInt(m)), e)
 }
 
 // EncryptMulti encrypts msgs[i] under pks[i] for all i, reusing a single
@@ -101,9 +137,7 @@ func EncryptMulti(pks []PublicKey, msgs []int64) ([]Ciphertext, error) {
 		if pk.Group != g {
 			return nil, errors.New("elgamal: recipients use different groups")
 		}
-		gm := g.ScalarBaseMul(big.NewInt(msgs[i]))
-		hy := g.ScalarMul(pk.H, y)
-		out[i] = Ciphertext{C1: c1, C2: g.Op(gm, hy)}
+		out[i] = Ciphertext{C1: c1, C2: mulGm(g, pk.mulH(y), msgs[i])}
 	}
 	return out, nil
 }

@@ -293,3 +293,64 @@ func BenchmarkHomomorphicAdd(b *testing.B) {
 		Add(tg, c, c)
 	}
 }
+
+// TestPrecomputedKeyCiphertextsIdentical pins the wire-compatibility
+// contract of Precompute: under the same ephemeral, a precomputed key
+// produces byte-for-byte the same ciphertext as the plain key, for every
+// group and for the message edge cases (bits, negatives, table bounds).
+func TestPrecomputedKeyCiphertextsIdentical(t *testing.T) {
+	for _, g := range []group.Group{group.ModP256(), group.P256(), group.P384()} {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			t.Parallel()
+			sk, err := GenerateKey(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pre := sk.PublicKey.Precompute()
+			for i := 0; i < 4; i++ {
+				y := group.MustRandomScalar(g)
+				for _, m := range []int64{0, 1, -1, 2, -17, 4095} {
+					a := sk.PublicKey.EncryptWithEphemeral(m, y)
+					b := pre.EncryptWithEphemeral(m, y)
+					if string(g.Encode(a.C1)) != string(g.Encode(b.C1)) ||
+						string(g.Encode(a.C2)) != string(g.Encode(b.C2)) {
+						t.Fatalf("m=%d: precomputed ciphertext differs from plain", m)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEncryptMultiPrecomputedKeys checks the multi-recipient path: mixed
+// plain and precomputed keys with a shared ephemeral stay byte-identical
+// and decrypt correctly.
+func TestEncryptMultiPrecomputedKeys(t *testing.T) {
+	var sks []*PrivateKey
+	var mixed []PublicKey
+	for i := 0; i < 4; i++ {
+		sk := mustKey(t)
+		sks = append(sks, sk)
+		if i%2 == 0 {
+			mixed = append(mixed, sk.PublicKey.Precompute())
+		} else {
+			mixed = append(mixed, sk.PublicKey)
+		}
+	}
+	msgs := []int64{0, 1, -2, 31}
+	cts, err := EncryptMulti(mixed, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := NewTable(tg, -64, 64)
+	for i, ct := range cts {
+		got, err := sks[i].Decrypt(ct, table)
+		if err != nil {
+			t.Fatalf("recipient %d: %v", i, err)
+		}
+		if got != msgs[i] {
+			t.Errorf("recipient %d: got %d want %d", i, got, msgs[i])
+		}
+	}
+}

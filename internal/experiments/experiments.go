@@ -39,6 +39,11 @@ func (o Options) group() group.Group {
 	return group.ModP256()
 }
 
+// GroupName returns the name of the group these options select, including
+// the scale-dependent default, so callers recording run metadata cannot
+// drift from the group that actually ran.
+func (o Options) GroupName() string { return o.group().Name() }
+
 // blockSizes returns the block-size sweep (k+1 values).
 func (o Options) blockSizes() []int {
 	if o.Full {
@@ -104,7 +109,7 @@ const circuitWidth = 32
 
 // Table is a titled grid of results.
 type Table struct {
-	ID     string // experiment id (E1..E11)
+	ID     string // experiment id (E1..E12)
 	Title  string // paper reference
 	Header []string
 	Rows   [][]string
@@ -157,53 +162,54 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
-// All runs every experiment in order.
-func All(o Options) []*Table {
-	return []*Table{
-		Fig3Left(o),
-		Fig3Right(o),
-		TransferLatency(o),
-		Fig4Traffic(o),
-		TransferTraffic(o),
-		Fig5EndToEnd(o),
-		Fig6Projection(o),
-		NaiveMPCBaseline(o),
-		UtilityTable(),
-		EdgeBudgetTable(),
-		ContagionSim(o),
-		Ablation(o),
-	}
+// Entry describes one experiment in the registry: its canonical id, an
+// alias matching the paper artifact, a one-line description for index
+// listings, and the builder.
+type Entry struct {
+	ID    string
+	Alias string
+	Desc  string
+	Gen   func(Options) *Table
 }
 
-// ByID returns the experiment with the given id (e1..e11, case
-// insensitive), or nil.
-func ByID(id string, o Options) *Table {
-	switch strings.ToLower(id) {
-	case "e1", "fig3left":
-		return Fig3Left(o)
-	case "e2", "fig3right":
-		return Fig3Right(o)
-	case "e3", "transferlatency":
-		return TransferLatency(o)
-	case "e4", "fig4":
-		return Fig4Traffic(o)
-	case "e5", "transfertraffic":
-		return TransferTraffic(o)
-	case "e6", "fig5":
-		return Fig5EndToEnd(o)
-	case "e7", "fig6":
-		return Fig6Projection(o)
-	case "e8", "naive":
-		return NaiveMPCBaseline(o)
-	case "e9", "utility":
-		return UtilityTable()
-	case "e10", "edgebudget":
-		return EdgeBudgetTable()
-	case "e11", "contagion":
-		return ContagionSim(o)
-	case "e12", "ablation":
-		return Ablation(o)
-	default:
-		return nil
+// registry is the single list every experiment surface derives from —
+// All, ByID and cmd/dstress-bench's index — so an experiment added here
+// cannot be missing from any of them (the e1..e11-vs-E12 staleness bug).
+var registry = []Entry{
+	{"E1", "fig3left", "Figure 3 (left): MPC step time vs block size", Fig3Left},
+	{"E2", "fig3right", "Figure 3 (right): MPC step time vs degree bound and population", Fig3Right},
+	{"E3", "transferlatency", "§5.2: message transfer latency vs block size", TransferLatency},
+	{"E4", "fig4", "Figure 4: per-node MPC traffic vs block size", Fig4Traffic},
+	{"E5", "transfertraffic", "§5.3: transfer traffic by protocol role", TransferTraffic},
+	{"E6", "fig5", "Figure 5: end-to-end EN/EGJ runs, phase split + traffic", Fig5EndToEnd},
+	{"E7", "fig6", "Figure 6: projected cost vs network size + validation runs", Fig6Projection},
+	{"E8", "naive", "§5.5: naive monolithic-MPC baseline extrapolation", NaiveMPCBaseline},
+	{"E9", "utility", "§4.5: utility / privacy-budget worked example", func(Options) *Table { return UtilityTable() }},
+	{"E10", "edgebudget", "Appendix B: edge-privacy budget", func(Options) *Table { return EdgeBudgetTable() }},
+	{"E11", "contagion", "Appendix C: core-periphery contagion scenarios", ContagionSim},
+	{"E12", "ablation", "Ablations: transfer aggregation, adders, bucketing, aggregation tree", Ablation},
+}
+
+// Registry returns the experiment index in run order.
+func Registry() []Entry { return registry }
+
+// All runs every experiment in order.
+func All(o Options) []*Table {
+	out := make([]*Table, len(registry))
+	for i, e := range registry {
+		out[i] = e.Gen(o)
 	}
+	return out
+}
+
+// ByID returns the experiment with the given id (e1..e12, case
+// insensitive) or alias, or nil.
+func ByID(id string, o Options) *Table {
+	id = strings.ToLower(id)
+	for _, e := range registry {
+		if strings.ToLower(e.ID) == id || e.Alias == id {
+			return e.Gen(o)
+		}
+	}
+	return nil
 }

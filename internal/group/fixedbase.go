@@ -1,0 +1,228 @@
+package group
+
+// Fixed-base precomputation: windowed tables that turn repeated scalar
+// multiplications of one base element into a handful of group operations.
+//
+// The transfer protocol (§3.5) and the base OTs are dominated by
+// exponentiations whose base never changes — the group generator (g^y,
+// g^m, base-OT commitments, discrete-log tables) and the long-lived
+// certificate public keys (h^y in every ElGamal encryption). A windowed
+// table for a base b stores b^(d·2^(w·j)) for every window j and digit d,
+// so b^k costs one table lookup plus one group operation per non-zero
+// w-bit digit of k — no squarings at all — at the price of building the
+// table once.
+//
+// Precompute picks the best implementation per group:
+//
+//   - modp: plain windowed rows combined with big.Int multiplication,
+//     folding two table entries per modular reduction (the reduction, not
+//     the multiply, dominates big.Int cost). The modp group's plain path
+//     was variable-time big.Int.Exp already, so the table loses nothing.
+//   - NIST curves: delegation to the native scalar multipliers. A
+//     windowed big.Int Jacobian table was prototyped (~1.9× over the
+//     generic nistec ladder for P-384) and rejected: every fixed-base
+//     scalar in the protocol is a secret ElGamal ephemeral, and big.Int
+//     arithmetic is variable-time — branch patterns and table indices
+//     would leak digit information that crypto/elliptic's constant-time
+//     implementations (nistec ladders, P-256 assembly, per-curve internal
+//     generator tables) do not.
+//   - any other Group: a generic fallback built from Op.
+//
+// Tables are immutable after construction; ScalarMul is safe for
+// concurrent use by multiple goroutines.
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// FixedBase is a precomputed fixed-base multiplier for one base element.
+type FixedBase struct {
+	g    Group
+	base Element
+	mul  func(k *big.Int) Element // k already reduced to [0, q)
+}
+
+// Precompute builds a fixed-base table for base in g. The result computes
+// exactly g.ScalarMul(base, k) for every scalar, only faster; it never
+// changes the group elements produced, so wire encodings are unaffected.
+func Precompute(g Group, base Element) *FixedBase {
+	t := &FixedBase{g: g, base: base}
+	if fb, ok := g.(fixedBaser); ok {
+		t.mul = fb.fixedBase(base)
+	} else {
+		t.mul = genericFixedBase(g, base, genericWindow)
+	}
+	return t
+}
+
+// Base returns the base element the table was built for.
+func (t *FixedBase) Base() Element { return t.base }
+
+// ScalarMul returns base^k (k taken mod q), matching Group.ScalarMul.
+func (t *FixedBase) ScalarMul(k *big.Int) Element {
+	kk := k
+	if k.Sign() < 0 || k.Cmp(t.g.Order()) >= 0 {
+		kk = new(big.Int).Mod(k, t.g.Order())
+	}
+	return t.mul(kk)
+}
+
+// fixedBaser is implemented by groups with a specialized table builder.
+// The returned closure may assume its scalar is already in [0, q).
+type fixedBaser interface {
+	fixedBase(base Element) func(k *big.Int) Element
+}
+
+// windowDigits splits a non-negative scalar into n little-endian w-bit
+// digits, reading the scalar's machine words directly.
+func windowDigits(k *big.Int, w, n uint) []uint32 {
+	out := make([]uint32, n)
+	words := k.Bits()
+	wb := uint(bits.UintSize)
+	for j := uint(0); j < n; j++ {
+		bit := j * w
+		wi := bit / wb
+		if wi >= uint(len(words)) {
+			break
+		}
+		off := bit % wb
+		d := uint32(words[wi] >> off)
+		if off+w > wb && wi+1 < uint(len(words)) {
+			d |= uint32(words[wi+1] << (wb - off))
+		}
+		out[j] = d & (1<<w - 1)
+	}
+	return out
+}
+
+// genericWindow keeps the fallback table small (2^4 entries per window):
+// groups without a specialized path get correctness and modest reuse, not
+// tuned performance.
+const genericWindow = 4
+
+func genericFixedBase(g Group, base Element, w uint) func(*big.Int) Element {
+	if g.Equal(base, g.Identity()) {
+		id := g.Identity()
+		return func(*big.Int) Element { return id }
+	}
+	n := (uint(g.Order().BitLen()) + w - 1) / w
+	rows := make([][]Element, n)
+	cur := base
+	for j := range rows {
+		row := make([]Element, 1<<w)
+		row[1] = cur
+		for d := 2; d < 1<<w; d++ {
+			row[d] = g.Op(row[d-1], cur)
+		}
+		rows[j] = row
+		cur = g.Op(row[1<<w-1], cur) // advance to base^(2^(w·(j+1)))
+	}
+	return func(k *big.Int) Element {
+		acc := g.Identity()
+		for j, d := range windowDigits(k, w, n) {
+			if d != 0 {
+				acc = g.Op(acc, rows[j][d])
+			}
+		}
+		return acc
+	}
+}
+
+// ---------------------------------------------------------------------------
+// NIST-curve specialization: native constant-time delegation
+// ---------------------------------------------------------------------------
+
+func (c *curveGroup) fixedBase(base Element) func(*big.Int) Element {
+	if c.isInfinity(base) {
+		return func(*big.Int) Element { return Element{} }
+	}
+	params := c.curve.Params()
+	if base.X.Cmp(params.Gx) == 0 && base.Y.Cmp(params.Gy) == 0 {
+		// ScalarBaseMult runs off the standard library's internal
+		// per-curve generator tables.
+		return func(k *big.Int) Element { return c.ScalarBaseMul(k) }
+	}
+	return func(k *big.Int) Element { return c.ScalarMul(base, k) }
+}
+
+// ---------------------------------------------------------------------------
+// modp specialization
+// ---------------------------------------------------------------------------
+
+// Window sizes trade table-build cost (∝ 2^w windows·entries) against
+// per-multiplication cost (one big.Int mulmod per ⌈qbits/w⌉ window). The
+// generator table is built once per process, so it affords the large
+// window; per-key tables are built per run and stay cheap.
+const (
+	modpKeyWindow = 6  // ~1.6 ms build, ~2.5× per multiplication
+	modpGenWindow = 10 // ~12 ms build, ~3.7× per multiplication
+)
+
+func (m *modpGroup) fixedBase(base Element) func(*big.Int) Element {
+	return m.fixedBaseWindow(base.X, modpKeyWindow)
+}
+
+func (m *modpGroup) fixedBaseWindow(base *big.Int, w uint) func(*big.Int) Element {
+	if base.Cmp(big.NewInt(1)) == 0 {
+		return func(*big.Int) Element { return Element{X: big.NewInt(1)} }
+	}
+	n := (uint(m.q.BitLen()) + w - 1) / w
+	rows := make([][]*big.Int, n)
+	var tmp big.Int
+	cur := new(big.Int).Set(base) // base^(2^(w·j))
+	for j := range rows {
+		row := make([]*big.Int, 1<<w)
+		row[1] = new(big.Int).Set(cur)
+		for d := 2; d < 1<<w; d++ {
+			row[d] = new(big.Int)
+			tmp.Mul(row[d-1], cur)
+			row[d].Mod(&tmp, m.p)
+		}
+		rows[j] = row
+		next := new(big.Int)
+		tmp.Mul(row[1<<w-1], cur)
+		next.Mod(&tmp, m.p)
+		cur = next
+	}
+	return func(k *big.Int) Element {
+		// Small exponents (bit encodings g^0/g^1, table walks) are a
+		// single lookup.
+		if k.BitLen() <= int(w) {
+			if d := k.Int64(); d != 0 {
+				return Element{X: new(big.Int).Set(rows[0][d])}
+			}
+			return Element{X: big.NewInt(1)}
+		}
+		sel := make([]*big.Int, 0, n)
+		for j, d := range windowDigits(k, w, n) {
+			if d != 0 {
+				sel = append(sel, rows[j][d])
+			}
+		}
+		switch len(sel) {
+		case 0:
+			return Element{X: big.NewInt(1)}
+		case 1:
+			return Element{X: new(big.Int).Set(sel[0])}
+		}
+		// Fold two table entries per reduction: a 256×512-bit multiply is
+		// far cheaper than the 768→256-bit reduction it feeds, so halving
+		// the reduction count beats reducing after every entry.
+		var prod, pair big.Int
+		acc := new(big.Int)
+		prod.Mul(sel[0], sel[1])
+		acc.Mod(&prod, m.p)
+		i := 2
+		for ; i+1 < len(sel); i += 2 {
+			pair.Mul(sel[i], sel[i+1])
+			prod.Mul(acc, &pair)
+			acc.Mod(&prod, m.p)
+		}
+		if i < len(sel) {
+			prod.Mul(acc, sel[i])
+			acc.Mod(&prod, m.p)
+		}
+		return Element{X: acc}
+	}
+}

@@ -1,0 +1,166 @@
+package group
+
+import (
+	"math/big"
+	"testing"
+)
+
+// opaque hides the specialized fixed-base builders behind a bare Group
+// interface so tests can reach the generic Op-based fallback.
+type opaque struct{ Group }
+
+// edgeScalars are the boundary cases every table must agree on: 0, 1 and
+// q−1 plus values around word and window boundaries.
+func edgeScalars(g Group) []*big.Int {
+	q := g.Order()
+	return []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(2),
+		big.NewInt(63),
+		big.NewInt(64),
+		big.NewInt(1 << 20),
+		new(big.Int).Sub(q, big.NewInt(1)),
+		new(big.Int).Sub(q, big.NewInt(2)),
+		new(big.Int).Neg(big.NewInt(5)),        // negative: must reduce mod q
+		new(big.Int).Add(q, big.NewInt(7)),     // ≥ q: must reduce mod q
+		new(big.Int).Lsh(big.NewInt(1), 128),   // single high window
+		new(big.Int).Sub(q, big.NewInt(1<<30)), // near-full width
+	}
+}
+
+func testFixedBaseMatches(t *testing.T, g Group) {
+	bases := []Element{
+		g.Generator(),
+		g.ScalarBaseMul(big.NewInt(0xdecafbad)),
+		g.ScalarBaseMul(new(big.Int).Sub(g.Order(), big.NewInt(12345))),
+	}
+	for bi, base := range bases {
+		tab := Precompute(g, base)
+		for _, k := range edgeScalars(g) {
+			want := g.ScalarMul(base, k)
+			got := tab.ScalarMul(k)
+			if !g.Equal(got, want) {
+				t.Errorf("base %d scalar %v: fixed-base result differs from ScalarMul", bi, k)
+			}
+		}
+		// Random scalars.
+		for i := 0; i < 8; i++ {
+			k := MustRandomScalar(g)
+			if !g.Equal(tab.ScalarMul(k), g.ScalarMul(base, k)) {
+				t.Errorf("base %d random scalar %v: fixed-base result differs", bi, k)
+			}
+		}
+	}
+}
+
+func TestFixedBaseMatchesScalarMul(t *testing.T) {
+	for _, g := range allGroups() {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			t.Parallel()
+			testFixedBaseMatches(t, g)
+		})
+	}
+}
+
+func TestFixedBaseGenericFallback(t *testing.T) {
+	// The wrapped group exposes no specialized builder, forcing the
+	// Op-based fallback path.
+	g := opaque{ModP256()}
+	testFixedBaseMatches(t, g)
+}
+
+func TestFixedBaseIdentityBase(t *testing.T) {
+	for _, g := range allGroups() {
+		tab := Precompute(g, g.Identity())
+		for _, k := range []int64{0, 1, 12345} {
+			if !g.Equal(tab.ScalarMul(big.NewInt(k)), g.Identity()) {
+				t.Errorf("%s: identity^%d != identity", g.Name(), k)
+			}
+		}
+	}
+}
+
+func TestScalarBaseMulUsesGeneratorTable(t *testing.T) {
+	// ScalarBaseMul must still agree exactly with ScalarMul(generator, k)
+	// now that modp routes it through the cached table.
+	for _, g := range allGroups() {
+		for _, k := range edgeScalars(g) {
+			if !g.Equal(g.ScalarBaseMul(k), g.ScalarMul(g.Generator(), k)) {
+				t.Errorf("%s: ScalarBaseMul(%v) != ScalarMul(g, %v)", g.Name(), k, k)
+			}
+		}
+	}
+}
+
+func TestFixedBaseConcurrent(t *testing.T) {
+	g := ModP256()
+	tab := Precompute(g, g.ScalarBaseMul(big.NewInt(777)))
+	k := MustRandomScalar(g)
+	want := tab.ScalarMul(k)
+	done := make(chan bool, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			ok := true
+			for j := 0; j < 50; j++ {
+				ok = ok && g.Equal(tab.ScalarMul(k), want)
+			}
+			done <- ok
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if !<-done {
+			t.Fatal("concurrent fixed-base multiplications disagree")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Benchmarks: the fixed-base acceptance numbers
+// ---------------------------------------------------------------------------
+
+func benchScalar(g Group) *big.Int {
+	// A fixed full-width scalar keeps runs comparable.
+	k := new(big.Int).Sub(g.Order(), big.NewInt(987654321))
+	return k
+}
+
+// BenchmarkModP256ScalarMulVariableBase is the uncached baseline: one cold
+// big.Int.Exp per call.
+func BenchmarkModP256ScalarMulVariableBase(b *testing.B) {
+	g := ModP256()
+	h := g.ScalarBaseMul(big.NewInt(0xabcdef))
+	k := benchScalar(g)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.ScalarMul(h, k)
+	}
+}
+
+// BenchmarkModP256FixedBaseGenerator is fixed-base multiplication through
+// the process-wide generator table (the ScalarBaseMul fast path).
+func BenchmarkModP256FixedBaseGenerator(b *testing.B) {
+	g := ModP256()
+	k := benchScalar(g)
+	g.ScalarBaseMul(k) // build the table outside the timed region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ScalarBaseMul(k)
+	}
+}
+
+// BenchmarkModP256FixedBaseKey is fixed-base multiplication through a
+// per-key table as used for certificate public keys.
+func BenchmarkModP256FixedBaseKey(b *testing.B) {
+	g := ModP256()
+	h := g.ScalarBaseMul(big.NewInt(0xabcdef))
+	tab := Precompute(g, h)
+	k := benchScalar(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.ScalarMul(k)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 )
 
 // Element is a group element. For elliptic-curve groups X and Y hold the
@@ -198,6 +199,9 @@ type modpGroup struct {
 	p    *big.Int // safe prime, p = 2q+1
 	q    *big.Int // group order
 	g    *big.Int // generator of the order-q subgroup
+
+	genOnce sync.Once              // lazily builds the generator table
+	genMul  func(*big.Int) Element // fixed-base path for ScalarBaseMul
 }
 
 // modp256 parameters: a fixed 256-bit safe prime p = 2q+1 with quadratic
@@ -238,7 +242,15 @@ func (m *modpGroup) ScalarMul(a Element, k *big.Int) Element {
 }
 
 func (m *modpGroup) ScalarBaseMul(k *big.Int) Element {
-	return m.ScalarMul(m.Generator(), k)
+	// All generator exponentiations — ephemeral keys, g^m encodings, base
+	// OTs, discrete-log table walks — share one process-lifetime window
+	// table (fixedbase.go) instead of paying a cold big.Int.Exp each.
+	m.genOnce.Do(func() { m.genMul = m.fixedBaseWindow(m.g, modpGenWindow) })
+	kk := k
+	if k.Sign() < 0 || k.Cmp(m.q) >= 0 {
+		kk = new(big.Int).Mod(k, m.q)
+	}
+	return m.genMul(kk)
 }
 
 func (m *modpGroup) Equal(a, b Element) bool {
@@ -258,8 +270,13 @@ func (m *modpGroup) Decode(b []byte) (Element, error) {
 	if x.Sign() <= 0 || x.Cmp(m.p) >= 0 {
 		return Element{}, errors.New("group: modp256 element out of range")
 	}
-	// Membership in the order-q subgroup: x^q == 1 (quadratic residue test).
-	if new(big.Int).Exp(x, m.q, m.p).Cmp(big.NewInt(1)) != 0 {
+	// Membership in the order-q subgroup. For a safe prime p = 2q+1 the
+	// order-q subgroup is exactly the quadratic residues, so the Jacobi
+	// symbol decides membership: x^q ≡ (x|p) mod p for every x coprime to
+	// p. Jacobi is a gcd-style computation, ~10× cheaper than the x^q
+	// exponentiation — and Decode runs on every received ciphertext
+	// element, which made it the transfer hot path.
+	if big.Jacobi(x, m.p) != 1 {
 		return Element{}, errors.New("group: modp256 element not in prime-order subgroup")
 	}
 	return Element{X: x}, nil

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"sync"
 
 	"dstress/internal/dp"
 	"dstress/internal/elgamal"
@@ -175,6 +176,89 @@ func splitChunk(b []byte) (chunk, rest []byte, err error) {
 // RecipientKeys are the re-randomized public keys from the block
 // certificate: RecipientKeys[m][b] is recipient m's key for bit b.
 type RecipientKeys [][]elgamal.PublicKey
+
+// Precompute returns a copy of the certificate keys with fixed-base
+// tables attached: every sender-side h^y then runs through the table
+// instead of a cold exponentiation. The ciphertexts are identical to the
+// uncached path, so the wire format is unchanged. Building the tables
+// costs roughly a hundred exponentiations per key; see
+// Params.PrecomputeWorthwhile for when a runtime should bother.
+func (rk RecipientKeys) Precompute() RecipientKeys {
+	out := make(RecipientKeys, len(rk))
+	for m, row := range rk {
+		out[m] = make([]elgamal.PublicKey, len(row))
+		for b, pk := range row {
+			out[m][b] = pk.Precompute()
+		}
+	}
+	return out
+}
+
+// PrecomputeWorthwhile reports whether building fixed-base tables for a
+// block certificate pays for itself when each key will be encrypted under
+// `uses` times over the run: a table build costs on the order of a
+// hundred uncached exponentiations. The use count depends on who holds
+// the cache — the simulated runtime plays all K+1 senders against one
+// cache ((K+1)·iterations uses per key), while a cluster node is a
+// single sender (iterations uses). Short runs skip precomputation so
+// tests and quick benchmarks don't regress.
+func (p Params) PrecomputeWorthwhile(uses int) bool {
+	return uses >= 128
+}
+
+// CertKeyCache lazily precomputes certificate keys per (vertex, slot) and
+// keeps the tables for the lifetime of a run; vertex.Runtime and the
+// cluster node engine share this implementation. Each (vertex, slot) pair
+// belongs to exactly one edge and a caller sends on an edge at most once
+// per iteration, so a given entry is built by a single goroutine; the
+// mutex only guards the map against concurrent edges.
+type CertKeyCache struct {
+	mu      sync.Mutex
+	m       map[[2]int]RecipientKeys
+	enabled bool
+}
+
+// NewCertKeyCache returns an empty, disabled cache: Keys passes raw keys
+// through until Enable is called.
+func NewCertKeyCache() *CertKeyCache {
+	return &CertKeyCache{m: make(map[[2]int]RecipientKeys)}
+}
+
+// Enable turns precomputation on. It never turns it back off: once a run
+// decided the tables amortize, later shorter calls must still see them.
+func (c *CertKeyCache) Enable() {
+	c.mu.Lock()
+	c.enabled = true
+	c.mu.Unlock()
+}
+
+// Len reports how many certificates have been precomputed.
+func (c *CertKeyCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Keys returns the certificate keys for (vertex, slot): the raw keys when
+// the cache is disabled, otherwise a precomputed copy built on first use.
+func (c *CertKeyCache) Keys(vertex, slot int, raw RecipientKeys) RecipientKeys {
+	id := [2]int{vertex, slot}
+	c.mu.Lock()
+	if !c.enabled {
+		c.mu.Unlock()
+		return raw
+	}
+	cached, ok := c.m[id]
+	c.mu.Unlock()
+	if ok {
+		return cached
+	}
+	pre := raw.Precompute()
+	c.mu.Lock()
+	c.m[id] = pre
+	c.mu.Unlock()
+	return pre
+}
 
 // SendShare runs the sender-member role: split the local share into K+1
 // subshares, encrypt each bitwise for its recipient, and send the bundles

@@ -510,3 +510,49 @@ func TestCiphertextsUnlinkableAcrossTransfers(t *testing.T) {
 		t.Errorf("transfer sizes differ: %d vs %d", mid-before, after-mid)
 	}
 }
+
+// TestPrecomputedCertKeysTransferIdentical is the regression test for the
+// certificate-key cache: a transfer run with precomputed RecipientKeys
+// decrypts to the same value as the uncached path, and with a shared
+// ephemeral the sender-side ciphertexts are byte-identical, so the wire
+// format is provably unchanged.
+func TestPrecomputedCertKeysTransferIdentical(t *testing.T) {
+	p := testParams()
+	e := newEnv(t, p)
+	pre := e.certKeys.Precompute()
+
+	// Byte-level: every certificate key encrypts identically through its
+	// table under a fixed ephemeral.
+	y := group.MustRandomScalar(p.Group)
+	for m := range e.certKeys {
+		for b := range e.certKeys[m] {
+			plain := e.certKeys[m][b].EncryptWithEphemeral(1, y)
+			cached := pre[m][b].EncryptWithEphemeral(1, y)
+			if string(p.Group.Encode(plain.C1)) != string(p.Group.Encode(cached.C1)) ||
+				string(p.Group.Encode(plain.C2)) != string(p.Group.Encode(cached.C2)) {
+				t.Fatalf("recipient %d bit %d: cached ciphertext differs from uncached", m, b)
+			}
+		}
+	}
+
+	// Protocol-level: full transfers through the cached keys still decrypt
+	// to the transferred value (uncached correctness is TestTransferRoundTrip).
+	e.certKeys = pre
+	for _, v := range []uint64{0, 1, 0x5a, (1 << uint(p.L)) - 1} {
+		if got := e.run(t, v); got != v {
+			t.Fatalf("precomputed transfer of %#x returned %#x", v, got)
+		}
+	}
+}
+
+// TestPrecomputeWorthwhile pins the amortization gate's shape: few key
+// uses skip table builds, many enable them.
+func TestPrecomputeWorthwhile(t *testing.T) {
+	p := testParams()
+	if p.PrecomputeWorthwhile(12) {
+		t.Error("12 uses should not precompute")
+	}
+	if !p.PrecomputeWorthwhile(200) {
+		t.Error("200 uses should precompute")
+	}
+}

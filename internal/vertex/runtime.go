@@ -124,6 +124,13 @@ type Runtime struct {
 	table  *elgamal.Table
 	tparam transfer.Params
 
+	// certCache holds precomputed fixed-base tables for the block
+	// certificates for the lifetime of the run. Certificate keys are
+	// reused by every sender in every iteration, so the tables are built
+	// lazily on an edge's first transfer; Run enables the cache only when
+	// the iteration count amortizes the build cost.
+	certCache *transfer.CertKeyCache
+
 	// Share state, indexed [vertex][member]: each member's current share.
 	stateShares [][]uint64
 	// msgShares[vertex][slot][member]: input-message shares for next step.
@@ -147,7 +154,10 @@ func New(cfg Config, prog *Program, g *Graph) (*Runtime, error) {
 		return nil, fmt.Errorf("vertex: need at least K+1 = %d vertices, got %d", cfg.K+1, g.N())
 	}
 
-	r := &Runtime{cfg: cfg, prog: prog, graph: g, net: network.New()}
+	r := &Runtime{
+		cfg: cfg, prog: prog, graph: g, net: network.New(),
+		certCache: transfer.NewCertKeyCache(),
+	}
 
 	var err error
 	if r.updCirc, err = prog.UpdateCircuit(g.D); err != nil {
@@ -239,29 +249,13 @@ func (r *Runtime) createSessions() error {
 		return parties, nil
 	}
 
-	sem := make(chan struct{}, r.cfg.Parallelism)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for v := 0; v < g.N(); v++ {
-		v := v
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer func() { <-sem; wg.Done() }()
-			members := r.setup.Assignment.Blocks[g.NodeOf(v)]
-			s, err := mkSession(members, network.Tag("blk", v))
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			r.sessions[v] = s
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
+	if err := r.parallelFor(g.N(), func(v int) error {
+		members := r.setup.Assignment.Blocks[g.NodeOf(v)]
+		s, err := mkSession(members, network.Tag("blk", v))
+		r.sessions[v] = s
+		return err
+	}); err != nil {
+		return err
 	}
 	agg, err := mkSession(r.setup.Assignment.AggBlock, "aggblk")
 	if err != nil {
@@ -279,6 +273,11 @@ func (r *Runtime) Run(iterations int) (int64, *Report, error) {
 		Iterations:     iterations,
 		UpdateAndGates: r.updCirc.NumAnd,
 		AggAndGates:    r.aggCirc.NumAnd,
+	}
+	// All K+1 senders of an edge share this in-process cache, so each
+	// certificate key is used (K+1)·iterations times.
+	if r.tparam.PrecomputeWorthwhile(iterations * (r.cfg.K + 1)) {
+		r.certCache.Enable()
 	}
 	phaseStart := func() (time.Time, int64) { return time.Now(), r.net.TotalBytes() }
 
@@ -327,47 +326,83 @@ func (r *Runtime) Run(iterations int) (int64, *Report, error) {
 
 // initShares distributes the owner-generated initial shares: state plus D
 // copies of ⊥ per vertex (§3.6), sent over the network so setup traffic is
-// accounted.
+// accounted. Vertices are independent, so the distribution runs under the
+// Config.Parallelism semaphore like every other per-vertex phase.
 func (r *Runtime) initShares() error {
-	g := r.graph
 	k1 := r.cfg.K + 1
-	for v := 0; v < g.N(); v++ {
-		owner := g.NodeOf(v)
-		members := r.setup.Assignment.Blocks[owner]
-		ownerEP := r.net.Endpoint(owner)
+	return r.parallelFor(r.graph.N(), func(v int) error {
+		if err := r.initSharesVertex(v, k1); err != nil {
+			return fmt.Errorf("vertex %d init: %w", v, err)
+		}
+		return nil
+	})
+}
 
-		st := secretshare.SplitXOR(uint64(g.InitState[v]), k1, r.prog.StateBits)
-		msgs := make([][]uint64, g.D)
-		for d := range msgs {
-			msgs[d] = secretshare.SplitXOR(uint64(r.prog.NoOp), k1, r.prog.MsgBits)
+// parallelFor runs fn(0) … fn(n−1) concurrently, at most Config.Parallelism
+// at a time, and returns the lowest-index error. Every per-vertex and
+// per-edge phase of the runtime uses it; bodies must only write state
+// owned by their index.
+func (r *Runtime) parallelFor(n int, fn func(i int) error) error {
+	sem := make(chan struct{}, r.cfg.Parallelism)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			errs[i] = fn(i)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
-		// Owner keeps its own share (index 0) and sends the rest.
-		for m := 1; m < k1; m++ {
-			payload := EncodeShares(append([]uint64{st[m]}, Column(msgs, m)...))
-			if err := ownerEP.Send(members[m], network.Tag("init", v), payload); err != nil {
-				return err
-			}
+	}
+	return nil
+}
+
+// initSharesVertex runs one vertex's share distribution: the owner splits
+// and sends, the members receive. Only indices of vertex v are written.
+func (r *Runtime) initSharesVertex(v, k1 int) error {
+	g := r.graph
+	owner := g.NodeOf(v)
+	members := r.setup.Assignment.Blocks[owner]
+	ownerEP := r.net.Endpoint(owner)
+
+	st := secretshare.SplitXOR(uint64(g.InitState[v]), k1, r.prog.StateBits)
+	msgs := make([][]uint64, g.D)
+	for d := range msgs {
+		msgs[d] = secretshare.SplitXOR(uint64(r.prog.NoOp), k1, r.prog.MsgBits)
+	}
+	// Owner keeps its own share (index 0) and sends the rest.
+	for m := 1; m < k1; m++ {
+		payload := EncodeShares(append([]uint64{st[m]}, Column(msgs, m)...))
+		if err := ownerEP.Send(members[m], network.Tag("init", v), payload); err != nil {
+			return err
 		}
-		r.stateShares[v] = make([]uint64, k1)
-		r.stateShares[v][0] = st[0]
-		for d := range msgs {
-			r.msgShares[v][d] = make([]uint64, k1)
-			r.msgShares[v][d][0] = msgs[d][0]
+	}
+	r.stateShares[v] = make([]uint64, k1)
+	r.stateShares[v][0] = st[0]
+	for d := range msgs {
+		r.msgShares[v][d] = make([]uint64, k1)
+		r.msgShares[v][d][0] = msgs[d][0]
+	}
+	// Members receive their shares.
+	for m := 1; m < k1; m++ {
+		data, err := r.net.Endpoint(members[m]).Recv(owner, network.Tag("init", v))
+		if err != nil {
+			return err
 		}
-		// Members receive their shares.
-		for m := 1; m < k1; m++ {
-			data, err := r.net.Endpoint(members[m]).Recv(owner, network.Tag("init", v))
-			if err != nil {
-				return err
-			}
-			vals, err := DecodeShares(data, 1+g.D)
-			if err != nil {
-				return err
-			}
-			r.stateShares[v][m] = vals[0]
-			for d := 0; d < g.D; d++ {
-				r.msgShares[v][d][m] = vals[1+d]
-			}
+		vals, err := DecodeShares(data, 1+g.D)
+		if err != nil {
+			return err
+		}
+		r.stateShares[v][m] = vals[0]
+		for d := 0; d < g.D; d++ {
+			r.msgShares[v][d][m] = vals[1+d]
 		}
 	}
 	return nil
@@ -378,29 +413,15 @@ func (r *Runtime) computeStep(iter int) ([][][]uint64, error) {
 	g := r.graph
 	_ = iter // kept for symmetry with communicateStep's tagging
 	out := make([][][]uint64, g.N())
-
-	sem := make(chan struct{}, r.cfg.Parallelism)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for v := 0; v < g.N(); v++ {
-		v := v
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer func() { <-sem; wg.Done() }()
-			res, err := r.runBlockMPC(v)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("block %d: %w", v, err)
-			}
-			out[v] = res
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := r.parallelFor(g.N(), func(v int) error {
+		res, err := r.runBlockMPC(v)
+		if err != nil {
+			return fmt.Errorf("block %d: %w", v, err)
+		}
+		out[v] = res
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -482,34 +503,25 @@ func (r *Runtime) communicateStep(iter int, outShares [][][]uint64) error {
 	}
 
 	edges := g.Edges()
-	sem := make(chan struct{}, r.cfg.Parallelism)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for _, e := range edges {
-		u, v := e[0], e[1]
-		slotOut := OutSlot(g, u, v)
-		slotIn, err := g.InSlot(u, v)
+	slotIns := make([]int, len(edges))
+	for i, e := range edges {
+		slotIn, err := g.InSlot(e[0], e[1])
 		if err != nil {
 			return err
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer func() { <-sem; wg.Done() }()
-			fresh, err := r.runTransfer(iter, u, v, slotIn, outShares[u][slotOut])
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("edge (%d,%d): %w", u, v, err)
-			}
-			if err == nil {
-				r.msgShares[v][slotIn] = fresh
-			}
-		}()
+		slotIns[i] = slotIn
 	}
-	wg.Wait()
-	return firstErr
+	// Each edge owns a distinct (v, slotIn) message slot, so the bodies
+	// write disjoint state.
+	return r.parallelFor(len(edges), func(i int) error {
+		u, v := edges[i][0], edges[i][1]
+		fresh, err := r.runTransfer(iter, u, v, slotIns[i], outShares[u][OutSlot(g, u, v)])
+		if err != nil {
+			return fmt.Errorf("edge (%d,%d): %w", u, v, err)
+		}
+		r.msgShares[v][slotIns[i]] = fresh
+		return nil
+	})
 }
 
 // runTransfer moves one message's shares from B_u to B_v (§3.5): the
@@ -521,7 +533,7 @@ func (r *Runtime) runTransfer(iter, u, v, slotIn int, shares []uint64) ([]uint64
 	uID, vID := g.NodeOf(u), g.NodeOf(v)
 	sendersB := r.setup.Assignment.Blocks[uID]
 	recvB := r.setup.Assignment.Blocks[vID]
-	cert := r.setup.Certs[vID][slotIn] // B_v's keys re-randomized with v's slotIn-th neighbor key
+	keys := r.recipientKeys(v, slotIn)
 	neighborKey := r.secrets[vID].NeighborKeys[slotIn]
 	tag := network.Tag("tx", iter, u, v)
 
@@ -534,7 +546,7 @@ func (r *Runtime) runTransfer(iter, u, v, slotIn int, shares []uint64) ([]uint64
 		go func() {
 			defer wg.Done()
 			ep := r.net.Endpoint(sendersB[m])
-			errCh <- transfer.SendShare(r.tparam, ep, uID, tag, shares[m], transfer.RecipientKeys(cert.Keys))
+			errCh <- transfer.SendShare(r.tparam, ep, uID, tag, shares[m], keys)
 		}()
 	}
 	wg.Add(1)
@@ -568,6 +580,13 @@ func (r *Runtime) runTransfer(iter, u, v, slotIn int, shares []uint64) ([]uint64
 	return fresh, nil
 }
 
+// recipientKeys returns the certificate keys for edge slot (v, slotIn),
+// with fixed-base tables when the run is long enough to amortize them.
+func (r *Runtime) recipientKeys(v, slotIn int) transfer.RecipientKeys {
+	cert := r.setup.Certs[r.graph.NodeOf(v)][slotIn] // B_v's keys re-randomized with v's slotIn-th neighbor key
+	return r.certCache.Keys(v, slotIn, transfer.RecipientKeys(cert.Keys))
+}
+
 // reshare moves an XOR-shared word from the members of src to the members
 // of dst: each source member splits its share into |dst| subshares and
 // sends one to each destination member, who XORs what it receives into a
@@ -575,28 +594,59 @@ func (r *Runtime) runTransfer(iter, u, v, slotIn int, shares []uint64) ([]uint64
 // secure point-to-point channels the network layer models — the
 // identity-hiding transfer protocol is required only for graph edges.
 func (r *Runtime) reshare(shares []uint64, bits int, src, dst []network.NodeID, tag string) ([]uint64, error) {
+	// Every member acts independently: sources split-and-send in parallel,
+	// then destinations collect in parallel (sends never block on the
+	// receiver, so issuing all sends first cannot deadlock).
+	sendErrs := make([]error, len(src))
+	var wg sync.WaitGroup
 	for m, id := range src {
-		subs := secretshare.SplitXOR(shares[m], len(dst), bits)
-		ep := r.net.Endpoint(id)
-		for y, dest := range dst {
-			if err := ep.Send(dest, network.Tag(tag, m), EncodeShares(subs[y:y+1])); err != nil {
-				return nil, err
+		m, id := m, id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			subs := secretshare.SplitXOR(shares[m], len(dst), bits)
+			ep := r.net.Endpoint(id)
+			for y, dest := range dst {
+				if err := ep.Send(dest, network.Tag(tag, m), EncodeShares(subs[y:y+1])); err != nil {
+					sendErrs[m] = err
+					return
+				}
 			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range sendErrs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	fresh := make([]uint64, len(dst))
+	recvErrs := make([]error, len(dst))
 	for y, dest := range dst {
-		epY := r.net.Endpoint(dest)
-		for m, id := range src {
-			data, err := epY.Recv(id, network.Tag(tag, m))
-			if err != nil {
-				return nil, err
+		y, dest := y, dest
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			epY := r.net.Endpoint(dest)
+			for m, id := range src {
+				data, err := epY.Recv(id, network.Tag(tag, m))
+				if err != nil {
+					recvErrs[y] = err
+					return
+				}
+				vals, err := DecodeShares(data, 1)
+				if err != nil {
+					recvErrs[y] = err
+					return
+				}
+				fresh[y] ^= vals[0]
 			}
-			vals, err := DecodeShares(data, 1)
-			if err != nil {
-				return nil, err
-			}
-			fresh[y] ^= vals[0]
+		}()
+	}
+	wg.Wait()
+	for _, err := range recvErrs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return fresh, nil
@@ -670,15 +720,22 @@ func (r *Runtime) aggregate() (int64, error) {
 	k1 := r.cfg.K + 1
 	aggMembers := r.setup.Assignment.AggBlock
 
+	// Collect every vertex's re-shared state in parallel (tags are keyed
+	// by vertex, so streams cannot mix), then assemble the inputs in
+	// vertex order.
+	cols := make([][]uint64, g.N())
+	if err := r.parallelFor(g.N(), func(v int) error {
+		members := r.setup.Assignment.Blocks[g.NodeOf(v)]
+		var err error
+		cols[v], err = r.reshare(r.stateShares[v], r.prog.StateBits, members, aggMembers, network.Tag("aggsh", v))
+		return err
+	}); err != nil {
+		return 0, err
+	}
 	aggInput := make([][]uint8, k1)
 	for v := 0; v < g.N(); v++ {
-		members := r.setup.Assignment.Blocks[g.NodeOf(v)]
-		col, err := r.reshare(r.stateShares[v], r.prog.StateBits, members, aggMembers, network.Tag("aggsh", v))
-		if err != nil {
-			return 0, err
-		}
 		for y := 0; y < k1; y++ {
-			aggInput[y] = append(aggInput[y], WordToBits(col[y], r.prog.StateBits)...)
+			aggInput[y] = append(aggInput[y], WordToBits(cols[v][y], r.prog.StateBits)...)
 		}
 	}
 	// Each member contributes its own uniform random bits for the noise
@@ -704,9 +761,12 @@ func (r *Runtime) aggregateTree() (int64, error) {
 	fanIn := r.cfg.AggFanIn
 	nGroups := (g.N() + fanIn - 1) / fanIn
 
+	// Leaf groups are disjoint — distinct sessions, distinct reshare tags,
+	// distinct output slots — so they run concurrently under the
+	// Config.Parallelism semaphore like the per-block MPC phases.
 	partialShares := make([][]uint64, nGroups) // [group][leaf member]
 	leafBlocks := make([][]network.NodeID, nGroups)
-	for grp := 0; grp < nGroups; grp++ {
+	if err := r.parallelFor(nGroups, func(grp int) error {
 		lo := grp * fanIn
 		hi := lo + fanIn
 		if hi > g.N() {
@@ -715,17 +775,16 @@ func (r *Runtime) aggregateTree() (int64, error) {
 		leader := lo // the group's first vertex hosts the leaf aggregation
 		leafMembers := r.setup.Assignment.Blocks[g.NodeOf(leader)]
 		leafBlocks[grp] = leafMembers
-
 		partialCirc, err := r.prog.PartialAggregateCircuit(hi - lo)
 		if err != nil {
-			return 0, err
+			return err
 		}
 		leafInput := make([][]uint8, k1)
 		for v := lo; v < hi; v++ {
 			members := r.setup.Assignment.Blocks[g.NodeOf(v)]
 			col, err := r.reshare(r.stateShares[v], r.prog.StateBits, members, leafMembers, network.Tag("leafsh", grp, v))
 			if err != nil {
-				return 0, err
+				return err
 			}
 			for y := 0; y < k1; y++ {
 				leafInput[y] = append(leafInput[y], WordToBits(col[y], r.prog.StateBits)...)
@@ -733,12 +792,15 @@ func (r *Runtime) aggregateTree() (int64, error) {
 		}
 		outShares, err := r.evalInBlock(r.sessions[leader], partialCirc, leafInput)
 		if err != nil {
-			return 0, fmt.Errorf("vertex: leaf aggregation %d: %w", grp, err)
+			return fmt.Errorf("vertex: leaf aggregation %d: %w", grp, err)
 		}
 		partialShares[grp] = make([]uint64, k1)
 		for m := 0; m < k1; m++ {
 			partialShares[grp][m] = BitsToWord(outShares[m])
 		}
+		return nil
+	}); err != nil {
+		return 0, err
 	}
 
 	// Root: combine partials + noise in the TP's aggregation block.

@@ -474,3 +474,55 @@ func TestCombineCircuitDefaultSum(t *testing.T) {
 		t.Errorf("combine = %d, want 77", got)
 	}
 }
+
+// TestRuntimePrecomputedCertsMatchReference forces the certificate-table
+// cache on (short runs normally skip it) and checks that a run through the
+// precomputed encryption path still reproduces the reference exactly —
+// the cache must not change a single group element on the wire.
+func TestRuntimePrecomputedCertsMatchReference(t *testing.T) {
+	p := sumProgram()
+	g := ringGraph(t, 5, p)
+	want, err := RunReference(p, g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Config{Group: tg, K: 2, Alpha: 0.5, Epsilon: 0, OTMode: OTDealer}, p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.certCache.Enable()
+	got, _, err := rt.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("precomputed-cert runtime = %d, reference = %d", got, want)
+	}
+	if rt.certCache.Len() == 0 {
+		t.Error("run did not populate the certificate-table cache")
+	}
+}
+
+// TestRuntimeParallelismOne pins the semaphore contract: a run restricted
+// to one in-flight block at a time (Parallelism = 1) must still complete
+// every phase — init, compute, transfer, tree aggregation — and agree
+// with the reference.
+func TestRuntimeParallelismOne(t *testing.T) {
+	p := sumProgram()
+	g := ringGraph(t, 6, p)
+	want, err := RunReference(p, g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Config{Group: tg, K: 1, Alpha: 0.5, OTMode: OTDealer, AggFanIn: 2, Parallelism: 1}, p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := rt.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("Parallelism=1 runtime = %d, reference = %d", got, want)
+	}
+}
