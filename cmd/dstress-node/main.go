@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -48,15 +49,23 @@ func main() {
 		groupName = flag.String("group", "modp256", "crypto group: p256, p384, modp256")
 		aggFanIn  = flag.Int("agg-fanin", 0, "aggregation-tree fan-in (0 = flat aggregation)")
 		seed      = flag.Int64("seed", 42, "synthetic network seed")
+		timeout   = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no deadline)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	switch *mode {
 	case "node":
 		if *id < 1 {
 			log.Fatal("node mode needs -id ≥ 1")
 		}
-		res, err := cluster.RunNode(cluster.NodeOptions{
+		res, err := cluster.RunNode(ctx, cluster.NodeOptions{
 			ID:            network.NodeID(*id),
 			CoordAddr:     *coord,
 			ListenAddr:    *listen,
@@ -86,7 +95,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "coordinator on %s: waiting for %d nodes (%s, N=%d D=%d k=%d I=%d ε=%v α=%v)\n",
 			co.Addr(), sc.Graph.N(), *model, *n, *d, *k, sc.Iterations, *epsilon, *alpha)
-		sum, err := co.Run()
+		sum, err := co.Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,25 +6,29 @@
 //
 //	dstress-run -model en -n 20 -core 4 -d 6 -k 2 -shock 2 -epsilon 0.23
 //	dstress-run -model egj -n 16 -group p256 -ot iknp
-//	dstress-run -model en -n 8 -transport tcp
+//	dstress-run -model en -n 8 -transport tcp -timeout 2m
+//	dstress-run -model en -n 32 -aggfanin 8
 //
-// -transport sim (default) executes every node's role in this process
-// against the in-memory hub; -transport tcp stands up a real cluster on
-// loopback TCP — a coordinator plus one daemon per bank, each with its own
-// tcpnet peer — and runs the identical experiment through it. For a
-// multi-machine deployment use cmd/dstress-node directly.
+// -transport selects the execution backend behind the same dstress.Engine
+// API: sim (default) executes every node's role in this process against
+// the in-memory hub; tcp stands up a real cluster on loopback TCP — a
+// coordinator plus one daemon per bank, each with its own tcpnet peer —
+// and runs the identical experiment through it. The report is printed
+// identically for both. -timeout aborts a wedged run through the context
+// plumbing instead of hanging forever. For a multi-machine deployment use
+// cmd/dstress-node directly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"dstress"
-	"dstress/internal/cluster"
 	"dstress/internal/group"
-	"dstress/internal/vertex"
 )
 
 func main() {
@@ -39,33 +43,26 @@ func main() {
 		epsilon   = flag.Float64("epsilon", 0.23, "output privacy budget for this query (0 disables noise)")
 		alpha     = flag.Float64("alpha", 0.9, "transfer-noise parameter in [0,1)")
 		groupName = flag.String("group", "modp256", "crypto group: p256, p384, modp256")
-		otMode    = flag.String("ot", "dealer", "OT provisioning: dealer or iknp")
+		otMode    = flag.String("ot", "dealer", "OT provisioning: dealer or iknp (sim only; tcp always uses iknp)")
+		aggFanIn  = flag.Int("aggfanin", 0, "aggregation-tree fan-in (0 = flat single-block aggregation)")
 		seed      = flag.Int64("seed", 42, "synthetic network seed")
 		transport = flag.String("transport", "sim", "execution transport: sim (in-process hub) or tcp (loopback cluster of real daemons)")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 	)
 	flag.Parse()
 
-	if *transport == "tcp" {
-		// Cluster runs provision OTs with IKNP only (a dealer broker is an
-		// in-process object and cannot span machines); reject an explicit
-		// conflicting choice rather than silently mislabeling measurements.
-		otExplicit := false
-		flag.Visit(func(f *flag.Flag) { otExplicit = otExplicit || f.Name == "ot" })
-		if otExplicit && *otMode != "iknp" {
-			log.Fatalf("-transport tcp always uses IKNP OTs; -ot %q is not available on a cluster", *otMode)
-		}
-		runTCP(*model, *n, *core, *d, *k, *iters, *shock, *epsilon, *alpha, *groupName, *seed)
-		return
-	}
-	if *transport != "sim" {
-		log.Fatalf("unknown -transport %q (want sim or tcp)", *transport)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	g, err := group.ByName(*groupName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var om vertex.OTMode
+	var om dstress.OTMode
 	switch *otMode {
 	case "dealer":
 		om = dstress.OTDealer
@@ -78,6 +75,7 @@ func main() {
 		*iters = dstress.RecommendedIterations(*n)
 	}
 
+	// --- Build the synthetic scenario (identical for both transports). ---
 	top, err := dstress.CorePeriphery(dstress.CorePeripheryParams{
 		N: *n, Core: *core, D: *d, PeriLink: 2, Seed: *seed,
 	})
@@ -89,8 +87,8 @@ func main() {
 		shocked[i] = i
 	}
 
-	cfg := dstress.CircuitConfig{Width: 32, Unit: 1e6}
-	var prog *dstress.Program
+	spec := dstress.ProgramSpec{Kind: *model, Width: 32, Unit: 1e6, GranularityDollars: 1e6, Leverage: 0.1}
+	cfg := dstress.CircuitConfig{Width: spec.Width, Unit: spec.Unit}
 	var graph *dstress.Graph
 	var exactTDS float64
 	switch *model {
@@ -100,7 +98,6 @@ func main() {
 		})
 		net.ApplyCashShock(shocked, 0)
 		exactTDS = dstress.SolveEN(net, 4**n, 1e-9).TDS
-		prog = dstress.ENProgram(cfg, 1e6, 0.1)
 		graph, err = dstress.ENGraph(net, cfg, *d)
 	case "egj":
 		net := dstress.BuildEGJ(top, dstress.EGJParams{
@@ -109,7 +106,6 @@ func main() {
 		})
 		net.ApplyBaseShock(shocked, 0.3)
 		exactTDS = dstress.SolveEGJ(net, *iters+1).TDS
-		prog = dstress.EGJProgram(cfg, 1e6, 0.1)
 		graph, err = dstress.EGJGraph(net, cfg, *d)
 	default:
 		log.Fatalf("unknown -model %q", *model)
@@ -118,55 +114,57 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Fprintf(os.Stderr, "running %s: N=%d D=%d k=%d I=%d group=%s ot=%s ε=%v α=%v\n",
-		prog.Name, *n, *d, *k, *iters, g.Name(), *otMode, *epsilon, *alpha)
-
-	rt, err := dstress.NewRuntime(dstress.Config{
-		Group: g, K: *k, Alpha: *alpha, Epsilon: *epsilon, OTMode: om,
-	}, prog, graph)
-	if err != nil {
-		log.Fatal(err)
+	// --- Pick the engine: the job is the same either way. ---
+	econf := dstress.EngineConfig{
+		Group: g, K: *k, Alpha: *alpha, OTMode: om, AggFanIn: *aggFanIn,
 	}
-	raw, rep, err := rt.Run(*iters)
-	if err != nil {
-		log.Fatal(err)
+	var eng dstress.Engine
+	switch *transport {
+	case "sim":
+		eng = dstress.NewSimEngine(econf)
+	case "tcp":
+		// Cluster runs provision OTs with IKNP only (a dealer broker is an
+		// in-process object and cannot span machines); reject an explicit
+		// conflicting choice rather than silently mislabeling measurements.
+		otExplicit := false
+		flag.Visit(func(f *flag.Flag) { otExplicit = otExplicit || f.Name == "ot" })
+		if otExplicit && *otMode != "iknp" {
+			log.Fatalf("-transport tcp always uses IKNP OTs; -ot %q is not available on a cluster", *otMode)
+		}
+		eng = dstress.NewClusterEngine(econf)
+	default:
+		log.Fatalf("unknown -transport %q (want sim or tcp)", *transport)
 	}
 
-	fmt.Printf("exact TDS (trusted baseline): $%.2fM\n", exactTDS/1e6)
-	fmt.Printf("released TDS (ε=%v):          $%.2fM\n", *epsilon, cfg.Decode(raw)/1e6)
-	fmt.Println()
-	fmt.Printf("phase       time          bytes\n")
-	fmt.Printf("init        %-12v  %d\n", rep.InitTime.Round(1e3), rep.InitBytes)
-	fmt.Printf("compute     %-12v  %d\n", rep.ComputeTime.Round(1e3), rep.ComputeBytes)
-	fmt.Printf("transfer    %-12v  %d\n", rep.CommTime.Round(1e3), rep.CommBytes)
-	fmt.Printf("agg+noise   %-12v  %d\n", rep.AggTime.Round(1e3), rep.AggBytes)
-	fmt.Printf("total       %-12v  %d\n", rep.TotalTime().Round(1e3), rep.TotalBytes())
-	fmt.Printf("\nupdate circuit: %d AND gates; aggregate: %d AND gates\n", rep.UpdateAndGates, rep.AggAndGates)
-	fmt.Printf("traffic per node: avg %.1f KB, max %.1f KB\n",
-		rep.AvgNodeBytes/1024, float64(rep.MaxNodeBytes)/1024)
-}
+	fmt.Fprintf(os.Stderr, "running %s on %s: N=%d D=%d k=%d I=%d group=%s ε=%v α=%v aggfanin=%d\n",
+		*model, *transport, *n, *d, *k, *iters, g.Name(), *epsilon, *alpha, *aggFanIn)
 
-// runTCP executes the experiment as a loopback cluster: a coordinator plus
-// one node daemon per bank, every message crossing a real TCP socket.
-func runTCP(model string, n, core, d, k, iters, shock int, epsilon, alpha float64, groupName string, seed int64) {
-	sc, exactTDS, err := cluster.BuildSynthetic(cluster.SyntheticOptions{
-		Model: model, N: n, Core: core, D: d, K: k,
-		Iterations: iters, Shock: shock, Epsilon: epsilon, Alpha: alpha,
-		Group: groupName, Seed: seed,
+	res, err := eng.Run(ctx, dstress.Job{
+		Spec: &spec, Graph: graph, Iterations: *iters, Epsilon: *epsilon,
+		Decode: cfg.Decode,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "running %s on a loopback TCP cluster: N=%d D=%d k=%d I=%d group=%s ε=%v α=%v\n",
-		model, n, d, k, sc.Iterations, groupName, epsilon, alpha)
-	sum, err := cluster.RunLoopback(sc)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	fmt.Printf("exact TDS (trusted baseline): $%.2fM\n", exactTDS/1e6)
-	fmt.Printf("released TDS (ε=%v):          $%.2fM\n", epsilon, cluster.DecodeDollars(sc, sum.Result)/1e6)
-	fmt.Printf("\nwall time %v over real sockets; cluster traffic %.1f KB (per node: avg %.1f KB, max %.1f KB)\n",
-		sum.WallTime.Round(1e6), float64(sum.TotalBytes())/1024,
-		sum.AvgNodeBytes()/1024, float64(sum.MaxNodeBytes())/1024)
+	fmt.Printf("released TDS (ε=%v):          $%.2fM\n", *epsilon, res.Value/1e6)
+	fmt.Println()
+	printReport(res.Report)
+}
+
+// printReport renders the unified report — the same table regardless of
+// transport.
+func printReport(rep *dstress.Report) {
+	round := func(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
+	fmt.Printf("transport %s, %d nodes, wall time %v\n\n", rep.Transport, rep.Nodes, round(rep.WallTime))
+	fmt.Printf("phase       time          bytes\n")
+	fmt.Printf("init        %-12v  %d\n", round(rep.InitTime), rep.InitBytes)
+	fmt.Printf("compute     %-12v  %d\n", round(rep.ComputeTime), rep.ComputeBytes)
+	fmt.Printf("transfer    %-12v  %d\n", round(rep.CommTime), rep.CommBytes)
+	fmt.Printf("agg+noise   %-12v  %d\n", round(rep.AggTime), rep.AggBytes)
+	fmt.Printf("total       %-12v  %d\n", round(rep.TotalTime()), rep.TotalBytes())
+	fmt.Printf("\nupdate circuit: %d AND gates; aggregate: %d AND gates\n", rep.UpdateAndGates, rep.AggAndGates)
+	fmt.Printf("traffic per node: avg %.1f KB, max %.1f KB\n",
+		rep.AvgNodeBytes/1024, float64(rep.MaxNodeBytes)/1024)
 }

@@ -11,21 +11,35 @@
 // giving differential privacy on the output.
 //
 // This package is the public facade over the implementation packages in
-// internal/: it re-exports the programming model (Program, Graph), the
-// runtime (NewRuntime, RunReference), the systemic-risk case studies
-// (Eisenberg–Noe and Elliott–Golub–Jackson, §4 of the paper), the synthetic
-// financial-network generators, and the differential-privacy budget
-// helpers. The quickest way in:
+// internal/: it provides the unified execution API (Engine over both the
+// in-process simulation and real TCP clusters, Session for multi-query
+// deployments with an ε budget), the programming model (Program, Graph),
+// the systemic-risk case studies (Eisenberg–Noe and
+// Elliott–Golub–Jackson, §4 of the paper), the synthetic financial-network
+// generators, and the differential-privacy budget helpers. The quickest
+// way in:
 //
 //	net := dstress.BuildEN(topology, params)      // a debt network
 //	prog := dstress.ENProgram(cfg, 1e9, 0.1)      // Figure 2(a) compiled to circuits
 //	graph, _ := dstress.ENGraph(net, cfg, D)      // per-bank private inputs
-//	rt, _ := dstress.NewRuntime(dstress.Config{
-//	    Group: dstress.P256(), K: 19, Alpha: 0.999, Epsilon: 0.23,
-//	}, prog, graph)
-//	noisyTDS, report, _ := rt.Run(iterations)
+//	eng := dstress.NewSimEngine(dstress.EngineConfig{
+//	    Group: dstress.P256(), K: 19, Alpha: 0.999,
+//	})
+//	res, _ := eng.Run(ctx, dstress.Job{
+//	    Program: prog, Graph: graph, Iterations: iters, Epsilon: 0.23,
+//	    Decode: cfg.Decode,
+//	})
+//	// res.Value is the released (noised) TDS; res.Report the phase table.
 //
-// See examples/ for runnable programs and DESIGN.md for the system map.
+// A standing deployment answering several budgeted queries:
+//
+//	sess, _ := eng.Open(ctx, job, math.Ln2)       // ε_max = ln 2 (§4.5)
+//	r1, _ := sess.Query(ctx, dstress.QuerySpec{Iterations: 11, Epsilon: 0.23})
+//	r2, _ := sess.Query(ctx, dstress.QuerySpec{Iterations: 11, Epsilon: 0.23})
+//	// ...up to the paper's 3 queries/year; the 4th 0.23 query is refused
+//
+// NewClusterEngine runs the same Job on real TCP-connected node daemons;
+// see examples/ for runnable programs and DESIGN.md for the system map.
 package dstress
 
 import (
@@ -57,11 +71,10 @@ func NewGraph(n, d int) *Graph { return vertex.NewGraph(n, d) }
 // noise α, output-privacy ε, OT provisioning.
 type Config = vertex.Config
 
-// Report summarizes an execution: per-phase wall time and traffic — the
-// quantities the paper's Figures 3–6 plot.
-type Report = vertex.Report
-
-// Runtime executes one program over one graph under MPC.
+// Runtime executes one program over one graph under MPC. It is the
+// simulation backend behind NewSimEngine; most callers should use the
+// Engine/Session API instead, which also covers cluster deployments and
+// returns the unified Report.
 type Runtime = vertex.Runtime
 
 // NoiseSpec describes the in-MPC Laplace noise generator (Dwork et al.

@@ -1,6 +1,7 @@
 package dstress_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -49,7 +50,7 @@ func TestPublicAPIQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw, rep, err := rt.Run(iters)
+	raw, rep, err := rt.Run(context.Background(), iters)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,368 @@
+package dstress
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dstress/internal/cluster"
+	"dstress/internal/vertex"
+)
+
+// ---------------------------------------------------------------------------
+// Unified execution API
+//
+// DStress has two execution backends: the in-process simulation
+// (internal/vertex, every node's role in one process against the hub) and
+// the cluster deployment (internal/cluster, real daemons over TCP). Both
+// run the identical protocol and are byte-compatible on the wire; the
+// Engine interface runs the same Job through either, and Session keeps a
+// deployment standing across multiple budgeted queries.
+// ---------------------------------------------------------------------------
+
+// Job describes one query against a deployment: which program over which
+// graph, how many iterations, and the output-privacy budget ε for the
+// released aggregate.
+type Job struct {
+	// Program is the compiled vertex program. The simulation backend uses
+	// it directly; it may be nil when Spec is set.
+	Program *Program
+	// Spec names a registered program family (see RegisterProgram).
+	// Cluster backends require it — circuit-builder closures cannot travel
+	// over the control plane, so every node compiles the spec locally —
+	// and the simulation backend falls back to it when Program is nil.
+	Spec *ProgramSpec
+	// Graph is the distributed property graph, including every owner's
+	// initial states and private inputs.
+	Graph *Graph
+	// Iterations is the number of computation+communication steps.
+	Iterations int
+	// Epsilon is the output-privacy budget charged for this query's
+	// release; 0 disables the final Laplace noise (correctness tests
+	// only — a real deployment always noises, §3.6).
+	Epsilon float64
+	// Decode converts the released raw fixed-point aggregate to its
+	// real-world value (e.g. CircuitConfig.Decode for dollars). Optional;
+	// when nil, Result.Value is the raw value.
+	Decode func(int64) float64
+}
+
+// program resolves the compiled program from Program or Spec.
+func (j *Job) program() (*Program, error) {
+	if j.Program != nil {
+		return j.Program, nil
+	}
+	if j.Spec != nil {
+		return j.Spec.Build()
+	}
+	return nil, fmt.Errorf("dstress: job has neither Program nor Spec")
+}
+
+// Result is the outcome of one query.
+type Result struct {
+	// Raw is the opened (noised) aggregate in raw fixed-point units.
+	Raw int64
+	// Value is Decode(Raw), or float64(Raw) when the job has no decoder.
+	Value float64
+	// Epsilon is the privacy budget this release consumed.
+	Epsilon float64
+	// Report describes the execution that produced the result.
+	Report *Report
+}
+
+// Report summarizes one execution with the same fields in both modes: the
+// per-phase wall times and traffic of the paper's Figures 3–6.
+//
+// Phase semantics per transport: "sim" measures phases on the single
+// driving process and counts bytes sent across all simulated nodes; "tcp"
+// takes each phase's duration as the slowest node's (phases barrier on the
+// protocol's own communication) and halves the summed per-node sent+
+// received counters, so both modes report total bytes *sent* per phase. A
+// tcp Init additionally includes the GMW/OT session handshakes, which the
+// simulation performs at construction time; on a Session only the first
+// query pays it.
+type Report struct {
+	// Transport is "sim" or "tcp".
+	Transport string
+	// Nodes is the number of participants.
+	Nodes int
+	// Phase wall-clock durations. Noising happens inside the aggregation
+	// MPC, matching the paper's "Aggregation & noising" bar in Figure 5.
+	InitTime, ComputeTime, CommTime, AggTime time.Duration
+	// Phase traffic totals (bytes sent across all nodes).
+	InitBytes, ComputeBytes, CommBytes, AggBytes int64
+	// WallTime is the end-to-end duration observed by the driver.
+	WallTime time.Duration
+	// AvgNodeBytes and MaxNodeBytes summarize per-node sent+received
+	// traffic — the "traffic per node" quantity of Figures 4–6.
+	AvgNodeBytes float64
+	MaxNodeBytes int64
+	// Iterations actually executed.
+	Iterations int
+	// UpdateAndGates and AggAndGates record circuit sizes (cost drivers).
+	UpdateAndGates, AggAndGates int
+}
+
+// TotalTime returns the summed phase durations.
+func (r *Report) TotalTime() time.Duration {
+	return r.InitTime + r.ComputeTime + r.CommTime + r.AggTime
+}
+
+// TotalBytes returns the summed phase traffic.
+func (r *Report) TotalBytes() int64 {
+	return r.InitBytes + r.ComputeBytes + r.CommBytes + r.AggBytes
+}
+
+// Engine runs jobs. Both backends implement it: NewSimEngine executes
+// in-process against the simulated hub, NewClusterEngine stands up real
+// TCP-connected node daemons. Canceling ctx aborts the run — every blocked
+// protocol receive returns an error instead of hanging on a dead or slow
+// counterparty.
+type Engine interface {
+	Run(ctx context.Context, job Job) (*Result, error)
+}
+
+// SessionEngine is an Engine that can hold a deployment open across
+// queries: trusted-party setup, GMW handshakes, and fixed-base tables are
+// paid once at Open and reused by every Query.
+type SessionEngine interface {
+	Engine
+	Open(ctx context.Context, job Job, budget float64) (*Session, error)
+}
+
+// EngineConfig parameterizes a deployment. Unlike the per-query knobs on
+// Job, these are fixed for the deployment's lifetime.
+type EngineConfig struct {
+	// Group is the cyclic group for ElGamal and base OTs.
+	Group Group
+	// K is the collusion bound; blocks have K+1 members (§3.2).
+	K int
+	// Alpha is the transfer-noise parameter (§3.5); 0 disables edge
+	// noising.
+	Alpha float64
+	// NoiseShift samples output noise at a granularity of 2^NoiseShift raw
+	// LSBs (set to the program's fractional bits).
+	NoiseShift int
+	// OTMode selects dealer vs IKNP OT provisioning. Simulation only:
+	// cluster runs always use IKNP (a dealer broker is an in-process
+	// object and cannot span machines).
+	OTMode OTMode
+	// Parallelism caps concurrently executing block MPCs / transfers in
+	// the simulation; 0 means GOMAXPROCS.
+	Parallelism int
+	// TablePFail is the per-decryption failure budget used to size the
+	// ElGamal lookup table (Appendix B); 0 means 1e-12.
+	TablePFail float64
+	// AggFanIn enables hierarchical aggregation (§3.6); 0 keeps the single
+	// aggregation block.
+	AggFanIn int
+}
+
+// OTMode selects the GMW oblivious-transfer provisioning (OTDealer or
+// OTIKNP).
+type OTMode = vertex.OTMode
+
+// ProgramSpec names a vertex program plus its compile-time parameters, so
+// a program can be shipped over the cluster control plane by name and
+// compiled identically on every node.
+type ProgramSpec = cluster.ProgramSpec
+
+// RegisterProgram adds a custom program family to the spec registry; every
+// node binary of a cluster must register the same kinds.
+func RegisterProgram(kind string, build func(ProgramSpec) (*Program, error)) {
+	cluster.RegisterProgram(kind, build)
+}
+
+// ---------------------------------------------------------------------------
+// Simulation engine
+// ---------------------------------------------------------------------------
+
+// SimEngine executes jobs on the in-process simulated deployment.
+type SimEngine struct {
+	cfg EngineConfig
+}
+
+var (
+	_ SessionEngine = (*SimEngine)(nil)
+	_ SessionEngine = (*ClusterEngine)(nil)
+)
+
+// NewSimEngine returns the simulation backend.
+func NewSimEngine(cfg EngineConfig) *SimEngine { return &SimEngine{cfg: cfg} }
+
+func (e *SimEngine) vertexConfig(epsilon float64) Config {
+	return Config{
+		Group: e.cfg.Group, K: e.cfg.K, Alpha: e.cfg.Alpha, Epsilon: epsilon,
+		NoiseShift: e.cfg.NoiseShift, OTMode: e.cfg.OTMode,
+		Parallelism: e.cfg.Parallelism, TablePFail: e.cfg.TablePFail,
+		AggFanIn: e.cfg.AggFanIn,
+	}
+}
+
+// Run executes one job end to end: deployment setup, the query, teardown.
+func (e *SimEngine) Run(ctx context.Context, job Job) (*Result, error) {
+	sess, err := e.Open(ctx, job, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	return sess.Query(ctx, QuerySpec{Iterations: job.Iterations, Epsilon: job.Epsilon})
+}
+
+// Open stands the simulated deployment up — trusted-party setup, block GMW
+// sessions with their OT handshakes, circuit compilation — and returns a
+// Session whose queries reuse all of it. budget is the total ε the session
+// may spend (0 = unmetered); job's Iterations and Epsilon become the
+// session's defaults.
+func (e *SimEngine) Open(_ context.Context, job Job, budget float64) (*Session, error) {
+	prog, err := job.program()
+	if err != nil {
+		return nil, err
+	}
+	rt, err := vertex.New(e.vertexConfig(job.Epsilon), prog, job.Graph)
+	if err != nil {
+		return nil, err
+	}
+	return newSession(&simBackend{rt: rt, nodes: job.Graph.N()}, job, budget), nil
+}
+
+type simBackend struct {
+	rt    *vertex.Runtime
+	nodes int
+}
+
+func (b *simBackend) query(ctx context.Context, q QuerySpec) (int64, *Report, error) {
+	start := time.Now()
+	raw, rep, err := b.rt.RunQuery(ctx, q.Iterations, q.Epsilon)
+	if err != nil {
+		return 0, nil, err
+	}
+	out := &Report{
+		Transport: "sim",
+		Nodes:     b.nodes,
+		InitTime:  rep.InitTime, ComputeTime: rep.ComputeTime,
+		CommTime: rep.CommTime, AggTime: rep.AggTime,
+		InitBytes: rep.InitBytes, ComputeBytes: rep.ComputeBytes,
+		CommBytes: rep.CommBytes, AggBytes: rep.AggBytes,
+		WallTime:     time.Since(start),
+		AvgNodeBytes: rep.AvgNodeBytes, MaxNodeBytes: rep.MaxNodeBytes,
+		Iterations:     rep.Iterations,
+		UpdateAndGates: rep.UpdateAndGates, AggAndGates: rep.AggAndGates,
+	}
+	return raw, out, nil
+}
+
+func (b *simBackend) close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Cluster engine
+// ---------------------------------------------------------------------------
+
+// ClusterEngine executes jobs on a loopback TCP cluster: one coordinator
+// plus one real node daemon per vertex, each with its own tcpnet data
+// plane, every message crossing a real socket. Jobs must carry a Spec.
+// Multi-machine deployments run cmd/dstress-node on each machine instead;
+// the protocol and wire format are identical.
+type ClusterEngine struct {
+	cfg EngineConfig
+}
+
+// NewClusterEngine returns the loopback-cluster backend. OTMode and
+// Parallelism are ignored: cluster nodes always provision OTs with IKNP
+// and parallelize their own roles.
+func NewClusterEngine(cfg EngineConfig) *ClusterEngine { return &ClusterEngine{cfg: cfg} }
+
+func (e *ClusterEngine) scenario(job Job) (cluster.Scenario, error) {
+	if e.cfg.Group == nil {
+		return cluster.Scenario{}, fmt.Errorf("dstress: cluster engine needs a group")
+	}
+	if job.Spec == nil {
+		return cluster.Scenario{}, fmt.Errorf("dstress: cluster jobs need a Spec (closures cannot cross the control plane); register the program and name it")
+	}
+	return cluster.Scenario{
+		Cfg: cluster.ConfigWire{
+			Group: e.cfg.Group.Name(), K: e.cfg.K, Alpha: e.cfg.Alpha,
+			Epsilon: job.Epsilon, NoiseShift: e.cfg.NoiseShift,
+			TablePFail: e.cfg.TablePFail, AggFanIn: e.cfg.AggFanIn,
+		},
+		Prog:       *job.Spec,
+		Graph:      job.Graph,
+		Iterations: job.Iterations,
+	}, nil
+}
+
+// Run executes one job end to end on a fresh loopback cluster.
+func (e *ClusterEngine) Run(ctx context.Context, job Job) (*Result, error) {
+	sess, err := e.Open(ctx, job, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	return sess.Query(ctx, QuerySpec{Iterations: job.Iterations, Epsilon: job.Epsilon})
+}
+
+// Open stands a loopback cluster up — node registration, trusted-party
+// setup, standing control connections — and returns a Session whose
+// queries reuse the fleet (GMW handshakes happen once, on the first
+// query). budget is the total ε the session may spend (0 = unmetered).
+func (e *ClusterEngine) Open(ctx context.Context, job Job, budget float64) (*Session, error) {
+	sc, err := e.scenario(job)
+	if err != nil {
+		return nil, err
+	}
+	lb, err := cluster.OpenLoopback(ctx, sc)
+	if err != nil {
+		return nil, err
+	}
+	return newSession(&clusterBackend{lb: lb, nodes: job.Graph.N()}, job, budget), nil
+}
+
+type clusterBackend struct {
+	lb    *cluster.Loopback
+	nodes int
+}
+
+func (b *clusterBackend) query(ctx context.Context, q QuerySpec) (int64, *Report, error) {
+	sum, err := b.lb.Run(ctx, cluster.Query{Iterations: q.Iterations, Epsilon: q.Epsilon})
+	if err != nil {
+		return 0, nil, err
+	}
+	return sum.Result, summaryReport(sum, b.nodes), nil
+}
+
+func (b *clusterBackend) close() error { return b.lb.Close() }
+
+// summaryReport folds a cluster Summary's per-node reports into the
+// unified shape: phase times are the slowest node's (the protocol's own
+// communication barriers make that the wall time of the phase), and phase
+// bytes are the summed per-node sent+received counters halved, i.e. total
+// bytes sent — the same quantity the simulation reports.
+func summaryReport(sum *cluster.Summary, nodes int) *Report {
+	out := &Report{Transport: "tcp", Nodes: nodes, WallTime: sum.WallTime}
+	var initB, compB, commB, aggB int64
+	for _, rep := range sum.Reports {
+		if rep.InitTime > out.InitTime {
+			out.InitTime = rep.InitTime
+		}
+		if rep.ComputeTime > out.ComputeTime {
+			out.ComputeTime = rep.ComputeTime
+		}
+		if rep.CommTime > out.CommTime {
+			out.CommTime = rep.CommTime
+		}
+		if rep.AggTime > out.AggTime {
+			out.AggTime = rep.AggTime
+		}
+		initB += rep.InitBytes
+		compB += rep.ComputeBytes
+		commB += rep.CommBytes
+		aggB += rep.AggBytes
+		out.Iterations = rep.Iterations
+		out.UpdateAndGates = rep.UpdateAndGates
+		out.AggAndGates = rep.AggAndGates
+	}
+	out.InitBytes, out.ComputeBytes, out.CommBytes, out.AggBytes = initB/2, compB/2, commB/2, aggB/2
+	out.AvgNodeBytes = sum.AvgNodeBytes()
+	out.MaxNodeBytes = sum.MaxNodeBytes()
+	return out
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -61,7 +62,7 @@ func main() {
 		procs = append(procs, cmd)
 	}
 
-	sum, err := co.Run()
+	sum, err := co.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func runChildNode() {
 	if err != nil {
 		log.Fatalf("bad DSTRESS_NODE_ID: %v", err)
 	}
-	res, err := cluster.RunNode(cluster.NodeOptions{
+	res, err := cluster.RunNode(context.Background(), cluster.NodeOptions{
 		ID:         network.NodeID(id),
 		CoordAddr:  os.Getenv("DSTRESS_COORD"),
 		ListenAddr: "127.0.0.1:0",

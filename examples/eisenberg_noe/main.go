@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -70,7 +71,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	raw, rep, err := rt.Run(iters)
+	raw, rep, err := rt.Run(context.Background(), iters)
 	if err != nil {
 		log.Fatal(err)
 	}

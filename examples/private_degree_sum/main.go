@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -87,7 +88,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	noisy, rep, err := rt.Run(1)
+	noisy, rep, err := rt.Run(context.Background(), 1)
 	if err != nil {
 		log.Fatal(err)
 	}

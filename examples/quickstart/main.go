@@ -1,10 +1,12 @@
 // Quickstart: run a privacy-preserving Eisenberg–Noe stress test on a
-// five-bank debt chain and compare against the plaintext ground truth.
+// five-bank debt chain and compare against the plaintext ground truth,
+// then pose a second budgeted query against the standing deployment.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +14,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A five-bank debt chain: bank 0 owes bank 1, which owes bank 2, and so
 	// on, each with thin cash reserves. Wiping out bank 0's reserves makes
 	// shortfalls cascade down the chain.
@@ -42,26 +46,56 @@ func main() {
 		log.Fatal(err)
 	}
 
-	iters := dstress.RecommendedIterations(net.N) + 2
-	rt, err := dstress.NewRuntime(dstress.Config{
-		Group:   dstress.TestGroup(), // demo group; use dstress.P256() in deployment
-		K:       1,                   // tolerate 1 colluding node (blocks of 2)
-		Alpha:   0.5,                 // edge-privacy noise on transfers
-		Epsilon: 0.5,                 // output-privacy budget for this query
-		OTMode:  dstress.OTDealer,
-	}, prog, graph)
-	if err != nil {
-		log.Fatal(err)
-	}
-	raw, report, err := rt.Run(iters)
-	if err != nil {
-		log.Fatal(err)
+	// An Engine runs Jobs; NewSimEngine simulates the deployment in this
+	// process, NewClusterEngine runs the identical Job on real
+	// TCP-connected daemons (see examples/cluster). Canceling the context
+	// aborts a run instead of hanging on a dead counterparty.
+	eng := dstress.NewSimEngine(dstress.EngineConfig{
+		Group:  dstress.TestGroup(), // demo group; use dstress.P256() in deployment
+		K:      1,                   // tolerate 1 colluding node (blocks of 2)
+		Alpha:  0.5,                 // edge-privacy noise on transfers
+		OTMode: dstress.OTDealer,
+	})
+	job := dstress.Job{
+		Program:    prog,
+		Graph:      graph,
+		Iterations: dstress.RecommendedIterations(net.N) + 2,
+		Epsilon:    0.5, // output-privacy budget for this query
+		Decode:     cfg.Decode,
 	}
 
-	fmt.Printf("DStress (ε=0.5):    TDS = $%.1f (noised)\n", cfg.Decode(raw))
-	fmt.Printf("execution: %d iterations, update circuit %d AND gates\n",
-		report.Iterations, report.UpdateAndGates)
+	// A Session keeps the deployment standing — trusted-party setup and the
+	// GMW/OT handshakes happen once — and charges every query against an ε
+	// budget, refusing queries that would overspend it.
+	sess, err := eng.Open(ctx, job, 1.2 /* total ε budget */)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	res, err := sess.Query(ctx, dstress.QuerySpec{Epsilon: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DStress (ε=%.1f):    TDS = $%.1f (noised)\n", res.Epsilon, res.Value)
+	rep := res.Report
+	fmt.Printf("execution: %s transport, %d iterations, update circuit %d AND gates\n",
+		rep.Transport, rep.Iterations, rep.UpdateAndGates)
 	fmt.Printf("phases: init %v, compute %v, transfer %v, aggregate+noise %v\n",
-		report.InitTime, report.ComputeTime, report.CommTime, report.AggTime)
-	fmt.Printf("traffic: %.1f KB per node on average\n", report.AvgNodeBytes/1024)
+		rep.InitTime, rep.ComputeTime, rep.CommTime, rep.AggTime)
+	fmt.Printf("traffic: %.1f KB per node on average\n", rep.AvgNodeBytes/1024)
+
+	// A second query against the same standing deployment: no new setup,
+	// only share redistribution — note the init phase collapsing.
+	res2, err := sess.Query(ctx, dstress.QuerySpec{Epsilon: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("second query (ε=%.1f): TDS = $%.1f; init %v (was %v); ε remaining %.2f\n",
+		res2.Epsilon, res2.Value, res2.Report.InitTime, rep.InitTime, sess.Remaining())
+
+	// The budget is enforced: a third 0.5 query would exceed 1.2.
+	if _, err := sess.Query(ctx, dstress.QuerySpec{Epsilon: 0.5}); err != nil {
+		fmt.Printf("third query refused: %v\n", err)
+	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 
 	"dstress/internal/finnet"
@@ -51,7 +52,7 @@ func enChainScenario(t *testing.T, n int, cfg ConfigWire, iterations int) (Scena
 // separate processes would run it.
 func runLoopbackCluster(t *testing.T, sc Scenario) *Summary {
 	t.Helper()
-	sum, err := RunLoopback(sc)
+	sum, err := RunLoopback(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -14,10 +15,11 @@ import (
 	"dstress/internal/vertex"
 )
 
-// Scenario is everything the coordinator needs to drive one execution: the
-// deployment parameters, the program, the graph (with every owner's private
+// Scenario is everything the coordinator needs to stand up one deployment:
+// the parameters, the program, the graph (with every owner's private
 // inputs — the coordinator is the experiment driver that generated the
-// scenario), and the iteration count.
+// scenario), and the default query (Iterations, Cfg.Epsilon) for
+// single-shot runs.
 type Scenario struct {
 	Cfg        ConfigWire
 	Prog       ProgramSpec
@@ -25,7 +27,16 @@ type Scenario struct {
 	Iterations int
 }
 
-// Summary is the coordinator's view of a completed run.
+// Query parameterizes one execution against a standing deployment.
+type Query struct {
+	// Iterations is the number of computation+communication steps.
+	Iterations int
+	// Epsilon is the output-privacy budget for this query; 0 disables the
+	// final Laplace noise (correctness tests only).
+	Epsilon float64
+}
+
+// Summary is the coordinator's view of one completed query.
 type Summary struct {
 	// Result is the opened noised aggregate, agreed by every
 	// aggregation-block member.
@@ -72,9 +83,9 @@ func (s *Summary) AvgNodeBytes() float64 {
 	return float64(t) / float64(len(s.Stats))
 }
 
-// Coordinator serves the control plane for one execution: it collects node
-// registrations, plays the trusted party of §3.4, publishes the job, and
-// gathers the reports.
+// Coordinator serves the control plane for one deployment: it collects node
+// registrations, plays the trusted party of §3.4, and then drives one or
+// more queries through the standing fleet.
 type Coordinator struct {
 	sc   Scenario
 	grp  group.Group
@@ -82,10 +93,11 @@ type Coordinator struct {
 	ln   net.Listener
 
 	// RegisterTimeout bounds the whole registration phase; if fewer than N
-	// nodes have connected and registered by then, Run fails with a clear
-	// error instead of hanging a partially launched fleet forever. The
-	// run itself, once dispatched, is not subject to it. Defaults to 2
-	// minutes; set it between NewCoordinator and Run to override.
+	// nodes have connected and registered by then, Open fails with a clear
+	// error instead of hanging a partially launched fleet forever. A
+	// deadline on Open's context tightens it further. Queries themselves
+	// are bounded only by their own context. Defaults to 2 minutes; set it
+	// between NewCoordinator and Open to override.
 	RegisterTimeout time.Duration
 }
 
@@ -125,47 +137,19 @@ func NewCoordinator(ctrlAddr string, sc Scenario) (*Coordinator, error) {
 // Addr returns the control-plane address nodes should dial.
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 
-// Close releases the control listener (Run closes it itself on completion).
+// Close releases the control listener (Open closes it itself on success).
 func (c *Coordinator) Close() error { return c.ln.Close() }
 
-// RunLoopback stands up a complete cluster in this process — a coordinator
-// on an ephemeral loopback port plus one RunNode per vertex, each with its
-// own TCP data plane — and runs the scenario through it. Every message
-// crosses a real socket. Used by dstress-run's -transport tcp and the
-// end-to-end tests; multi-process deployments drive Coordinator and RunNode
-// directly.
-func RunLoopback(sc Scenario) (*Summary, error) {
-	co, err := NewCoordinator("127.0.0.1:0", sc)
+// Run drives one full single-shot execution: Open, one query with the
+// scenario's default parameters, Close. It blocks until every node has
+// reported (or a control-plane error / context cancellation).
+func (c *Coordinator) Run(ctx context.Context) (*Summary, error) {
+	sess, err := c.Open(ctx)
 	if err != nil {
 		return nil, err
 	}
-	n := sc.Graph.N()
-	nodeErrs := make(chan error, n)
-	var wg sync.WaitGroup
-	for id := 1; id <= n; id++ {
-		id := network.NodeID(id)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if _, err := RunNode(NodeOptions{
-				ID: id, CoordAddr: co.Addr(), ListenAddr: "127.0.0.1:0",
-			}); err != nil {
-				nodeErrs <- fmt.Errorf("node %d: %w", id, err)
-			}
-		}()
-	}
-	sum, runErr := co.Run()
-	wg.Wait()
-	close(nodeErrs)
-	for err := range nodeErrs {
-		if runErr == nil {
-			runErr = err
-		}
-	}
-	if runErr != nil {
-		return nil, runErr
-	}
-	return sum, nil
+	defer sess.Close()
+	return sess.Run(ctx, Query{Iterations: c.sc.Iterations, Epsilon: c.sc.Cfg.Epsilon})
 }
 
 type nodeConn struct {
@@ -176,11 +160,29 @@ type nodeConn struct {
 	reg  trustedparty.NodeRegistration
 }
 
-// Run drives one full execution: wait for all N nodes, run trusted-party
-// setup over their registrations, dispatch the job, and collect reports.
-// It blocks until every node has reported (or a control-plane error).
-func (c *Coordinator) Run() (*Summary, error) {
-	defer c.ln.Close()
+// Session is a standing deployment: registration and trusted-party setup
+// have completed, every node keeps its control connection, GMW sessions and
+// OT handshakes survive across queries, and each Run dispatches one more
+// query to the fleet. Sessions are not safe for concurrent Runs.
+type Session struct {
+	c         *Coordinator
+	conns     map[network.NodeID]*nodeConn
+	ids       []network.NodeID
+	setup     *trustedparty.SetupResult
+	wireSetup trustedparty.WireSetup
+	directory map[network.NodeID]string
+
+	mu       sync.Mutex
+	jobsSent int
+	closed   bool
+}
+
+// Open runs the registration phase — accept one control connection per
+// node, hand out the public parameters, collect registrations — and the
+// trusted-party setup of §3.4 over them, returning the standing session.
+// Registration is bounded by ctx's deadline and RegisterTimeout, whichever
+// is earlier; cancellation aborts the accept loop.
+func (c *Coordinator) Open(ctx context.Context) (*Session, error) {
 	g := c.sc.Graph
 	n := g.N()
 	params := trustedparty.Params{Group: c.grp, K: c.sc.Cfg.K, D: g.D, L: c.prog.MsgBits}
@@ -197,32 +199,49 @@ func (c *Coordinator) Run() (*Summary, error) {
 		e  error
 	}
 	regCh := make(chan regResult, n)
-	// Every accepted connection is closed when Run returns, whether or not
+	// Every accepted connection is closed if Open fails, whether or not
 	// its registration completed: a node blocked in its control-plane
 	// handshake must be released when the coordinator aborts.
 	var accepted []net.Conn
+	ok := false
 	defer func() {
-		for _, c := range accepted {
-			c.Close()
+		if !ok {
+			// A failed Open must release everything it held: the blocked
+			// nodes and the listener (nothing else will ever close it).
+			for _, c := range accepted {
+				c.Close()
+			}
+			c.ln.Close()
 		}
 	}()
+	// RegisterTimeout ≤ 0 disables the coordinator-side bound; ctx's
+	// deadline (if any) still applies.
 	var regDeadline time.Time
 	if c.RegisterTimeout > 0 {
 		regDeadline = time.Now().Add(c.RegisterTimeout)
-		if tl, ok := c.ln.(*net.TCPListener); ok {
+	}
+	if d, has := ctx.Deadline(); has && (regDeadline.IsZero() || d.Before(regDeadline)) {
+		regDeadline = d
+	}
+	if !regDeadline.IsZero() {
+		if tl, isTCP := c.ln.(*net.TCPListener); isTCP {
 			tl.SetDeadline(regDeadline)
 		}
 	}
+	// Cancellation closes the listener so a blocked Accept returns.
+	stopAccept := context.AfterFunc(ctx, func() { c.ln.Close() })
+	defer stopAccept()
 	for i := 0; i < n; i++ {
 		conn, err := c.ln.Accept()
 		if err != nil {
-			return nil, fmt.Errorf("cluster: control accept (%d of %d nodes registered before the %v registration deadline): %w",
-				i, n, c.RegisterTimeout, err)
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, fmt.Errorf("cluster: registration canceled after %d of %d nodes: %w", i, n, ctxErr)
+			}
+			return nil, fmt.Errorf("cluster: control accept (%d of %d nodes registered before the registration deadline): %w",
+				i, n, err)
 		}
 		accepted = append(accepted, conn)
-		if !regDeadline.IsZero() {
-			conn.SetDeadline(regDeadline)
-		}
+		conn.SetDeadline(regDeadline)
 		go func(conn net.Conn) {
 			nc := &nodeConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
 			var hello helloMsg
@@ -254,29 +273,30 @@ func (c *Coordinator) Run() (*Summary, error) {
 		}(conn)
 	}
 	conns := make(map[network.NodeID]*nodeConn, n)
-	defer func() {
-		for _, nc := range conns {
-			nc.conn.Close()
-		}
-	}()
 	for i := 0; i < n; i++ {
-		r := <-regCh
-		if r.e != nil {
-			return nil, r.e
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case r := <-regCh:
+			if r.e != nil {
+				return nil, r.e
+			}
+			if r.id < 1 || int(r.id) > n {
+				return nil, fmt.Errorf("cluster: node id %d outside [1,%d]", r.id, n)
+			}
+			if _, dup := conns[r.id]; dup {
+				return nil, fmt.Errorf("cluster: duplicate node id %d", r.id)
+			}
+			conns[r.id] = r.nc
 		}
-		if r.id < 1 || int(r.id) > n {
-			return nil, fmt.Errorf("cluster: node id %d outside [1,%d]", r.id, n)
-		}
-		if _, dup := conns[r.id]; dup {
-			return nil, fmt.Errorf("cluster: duplicate node id %d", r.id)
-		}
-		conns[r.id] = r.nc
 	}
-	// Registration is complete; the run itself may take arbitrarily long,
-	// so lift the handshake deadline from the control connections.
+	// Registration is complete; queries may take arbitrarily long, so lift
+	// the handshake deadline from the control connections and stop
+	// accepting new ones.
 	for _, nc := range conns {
 		nc.conn.SetDeadline(time.Time{})
 	}
+	c.ln.Close()
 
 	// --- Trusted-party setup over the collected registrations.
 	tp, err := trustedparty.New(params)
@@ -296,27 +316,71 @@ func (c *Coordinator) Run() (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	wireSetup := trustedparty.MarshalSetup(c.grp, setup)
 	directory := make(map[network.NodeID]string, n)
 	for id, nc := range conns {
 		directory[id] = nc.addr
 	}
+	ok = true
+	return &Session{
+		c: c, conns: conns, ids: ids, setup: setup,
+		wireSetup: trustedparty.MarshalSetup(c.grp, setup),
+		directory: directory,
+	}, nil
+}
 
-	// --- Dispatch the job; this triggers the run.
+// Run dispatches one query to the standing fleet and collects the reports.
+// The first query ships the topology, directory, and signed setup; later
+// queries ship only the per-query parameters and the owners' (possibly
+// updated) private inputs, and reuse the nodes' standing GMW sessions. A
+// node failure or context cancellation aborts the whole session — the
+// deployment is fail-stop, matching the paper's prototype.
+func (s *Session) Run(ctx context.Context, q Query) (*Summary, error) {
+	if q.Iterations < 0 {
+		return nil, fmt.Errorf("cluster: negative iteration count %d", q.Iterations)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("cluster: session is closed")
+	}
+	// Claim the first-job slot only once validation is done: a rejected
+	// query must not consume the one job that ships the setup.
+	first := s.jobsSent == 0
+	s.jobsSent++
+	s.mu.Unlock()
+
+	g := s.c.sc.Graph
+	n := g.N()
+	cfg := s.c.sc.Cfg
+	cfg.Epsilon = q.Epsilon
+
+	// On any failure below the session is unusable: release the fleet so
+	// every node fails fast instead of waiting on dead counterparties.
+	sum, err := s.runQuery(ctx, q, cfg, g, n, first)
+	if err != nil {
+		s.abort()
+		return nil, err
+	}
+	return sum, nil
+}
+
+func (s *Session) runQuery(ctx context.Context, q Query, cfg ConfigWire, g *vertex.Graph, n int, first bool) (*Summary, error) {
+	// --- Dispatch the job; this triggers the query.
 	start := time.Now()
-	topo := TopologyWire{D: g.D, Out: g.Out}
-	for _, id := range ids {
+	for _, id := range s.ids {
 		job := jobMsg{
-			Cfg:        c.sc.Cfg,
-			Prog:       c.sc.Prog,
-			Topo:       topo,
+			Cfg:        cfg,
+			Prog:       s.c.sc.Prog,
 			InitState:  g.InitState[id-1],
 			Priv:       g.Priv[id-1],
-			Directory:  directory,
-			Setup:      wireSetup,
-			Iterations: c.sc.Iterations,
+			Iterations: q.Iterations,
 		}
-		if err := conns[id].enc.Encode(job); err != nil {
+		if first {
+			job.Topo = TopologyWire{D: g.D, Out: g.Out}
+			job.Directory = s.directory
+			job.Setup = s.wireSetup
+		}
+		if err := s.conns[id].enc.Encode(job); err != nil {
 			return nil, fmt.Errorf("cluster: dispatching job to node %d: %w", id, err)
 		}
 	}
@@ -324,8 +388,8 @@ func (c *Coordinator) Run() (*Summary, error) {
 	// --- Collect reports.
 	doneCh := make(chan doneMsg, n)
 	errCh := make(chan error, n)
-	for _, id := range ids {
-		nc := conns[id]
+	for _, id := range s.ids {
+		nc := s.conns[id]
 		id := id
 		go func() {
 			var d doneMsg
@@ -347,6 +411,8 @@ func (c *Coordinator) Run() (*Summary, error) {
 	var results []int64
 	for i := 0; i < n; i++ {
 		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		case err := <-errCh:
 			return nil, err
 		case d := <-doneCh:
@@ -363,7 +429,7 @@ func (c *Coordinator) Run() (*Summary, error) {
 	sum.WallTime = time.Since(start)
 
 	// Every aggregation-block member opened the aggregate; they must agree.
-	if want := len(setup.Assignment.AggBlock); len(results) != want {
+	if want := len(s.setup.Assignment.AggBlock); len(results) != want {
 		return nil, fmt.Errorf("cluster: %d nodes reported a result, want %d aggregation members", len(results), want)
 	}
 	for _, r := range results[1:] {
@@ -372,5 +438,142 @@ func (c *Coordinator) Run() (*Summary, error) {
 		}
 	}
 	sum.Result = results[0]
+	return sum, nil
+}
+
+// abort closes every control connection without the shutdown handshake;
+// nodes observe the loss, cancel any in-flight query, and exit with an
+// error.
+func (s *Session) abort() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, nc := range s.conns {
+		nc.conn.Close()
+	}
+}
+
+// Close shuts the standing fleet down cleanly: every node receives a
+// shutdown message and exits with its last result. Safe to call after a
+// failed Run (the session is already aborted then).
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := s.conns
+	s.mu.Unlock()
+	var firstErr error
+	for _, nc := range conns {
+		if err := nc.enc.Encode(jobMsg{Shutdown: true}); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: shutting down: %w", err)
+		}
+	}
+	for _, nc := range conns {
+		nc.conn.Close()
+	}
+	return firstErr
+}
+
+// Loopback is a complete standing cluster in this process — a coordinator
+// session plus one node goroutine per vertex, each with its own TCP data
+// plane. Every message crosses a real socket. It exists for dstress-run's
+// -transport tcp, the end-to-end tests, and the facade's cluster engine;
+// multi-process deployments drive Coordinator and RunNode directly.
+type Loopback struct {
+	sess     *Session
+	cancel   context.CancelFunc
+	nodeWg   sync.WaitGroup
+	nodeErrs chan error
+}
+
+// OpenLoopback stands the cluster up: coordinator on an ephemeral loopback
+// port, one RunNode goroutine per vertex, registration and trusted-party
+// setup completed. The nodes live until Close (or a failed Run).
+func OpenLoopback(ctx context.Context, sc Scenario) (*Loopback, error) {
+	co, err := NewCoordinator("127.0.0.1:0", sc)
+	if err != nil {
+		return nil, err
+	}
+	n := sc.Graph.N()
+	// Node lifetime is the cluster's, not the opening context's: a
+	// canceled Open must still tear the fleet down, which nodeCtx does.
+	nodeCtx, cancel := context.WithCancel(context.Background())
+	lb := &Loopback{cancel: cancel, nodeErrs: make(chan error, n)}
+	for id := 1; id <= n; id++ {
+		id := network.NodeID(id)
+		lb.nodeWg.Add(1)
+		go func() {
+			defer lb.nodeWg.Done()
+			if _, err := RunNode(nodeCtx, NodeOptions{
+				ID: id, CoordAddr: co.Addr(), ListenAddr: "127.0.0.1:0",
+			}); err != nil {
+				lb.nodeErrs <- fmt.Errorf("node %d: %w", id, err)
+			}
+		}()
+	}
+	sess, err := co.Open(ctx)
+	if err != nil {
+		cancel()
+		lb.nodeWg.Wait()
+		return nil, err
+	}
+	lb.sess = sess
+	return lb, nil
+}
+
+// Run executes one query on the standing loopback cluster.
+func (l *Loopback) Run(ctx context.Context, q Query) (*Summary, error) {
+	return l.sess.Run(ctx, q)
+}
+
+// Close shuts the fleet down and reports the first node error, if any. The
+// shutdown handshake (or, after a failed Run, the closed control
+// connections) makes every node exit on its own; canceling their context
+// up front would race the in-flight shutdown message, so cancellation is
+// only the watchdog for a node that fails to exit.
+func (l *Loopback) Close() error {
+	err := l.sess.Close()
+	exited := make(chan struct{})
+	go func() {
+		l.nodeWg.Wait()
+		close(exited)
+	}()
+	select {
+	case <-exited:
+	case <-time.After(15 * time.Second):
+		l.cancel()
+		<-exited
+	}
+	l.cancel()
+	close(l.nodeErrs)
+	for nodeErr := range l.nodeErrs {
+		if err == nil {
+			err = nodeErr
+		}
+	}
+	return err
+}
+
+// RunLoopback stands up a loopback cluster, runs the scenario's default
+// query through it, and tears it down.
+func RunLoopback(ctx context.Context, sc Scenario) (*Summary, error) {
+	lb, err := OpenLoopback(ctx, sc)
+	if err != nil {
+		return nil, err
+	}
+	sum, runErr := lb.Run(ctx, Query{Iterations: sc.Iterations, Epsilon: sc.Cfg.Epsilon})
+	closeErr := lb.Close()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if closeErr != nil {
+		return nil, closeErr
+	}
 	return sum, nil
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -17,7 +18,7 @@ func TestRegistrationDeadline(t *testing.T) {
 	}
 	co.RegisterTimeout = 300 * time.Millisecond
 	start := time.Now()
-	_, err = co.Run() // no nodes ever connect
+	_, err = co.Run(context.Background()) // no nodes ever connect
 	if err == nil {
 		t.Fatal("Run succeeded with zero nodes")
 	}
@@ -44,13 +45,13 @@ func TestPartialFleetAborts(t *testing.T) {
 	for id := 1; id <= 3; id++ {
 		id := id
 		go func() {
-			_, err := RunNode(NodeOptions{
+			_, err := RunNode(context.Background(), NodeOptions{
 				ID: network.NodeID(id), CoordAddr: co.Addr(), ListenAddr: "127.0.0.1:0",
 			})
 			nodeErrs <- err
 		}()
 	}
-	if _, err := co.Run(); err == nil {
+	if _, err := co.Run(context.Background()); err == nil {
 		t.Fatal("coordinator succeeded with a missing node")
 	}
 	for i := 0; i < 3; i++ {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -33,6 +34,11 @@ type NodeOptions struct {
 	// AdvertiseAddr, when set, is the address peers dial instead of the
 	// literal listen address (NAT / container setups).
 	AdvertiseAddr string
+	// DialWindow bounds how long the initial coordinator dial retries when
+	// the context carries no deadline of its own (fleet launchers routinely
+	// start node processes before the coordinator's listener is up).
+	// 0 means 10 seconds.
+	DialWindow time.Duration
 }
 
 // NodeResult is what a node learns from a run.
@@ -45,10 +51,12 @@ type NodeResult struct {
 	Stats     network.Stats
 }
 
-// RunNode executes one participant: register with the coordinator, receive
-// the job, run every role node ID plays in the execution, and report back.
-// It returns after the coordinator has been sent the doneMsg.
-func RunNode(opt NodeOptions) (*NodeResult, error) {
+// RunNode executes one participant: register with the coordinator, then
+// serve the standing session — run every role node ID plays in each
+// dispatched query, report back, and wait for the next job — until the
+// coordinator sends a shutdown, the control connection dies, or ctx is
+// canceled. It returns the last completed query's result.
+func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 	if opt.ID < 1 {
 		return nil, fmt.Errorf("cluster: node id %d must be ≥ 1", opt.ID)
 	}
@@ -58,11 +66,23 @@ func RunNode(opt NodeOptions) (*NodeResult, error) {
 	}
 	defer peer.Close()
 
-	conn, err := dialRetry(opt.CoordAddr, 10*time.Second)
+	conn, err := dialRetry(ctx, opt.CoordAddr, opt.DialWindow)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dialing coordinator %s: %w", opt.CoordAddr, err)
 	}
 	defer conn.Close()
+	// ctlCtx governs everything this daemon does: it ends when the caller
+	// cancels, when the control connection dies, or when RunNode returns.
+	ctlCtx, ctlCancel := context.WithCancel(ctx)
+	defer ctlCancel()
+	// On cancellation, close the control connection (releases blocked gob
+	// decodes — the registration handshake included) and the data plane
+	// (releases writes; reads are already ctx-aware).
+	stop := context.AfterFunc(ctlCtx, func() {
+		conn.Close()
+		peer.Close()
+	})
+	defer stop()
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 
@@ -90,54 +110,86 @@ func RunNode(opt NodeOptions) (*NodeResult, error) {
 		return nil, fmt.Errorf("cluster: sending registration: %w", err)
 	}
 
-	var job jobMsg
-	if err := dec.Decode(&job); err != nil {
-		return nil, fmt.Errorf("cluster: reading job: %w", err)
-	}
-	for id, addr := range job.Directory {
-		if id != opt.ID {
-			peer.Register(id, addr)
-		}
-	}
-	// Self-delivery (a node can be relay and block member at once) goes
-	// through the peer's own listener like any other traffic — dialed at
-	// the local listen address, never the advertised one, which may not be
-	// reachable from inside a NAT.
-	peer.Register(opt.ID, selfDialAddr(peer.Addr()))
-
-	// Abort watcher: the coordinator sends nothing after the job, so this
-	// Decode returns only when it closes the control connection — which it
-	// does as soon as any node reports a failure. Closing the peer then
-	// releases every blocked data-plane Recv, so this daemon fails fast
-	// even when the dead node never dialed us (tcpnet's per-sender release
-	// covers only established inbound connections).
+	// The decoder goroutine owns the control connection's read side. When
+	// it fails — the coordinator closed the connection, which it does as
+	// soon as any node reports a failure — it cancels ctlCtx, which aborts
+	// any in-flight query and releases every blocked data-plane Recv, so
+	// this daemon fails fast even when a dead peer never dialed us
+	// (tcpnet's per-sender release covers only established inbound
+	// connections).
+	jobCh := make(chan jobMsg)
 	go func() {
-		var m jobMsg
-		_ = dec.Decode(&m)
-		peer.Close()
+		defer close(jobCh)
+		for {
+			var j jobMsg
+			if err := dec.Decode(&j); err != nil {
+				ctlCancel()
+				return
+			}
+			select {
+			case jobCh <- j:
+			case <-ctlCtx.Done():
+				return
+			}
+		}
 	}()
 
-	eng, err := newEngine(opt.ID, peer, grp, job, secrets)
-	var res NodeResult
-	var runErr error
-	if err != nil {
-		runErr = err
-	} else {
-		runErr = eng.run(job.Iterations, &res)
+	var eng *engine
+	var last *NodeResult
+	for job := range jobCh {
+		if job.Shutdown {
+			return last, nil
+		}
+		var res NodeResult
+		statsBefore := peer.Stats()
+		runErr := func() error {
+			if eng == nil {
+				var err error
+				eng, err = newEngine(opt.ID, peer, grp, job, secrets)
+				if err != nil {
+					return err
+				}
+				for id, addr := range job.Directory {
+					if id != opt.ID {
+						peer.Register(id, addr)
+					}
+				}
+				// Self-delivery (a node can be relay and block member at
+				// once) goes through the peer's own listener like any other
+				// traffic — dialed at the local listen address, never the
+				// advertised one, which may not be reachable from inside a
+				// NAT.
+				peer.Register(opt.ID, selfDialAddr(peer.Addr()))
+			}
+			return eng.runJob(ctlCtx, job, &res)
+		}()
+		// Report this job's traffic, not the whole session's: the peer's
+		// counters are cumulative, so later queries subtract the baseline.
+		now := peer.Stats()
+		res.Stats = network.Stats{
+			BytesSent:     now.BytesSent - statsBefore.BytesSent,
+			BytesReceived: now.BytesReceived - statsBefore.BytesReceived,
+			MessagesSent:  now.MessagesSent - statsBefore.MessagesSent,
+		}
+		done := doneMsg{ID: opt.ID, HasResult: res.HasResult, Result: res.Result, Report: res.Report, Stats: res.Stats}
+		if runErr != nil {
+			done.Err = runErr.Error()
+		}
+		if err := enc.Encode(done); err != nil && runErr == nil {
+			runErr = fmt.Errorf("cluster: reporting result: %w", err)
+		}
+		if runErr != nil {
+			return nil, runErr
+		}
+		last = &res
 	}
-	res.Stats = peer.Stats()
-
-	done := doneMsg{ID: opt.ID, HasResult: res.HasResult, Result: res.Result, Report: res.Report, Stats: res.Stats}
-	if runErr != nil {
-		done.Err = runErr.Error()
+	// The job channel closed without a shutdown message: the control plane
+	// is gone (coordinator abort, node failure elsewhere, or caller
+	// cancellation).
+	if err := ctx.Err(); err != nil {
+		return last, err
 	}
-	if err := enc.Encode(done); err != nil && runErr == nil {
-		runErr = fmt.Errorf("cluster: reporting result: %w", err)
-	}
-	if runErr != nil {
-		return nil, runErr
-	}
-	return &res, nil
+	return last, fmt.Errorf("cluster: node %d: control connection to coordinator lost", opt.ID)
 }
 
 // selfDialAddr rewrites an unspecified listen host (0.0.0.0 / ::) to
@@ -153,17 +205,38 @@ func selfDialAddr(listenAddr string) string {
 	return listenAddr
 }
 
-// dialRetry dials addr, retrying refused connections for up to window: a
-// fleet launcher routinely starts node processes before the coordinator's
-// listener is up.
-func dialRetry(addr string, window time.Duration) (net.Conn, error) {
-	deadline := time.Now().Add(window)
+// dialRetry dials addr with exponential backoff: a fleet launcher routinely
+// starts node processes before the coordinator's listener is up, so early
+// refusals are retried — quickly at first (a coordinator racing us up is
+// ready within milliseconds), backing off to 1s between attempts. The
+// retry window is capped by ctx's deadline; when ctx has none, `window`
+// (default 10s) bounds it.
+func dialRetry(ctx context.Context, addr string, window time.Duration) (net.Conn, error) {
+	if window <= 0 {
+		window = 10 * time.Second
+	}
+	if _, has := ctx.Deadline(); !has {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, window)
+		defer cancel()
+	}
+	var d net.Dialer
+	backoff := 25 * time.Millisecond
 	for {
-		conn, err := net.Dial("tcp", addr)
-		if err == nil || time.Now().After(deadline) {
-			return conn, err
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
 		}
-		time.Sleep(100 * time.Millisecond)
+		timer := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, err
+		case <-timer.C:
+		}
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
 	}
 }
 
@@ -187,10 +260,20 @@ type engine struct {
 	secrets trustedparty.NodeSecrets
 
 	updCirc *circuit.Circuit
-	aggCirc *circuit.Circuit
-	noise   vertex.NoiseSpec
 	table   *elgamal.Table
 	tparam  transfer.Params
+
+	// aggPlans caches the ε-dependent aggregation machinery per query
+	// budget, mirroring vertex.Runtime: a standing node serves queries at
+	// different budgets over one set of GMW sessions.
+	aggPlans map[float64]*nodeAggPlan
+	// sessionsReady records that the GMW sessions (and their OT
+	// handshakes) are standing; they are joined during the first job and
+	// reused by every later one.
+	sessionsReady bool
+	// certUses accumulates certificate-key uses across a session's jobs
+	// so fixed-base tables amortize even when single queries are short.
+	certUses int
 
 	// certCache holds precomputed fixed-base tables for the certificate
 	// keys this node encrypts under, the same cache vertex.Runtime uses,
@@ -270,14 +353,9 @@ func newEngine(id network.NodeID, tr network.Transport, grp group.Group, job job
 		stateShare: make(map[int]uint64),
 		msgShare:   make(map[int][]uint64),
 		certCache:  transfer.NewCertKeyCache(),
+		aggPlans:   make(map[float64]*nodeAggPlan),
 	}
 	if e.updCirc, err = prog.UpdateCircuit(g.D); err != nil {
-		return nil, err
-	}
-	if job.Cfg.Epsilon > 0 {
-		e.noise = vertex.DefaultNoiseSpec(job.Cfg.Epsilon, prog.Sensitivity, job.Cfg.NoiseShift)
-	}
-	if e.aggCirc, err = prog.AggregateCircuit(n, e.noise); err != nil {
 		return nil, err
 	}
 
@@ -323,14 +401,14 @@ func indexOf(ids []network.NodeID, id network.NodeID) int {
 // until every member of a session arrives, and nodes discover their
 // sessions in different orders, so any bounded schedule could deadlock
 // across processes.
-func (e *engine) createSessions() error {
+func (e *engine) createSessions(ctx context.Context) error {
 	opt := gmw.IKNPOT{Group: e.grp}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
 	join := func(v int, members []network.NodeID, mi int, tag string, store func(*gmw.Party)) {
 		defer wg.Done()
-		p, err := gmw.NewParty(gmw.Config{
+		p, err := gmw.NewParty(ctx, gmw.Config{
 			Parties: members, Index: mi, Transport: e.tr, Tag: tag, OT: opt,
 		})
 		mu.Lock()
@@ -354,16 +432,63 @@ func (e *engine) createSessions() error {
 	return firstErr
 }
 
-// run executes the full schedule and fills res.
-func (e *engine) run(iterations int, res *NodeResult) error {
+// nodeAggPlan bundles the ε-dependent half of a query: the noise spec and
+// the compiled flat-aggregation circuit (tree roots compile per query).
+type nodeAggPlan struct {
+	noise vertex.NoiseSpec
+	circ  *circuit.Circuit
+}
+
+// planFor returns (compiling and caching on first use) the aggregation plan
+// for the given privacy budget.
+func (e *engine) planFor(epsilon float64) (*nodeAggPlan, error) {
+	if pl, ok := e.aggPlans[epsilon]; ok {
+		return pl, nil
+	}
+	pl := &nodeAggPlan{}
+	if epsilon > 0 {
+		pl.noise = vertex.DefaultNoiseSpec(epsilon, e.prog.Sensitivity, e.cfg.NoiseShift)
+	}
+	var err error
+	if pl.circ, err = e.prog.AggregateCircuit(e.graph.N(), pl.noise); err != nil {
+		return nil, err
+	}
+	e.aggPlans[epsilon] = pl
+	return pl, nil
+}
+
+// runJob executes one query's full schedule and fills res. The first job
+// joins the GMW sessions (charged to its Init phase, like the simulated
+// runtime's New); later jobs of the standing session reuse them and pay
+// only share distribution.
+func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error {
+	iterations := job.Iterations
+	if iterations < 0 {
+		return fmt.Errorf("cluster: negative iteration count %d", iterations)
+	}
+	plan, err := e.planFor(job.Cfg.Epsilon)
+	if err != nil {
+		return err
+	}
+	// Refresh this node's own inputs: queries may follow updated books.
+	own := int(e.id) - 1
+	if len(job.Priv) != e.prog.PrivBits(e.graph.D) {
+		return fmt.Errorf("cluster: node %d got %d private input bits, program wants %d",
+			e.id, len(job.Priv), e.prog.PrivBits(e.graph.D))
+	}
+	e.graph.InitState[own] = job.InitState
+	e.graph.Priv[own] = job.Priv
+
 	rep := &vertex.Report{
 		Iterations:     iterations,
 		UpdateAndGates: e.updCirc.NumAnd,
-		AggAndGates:    e.aggCirc.NumAnd,
+		AggAndGates:    plan.circ.NumAnd,
 	}
 	// A cluster node is a single sender, so each certificate key it
-	// caches is used once per iteration.
-	if e.tparam.PrecomputeWorthwhile(iterations) {
+	// caches is used once per iteration; uses accumulate across the
+	// session's queries.
+	e.certUses += iterations
+	if e.tparam.PrecomputeWorthwhile(e.certUses) {
 		e.certCache.Enable()
 	}
 	phaseStart := func() (time.Time, int64) {
@@ -377,10 +502,13 @@ func (e *engine) run(iterations int, res *NodeResult) error {
 
 	// --- Initialization: session handshakes + owner share distribution. ---
 	t0, b0 := phaseStart()
-	if err := e.createSessions(); err != nil {
-		return err
+	if !e.sessionsReady {
+		if err := e.createSessions(ctx); err != nil {
+			return err
+		}
+		e.sessionsReady = true
 	}
-	if err := e.initShares(); err != nil {
+	if err := e.initShares(ctx); err != nil {
 		return err
 	}
 	rep.InitTime = time.Since(t0)
@@ -389,7 +517,7 @@ func (e *engine) run(iterations int, res *NodeResult) error {
 	// --- Iterations. ---
 	for it := 0; it <= iterations; it++ {
 		t0, b0 = phaseStart()
-		out, err := e.computeStep()
+		out, err := e.computeStep(ctx)
 		if err != nil {
 			return fmt.Errorf("cluster: node %d iteration %d compute: %w", e.id, it, err)
 		}
@@ -400,7 +528,7 @@ func (e *engine) run(iterations int, res *NodeResult) error {
 			break
 		}
 		t0, b0 = phaseStart()
-		if err := e.communicateStep(it, out); err != nil {
+		if err := e.communicateStep(ctx, it, out); err != nil {
 			return fmt.Errorf("cluster: node %d iteration %d communicate: %w", e.id, it, err)
 		}
 		rep.CommTime += time.Since(t0)
@@ -409,7 +537,7 @@ func (e *engine) run(iterations int, res *NodeResult) error {
 
 	// --- Aggregation + noising. ---
 	t0, b0 = phaseStart()
-	result, hasResult, err := e.aggregate()
+	result, hasResult, err := e.aggregate(ctx, plan)
 	if err != nil {
 		return fmt.Errorf("cluster: node %d aggregation: %w", e.id, err)
 	}
@@ -427,7 +555,7 @@ func (e *engine) run(iterations int, res *NodeResult) error {
 // its block; then it collects its shares of every other vertex it is a
 // block member of. All sends happen before any receive so no pair of nodes
 // can wait on each other.
-func (e *engine) initShares() error {
+func (e *engine) initShares(ctx context.Context) error {
 	g := e.graph
 	k1 := e.cfg.K + 1
 	own := int(e.id) - 1
@@ -454,7 +582,7 @@ func (e *engine) initShares() error {
 		if v == own {
 			continue
 		}
-		data, err := e.tr.Recv(g.NodeOf(v), network.Tag("init", v))
+		data, err := e.tr.Recv(ctx, g.NodeOf(v), network.Tag("init", v))
 		if err != nil {
 			return err
 		}
@@ -487,7 +615,7 @@ func (e *engine) memberInput(v int) []uint8 {
 // computeStep runs the update MPC of every block this node belongs to, all
 // concurrently (each session's other members run theirs concurrently too).
 // It returns this node's fresh output-message shares, [vertex][slot].
-func (e *engine) computeStep() (map[int][]uint64, error) {
+func (e *engine) computeStep(ctx context.Context) (map[int][]uint64, error) {
 	g := e.graph
 	out := make(map[int][]uint64, len(e.memberVertices))
 	// Inputs are assembled up front: memberInput reads the share maps,
@@ -504,7 +632,7 @@ func (e *engine) computeStep() (map[int][]uint64, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			outBits, err := e.sessions[v].Evaluate(e.updCirc, inputs[v])
+			outBits, err := e.sessions[v].Evaluate(ctx, e.updCirc, inputs[v])
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -533,7 +661,7 @@ func (e *engine) computeStep() (map[int][]uint64, error) {
 // block member, relay (node u), adjuster (node v), receiver-block member.
 // All roles across all edges run concurrently; transfers for edges this
 // node plays no role in cost it nothing.
-func (e *engine) communicateStep(iter int, out map[int][]uint64) error {
+func (e *engine) communicateStep(ctx context.Context, iter int, out map[int][]uint64) error {
 	g := e.graph
 	// Refresh all input slots with ⊥ shares; transfers overwrite the slots
 	// with real in-edges. Share 0 (the owner's) carries ⊥, the rest zero.
@@ -578,14 +706,14 @@ func (e *engine) communicateStep(iter int, out map[int][]uint64) error {
 				// runs in the goroutine so builds for different edges
 				// overlap instead of stalling the dispatch loop.
 				keys := e.recipientKeys(v, slotIn, vID)
-				record(u, v, transfer.SendShare(e.tparam, e.tr, uID, tag, share, keys))
+				record(u, v, transfer.SendShare(ctx, e.tparam, e.tr, uID, tag, share, keys))
 			}()
 		}
 		if e.id == uID {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				record(u, v, transfer.RunRelay(e.tparam, e.tr, sendersB, vID, tag, dp.CryptoSource{}))
+				record(u, v, transfer.RunRelay(ctx, e.tparam, e.tr, sendersB, vID, tag, dp.CryptoSource{}))
 			}()
 		}
 		if e.id == vID {
@@ -593,7 +721,7 @@ func (e *engine) communicateStep(iter int, out map[int][]uint64) error {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				record(u, v, transfer.RunAdjust(e.tparam, e.tr, uID, recvB, nk, tag))
+				record(u, v, transfer.RunAdjust(ctx, e.tparam, e.tr, uID, recvB, nk, tag))
 			}()
 		}
 		if _, ok := e.memberIdx[v]; ok {
@@ -601,7 +729,7 @@ func (e *engine) communicateStep(iter int, out map[int][]uint64) error {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				share, err := transfer.ReceiveShare(e.tparam, e.tr, vID, tag, e.secrets.PrivateKeys, e.table)
+				share, err := transfer.ReceiveShare(ctx, e.tparam, e.tr, vID, tag, e.secrets.PrivateKeys, e.table)
 				if err != nil {
 					record(u, v, err)
 					return
@@ -638,10 +766,10 @@ func (e *engine) reshareSend(share uint64, bits, myIdx int, dst []network.NodeID
 
 // reshareRecv collects one subshare from every source member and XORs them
 // into this destination member's fresh share.
-func (e *engine) reshareRecv(src []network.NodeID, tag string) (uint64, error) {
+func (e *engine) reshareRecv(ctx context.Context, src []network.NodeID, tag string) (uint64, error) {
 	var fresh uint64
 	for m, id := range src {
-		data, err := e.tr.Recv(id, network.Tag(tag, m))
+		data, err := e.tr.Recv(ctx, id, network.Tag(tag, m))
 		if err != nil {
 			return 0, err
 		}
@@ -657,9 +785,9 @@ func (e *engine) reshareRecv(src []network.NodeID, tag string) (uint64, error) {
 // aggregate re-shares vertex states into the aggregation machinery (flat or
 // tree-shaped), runs the aggregation MPC with in-MPC noise, and — for
 // aggregation-block members — opens the noised result.
-func (e *engine) aggregate() (int64, bool, error) {
+func (e *engine) aggregate(ctx context.Context, plan *nodeAggPlan) (int64, bool, error) {
 	if e.cfg.AggFanIn > 0 && e.graph.N() > e.cfg.AggFanIn {
-		return e.aggregateTree()
+		return e.aggregateTree(ctx, plan)
 	}
 	g := e.graph
 	aggMembers := e.setup.Assignment.AggBlock
@@ -675,18 +803,18 @@ func (e *engine) aggregate() (int64, bool, error) {
 	var input []uint8
 	for v := 0; v < g.N(); v++ {
 		members := e.setup.Assignment.Blocks[g.NodeOf(v)]
-		col, err := e.reshareRecv(members, network.Tag("aggsh", v))
+		col, err := e.reshareRecv(ctx, members, network.Tag("aggsh", v))
 		if err != nil {
 			return 0, false, err
 		}
 		input = append(input, vertex.WordToBits(col, e.prog.StateBits)...)
 	}
-	input = append(input, vertex.RandomInputBits(e.noise.RandBits())...)
-	outShares, err := e.aggParty.Evaluate(e.aggCirc, input)
+	input = append(input, vertex.RandomInputBits(plan.noise.RandBits())...)
+	outShares, err := e.aggParty.Evaluate(ctx, plan.circ, input)
 	if err != nil {
 		return 0, false, err
 	}
-	open, err := e.aggParty.Open(outShares)
+	open, err := e.aggParty.Open(ctx, outShares)
 	if err != nil {
 		return 0, false, err
 	}
@@ -697,7 +825,7 @@ func (e *engine) aggregate() (int64, bool, error) {
 // to AggFanIn vertices is partially aggregated by the block of the group's
 // first vertex, and the aggregation block combines the partials and draws
 // the noise.
-func (e *engine) aggregateTree() (int64, bool, error) {
+func (e *engine) aggregateTree(ctx context.Context, plan *nodeAggPlan) (int64, bool, error) {
 	g := e.graph
 	fanIn := e.cfg.AggFanIn
 	nGroups := (g.N() + fanIn - 1) / fanIn
@@ -748,12 +876,12 @@ func (e *engine) aggregateTree() (int64, bool, error) {
 				for v := lo; v < hi && err == nil; v++ {
 					members := e.setup.Assignment.Blocks[g.NodeOf(v)]
 					var col uint64
-					col, err = e.reshareRecv(members, network.Tag("leafsh", grp, v))
+					col, err = e.reshareRecv(ctx, members, network.Tag("leafsh", grp, v))
 					input = append(input, vertex.WordToBits(col, e.prog.StateBits)...)
 				}
 				if err == nil {
 					var outShares []uint8
-					outShares, err = e.sessions[lo].Evaluate(partialCirc, input)
+					outShares, err = e.sessions[lo].Evaluate(ctx, partialCirc, input)
 					if err == nil {
 						mu.Lock()
 						partial[grp] = vertex.BitsToWord(outShares)
@@ -791,7 +919,7 @@ func (e *engine) aggregateTree() (int64, bool, error) {
 	if e.aggIdx < 0 {
 		return 0, false, nil
 	}
-	combineCirc, err := e.prog.CombineCircuit(nGroups, e.noise)
+	combineCirc, err := e.prog.CombineCircuit(nGroups, plan.noise)
 	if err != nil {
 		return 0, false, err
 	}
@@ -799,18 +927,18 @@ func (e *engine) aggregateTree() (int64, bool, error) {
 	for grp := 0; grp < nGroups; grp++ {
 		lo, _ := groupRange(grp)
 		leafMembers := e.setup.Assignment.Blocks[g.NodeOf(lo)]
-		col, err := e.reshareRecv(leafMembers, network.Tag("rootsh", grp))
+		col, err := e.reshareRecv(ctx, leafMembers, network.Tag("rootsh", grp))
 		if err != nil {
 			return 0, false, err
 		}
 		input = append(input, vertex.WordToBits(col, e.prog.AggBits)...)
 	}
-	input = append(input, vertex.RandomInputBits(e.noise.RandBits())...)
-	outShares, err := e.aggParty.Evaluate(combineCirc, input)
+	input = append(input, vertex.RandomInputBits(plan.noise.RandBits())...)
+	outShares, err := e.aggParty.Evaluate(ctx, combineCirc, input)
 	if err != nil {
 		return 0, false, fmt.Errorf("root aggregation: %w", err)
 	}
-	open, err := e.aggParty.Open(outShares)
+	open, err := e.aggParty.Open(ctx, outShares)
 	if err != nil {
 		return 0, false, err
 	}

@@ -70,17 +70,27 @@ type regMsg struct {
 }
 
 type jobMsg struct {
+	// Shutdown ends the standing session: the node exits cleanly without
+	// running another query, and every other field is ignored.
+	Shutdown bool
+
 	Cfg  ConfigWire
 	Prog ProgramSpec
+	// Topo, Directory, and Setup describe the standing deployment; they
+	// ride only on a session's first job. Later jobs reuse the node's
+	// standing graph, peer connections, and GMW sessions.
 	Topo TopologyWire
-	// InitState and Priv are the receiving node's own vertex inputs.
+	// InitState and Priv are the receiving node's own vertex inputs; they
+	// are resent on every job so a regulator can re-query after owners
+	// update their books.
 	InitState int64
 	Priv      []uint8
 	// Directory maps node id → data-plane address for every participant.
 	Directory map[network.NodeID]string
 	Setup     trustedparty.WireSetup
 	// Iterations triggers the run: compute/communicate steps followed by
-	// the final computation step and aggregation.
+	// the final computation step and aggregation. Cfg.Epsilon carries the
+	// query's privacy budget.
 	Iterations int
 }
 

@@ -1,6 +1,7 @@
 package cost
 
 import (
+	"context"
 	"math/big"
 	"sync"
 	"time"
@@ -52,7 +53,7 @@ func Calibrate(g group.Group) Calibration {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ps[i], _ = gmw.NewParty(gmw.Config{
+			ps[i], _ = gmw.NewParty(context.Background(), gmw.Config{
 				Parties: parties, Index: i, Transport: net.Endpoint(parties[i]), Tag: "cal", OT: gmw.DealerOT{Broker: broker},
 			})
 		}()
@@ -69,7 +70,7 @@ func Calibrate(g group.Group) Calibration {
 				defer wg.Done()
 				in := make([]uint8, c.NumInputs)
 				if ps[i] != nil {
-					_, _ = ps[i].Evaluate(c, in)
+					_, _ = ps[i].Evaluate(context.Background(), c, in)
 				}
 			}()
 		}

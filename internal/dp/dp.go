@@ -190,8 +190,11 @@ func NewAccountant(budget float64) *Accountant {
 // Spend consumes eps from the budget, failing atomically if it would
 // overdraw.
 func (a *Accountant) Spend(eps float64) error {
-	if eps < 0 {
-		return fmt.Errorf("dp: cannot spend negative epsilon %v", eps)
+	if eps < 0 || math.IsNaN(eps) {
+		// NaN must be rejected explicitly: it compares false against the
+		// budget below, so letting it through would both approve the query
+		// and poison `spent`, disabling enforcement forever.
+		return fmt.Errorf("dp: cannot spend invalid epsilon %v", eps)
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()

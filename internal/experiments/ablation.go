@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -64,7 +65,7 @@ func ablationTransfer(o Options, t *Table) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := transfer.Strawman2Send(envS.p, envS.net.Endpoint(id), envS.relay, "ab", m, shares[m], envS.certKeys); err != nil {
+			if err := transfer.Strawman2Send(context.Background(), envS.p, envS.net.Endpoint(id), envS.relay, "ab", m, shares[m], envS.certKeys); err != nil {
 				panic(err)
 			}
 		}()
@@ -72,13 +73,13 @@ func ablationTransfer(o Options, t *Table) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		if err := transfer.Strawman2Relay(envS.p, envS.net.Endpoint(envS.relay), envS.senders, envS.adjuster, "ab"); err != nil {
+		if err := transfer.Strawman2Relay(context.Background(), envS.p, envS.net.Endpoint(envS.relay), envS.senders, envS.adjuster, "ab"); err != nil {
 			panic(err)
 		}
 	}()
 	go func() {
 		defer wg.Done()
-		if err := transfer.Strawman2Adjust(envS.p, envS.net.Endpoint(envS.adjuster), envS.relay, envS.recvs, envS.neighbor, "ab"); err != nil {
+		if err := transfer.Strawman2Adjust(context.Background(), envS.p, envS.net.Endpoint(envS.adjuster), envS.relay, envS.recvs, envS.neighbor, "ab"); err != nil {
 			panic(err)
 		}
 	}()
@@ -87,7 +88,7 @@ func ablationTransfer(o Options, t *Table) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := transfer.Strawman2Receive(envS.p, envS.net.Endpoint(id), envS.adjuster, "ab", envS.privKeys[m], envS.table); err != nil {
+			if _, err := transfer.Strawman2Receive(context.Background(), envS.p, envS.net.Endpoint(id), envS.adjuster, "ab", envS.privKeys[m], envS.table); err != nil {
 				panic(err)
 			}
 		}()
@@ -176,7 +177,7 @@ func ablationAggTree(o Options, t *Table) {
 		if err != nil {
 			return 0, err
 		}
-		if _, _, err := rt.Run(1); err != nil {
+		if _, _, err := rt.Run(context.Background(), 1); err != nil {
 			return 0, err
 		}
 		return rt.Net().AvgNodeBytes(), nil

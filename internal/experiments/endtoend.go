@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -64,7 +65,7 @@ func runE2E(o Options, model string, blockSize, n, d, iters int) (*vertex.Report
 	if err != nil {
 		return nil, 0, err
 	}
-	raw, rep, err := rt.Run(iters)
+	raw, rep, err := rt.Run(context.Background(), iters)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -52,7 +53,7 @@ func measureBlockMPC(g group.Group, blockSize int, c *circuit.Circuit) mpcMeasur
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ps[i], _ = gmw.NewParty(gmw.Config{
+			ps[i], _ = gmw.NewParty(context.Background(), gmw.Config{
 				Parties: parties, Index: i, Transport: net.Endpoint(parties[i]), Tag: "micro", OT: gmw.DealerOT{Broker: broker},
 			})
 		}()
@@ -69,7 +70,7 @@ func measureBlockMPC(g group.Group, blockSize int, c *circuit.Circuit) mpcMeasur
 				return
 			}
 			in := make([]uint8, c.NumInputs)
-			_, _ = ps[i].Evaluate(c, in)
+			_, _ = ps[i].Evaluate(context.Background(), c, in)
 		}()
 	}
 	wg.Wait()
@@ -89,7 +90,7 @@ func measureInit(blockSize, d, stateBits int) mpcMeasurement {
 		_ = owner.Send(network.NodeID(m+1), "init", payload)
 	}
 	for m := 1; m < blockSize; m++ {
-		_, _ = net.Endpoint(network.NodeID(m+1)).Recv(1, "init")
+		_, _ = net.Endpoint(network.NodeID(m+1)).Recv(context.Background(), 1, "init")
 	}
 	return mpcMeasurement{elapsed: time.Since(start), avgNodeBytes: net.AvgNodeBytes()}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sync"
@@ -78,7 +79,7 @@ func (e *transferEnv) run(value uint64) time.Duration {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := transfer.SendShare(e.p, e.net.Endpoint(id), e.relay, "bench", shares[m], e.certKeys); err != nil {
+			if err := transfer.SendShare(context.Background(), e.p, e.net.Endpoint(id), e.relay, "bench", shares[m], e.certKeys); err != nil {
 				panic(err)
 			}
 		}()
@@ -86,13 +87,13 @@ func (e *transferEnv) run(value uint64) time.Duration {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		if err := transfer.RunRelay(e.p, e.net.Endpoint(e.relay), e.senders, e.adjuster, "bench", dp.CryptoSource{}); err != nil {
+		if err := transfer.RunRelay(context.Background(), e.p, e.net.Endpoint(e.relay), e.senders, e.adjuster, "bench", dp.CryptoSource{}); err != nil {
 			panic(err)
 		}
 	}()
 	go func() {
 		defer wg.Done()
-		if err := transfer.RunAdjust(e.p, e.net.Endpoint(e.adjuster), e.relay, e.recvs, e.neighbor, "bench"); err != nil {
+		if err := transfer.RunAdjust(context.Background(), e.p, e.net.Endpoint(e.adjuster), e.relay, e.recvs, e.neighbor, "bench"); err != nil {
 			panic(err)
 		}
 	}()
@@ -101,7 +102,7 @@ func (e *transferEnv) run(value uint64) time.Duration {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := transfer.ReceiveShare(e.p, e.net.Endpoint(id), e.adjuster, "bench", e.privKeys[m], e.table)
+			v, err := transfer.ReceiveShare(context.Background(), e.p, e.net.Endpoint(id), e.adjuster, "bench", e.privKeys[m], e.table)
 			if err != nil {
 				panic(err)
 			}

@@ -30,6 +30,7 @@
 package gmw
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"sync"
@@ -87,8 +88,8 @@ type Party struct {
 
 // NewParty joins the session described by cfg. For IKNPOT the call blocks
 // until all peers join (base-OT handshakes), so the n parties must call it
-// concurrently.
-func NewParty(cfg Config) (*Party, error) {
+// concurrently; canceling ctx aborts a handshake stuck on an absent peer.
+func NewParty(ctx context.Context, cfg Config) (*Party, error) {
 	n := len(cfg.Parties)
 	if n < 2 {
 		return nil, fmt.Errorf("gmw: need at least 2 parties, got %d", n)
@@ -151,7 +152,7 @@ func NewParty(cfg Config) (*Party, error) {
 			go func() {
 				defer wg.Done()
 				sTag := network.Tag(cfg.Tag, "ot", p.me, j)
-				src, err := ot.NewIKNPSender(opt.Group, p.ep, cfg.Parties[j], sTag)
+				src, err := ot.NewIKNPSender(ctx, opt.Group, p.ep, cfg.Parties[j], sTag)
 				if err != nil {
 					record(err)
 					return
@@ -163,7 +164,7 @@ func NewParty(cfg Config) (*Party, error) {
 			go func() {
 				defer wg.Done()
 				rTag := network.Tag(cfg.Tag, "ot", j, p.me)
-				src, err := ot.NewIKNPReceiver(opt.Group, p.ep, cfg.Parties[j], rTag)
+				src, err := ot.NewIKNPReceiver(ctx, opt.Group, p.ep, cfg.Parties[j], rTag)
 				if err != nil {
 					record(err)
 					return
@@ -192,7 +193,7 @@ func (p *Party) Index() int { return p.me }
 // Evaluate runs the circuit on this party's input shares and returns its
 // shares of the outputs. The XOR over all parties' inputShares must equal
 // the plaintext input bits; likewise for the returned output shares.
-func (p *Party) Evaluate(c *circuit.Circuit, inputShares []uint8) ([]uint8, error) {
+func (p *Party) Evaluate(ctx context.Context, c *circuit.Circuit, inputShares []uint8) ([]uint8, error) {
 	if len(inputShares) != c.NumInputs {
 		return nil, fmt.Errorf("gmw: got %d input shares, want %d", len(inputShares), c.NumInputs)
 	}
@@ -219,7 +220,7 @@ func (p *Party) Evaluate(c *circuit.Circuit, inputShares []uint8) ([]uint8, erro
 
 	for r, round := range c.Rounds {
 		if len(round.And) > 0 {
-			if err := p.andRound(c, vals, round.And, evalID, r); err != nil {
+			if err := p.andRound(ctx, c, vals, round.And, evalID, r); err != nil {
 				return nil, err
 			}
 		}
@@ -237,7 +238,7 @@ func (p *Party) Evaluate(c *circuit.Circuit, inputShares []uint8) ([]uint8, erro
 
 // andRound evaluates a batch of AND gates with one OT exchange per ordered
 // party pair.
-func (p *Party) andRound(c *circuit.Circuit, vals []uint8, gates []int, evalID, round int) error {
+func (p *Party) andRound(ctx context.Context, c *circuit.Circuit, vals []uint8, gates []int, evalID, round int) error {
 	nG := len(gates)
 	xs := make([]uint8, nG) // my shares of the A inputs
 	ys := make([]uint8, nG) // my shares of the B inputs
@@ -274,7 +275,7 @@ func (p *Party) andRound(c *circuit.Circuit, vals []uint8, gates []int, evalID, 
 			for k := range m1 {
 				m1[k] = r[k] ^ xs[k]
 			}
-			if err := p.send[j].SendBits(r, m1); err != nil {
+			if err := p.send[j].SendBits(ctx, r, m1); err != nil {
 				record(fmt.Errorf("gmw: eval %d round %d send to %d: %w", evalID, round, j, err))
 				return
 			}
@@ -287,7 +288,7 @@ func (p *Party) andRound(c *circuit.Circuit, vals []uint8, gates []int, evalID, 
 		// Receiver direction j→me: select with my y shares.
 		go func() {
 			defer wg.Done()
-			got, err := p.recv[j].ReceiveBits(ys)
+			got, err := p.recv[j].ReceiveBits(ctx, ys)
 			if err != nil {
 				record(fmt.Errorf("gmw: eval %d round %d recv from %d: %w", evalID, round, j, err))
 				return
@@ -312,7 +313,7 @@ func (p *Party) andRound(c *circuit.Circuit, vals []uint8, gates []int, evalID, 
 // Open reconstructs shared bits by broadcasting shares to all session
 // members; every party learns the plaintext. DStress only ever opens the
 // final noised aggregate (§3.6); intermediate wires stay shared.
-func (p *Party) Open(shares []uint8) ([]uint8, error) {
+func (p *Party) Open(ctx context.Context, shares []uint8) ([]uint8, error) {
 	seq := p.seq
 	p.seq++
 	tag := network.Tag(p.cfg.Tag, "open", seq)
@@ -330,7 +331,7 @@ func (p *Party) Open(shares []uint8) ([]uint8, error) {
 		if j == p.me {
 			continue
 		}
-		data, err := p.ep.Recv(p.cfg.Parties[j], tag)
+		data, err := p.ep.Recv(ctx, p.cfg.Parties[j], tag)
 		if err != nil {
 			return nil, fmt.Errorf("gmw: open: %w", err)
 		}

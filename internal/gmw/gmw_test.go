@@ -1,6 +1,7 @@
 package gmw
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -42,19 +43,19 @@ func runSession(t testing.TB, n int, c *circuit.Circuit, inputs []uint8, otOpt f
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p, err := NewParty(Config{
+			p, err := NewParty(context.Background(), Config{
 				Parties: parties, Index: i, Transport: net.Endpoint(parties[i]), Tag: "sess", OT: opt,
 			})
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			outShares, err := p.Evaluate(c, shares[i])
+			outShares, err := p.Evaluate(context.Background(), c, shares[i])
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			results[i], errs[i] = p.Open(outShares)
+			results[i], errs[i] = p.Open(context.Background(), outShares)
 		}()
 	}
 	wg.Wait()
@@ -204,7 +205,7 @@ func TestMultipleEvaluationsPerSession(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p, err := NewParty(Config{Parties: parties, Index: i, Transport: net.Endpoint(parties[i]), Tag: "multi", OT: DealerOT{Broker: broker}})
+			p, err := NewParty(context.Background(), Config{Parties: parties, Index: i, Transport: net.Endpoint(parties[i]), Tag: "multi", OT: DealerOT{Broker: broker}})
 			if err != nil {
 				errs[i] = err
 				return
@@ -219,12 +220,12 @@ func TestMultipleEvaluationsPerSession(t *testing.T) {
 				} else {
 					inShare = make([]uint8, len(full))
 				}
-				oShares, err := p.Evaluate(c, inShare)
+				oShares, err := p.Evaluate(context.Background(), c, inShare)
 				if err != nil {
 					errs[i] = err
 					return
 				}
-				open, err := p.Open(oShares)
+				open, err := p.Open(context.Background(), oShares)
 				if err != nil {
 					errs[i] = err
 					return
@@ -261,33 +262,33 @@ func TestEvaluateValidatesInput(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		p0, _ = NewParty(Config{Parties: []network.NodeID{1, 2}, Index: 0, Transport: net.Endpoint(1), Tag: "v", OT: DealerOT{Broker: broker}})
+		p0, _ = NewParty(context.Background(), Config{Parties: []network.NodeID{1, 2}, Index: 0, Transport: net.Endpoint(1), Tag: "v", OT: DealerOT{Broker: broker}})
 	}()
 	go func() {
 		defer wg.Done()
-		p1, _ = NewParty(Config{Parties: []network.NodeID{1, 2}, Index: 1, Transport: net.Endpoint(2), Tag: "v", OT: DealerOT{Broker: broker}})
+		p1, _ = NewParty(context.Background(), Config{Parties: []network.NodeID{1, 2}, Index: 1, Transport: net.Endpoint(2), Tag: "v", OT: DealerOT{Broker: broker}})
 	}()
 	wg.Wait()
 	if p0 == nil || p1 == nil {
 		t.Fatal("setup failed")
 	}
-	if _, err := p0.Evaluate(c, []uint8{}); err == nil {
+	if _, err := p0.Evaluate(context.Background(), c, []uint8{}); err == nil {
 		t.Error("short input accepted")
 	}
-	if _, err := p0.Evaluate(c, []uint8{2}); err == nil {
+	if _, err := p0.Evaluate(context.Background(), c, []uint8{2}); err == nil {
 		t.Error("non-bit share accepted")
 	}
 }
 
 func TestNewPartyValidation(t *testing.T) {
 	net := network.New()
-	if _, err := NewParty(Config{Parties: []network.NodeID{1}, Index: 0, Transport: net.Endpoint(1), OT: dealerOpt()}); err == nil {
+	if _, err := NewParty(context.Background(), Config{Parties: []network.NodeID{1}, Index: 0, Transport: net.Endpoint(1), OT: dealerOpt()}); err == nil {
 		t.Error("single-party session accepted")
 	}
-	if _, err := NewParty(Config{Parties: []network.NodeID{1, 2}, Index: 5, Transport: net.Endpoint(1), OT: dealerOpt()}); err == nil {
+	if _, err := NewParty(context.Background(), Config{Parties: []network.NodeID{1, 2}, Index: 5, Transport: net.Endpoint(1), OT: dealerOpt()}); err == nil {
 		t.Error("out-of-range index accepted")
 	}
-	if _, err := NewParty(Config{Parties: []network.NodeID{1, 2}, Index: 0, Transport: net.Endpoint(1), OT: nil}); err == nil {
+	if _, err := NewParty(context.Background(), Config{Parties: []network.NodeID{1, 2}, Index: 0, Transport: net.Endpoint(1), OT: nil}); err == nil {
 		t.Error("nil OT option accepted")
 	}
 }
@@ -326,12 +327,12 @@ func TestIntermediatesStayShared(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				p, err := NewParty(Config{Parties: parties, Index: i, Transport: net.Endpoint(parties[i]), Tag: "mask", OT: DealerOT{Broker: broker}})
+				p, err := NewParty(context.Background(), Config{Parties: parties, Index: i, Transport: net.Endpoint(parties[i]), Tag: "mask", OT: DealerOT{Broker: broker}})
 				if err != nil {
 					t.Error(err)
 					return
 				}
-				o, err := p.Evaluate(c, shares[i])
+				o, err := p.Evaluate(context.Background(), c, shares[i])
 				if err != nil {
 					t.Error(err)
 					return
@@ -374,13 +375,13 @@ func TestTrafficScalesWithParties(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				p, err := NewParty(Config{Parties: parties, Index: i, Transport: net.Endpoint(parties[i]), Tag: "tr", OT: DealerOT{Broker: broker}})
+				p, err := NewParty(context.Background(), Config{Parties: parties, Index: i, Transport: net.Endpoint(parties[i]), Tag: "tr", OT: DealerOT{Broker: broker}})
 				if err != nil {
 					t.Error(err)
 					return
 				}
 				in := make([]uint8, c.NumInputs)
-				if _, err := p.Evaluate(c, in); err != nil {
+				if _, err := p.Evaluate(context.Background(), c, in); err != nil {
 					t.Error(err)
 				}
 			}()

@@ -18,6 +18,7 @@
 package network
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -36,16 +37,19 @@ type NodeID int32
 // Send must not block on the receiver making progress (implementations
 // buffer unboundedly), because MPC rounds have all-to-all traffic where
 // everyone sends before anyone receives. Recv blocks until a matching
-// message arrives or the transport is shut down, in which case it returns
-// an error.
+// message arrives, the context is canceled, or the transport is shut down;
+// the latter two return an error, so a dead peer or a canceled run
+// surfaces as a failure instead of a permanent hang.
 type Transport interface {
 	// ID returns the node this transport belongs to.
 	ID() NodeID
 	// Send delivers payload to node `to` under tag. The payload is copied
 	// (or serialized) before Send returns, so callers may reuse the buffer.
 	Send(to NodeID, tag string, payload []byte) error
-	// Recv blocks until a message from `from` with the given tag arrives.
-	Recv(from NodeID, tag string) ([]byte, error)
+	// Recv blocks until a message from `from` with the given tag arrives or
+	// ctx is done, in which case it returns ctx's error. Messages queued
+	// before cancellation are still delivered first.
+	Recv(ctx context.Context, from NodeID, tag string) ([]byte, error)
 	// Stats returns this node's traffic counters.
 	Stats() Stats
 }
@@ -204,15 +208,39 @@ func (m *mailbox) put(p []byte) {
 	m.cond.Signal()
 }
 
-func (m *mailbox) get() []byte {
+func (m *mailbox) get(ctx context.Context) ([]byte, error) {
+	m.mu.Lock()
+	// Fast path: a queued message is delivered even when ctx is already
+	// done, matching the drain-before-fail semantics of tcpnet.
+	if len(m.queue) > 0 {
+		p := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		return p, nil
+	}
+	m.mu.Unlock()
+	if ctx.Done() != nil {
+		// Wake the condition variable when ctx fires. Broadcasting under
+		// the lock is essential: it guarantees the waiter is either parked
+		// in Wait or has not yet re-checked ctx.Err, so no wakeup is lost.
+		stop := context.AfterFunc(ctx, func() {
+			m.mu.Lock()
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		})
+		defer stop()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for len(m.queue) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		m.cond.Wait()
 	}
 	p := m.queue[0]
 	m.queue = m.queue[1:]
-	return p
+	return p, nil
 }
 
 // Endpoint is one node's attachment to the network. It is the in-process
@@ -261,18 +289,18 @@ func (e *Endpoint) Send(to NodeID, tag string, payload []byte) error {
 }
 
 // Recv blocks until a message from `from` with the given tag arrives and
-// returns its payload.
-func (e *Endpoint) Recv(from NodeID, tag string) ([]byte, error) {
-	return e.box(from, tag).get(), nil
+// returns its payload, or until ctx is done.
+func (e *Endpoint) Recv(ctx context.Context, from NodeID, tag string) ([]byte, error) {
+	return e.box(from, tag).get(ctx)
 }
 
 // Exchange sends payload to peer and receives the peer's payload under the
 // same tag: the symmetric step most MPC rounds need.
-func (e *Endpoint) Exchange(peer NodeID, tag string, payload []byte) ([]byte, error) {
+func (e *Endpoint) Exchange(ctx context.Context, peer NodeID, tag string, payload []byte) ([]byte, error) {
 	if err := e.Send(peer, tag, payload); err != nil {
 		return nil, err
 	}
-	return e.Recv(peer, tag)
+	return e.Recv(ctx, peer, tag)
 }
 
 // Tag builds a hierarchical tag from parts; a helper so protocol layers

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -10,7 +11,7 @@ import (
 // never fails.
 func mustRecv(t testing.TB, e *Endpoint, from NodeID, tag string) []byte {
 	t.Helper()
-	got, err := e.Recv(from, tag)
+	got, err := e.Recv(context.Background(), from, tag)
 	if err != nil {
 		t.Fatalf("Recv(%d, %q): %v", from, tag, err)
 	}
@@ -89,11 +90,11 @@ func TestExchange(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		gotA, _ = n.Endpoint(1).Exchange(2, "x", []byte("from A"))
+		gotA, _ = n.Endpoint(1).Exchange(context.Background(), 2, "x", []byte("from A"))
 	}()
 	go func() {
 		defer wg.Done()
-		gotB, _ = n.Endpoint(2).Exchange(1, "x", []byte("from B"))
+		gotB, _ = n.Endpoint(2).Exchange(context.Background(), 1, "x", []byte("from B"))
 	}()
 	wg.Wait()
 	if string(gotA) != "from B" || string(gotB) != "from A" {
@@ -188,7 +189,7 @@ func BenchmarkSendRecv(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		a.Send(2, "b", payload)
-		c.Recv(1, "b") //nolint:errcheck
+		c.Recv(context.Background(), 1, "b") //nolint:errcheck
 
 	}
 }
@@ -208,7 +209,7 @@ func BenchmarkParallelPairs(b *testing.B) {
 		tag := fmt.Sprint(idBase)
 		for pb.Next() {
 			a.Send(c.ID(), tag, payload)
-			c.Recv(a.ID(), tag) //nolint:errcheck
+			c.Recv(context.Background(), a.ID(), tag) //nolint:errcheck
 
 		}
 	})

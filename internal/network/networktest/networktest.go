@@ -7,9 +7,12 @@ package networktest
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"dstress/internal/network"
 )
@@ -31,7 +34,7 @@ func RunConformance(t *testing.T, mk func(t *testing.T) Pair) {
 		if err := p.A.Send(p.B.ID(), "t", want); err != nil {
 			t.Fatal(err)
 		}
-		got, err := p.B.Recv(p.A.ID(), "t")
+		got, err := p.B.Recv(context.Background(), p.A.ID(), "t")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -49,7 +52,7 @@ func RunConformance(t *testing.T, mk func(t *testing.T) Pair) {
 			}
 		}
 		for i := 0; i < n; i++ {
-			got, err := p.B.Recv(p.A.ID(), "seq")
+			got, err := p.B.Recv(context.Background(), p.A.ID(), "seq")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -68,10 +71,10 @@ func RunConformance(t *testing.T, mk func(t *testing.T) Pair) {
 			t.Fatal(err)
 		}
 		// Receiving in the opposite order must still route by tag.
-		if got, err := p.B.Recv(p.A.ID(), "y"); err != nil || string(got) != "for y" {
+		if got, err := p.B.Recv(context.Background(), p.A.ID(), "y"); err != nil || string(got) != "for y" {
 			t.Errorf("tag y got %q, %v", got, err)
 		}
-		if got, err := p.B.Recv(p.A.ID(), "x"); err != nil || string(got) != "for x" {
+		if got, err := p.B.Recv(context.Background(), p.A.ID(), "x"); err != nil || string(got) != "for x" {
 			t.Errorf("tag x got %q, %v", got, err)
 		}
 	})
@@ -83,7 +86,7 @@ func RunConformance(t *testing.T, mk func(t *testing.T) Pair) {
 			t.Fatal(err)
 		}
 		copy(buf, "CLOBBER!")
-		if got, _ := p.B.Recv(p.A.ID(), "t"); string(got) != "original" {
+		if got, _ := p.B.Recv(context.Background(), p.A.ID(), "t"); string(got) != "original" {
 			t.Errorf("payload aliased sender buffer: %q", got)
 		}
 	})
@@ -102,10 +105,10 @@ func RunConformance(t *testing.T, mk func(t *testing.T) Pair) {
 			}
 		}
 		for i := 0; i < rounds; i++ {
-			if got, err := p.A.Recv(p.B.ID(), "r"); err != nil || got[0] != byte(i) {
+			if got, err := p.A.Recv(context.Background(), p.B.ID(), "r"); err != nil || got[0] != byte(i) {
 				t.Fatalf("A round %d: %v %v", i, got, err)
 			}
-			if got, err := p.B.Recv(p.A.ID(), "r"); err != nil || got[0] != byte(i) {
+			if got, err := p.B.Recv(context.Background(), p.A.ID(), "r"); err != nil || got[0] != byte(i) {
 				t.Fatalf("B round %d: %v %v", i, got, err)
 			}
 		}
@@ -126,7 +129,7 @@ func RunConformance(t *testing.T, mk func(t *testing.T) Pair) {
 			}
 			peerTag := fmt.Sprintf("ex/%d", peer.ID())
 			for i := 0; i < msgs; i++ {
-				got, err := me.Recv(peer.ID(), peerTag)
+				got, err := me.Recv(context.Background(), peer.ID(), peerTag)
 				if err != nil || got[0] != byte(i) {
 					t.Errorf("node %d msg %d: %v %v", me.ID(), i, got, err)
 					return
@@ -139,12 +142,70 @@ func RunConformance(t *testing.T, mk func(t *testing.T) Pair) {
 		wg.Wait()
 	})
 
+	t.Run("RecvCancel", func(t *testing.T) {
+		// A blocked Recv must return the context's error promptly on
+		// cancellation — this is what lets a run abort instead of hanging
+		// on a dead counterparty.
+		p := mk(t)
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := p.B.Recv(ctx, p.A.ID(), "never-sent")
+			done <- err
+		}()
+		time.Sleep(20 * time.Millisecond) // let the Recv park
+		cancel()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("canceled Recv returned %v, want context.Canceled", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Recv did not return after cancellation")
+		}
+	})
+
+	t.Run("RecvDeadline", func(t *testing.T) {
+		p := mk(t)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		_, err := p.B.Recv(ctx, p.A.ID(), "never-sent")
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("expired Recv returned %v, want context.DeadlineExceeded", err)
+		}
+		if time.Since(start) > 5*time.Second {
+			t.Errorf("Recv outlived its deadline by %v", time.Since(start))
+		}
+	})
+
+	t.Run("QueuedDrainsAfterCancel", func(t *testing.T) {
+		// Messages that arrived before cancellation are still delivered:
+		// cancellation aborts *waiting*, it does not drop data.
+		p := mk(t)
+		if err := p.A.Send(p.B.ID(), "q", []byte("queued")); err != nil {
+			t.Fatal(err)
+		}
+		// Make sure the message has crossed the transport before canceling.
+		if err := p.A.Send(p.B.ID(), "sync", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.B.Recv(context.Background(), p.A.ID(), "sync"); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if got, err := p.B.Recv(ctx, p.A.ID(), "q"); err != nil || string(got) != "queued" {
+			t.Errorf("queued message after cancel: %q, %v", got, err)
+		}
+	})
+
 	t.Run("StatsCount", func(t *testing.T) {
 		p := mk(t)
 		if err := p.A.Send(p.B.ID(), "t", make([]byte, 64)); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := p.B.Recv(p.A.ID(), "t"); err != nil {
+		if _, err := p.B.Recv(context.Background(), p.A.ID(), "t"); err != nil {
 			t.Fatal(err)
 		}
 		if s := p.A.Stats(); s.BytesSent < 64 || s.MessagesSent < 1 {

@@ -1,6 +1,7 @@
 package ot
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"math/big"
@@ -31,7 +32,7 @@ const SeedLen = 16
 
 // BaseOTSend runs `count` base-OT instances as the sender, returning the
 // seed pairs.
-func BaseOTSend(g group.Group, ep network.Transport, peer network.NodeID, tag string, count int) (k0, k1 [][]byte, err error) {
+func BaseOTSend(ctx context.Context, g group.Group, ep network.Transport, peer network.NodeID, tag string, count int) (k0, k1 [][]byte, err error) {
 	k0 = make([][]byte, count)
 	k1 = make([][]byte, count)
 	scalars := make([]*big.Int, count)
@@ -46,7 +47,7 @@ func BaseOTSend(g group.Group, ep network.Transport, peer network.NodeID, tag st
 		return nil, nil, err
 	}
 
-	blobB, err := ep.Recv(peer, network.Tag(tag, "B"))
+	blobB, err := ep.Recv(ctx, peer, network.Tag(tag, "B"))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -71,9 +72,9 @@ func BaseOTSend(g group.Group, ep network.Transport, peer network.NodeID, tag st
 
 // BaseOTReceive runs `count` base-OT instances as the receiver with the
 // given choice bits, returning the chosen seeds.
-func BaseOTReceive(g group.Group, ep network.Transport, peer network.NodeID, tag string, choices []uint8) ([][]byte, error) {
+func BaseOTReceive(ctx context.Context, g group.Group, ep network.Transport, peer network.NodeID, tag string, choices []uint8) ([][]byte, error) {
 	count := len(choices)
-	blobA, err := ep.Recv(peer, network.Tag(tag, "A"))
+	blobA, err := ep.Recv(ctx, peer, network.Tag(tag, "A"))
 	if err != nil {
 		return nil, err
 	}

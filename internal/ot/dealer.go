@@ -1,6 +1,7 @@
 package ot
 
 import (
+	"context"
 	"crypto/rand"
 )
 
@@ -50,13 +51,13 @@ func dealerDraw(g *prg, n int) (w0, w1, rho []byte) {
 }
 
 // RandomPads implements RandomOTSender.
-func (d *DealerSender) RandomPads(n int) ([]uint8, []uint8, error) {
+func (d *DealerSender) RandomPads(_ context.Context, n int) ([]uint8, []uint8, error) {
 	w0, w1, _ := dealerDraw(d.g, n)
 	return w0, w1, nil
 }
 
 // RandomChoices implements RandomOTReceiver.
-func (d *DealerReceiver) RandomChoices(n int) ([]uint8, []uint8, error) {
+func (d *DealerReceiver) RandomChoices(_ context.Context, n int) ([]uint8, []uint8, error) {
 	w0, w1, rho := dealerDraw(d.g, n)
 	w := make([]byte, len(w0))
 	for i := range w {

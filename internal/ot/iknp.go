@@ -1,6 +1,7 @@
 package ot
 
 import (
+	"context"
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/rand"
@@ -117,14 +118,14 @@ type IKNPSender struct {
 
 // NewIKNPSender bootstraps the extension as the pad-producing side. It
 // blocks until the peer runs NewIKNPReceiver with the same tag.
-func NewIKNPSender(g group.Group, ep network.Transport, peer network.NodeID, tag string) (*IKNPSender, error) {
+func NewIKNPSender(ctx context.Context, g group.Group, ep network.Transport, peer network.NodeID, tag string) (*IKNPSender, error) {
 	s := make([]uint8, Lambda)
 	var sb [Lambda / 8]byte
 	if _, err := rand.Read(sb[:]); err != nil {
 		return nil, fmt.Errorf("ot: drawing IKNP correlation vector: %w", err)
 	}
 	copy(s, UnpackBits(sb[:], Lambda))
-	seeds, err := BaseOTReceive(g, ep, peer, network.Tag(tag, "base"), s)
+	seeds, err := BaseOTReceive(ctx, g, ep, peer, network.Tag(tag, "base"), s)
 	if err != nil {
 		return nil, fmt.Errorf("ot: IKNP base phase: %w", err)
 	}
@@ -136,9 +137,9 @@ func NewIKNPSender(g group.Group, ep network.Transport, peer network.NodeID, tag
 }
 
 // RandomPads implements RandomOTSender; returned slices are bit-packed.
-func (s *IKNPSender) RandomPads(n int) ([]uint8, []uint8, error) {
+func (s *IKNPSender) RandomPads(ctx context.Context, n int) ([]uint8, []uint8, error) {
 	for len(s.buf0) < n {
-		if err := s.extend(); err != nil {
+		if err := s.extend(ctx); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -149,10 +150,10 @@ func (s *IKNPSender) RandomPads(n int) ([]uint8, []uint8, error) {
 	return w0, w1, nil
 }
 
-func (s *IKNPSender) extend() error {
+func (s *IKNPSender) extend(ctx context.Context) error {
 	m := s.chunk
 	mBytes := m / 8
-	blob, err := s.ep.Recv(s.peer, network.Tag(s.tag, "ext", s.ctr/uint64(m)))
+	blob, err := s.ep.Recv(ctx, s.peer, network.Tag(s.tag, "ext", s.ctr/uint64(m)))
 	if err != nil {
 		return err
 	}
@@ -206,8 +207,8 @@ type IKNPReceiver struct {
 }
 
 // NewIKNPReceiver bootstraps the extension as the choice-consuming side.
-func NewIKNPReceiver(g group.Group, ep network.Transport, peer network.NodeID, tag string) (*IKNPReceiver, error) {
-	k0, k1, err := BaseOTSend(g, ep, peer, network.Tag(tag, "base"), Lambda)
+func NewIKNPReceiver(ctx context.Context, g group.Group, ep network.Transport, peer network.NodeID, tag string) (*IKNPReceiver, error) {
+	k0, k1, err := BaseOTSend(ctx, g, ep, peer, network.Tag(tag, "base"), Lambda)
 	if err != nil {
 		return nil, fmt.Errorf("ot: IKNP base phase: %w", err)
 	}
@@ -221,9 +222,9 @@ func NewIKNPReceiver(g group.Group, ep network.Transport, peer network.NodeID, t
 }
 
 // RandomChoices implements RandomOTReceiver; returned slices are bit-packed.
-func (r *IKNPReceiver) RandomChoices(n int) ([]uint8, []uint8, error) {
+func (r *IKNPReceiver) RandomChoices(ctx context.Context, n int) ([]uint8, []uint8, error) {
 	for len(r.bufRho) < n {
-		if err := r.extend(); err != nil {
+		if err := r.extend(ctx); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -234,7 +235,7 @@ func (r *IKNPReceiver) RandomChoices(n int) ([]uint8, []uint8, error) {
 	return rho, w, nil
 }
 
-func (r *IKNPReceiver) extend() error {
+func (r *IKNPReceiver) extend(ctx context.Context) error {
 	m := r.chunk
 	mBytes := m / 8
 	rhoPacked := make([]byte, mBytes)

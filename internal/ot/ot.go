@@ -28,6 +28,7 @@
 package ot
 
 import (
+	"context"
 	"fmt"
 
 	"dstress/internal/network"
@@ -38,14 +39,14 @@ import (
 // *DealerReceiver.
 type RandomOTSender interface {
 	// RandomPads returns n pairs of random pad bits (w0, w1), bit-packed.
-	RandomPads(n int) (w0, w1 []uint8, err error)
+	RandomPads(ctx context.Context, n int) (w0, w1 []uint8, err error)
 }
 
 // RandomOTReceiver is the receiving half of a random OT source.
 type RandomOTReceiver interface {
 	// RandomChoices returns n random choice bits ρ and the corresponding
 	// pads wρ.
-	RandomChoices(n int) (rho, wRho []uint8, err error)
+	RandomChoices(ctx context.Context, n int) (rho, wRho []uint8, err error)
 }
 
 // ---------------------------------------------------------------------------
@@ -83,7 +84,7 @@ func NewBitReceiver(src RandomOTReceiver, ep network.Transport, peer network.Nod
 
 // SendBits runs len(m0) parallel OTs: the receiver obtains m0[i] or m1[i]
 // according to its choice bit. m0 and m1 are unpacked bit slices.
-func (s *BitSender) SendBits(m0, m1 []uint8) error {
+func (s *BitSender) SendBits(ctx context.Context, m0, m1 []uint8) error {
 	if len(m0) != len(m1) {
 		return fmt.Errorf("ot: message slices differ: %d vs %d", len(m0), len(m1))
 	}
@@ -91,14 +92,14 @@ func (s *BitSender) SendBits(m0, m1 []uint8) error {
 	if n == 0 {
 		return nil
 	}
-	w0, w1, err := s.src.RandomPads(n)
+	w0, w1, err := s.src.RandomPads(ctx, n)
 	if err != nil {
 		return err
 	}
 	tag := network.Tag(s.tag, "derand", s.seq)
 	s.seq++
 	// Receiver announces e = c ⊕ ρ.
-	ePacked, err := s.ep.Recv(s.peer, tag)
+	ePacked, err := s.ep.Recv(ctx, s.peer, tag)
 	if err != nil {
 		return err
 	}
@@ -121,12 +122,12 @@ func (s *BitSender) SendBits(m0, m1 []uint8) error {
 }
 
 // ReceiveBits runs len(choices) parallel OTs and returns the selected bits.
-func (r *BitReceiver) ReceiveBits(choices []uint8) ([]uint8, error) {
+func (r *BitReceiver) ReceiveBits(ctx context.Context, choices []uint8) ([]uint8, error) {
 	n := len(choices)
 	if n == 0 {
 		return nil, nil
 	}
-	rho, wRho, err := r.src.RandomChoices(n)
+	rho, wRho, err := r.src.RandomChoices(ctx, n)
 	if err != nil {
 		return nil, err
 	}
@@ -144,7 +145,7 @@ func (r *BitReceiver) ReceiveBits(choices []uint8) ([]uint8, error) {
 	if err := r.ep.Send(r.peer, tag, PackBits(e)); err != nil {
 		return nil, err
 	}
-	payload, err := r.ep.Recv(r.peer, tag)
+	payload, err := r.ep.Recv(ctx, r.peer, tag)
 	if err != nil {
 		return nil, err
 	}

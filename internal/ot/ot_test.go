@@ -2,6 +2,7 @@ package ot
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"sync"
 	"testing"
@@ -55,11 +56,11 @@ func TestBaseOT(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		k0, k1, sendErr = BaseOTSend(tg, net.Endpoint(1), 2, "bot", count)
+		k0, k1, sendErr = BaseOTSend(context.Background(), tg, net.Endpoint(1), 2, "bot", count)
 	}()
 	go func() {
 		defer wg.Done()
-		ks, recvErr = BaseOTReceive(tg, net.Endpoint(2), 1, "bot", choices)
+		ks, recvErr = BaseOTReceive(context.Background(), tg, net.Endpoint(2), 1, "bot", choices)
 	}()
 	wg.Wait()
 	if sendErr != nil || recvErr != nil {
@@ -94,11 +95,11 @@ func setupIKNP(t testing.TB) (*IKNPSender, *IKNPReceiver, *network.Network) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		s, se = NewIKNPSender(tg, net.Endpoint(1), 2, "iknp")
+		s, se = NewIKNPSender(context.Background(), tg, net.Endpoint(1), 2, "iknp")
 	}()
 	go func() {
 		defer wg.Done()
-		r, re = NewIKNPReceiver(tg, net.Endpoint(2), 1, "iknp")
+		r, re = NewIKNPReceiver(context.Background(), tg, net.Endpoint(2), 1, "iknp")
 	}()
 	wg.Wait()
 	if se != nil || re != nil {
@@ -116,11 +117,11 @@ func checkRandomOTs(t *testing.T, s RandomOTSender, r RandomOTReceiver, n int) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		w0, w1, es = s.RandomPads(n)
+		w0, w1, es = s.RandomPads(context.Background(), n)
 	}()
 	go func() {
 		defer wg.Done()
-		rho, wr, er = r.RandomChoices(n)
+		rho, wr, er = r.RandomChoices(context.Background(), n)
 	}()
 	wg.Wait()
 	if es != nil || er != nil {
@@ -176,8 +177,8 @@ func TestDealerDeterministicFromSeed(t *testing.T) {
 	seed[0] = 42
 	s1, _ := NewDealerPair(seed)
 	s2, _ := NewDealerPair(seed)
-	a0, a1, _ := s1.RandomPads(64)
-	b0, b1, _ := s2.RandomPads(64)
+	a0, a1, _ := s1.RandomPads(context.Background(), 64)
+	b0, b1, _ := s2.RandomPads(context.Background(), 64)
 	if !bytes.Equal(a0, b0) || !bytes.Equal(a1, b1) {
 		t.Error("dealer pads not deterministic in seed")
 	}
@@ -202,11 +203,11 @@ func checkChosenOT(t *testing.T, mkPair func(net *network.Network) (RandomOTSend
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		se = bs.SendBits(m0, m1)
+		se = bs.SendBits(context.Background(), m0, m1)
 	}()
 	go func() {
 		defer wg.Done()
-		got, re = br.ReceiveBits(choices)
+		got, re = br.ReceiveBits(context.Background(), choices)
 	}()
 	wg.Wait()
 	if se != nil || re != nil {
@@ -238,11 +239,11 @@ func TestChosenOTOverIKNP(t *testing.T) {
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			s, _ = NewIKNPSender(tg, net.Endpoint(1), 2, "iknp")
+			s, _ = NewIKNPSender(context.Background(), tg, net.Endpoint(1), 2, "iknp")
 		}()
 		go func() {
 			defer wg.Done()
-			r, _ = NewIKNPReceiver(tg, net.Endpoint(2), 1, "iknp")
+			r, _ = NewIKNPReceiver(context.Background(), tg, net.Endpoint(2), 1, "iknp")
 		}()
 		wg.Wait()
 		if s == nil || r == nil {
@@ -265,14 +266,14 @@ func TestChosenOTSequentialBatches(t *testing.T) {
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			if err := bs.SendBits(m0, m1); err != nil {
+			if err := bs.SendBits(context.Background(), m0, m1); err != nil {
 				t.Error(err)
 			}
 		}()
 		go func() {
 			defer wg.Done()
 			var err error
-			got, err = br.ReceiveBits(c)
+			got, err = br.ReceiveBits(context.Background(), c)
 			if err != nil {
 				t.Error(err)
 			}
@@ -294,18 +295,18 @@ func TestSendBitsValidation(t *testing.T) {
 	ds, dr := NewRandomDealerPair()
 	net := network.New()
 	bs := NewBitSender(ds, net.Endpoint(1), 2, "v")
-	if err := bs.SendBits([]uint8{1}, []uint8{0, 1}); err == nil {
+	if err := bs.SendBits(context.Background(), []uint8{1}, []uint8{0, 1}); err == nil {
 		t.Error("mismatched lengths accepted")
 	}
 	br := NewBitReceiver(dr, net.Endpoint(2), 1, "v")
-	if _, err := br.ReceiveBits([]uint8{2}); err == nil {
+	if _, err := br.ReceiveBits(context.Background(), []uint8{2}); err == nil {
 		t.Error("non-bit choice accepted")
 	}
 	// Zero-length calls are no-ops.
-	if err := bs.SendBits(nil, nil); err != nil {
+	if err := bs.SendBits(context.Background(), nil, nil); err != nil {
 		t.Errorf("empty SendBits: %v", err)
 	}
-	if out, err := br.ReceiveBits(nil); err != nil || out != nil {
+	if out, err := br.ReceiveBits(context.Background(), nil); err != nil || out != nil {
 		t.Errorf("empty ReceiveBits: %v %v", out, err)
 	}
 }
@@ -352,7 +353,7 @@ func BenchmarkIKNPRandomOTs(b *testing.B) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := s.RandomPads(1024); err != nil {
+			if _, _, err := s.RandomPads(context.Background(), 1024); err != nil {
 				b.Error(err)
 				return
 			}
@@ -361,7 +362,7 @@ func BenchmarkIKNPRandomOTs(b *testing.B) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := r.RandomChoices(1024); err != nil {
+			if _, _, err := r.RandomChoices(context.Background(), 1024); err != nil {
 				b.Error(err)
 				return
 			}
@@ -374,10 +375,10 @@ func BenchmarkIKNPRandomOTs(b *testing.B) {
 func BenchmarkDealerRandomOTs(b *testing.B) {
 	s, r := NewRandomDealerPair()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := s.RandomPads(1024); err != nil {
+		if _, _, err := s.RandomPads(context.Background(), 1024); err != nil {
 			b.Fatal(err)
 		}
-		if _, _, err := r.RandomChoices(1024); err != nil {
+		if _, _, err := r.RandomChoices(context.Background(), 1024); err != nil {
 			b.Fatal(err)
 		}
 	}

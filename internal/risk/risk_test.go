@@ -1,6 +1,7 @@
 package risk
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -353,7 +354,7 @@ func TestENEndToEndMPC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotRaw, rep, err := rt.Run(iters)
+	gotRaw, rep, err := rt.Run(context.Background(), iters)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,7 +390,7 @@ func TestEGJEndToEndMPC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotRaw, _, err := rt.Run(iters)
+	gotRaw, _, err := rt.Run(context.Background(), iters)
 	if err != nil {
 		t.Fatal(err)
 	}

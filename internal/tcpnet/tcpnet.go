@@ -22,6 +22,7 @@
 package tcpnet
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -218,11 +219,33 @@ func (m *mailbox) close() {
 }
 
 // get returns the next queued message; queued messages drain even after
-// close, so an orderly shutdown does not drop deliveries.
-func (m *mailbox) get() ([]byte, error) {
+// close, so an orderly shutdown does not drop deliveries. A done context
+// releases the wait with the context's error.
+func (m *mailbox) get(ctx context.Context) ([]byte, error) {
+	m.mu.Lock()
+	if len(m.queue) > 0 {
+		v := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		return v, nil
+	}
+	m.mu.Unlock()
+	if ctx.Done() != nil {
+		// Broadcast under the lock so the waiter is either parked in Wait
+		// or has not yet re-checked ctx.Err — no wakeup can be lost.
+		stop := context.AfterFunc(ctx, func() {
+			m.mu.Lock()
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		})
+		defer stop()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for len(m.queue) == 0 && !m.closed {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		m.cond.Wait()
 	}
 	if len(m.queue) == 0 {
@@ -300,10 +323,11 @@ func frameBytes(tag string, payload []byte) int64 {
 	return int64(4 + 4 + 2 + len(tag) + len(payload))
 }
 
-// Recv blocks until a message from `from` with the given tag arrives, or
-// the peer is closed.
-func (p *Peer) Recv(from network.NodeID, tag string) ([]byte, error) {
-	return p.box(from, tag).get()
+// Recv blocks until a message from `from` with the given tag arrives, the
+// context is done, or the peer is closed. Queued messages drain before
+// either failure is reported.
+func (p *Peer) Recv(ctx context.Context, from network.NodeID, tag string) ([]byte, error) {
+	return p.box(from, tag).get(ctx)
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@ package tcpnet
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"sync"
 	"testing"
@@ -32,7 +33,7 @@ func newPair(t *testing.T) (*Peer, *Peer) {
 // delivery to succeed.
 func mustRecv(t testing.TB, p *Peer, from network.NodeID, tag string) []byte {
 	t.Helper()
-	got, err := p.Recv(from, tag)
+	got, err := p.Recv(context.Background(), from, tag)
 	if err != nil {
 		t.Fatalf("Recv(%d, %q): %v", from, tag, err)
 	}
@@ -228,7 +229,7 @@ func BenchmarkTCPRoundTrip(b *testing.B) {
 		if err := a.Send(2, "b", payload); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := c.Recv(1, "b"); err != nil {
+		if _, err := c.Recv(context.Background(), 1, "b"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -246,7 +247,7 @@ func TestRemotePeerDeathUnblocksRecv(t *testing.T) {
 
 	recvErr := make(chan error, 1)
 	go func() {
-		_, err := b.Recv(1, "never-sent")
+		_, err := b.Recv(context.Background(), 1, "never-sent")
 		recvErr <- err
 	}()
 	if err := a.Send(2, "final", []byte("in flight")); err != nil {
@@ -264,11 +265,11 @@ func TestRemotePeerDeathUnblocksRecv(t *testing.T) {
 		t.Fatal("Recv still blocked 5s after the sender died")
 	}
 	// Messages sent before the death still drain.
-	if got, err := b.Recv(1, "final"); err != nil || string(got) != "in flight" {
+	if got, err := b.Recv(context.Background(), 1, "final"); err != nil || string(got) != "in flight" {
 		t.Errorf("pre-death message lost: %q, %v", got, err)
 	}
 	// Future Recvs from the dead sender fail fast instead of blocking.
-	if _, err := b.Recv(1, "some-new-tag"); err == nil {
+	if _, err := b.Recv(context.Background(), 1, "some-new-tag"); err == nil {
 		t.Error("Recv on a fresh tag from a dead sender did not fail")
 	}
 }
@@ -295,7 +296,7 @@ func TestDialerDeathBeforeFirstDataReleasesRecv(t *testing.T) {
 	}
 	recvErr := make(chan error, 1)
 	go func() {
-		_, err := b.Recv(1, "never")
+		_, err := b.Recv(context.Background(), 1, "never")
 		recvErr <- err
 	}()
 	time.Sleep(50 * time.Millisecond) // let the Recv block and the greeting land

@@ -1,6 +1,7 @@
 package transfer
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -27,7 +28,7 @@ import (
 
 // Strawman1Send encrypts the member's whole share for a single recipient
 // (the member's own index) and sends it to the relay.
-func Strawman1Send(p Params, ep network.Transport, relay network.NodeID, tag string, selfIdx int, share uint64, keys RecipientKeys) error {
+func Strawman1Send(_ context.Context, p Params, ep network.Transport, relay network.NodeID, tag string, selfIdx int, share uint64, keys RecipientKeys) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -51,9 +52,9 @@ func Strawman1Send(p Params, ep network.Transport, relay network.NodeID, tag str
 }
 
 // Strawman1Relay forwards the per-member ciphertexts unmodified.
-func Strawman1Relay(p Params, ep network.Transport, senders []network.NodeID, peer network.NodeID, tag string) error {
+func Strawman1Relay(ctx context.Context, p Params, ep network.Transport, senders []network.NodeID, peer network.NodeID, tag string) error {
 	for idx, s := range senders {
-		data, err := ep.Recv(s, network.Tag(tag, "s1", idx))
+		data, err := ep.Recv(ctx, s, network.Tag(tag, "s1", idx))
 		if err != nil {
 			return err
 		}
@@ -66,10 +67,10 @@ func Strawman1Relay(p Params, ep network.Transport, senders []network.NodeID, pe
 
 // Strawman1Adjust adjusts each forwarded bundle and delivers it to the
 // matching member of B_v.
-func Strawman1Adjust(p Params, ep network.Transport, relay network.NodeID, members []network.NodeID, neighborKey *big.Int, tag string) error {
+func Strawman1Adjust(ctx context.Context, p Params, ep network.Transport, relay network.NodeID, members []network.NodeID, neighborKey *big.Int, tag string) error {
 	g := p.Group
 	for idx, m := range members {
-		data, err := ep.Recv(relay, network.Tag(tag, "s1fwd", idx))
+		data, err := ep.Recv(ctx, relay, network.Tag(tag, "s1fwd", idx))
 		if err != nil {
 			return err
 		}
@@ -88,8 +89,8 @@ func Strawman1Adjust(p Params, ep network.Transport, relay network.NodeID, membe
 // Strawman1Receive decrypts the member's share directly. The decrypted
 // values are the sender's exact share bits — the linkability Strawman #2
 // fixes.
-func Strawman1Receive(p Params, ep network.Transport, from network.NodeID, tag string, keys []*elgamal.PrivateKey, table *elgamal.Table) (uint64, error) {
-	data, err := ep.Recv(from, network.Tag(tag, "s1out"))
+func Strawman1Receive(ctx context.Context, p Params, ep network.Transport, from network.NodeID, tag string, keys []*elgamal.PrivateKey, table *elgamal.Table) (uint64, error) {
+	data, err := ep.Recv(ctx, from, network.Tag(tag, "s1out"))
 	if err != nil {
 		return 0, err
 	}
@@ -112,7 +113,7 @@ func Strawman1Receive(p Params, ep network.Transport, from network.NodeID, tag s
 
 // Strawman2Send splits the share into subshares like the final protocol but
 // keeps one bundle per (sender, recipient) pair all the way through.
-func Strawman2Send(p Params, ep network.Transport, relay network.NodeID, tag string, selfIdx int, share uint64, keys RecipientKeys) error {
+func Strawman2Send(_ context.Context, p Params, ep network.Transport, relay network.NodeID, tag string, selfIdx int, share uint64, keys RecipientKeys) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -142,9 +143,9 @@ func Strawman2Send(p Params, ep network.Transport, relay network.NodeID, tag str
 
 // Strawman2Relay forwards all (K+1)² bundles without aggregation — the
 // traffic blow-up the final protocol's homomorphic sum avoids.
-func Strawman2Relay(p Params, ep network.Transport, senders []network.NodeID, peer network.NodeID, tag string) error {
+func Strawman2Relay(ctx context.Context, p Params, ep network.Transport, senders []network.NodeID, peer network.NodeID, tag string) error {
 	for idx, s := range senders {
-		data, err := ep.Recv(s, network.Tag(tag, "s2", idx))
+		data, err := ep.Recv(ctx, s, network.Tag(tag, "s2", idx))
 		if err != nil {
 			return err
 		}
@@ -157,11 +158,11 @@ func Strawman2Relay(p Params, ep network.Transport, senders []network.NodeID, pe
 
 // Strawman2Adjust adjusts every bundle and routes bundle m of every sender
 // to member m.
-func Strawman2Adjust(p Params, ep network.Transport, relay network.NodeID, members []network.NodeID, neighborKey *big.Int, tag string) error {
+func Strawman2Adjust(ctx context.Context, p Params, ep network.Transport, relay network.NodeID, members []network.NodeID, neighborKey *big.Int, tag string) error {
 	g := p.Group
 	perMember := make([][]byte, len(members))
 	for idx := range members {
-		data, err := ep.Recv(relay, network.Tag(tag, "s2fwd", idx))
+		data, err := ep.Recv(ctx, relay, network.Tag(tag, "s2fwd", idx))
 		if err != nil {
 			return err
 		}
@@ -185,8 +186,8 @@ func Strawman2Adjust(p Params, ep network.Transport, relay network.NodeID, membe
 
 // Strawman2Receive decrypts the K+1 subshare bundles addressed to this
 // member and XORs them into a fresh share.
-func Strawman2Receive(p Params, ep network.Transport, from network.NodeID, tag string, keys []*elgamal.PrivateKey, table *elgamal.Table) (uint64, error) {
-	data, err := ep.Recv(from, network.Tag(tag, "s2out"))
+func Strawman2Receive(ctx context.Context, p Params, ep network.Transport, from network.NodeID, tag string, keys []*elgamal.PrivateKey, table *elgamal.Table) (uint64, error) {
+	data, err := ep.Recv(ctx, from, network.Tag(tag, "s2out"))
 	if err != nil {
 		return 0, err
 	}

@@ -36,6 +36,7 @@
 package transfer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -263,7 +264,7 @@ func (c *CertKeyCache) Keys(vertex, slot int, raw RecipientKeys) RecipientKeys {
 // SendShare runs the sender-member role: split the local share into K+1
 // subshares, encrypt each bitwise for its recipient, and send the bundles
 // to the relay node u. share must fit in L bits.
-func SendShare(p Params, ep network.Transport, relay network.NodeID, tag string, share uint64, keys RecipientKeys) error {
+func SendShare(ctx context.Context, p Params, ep network.Transport, relay network.NodeID, tag string, share uint64, keys RecipientKeys) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -308,7 +309,7 @@ func SendShare(p Params, ep network.Transport, relay network.NodeID, tag string,
 // homomorphically per recipient and bit, add even geometric noise, and
 // forward the aggregates to the adjusting node v. noise supplies the
 // randomness (dp.CryptoSource{} in production).
-func RunRelay(p Params, ep network.Transport, senders []network.NodeID, peer network.NodeID, tag string, noise dp.Source) error {
+func RunRelay(ctx context.Context, p Params, ep network.Transport, senders []network.NodeID, peer network.NodeID, tag string, noise dp.Source) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -319,7 +320,7 @@ func RunRelay(p Params, ep network.Transport, senders []network.NodeID, peer net
 	// agg[m] aggregates recipient m's bundle across senders.
 	agg := make([]bundle, p.K+1)
 	for _, s := range senders {
-		data, err := ep.Recv(s, network.Tag(tag, "sub"))
+		data, err := ep.Recv(ctx, s, network.Tag(tag, "sub"))
 		if err != nil {
 			return err
 		}
@@ -368,7 +369,7 @@ func RunRelay(p Params, ep network.Transport, senders []network.NodeID, peer net
 // adjust each ephemeral with the neighbor key that re-randomized the
 // certificate v originally handed to u, and deliver each bundle to its
 // block member.
-func RunAdjust(p Params, ep network.Transport, relay network.NodeID, members []network.NodeID, neighborKey *big.Int, tag string) error {
+func RunAdjust(ctx context.Context, p Params, ep network.Transport, relay network.NodeID, members []network.NodeID, neighborKey *big.Int, tag string) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -376,7 +377,7 @@ func RunAdjust(p Params, ep network.Transport, relay network.NodeID, members []n
 		return fmt.Errorf("transfer: %d members, want %d", len(members), p.K+1)
 	}
 	g := p.Group
-	data, err := ep.Recv(relay, network.Tag(tag, "agg"))
+	data, err := ep.Recv(ctx, relay, network.Tag(tag, "agg"))
 	if err != nil {
 		return err
 	}
@@ -406,14 +407,14 @@ func RunAdjust(p Params, ep network.Transport, relay network.NodeID, members []n
 // ReceiveShare runs the receiver-member role: decrypt the L noised sums and
 // recover the fresh share bit per position as the sum's parity. keys are
 // the member's L private keys; table must cover [-noise, K+1+noise].
-func ReceiveShare(p Params, ep network.Transport, from network.NodeID, tag string, keys []*elgamal.PrivateKey, table *elgamal.Table) (uint64, error) {
+func ReceiveShare(ctx context.Context, p Params, ep network.Transport, from network.NodeID, tag string, keys []*elgamal.PrivateKey, table *elgamal.Table) (uint64, error) {
 	if err := p.Validate(); err != nil {
 		return 0, err
 	}
 	if len(keys) != p.L {
 		return 0, fmt.Errorf("transfer: %d private keys, want %d", len(keys), p.L)
 	}
-	data, err := ep.Recv(from, network.Tag(tag, "out"))
+	data, err := ep.Recv(ctx, from, network.Tag(tag, "out"))
 	if err != nil {
 		return 0, err
 	}

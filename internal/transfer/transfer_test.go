@@ -1,6 +1,7 @@
 package transfer
 
 import (
+	"context"
 	"math"
 	"math/big"
 	"sync"
@@ -82,25 +83,25 @@ func (e *env) runShares(t testing.TB, shares []uint64) []uint64 {
 		go func() {
 			defer wg.Done()
 			ep := e.net.Endpoint(id)
-			errs <- SendShare(e.p, ep, e.relay, "tx", shares[m], e.certKeys)
+			errs <- SendShare(context.Background(), e.p, ep, e.relay, "tx", shares[m], e.certKeys)
 		}()
 	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		errs <- RunRelay(e.p, e.net.Endpoint(e.relay), e.senders, e.adjuster, "tx", dp.CryptoSource{})
+		errs <- RunRelay(context.Background(), e.p, e.net.Endpoint(e.relay), e.senders, e.adjuster, "tx", dp.CryptoSource{})
 	}()
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		errs <- RunAdjust(e.p, e.net.Endpoint(e.adjuster), e.relay, e.recvs, e.neighbor, "tx")
+		errs <- RunAdjust(context.Background(), e.p, e.net.Endpoint(e.adjuster), e.relay, e.recvs, e.neighbor, "tx")
 	}()
 	for m, id := range e.recvs {
 		m, id := m, id
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := ReceiveShare(e.p, e.net.Endpoint(id), e.adjuster, "tx", e.privKeys[m], e.table)
+			v, err := ReceiveShare(context.Background(), e.p, e.net.Endpoint(id), e.adjuster, "tx", e.privKeys[m], e.table)
 			fresh[m] = v
 			errs <- err
 		}()
@@ -277,25 +278,25 @@ func runStrawman2(t testing.TB, e *env, value uint64) uint64 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs <- Strawman2Send(e.p, e.net.Endpoint(id), e.relay, "s2x", m, shares[m], e.certKeys)
+			errs <- Strawman2Send(context.Background(), e.p, e.net.Endpoint(id), e.relay, "s2x", m, shares[m], e.certKeys)
 		}()
 	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		errs <- Strawman2Relay(e.p, e.net.Endpoint(e.relay), e.senders, e.adjuster, "s2x")
+		errs <- Strawman2Relay(context.Background(), e.p, e.net.Endpoint(e.relay), e.senders, e.adjuster, "s2x")
 	}()
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		errs <- Strawman2Adjust(e.p, e.net.Endpoint(e.adjuster), e.relay, e.recvs, e.neighbor, "s2x")
+		errs <- Strawman2Adjust(context.Background(), e.p, e.net.Endpoint(e.adjuster), e.relay, e.recvs, e.neighbor, "s2x")
 	}()
 	for m, id := range e.recvs {
 		m, id := m, id
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := Strawman2Receive(e.p, e.net.Endpoint(id), e.adjuster, "s2x", e.privKeys[m], e.table)
+			v, err := Strawman2Receive(context.Background(), e.p, e.net.Endpoint(id), e.adjuster, "s2x", e.privKeys[m], e.table)
 			fresh[m] = v
 			errs <- err
 		}()
@@ -334,25 +335,25 @@ func TestStrawman1RoundTrip(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs <- Strawman1Send(e.p, e.net.Endpoint(id), e.relay, "s1x", m, shares[m], e.certKeys)
+			errs <- Strawman1Send(context.Background(), e.p, e.net.Endpoint(id), e.relay, "s1x", m, shares[m], e.certKeys)
 		}()
 	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		errs <- Strawman1Relay(e.p, e.net.Endpoint(e.relay), e.senders, e.adjuster, "s1x")
+		errs <- Strawman1Relay(context.Background(), e.p, e.net.Endpoint(e.relay), e.senders, e.adjuster, "s1x")
 	}()
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		errs <- Strawman1Adjust(e.p, e.net.Endpoint(e.adjuster), e.relay, e.recvs, e.neighbor, "s1x")
+		errs <- Strawman1Adjust(context.Background(), e.p, e.net.Endpoint(e.adjuster), e.relay, e.recvs, e.neighbor, "s1x")
 	}()
 	for m, id := range e.recvs {
 		m, id := m, id
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := Strawman1Receive(e.p, e.net.Endpoint(id), e.adjuster, "s1x", e.privKeys[m], e.table)
+			v, err := Strawman1Receive(context.Background(), e.p, e.net.Endpoint(id), e.adjuster, "s1x", e.privKeys[m], e.table)
 			fresh[m] = v
 			errs <- err
 		}()
@@ -428,10 +429,10 @@ func TestMeterExhausts(t *testing.T) {
 func TestSendShareValidation(t *testing.T) {
 	e := newEnv(t, testParams())
 	ep := e.net.Endpoint(e.senders[0])
-	if err := SendShare(e.p, ep, e.relay, "v", 1<<uint(e.p.L), e.certKeys); err == nil {
+	if err := SendShare(context.Background(), e.p, ep, e.relay, "v", 1<<uint(e.p.L), e.certKeys); err == nil {
 		t.Error("oversized share accepted")
 	}
-	if err := SendShare(e.p, ep, e.relay, "v", 1, e.certKeys[:1]); err == nil {
+	if err := SendShare(context.Background(), e.p, ep, e.relay, "v", 1, e.certKeys[:1]); err == nil {
 		t.Error("short certificate accepted")
 	}
 }
@@ -462,24 +463,24 @@ func TestWrongNeighborKeyBreaksDecryption(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_ = SendShare(e.p, e.net.Endpoint(id), e.relay, "wk", shares[m], e.certKeys)
+			_ = SendShare(context.Background(), e.p, e.net.Endpoint(id), e.relay, "wk", shares[m], e.certKeys)
 		}()
 	}
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		_ = RunRelay(e.p, e.net.Endpoint(e.relay), e.senders, e.adjuster, "wk", dp.CryptoSource{})
+		_ = RunRelay(context.Background(), e.p, e.net.Endpoint(e.relay), e.senders, e.adjuster, "wk", dp.CryptoSource{})
 	}()
 	go func() {
 		defer wg.Done()
-		_ = RunAdjust(e.p, e.net.Endpoint(e.adjuster), e.relay, e.recvs, e.neighbor, "wk")
+		_ = RunAdjust(context.Background(), e.p, e.net.Endpoint(e.adjuster), e.relay, e.recvs, e.neighbor, "wk")
 	}()
 	for m, id := range e.recvs {
 		m, id := m, id
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := ReceiveShare(e.p, e.net.Endpoint(id), e.adjuster, "wk", e.privKeys[m], e.table); err != nil {
+			if _, err := ReceiveShare(context.Background(), e.p, e.net.Endpoint(id), e.adjuster, "wk", e.privKeys[m], e.table); err != nil {
 				mu.Lock()
 				failures++
 				mu.Unlock()

@@ -1,6 +1,7 @@
 package vertex
 
 import (
+	"context"
 	crand "crypto/rand"
 	"fmt"
 	"runtime"
@@ -115,8 +116,20 @@ type Runtime struct {
 	secrets map[network.NodeID]trustedparty.NodeSecrets
 
 	updCirc *circuit.Circuit
-	aggCirc *circuit.Circuit
-	noise   NoiseSpec
+
+	// aggPlans caches the per-ε aggregation machinery: a standing runtime
+	// (Session) answers queries at different privacy budgets, and each
+	// budget needs its own noise spec and aggregation circuit. Keyed by ε.
+	planMu   sync.Mutex
+	aggPlans map[float64]*aggPlan
+
+	// runMu serializes executions: the share state and the GMW sessions
+	// admit one query at a time.
+	runMu sync.Mutex
+	// certUses accumulates certificate-key uses across queries so a
+	// standing deployment eventually amortizes the fixed-base tables even
+	// when each individual query is short.
+	certUses int
 
 	sessions   [][]*gmw.Party // [vertex][member]
 	aggSession []*gmw.Party
@@ -163,10 +176,8 @@ func New(cfg Config, prog *Program, g *Graph) (*Runtime, error) {
 	if r.updCirc, err = prog.UpdateCircuit(g.D); err != nil {
 		return nil, err
 	}
-	if cfg.Epsilon > 0 {
-		r.noise = DefaultNoiseSpec(cfg.Epsilon, prog.Sensitivity, cfg.NoiseShift)
-	}
-	if r.aggCirc, err = prog.AggregateCircuit(g.N(), r.noise); err != nil {
+	r.aggPlans = make(map[float64]*aggPlan)
+	if _, err = r.planFor(cfg.Epsilon); err != nil {
 		return nil, err
 	}
 
@@ -235,7 +246,9 @@ func (r *Runtime) createSessions() error {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				parties[i], errs[i] = gmw.NewParty(gmw.Config{
+				// All members run in-process, so the handshake cannot block
+				// on an absent peer; Background is safe here.
+				parties[i], errs[i] = gmw.NewParty(context.Background(), gmw.Config{
 					Parties: members, Index: i, Transport: r.net.Endpoint(members[i]), Tag: tag, OT: opt,
 				})
 			}()
@@ -265,25 +278,77 @@ func (r *Runtime) createSessions() error {
 	return nil
 }
 
+// aggPlan bundles the ε-dependent half of an execution: the noise spec and
+// the compiled flat-aggregation circuit (tree roots compile per run, they
+// depend on the group count).
+type aggPlan struct {
+	epsilon float64
+	noise   NoiseSpec
+	circ    *circuit.Circuit
+}
+
+// planFor returns (compiling and caching on first use) the aggregation plan
+// for the given privacy budget.
+func (r *Runtime) planFor(epsilon float64) (*aggPlan, error) {
+	r.planMu.Lock()
+	defer r.planMu.Unlock()
+	if pl, ok := r.aggPlans[epsilon]; ok {
+		return pl, nil
+	}
+	pl := &aggPlan{epsilon: epsilon}
+	if epsilon > 0 {
+		pl.noise = DefaultNoiseSpec(epsilon, r.prog.Sensitivity, r.cfg.NoiseShift)
+	}
+	var err error
+	if pl.circ, err = r.prog.AggregateCircuit(r.graph.N(), pl.noise); err != nil {
+		return nil, err
+	}
+	r.aggPlans[epsilon] = pl
+	return pl, nil
+}
+
 // Run executes `iterations` computation+communication steps, a final
-// computation step, and the aggregation+noising step, returning the opened
-// (noised) aggregate.
-func (r *Runtime) Run(iterations int) (int64, *Report, error) {
+// computation step, and the aggregation+noising step at the configured
+// Epsilon, returning the opened (noised) aggregate. Canceling ctx aborts
+// the run: every blocked receive returns the context's error.
+func (r *Runtime) Run(ctx context.Context, iterations int) (int64, *Report, error) {
+	return r.RunQuery(ctx, iterations, r.cfg.Epsilon)
+}
+
+// RunQuery executes one query against the standing deployment at the given
+// privacy budget. The trusted-party setup, GMW sessions (with their OT
+// handshakes), and fixed-base tables built in New are reused across calls;
+// each call re-distributes fresh shares of the graph's current inputs, so a
+// long-lived Runtime answers a sequence of queries while paying the session
+// bootstrap only once. Calls are serialized.
+func (r *Runtime) RunQuery(ctx context.Context, iterations int, epsilon float64) (int64, *Report, error) {
+	r.runMu.Lock()
+	defer r.runMu.Unlock()
+	plan, err := r.planFor(epsilon)
+	if err != nil {
+		return 0, nil, err
+	}
 	rep := &Report{
 		Iterations:     iterations,
 		UpdateAndGates: r.updCirc.NumAnd,
-		AggAndGates:    r.aggCirc.NumAnd,
+		AggAndGates:    plan.circ.NumAnd,
 	}
 	// All K+1 senders of an edge share this in-process cache, so each
-	// certificate key is used (K+1)·iterations times.
-	if r.tparam.PrecomputeWorthwhile(iterations * (r.cfg.K + 1)) {
+	// certificate key is used (K+1)·iterations times per query; uses
+	// accumulate across a session's queries.
+	r.certUses += iterations * (r.cfg.K + 1)
+	if r.tparam.PrecomputeWorthwhile(r.certUses) {
 		r.certCache.Enable()
 	}
+	// Each query reports its own traffic: without the reset, the per-node
+	// aggregates (AvgNodeBytes/MaxNodeBytes) of a session's later queries
+	// would silently accumulate every earlier query's bytes.
+	r.net.ResetStats()
 	phaseStart := func() (time.Time, int64) { return time.Now(), r.net.TotalBytes() }
 
 	// --- Initialization (§3.6): owners split and distribute shares. ---
 	t0, b0 := phaseStart()
-	if err := r.initShares(); err != nil {
+	if err := r.initShares(ctx); err != nil {
 		return 0, nil, err
 	}
 	rep.InitTime = time.Since(t0)
@@ -292,7 +357,7 @@ func (r *Runtime) Run(iterations int) (int64, *Report, error) {
 	// --- Iterations. ---
 	for it := 0; it <= iterations; it++ {
 		t0, b0 = phaseStart()
-		outShares, err := r.computeStep(it)
+		outShares, err := r.computeStep(ctx, it)
 		if err != nil {
 			return 0, nil, fmt.Errorf("vertex: iteration %d compute: %w", it, err)
 		}
@@ -303,7 +368,7 @@ func (r *Runtime) Run(iterations int) (int64, *Report, error) {
 			break // final computation step: no communication follows
 		}
 		t0, b0 = phaseStart()
-		if err := r.communicateStep(it, outShares); err != nil {
+		if err := r.communicateStep(ctx, it, outShares); err != nil {
 			return 0, nil, fmt.Errorf("vertex: iteration %d communicate: %w", it, err)
 		}
 		rep.CommTime += time.Since(t0)
@@ -312,7 +377,7 @@ func (r *Runtime) Run(iterations int) (int64, *Report, error) {
 
 	// --- Aggregation + noising (§3.6). ---
 	t0, b0 = phaseStart()
-	result, err := r.aggregate()
+	result, err := r.aggregate(ctx, plan)
 	if err != nil {
 		return 0, nil, fmt.Errorf("vertex: aggregation: %w", err)
 	}
@@ -328,10 +393,10 @@ func (r *Runtime) Run(iterations int) (int64, *Report, error) {
 // copies of ⊥ per vertex (§3.6), sent over the network so setup traffic is
 // accounted. Vertices are independent, so the distribution runs under the
 // Config.Parallelism semaphore like every other per-vertex phase.
-func (r *Runtime) initShares() error {
+func (r *Runtime) initShares(ctx context.Context) error {
 	k1 := r.cfg.K + 1
 	return r.parallelFor(r.graph.N(), func(v int) error {
-		if err := r.initSharesVertex(v, k1); err != nil {
+		if err := r.initSharesVertex(ctx, v, k1); err != nil {
 			return fmt.Errorf("vertex %d init: %w", v, err)
 		}
 		return nil
@@ -366,7 +431,7 @@ func (r *Runtime) parallelFor(n int, fn func(i int) error) error {
 
 // initSharesVertex runs one vertex's share distribution: the owner splits
 // and sends, the members receive. Only indices of vertex v are written.
-func (r *Runtime) initSharesVertex(v, k1 int) error {
+func (r *Runtime) initSharesVertex(ctx context.Context, v, k1 int) error {
 	g := r.graph
 	owner := g.NodeOf(v)
 	members := r.setup.Assignment.Blocks[owner]
@@ -392,7 +457,7 @@ func (r *Runtime) initSharesVertex(v, k1 int) error {
 	}
 	// Members receive their shares.
 	for m := 1; m < k1; m++ {
-		data, err := r.net.Endpoint(members[m]).Recv(owner, network.Tag("init", v))
+		data, err := r.net.Endpoint(members[m]).Recv(ctx, owner, network.Tag("init", v))
 		if err != nil {
 			return err
 		}
@@ -409,12 +474,12 @@ func (r *Runtime) initSharesVertex(v, k1 int) error {
 }
 
 // computeStep runs every block's update MPC; returns outShares[v][slot][m].
-func (r *Runtime) computeStep(iter int) ([][][]uint64, error) {
+func (r *Runtime) computeStep(ctx context.Context, iter int) ([][][]uint64, error) {
 	g := r.graph
 	_ = iter // kept for symmetry with communicateStep's tagging
 	out := make([][][]uint64, g.N())
 	if err := r.parallelFor(g.N(), func(v int) error {
-		res, err := r.runBlockMPC(v)
+		res, err := r.runBlockMPC(ctx, v)
 		if err != nil {
 			return fmt.Errorf("block %d: %w", v, err)
 		}
@@ -427,7 +492,7 @@ func (r *Runtime) computeStep(iter int) ([][][]uint64, error) {
 }
 
 // runBlockMPC executes one vertex's update circuit in its block session.
-func (r *Runtime) runBlockMPC(v int) ([][]uint64, error) {
+func (r *Runtime) runBlockMPC(ctx context.Context, v int) ([][]uint64, error) {
 	g := r.graph
 	k1 := r.cfg.K + 1
 	parties := r.sessions[v]
@@ -446,7 +511,7 @@ func (r *Runtime) runBlockMPC(v int) ([][]uint64, error) {
 		go func() {
 			defer wg.Done()
 			in := r.memberInput(v, m)
-			outBits, err := parties[m].Evaluate(r.updCirc, in)
+			outBits, err := parties[m].Evaluate(ctx, r.updCirc, in)
 			if err != nil {
 				errs[m] = err
 				return
@@ -488,7 +553,7 @@ func (r *Runtime) memberInput(v, m int) []uint8 {
 
 // communicateStep runs the transfer protocol over every edge and refreshes
 // padding slots with shares of ⊥.
-func (r *Runtime) communicateStep(iter int, outShares [][][]uint64) error {
+func (r *Runtime) communicateStep(ctx context.Context, iter int, outShares [][][]uint64) error {
 	g := r.graph
 	k1 := r.cfg.K + 1
 
@@ -515,7 +580,7 @@ func (r *Runtime) communicateStep(iter int, outShares [][][]uint64) error {
 	// write disjoint state.
 	return r.parallelFor(len(edges), func(i int) error {
 		u, v := edges[i][0], edges[i][1]
-		fresh, err := r.runTransfer(iter, u, v, slotIns[i], outShares[u][OutSlot(g, u, v)])
+		fresh, err := r.runTransfer(ctx, iter, u, v, slotIns[i], outShares[u][OutSlot(g, u, v)])
 		if err != nil {
 			return fmt.Errorf("edge (%d,%d): %w", u, v, err)
 		}
@@ -527,7 +592,7 @@ func (r *Runtime) communicateStep(iter int, outShares [][][]uint64) error {
 // runTransfer moves one message's shares from B_u to B_v (§3.5): the
 // members of B_u send encrypted subshares through node u, which aggregates
 // and noises them; node v adjusts and fans out to B_v's members.
-func (r *Runtime) runTransfer(iter, u, v, slotIn int, shares []uint64) ([]uint64, error) {
+func (r *Runtime) runTransfer(ctx context.Context, iter, u, v, slotIn int, shares []uint64) ([]uint64, error) {
 	g := r.graph
 	k1 := r.cfg.K + 1
 	uID, vID := g.NodeOf(u), g.NodeOf(v)
@@ -546,18 +611,18 @@ func (r *Runtime) runTransfer(iter, u, v, slotIn int, shares []uint64) ([]uint64
 		go func() {
 			defer wg.Done()
 			ep := r.net.Endpoint(sendersB[m])
-			errCh <- transfer.SendShare(r.tparam, ep, uID, tag, shares[m], keys)
+			errCh <- transfer.SendShare(ctx, r.tparam, ep, uID, tag, shares[m], keys)
 		}()
 	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		errCh <- transfer.RunRelay(r.tparam, r.net.Endpoint(uID), sendersB, vID, tag, dp.CryptoSource{})
+		errCh <- transfer.RunRelay(ctx, r.tparam, r.net.Endpoint(uID), sendersB, vID, tag, dp.CryptoSource{})
 	}()
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		errCh <- transfer.RunAdjust(r.tparam, r.net.Endpoint(vID), uID, recvB, neighborKey, tag)
+		errCh <- transfer.RunAdjust(ctx, r.tparam, r.net.Endpoint(vID), uID, recvB, neighborKey, tag)
 	}()
 	for m := 0; m < k1; m++ {
 		m := m
@@ -565,7 +630,7 @@ func (r *Runtime) runTransfer(iter, u, v, slotIn int, shares []uint64) ([]uint64
 		go func() {
 			defer wg.Done()
 			keys := r.secrets[recvB[m]].PrivateKeys
-			share, err := transfer.ReceiveShare(r.tparam, r.net.Endpoint(recvB[m]), vID, tag, keys, r.table)
+			share, err := transfer.ReceiveShare(ctx, r.tparam, r.net.Endpoint(recvB[m]), vID, tag, keys, r.table)
 			fresh[m] = share
 			errCh <- err
 		}()
@@ -593,7 +658,7 @@ func (r *Runtime) recipientKeys(v, slotIn int) transfer.RecipientKeys {
 // fresh share. Block memberships are public (§3.4), so this needs only the
 // secure point-to-point channels the network layer models — the
 // identity-hiding transfer protocol is required only for graph edges.
-func (r *Runtime) reshare(shares []uint64, bits int, src, dst []network.NodeID, tag string) ([]uint64, error) {
+func (r *Runtime) reshare(ctx context.Context, shares []uint64, bits int, src, dst []network.NodeID, tag string) ([]uint64, error) {
 	// Every member acts independently: sources split-and-send in parallel,
 	// then destinations collect in parallel (sends never block on the
 	// receiver, so issuing all sends first cannot deadlock).
@@ -629,7 +694,7 @@ func (r *Runtime) reshare(shares []uint64, bits int, src, dst []network.NodeID, 
 			defer wg.Done()
 			epY := r.net.Endpoint(dest)
 			for m, id := range src {
-				data, err := epY.Recv(id, network.Tag(tag, m))
+				data, err := epY.Recv(ctx, id, network.Tag(tag, m))
 				if err != nil {
 					recvErrs[y] = err
 					return
@@ -654,7 +719,7 @@ func (r *Runtime) reshare(shares []uint64, bits int, src, dst []network.NodeID, 
 
 // evalInBlock runs one circuit in a block session: member m supplies
 // inputs[m] and receives its output shares.
-func (r *Runtime) evalInBlock(sessions []*gmw.Party, c *circuit.Circuit, inputs [][]uint8) ([][]uint8, error) {
+func (r *Runtime) evalInBlock(ctx context.Context, sessions []*gmw.Party, c *circuit.Circuit, inputs [][]uint8) ([][]uint8, error) {
 	k1 := len(sessions)
 	out := make([][]uint8, k1)
 	errs := make([]error, k1)
@@ -664,7 +729,7 @@ func (r *Runtime) evalInBlock(sessions []*gmw.Party, c *circuit.Circuit, inputs 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			out[m], errs[m] = sessions[m].Evaluate(c, inputs[m])
+			out[m], errs[m] = sessions[m].Evaluate(ctx, c, inputs[m])
 		}()
 	}
 	wg.Wait()
@@ -677,7 +742,7 @@ func (r *Runtime) evalInBlock(sessions []*gmw.Party, c *circuit.Circuit, inputs 
 }
 
 // openInBlock opens shared bits in a block session, checking agreement.
-func (r *Runtime) openInBlock(sessions []*gmw.Party, shares [][]uint8) (int64, error) {
+func (r *Runtime) openInBlock(ctx context.Context, sessions []*gmw.Party, shares [][]uint8) (int64, error) {
 	k1 := len(sessions)
 	results := make([]int64, k1)
 	errs := make([]error, k1)
@@ -687,7 +752,7 @@ func (r *Runtime) openInBlock(sessions []*gmw.Party, shares [][]uint8) (int64, e
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			open, err := sessions[y].Open(shares[y])
+			open, err := sessions[y].Open(ctx, shares[y])
 			if err != nil {
 				errs[y] = err
 				return
@@ -712,9 +777,9 @@ func (r *Runtime) openInBlock(sessions []*gmw.Party, shares [][]uint8) (int64, e
 // aggregate re-shares all vertex states to the aggregation machinery (flat
 // or tree-shaped, §3.6), evaluates the aggregation function plus the
 // in-MPC Laplace noise, and opens only the noised result.
-func (r *Runtime) aggregate() (int64, error) {
+func (r *Runtime) aggregate(ctx context.Context, plan *aggPlan) (int64, error) {
 	if r.cfg.AggFanIn > 0 && r.graph.N() > r.cfg.AggFanIn {
-		return r.aggregateTree()
+		return r.aggregateTree(ctx, plan)
 	}
 	g := r.graph
 	k1 := r.cfg.K + 1
@@ -727,7 +792,7 @@ func (r *Runtime) aggregate() (int64, error) {
 	if err := r.parallelFor(g.N(), func(v int) error {
 		members := r.setup.Assignment.Blocks[g.NodeOf(v)]
 		var err error
-		cols[v], err = r.reshare(r.stateShares[v], r.prog.StateBits, members, aggMembers, network.Tag("aggsh", v))
+		cols[v], err = r.reshare(ctx, r.stateShares[v], r.prog.StateBits, members, aggMembers, network.Tag("aggsh", v))
 		return err
 	}); err != nil {
 		return 0, err
@@ -742,20 +807,20 @@ func (r *Runtime) aggregate() (int64, error) {
 	// sampler; the circuit sees the XOR of all contributions, so one honest
 	// member suffices for uniformity.
 	for y := 0; y < k1; y++ {
-		aggInput[y] = append(aggInput[y], RandomInputBits(r.noise.RandBits())...)
+		aggInput[y] = append(aggInput[y], RandomInputBits(plan.noise.RandBits())...)
 	}
-	outShares, err := r.evalInBlock(r.aggSession, r.aggCirc, aggInput)
+	outShares, err := r.evalInBlock(ctx, r.aggSession, plan.circ, aggInput)
 	if err != nil {
 		return 0, err
 	}
-	return r.openInBlock(r.aggSession, outShares)
+	return r.openInBlock(ctx, r.aggSession, outShares)
 }
 
 // aggregateTree implements the two-level aggregation tree of §3.6: leaf
 // blocks (reusing the block of each group's first vertex) partially
 // aggregate up to AggFanIn states; the root block combines the partials
 // and draws the noise.
-func (r *Runtime) aggregateTree() (int64, error) {
+func (r *Runtime) aggregateTree(ctx context.Context, plan *aggPlan) (int64, error) {
 	g := r.graph
 	k1 := r.cfg.K + 1
 	fanIn := r.cfg.AggFanIn
@@ -782,7 +847,7 @@ func (r *Runtime) aggregateTree() (int64, error) {
 		leafInput := make([][]uint8, k1)
 		for v := lo; v < hi; v++ {
 			members := r.setup.Assignment.Blocks[g.NodeOf(v)]
-			col, err := r.reshare(r.stateShares[v], r.prog.StateBits, members, leafMembers, network.Tag("leafsh", grp, v))
+			col, err := r.reshare(ctx, r.stateShares[v], r.prog.StateBits, members, leafMembers, network.Tag("leafsh", grp, v))
 			if err != nil {
 				return err
 			}
@@ -790,7 +855,7 @@ func (r *Runtime) aggregateTree() (int64, error) {
 				leafInput[y] = append(leafInput[y], WordToBits(col[y], r.prog.StateBits)...)
 			}
 		}
-		outShares, err := r.evalInBlock(r.sessions[leader], partialCirc, leafInput)
+		outShares, err := r.evalInBlock(ctx, r.sessions[leader], partialCirc, leafInput)
 		if err != nil {
 			return fmt.Errorf("vertex: leaf aggregation %d: %w", grp, err)
 		}
@@ -804,14 +869,14 @@ func (r *Runtime) aggregateTree() (int64, error) {
 	}
 
 	// Root: combine partials + noise in the TP's aggregation block.
-	combineCirc, err := r.prog.CombineCircuit(nGroups, r.noise)
+	combineCirc, err := r.prog.CombineCircuit(nGroups, plan.noise)
 	if err != nil {
 		return 0, err
 	}
 	aggMembers := r.setup.Assignment.AggBlock
 	rootInput := make([][]uint8, k1)
 	for grp := 0; grp < nGroups; grp++ {
-		col, err := r.reshare(partialShares[grp], r.prog.AggBits, leafBlocks[grp], aggMembers, network.Tag("rootsh", grp))
+		col, err := r.reshare(ctx, partialShares[grp], r.prog.AggBits, leafBlocks[grp], aggMembers, network.Tag("rootsh", grp))
 		if err != nil {
 			return 0, err
 		}
@@ -820,13 +885,13 @@ func (r *Runtime) aggregateTree() (int64, error) {
 		}
 	}
 	for y := 0; y < k1; y++ {
-		rootInput[y] = append(rootInput[y], RandomInputBits(r.noise.RandBits())...)
+		rootInput[y] = append(rootInput[y], RandomInputBits(plan.noise.RandBits())...)
 	}
-	outShares, err := r.evalInBlock(r.aggSession, combineCirc, rootInput)
+	outShares, err := r.evalInBlock(ctx, r.aggSession, combineCirc, rootInput)
 	if err != nil {
 		return 0, fmt.Errorf("vertex: root aggregation: %w", err)
 	}
-	return r.openInBlock(r.aggSession, outShares)
+	return r.openInBlock(ctx, r.aggSession, outShares)
 }
 
 // Net exposes the network hub for traffic inspection.
@@ -835,8 +900,15 @@ func (r *Runtime) Net() *network.Network { return r.net }
 // UpdateCircuit exposes the compiled update circuit (for reports/benches).
 func (r *Runtime) UpdateCircuit() *circuit.Circuit { return r.updCirc }
 
-// AggregateCircuitCompiled exposes the compiled aggregation circuit.
-func (r *Runtime) AggregateCircuitCompiled() *circuit.Circuit { return r.aggCirc }
+// AggregateCircuitCompiled exposes the compiled aggregation circuit for
+// the configured Epsilon.
+func (r *Runtime) AggregateCircuitCompiled() *circuit.Circuit {
+	pl, err := r.planFor(r.cfg.Epsilon)
+	if err != nil {
+		panic(err) // compiled once in New; cannot fail afterwards
+	}
+	return pl.circ
+}
 
 // ---------------------------------------------------------------------------
 // Helpers

@@ -1,8 +1,11 @@
 package vertex
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"dstress/internal/circuit"
 	"dstress/internal/group"
@@ -179,7 +182,7 @@ func TestRuntimeMatchesReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, rep, err := rt.Run(2)
+	got, rep, err := rt.Run(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +215,7 @@ func TestRuntimeNoTransferNoise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := rt.Run(1)
+	got, _, err := rt.Run(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +241,7 @@ func TestRuntimeWithOutputNoise(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, _, err := rt.Run(1)
+		got, _, err := rt.Run(context.Background(), 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -254,7 +257,11 @@ func TestRuntimeWithOutputNoise(t *testing.T) {
 		// likely if noise were working; flag as suspicious only when the
 		// noise circuit is provably disabled.
 		rt, _ := New(Config{Group: tg, K: 1, Alpha: 0.5, Epsilon: eps, OTMode: OTDealer}, p, g)
-		if !rt.noise.Enabled() {
+		pl, err := rt.planFor(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pl.noise.Enabled() {
 			t.Error("noise spec disabled despite Epsilon > 0")
 		}
 	}
@@ -272,7 +279,7 @@ func TestRuntimeIKNP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := rt.Run(1)
+	got, _, err := rt.Run(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -406,7 +413,7 @@ func TestHierarchicalAggregationMatchesFlat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := rt.Run(1)
+	got, _, err := rt.Run(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -427,7 +434,7 @@ func TestHierarchicalAggregationUnevenGroups(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := rt.Run(1)
+	got, _, err := rt.Run(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -447,7 +454,7 @@ func TestHierarchicalAggregationWithNoise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := rt.Run(1)
+	got, _, err := rt.Run(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -491,7 +498,7 @@ func TestRuntimePrecomputedCertsMatchReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	rt.certCache.Enable()
-	got, _, err := rt.Run(2)
+	got, _, err := rt.Run(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -518,11 +525,80 @@ func TestRuntimeParallelismOne(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := rt.Run(2)
+	got, _, err := rt.Run(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != want {
 		t.Errorf("Parallelism=1 runtime = %d, reference = %d", got, want)
+	}
+}
+
+// TestRunCancellation cancels a simulated run mid-flight: Run must return
+// the context error promptly (every blocked hub Recv is context-aware)
+// instead of deadlocking the protocol goroutines.
+func TestRunCancellation(t *testing.T) {
+	p := sumProgram()
+	g := ringGraph(t, 3, p)
+	rt, err := New(Config{Group: tg, K: 1, Alpha: 0.5, OTMode: OTDealer}, p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := rt.Run(ctx, 500) // far longer than the cancel delay
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled run reported success")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("canceled run returned %v, want a context.Canceled chain", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("canceled run did not return within 15s")
+	}
+}
+
+// TestSessionQueriesMatchReference drives three RunQuery calls with
+// distinct epsilons through one standing runtime: the ε = 0 queries must
+// reproduce the reference exactly, and the noised query must stay within
+// the sampler's structural bound — multi-query reuse may not corrupt the
+// share state between queries.
+func TestSessionQueriesMatchReference(t *testing.T) {
+	p := sumProgram()
+	g := ringGraph(t, 4, p)
+	want, err := RunReference(p, g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Config{Group: tg, K: 1, Alpha: 0.5, OTMode: OTDealer}, p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for q := 0; q < 2; q++ {
+		got, _, err := rt.RunQuery(ctx, 2, 0)
+		if err != nil {
+			t.Fatalf("query %d: %v", q, err)
+		}
+		if got != want {
+			t.Errorf("query %d = %d, want %d", q, got, want)
+		}
+	}
+	const eps = 1.0
+	got, _, err := rt.RunQuery(ctx, 2, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DefaultNoiseSpec(eps, p.Sensitivity, 0)
+	bound := int64(spec.Trials) << spec.Shift
+	if diff := got - want; diff < -bound || diff > bound {
+		t.Errorf("noised query %d is beyond the structural bound ±%d of %d", got, bound, want)
 	}
 }

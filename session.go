@@ -1,0 +1,126 @@
+package dstress
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"dstress/internal/dp"
+)
+
+// QuerySpec parameterizes one query against a standing Session.
+type QuerySpec struct {
+	// Iterations is the number of computation+communication steps; 0 uses
+	// the session's default (the Job passed to Open).
+	Iterations int
+	// Epsilon is the output-privacy budget charged for this query's
+	// release. The session's accountant must have at least this much
+	// left, or the query is refused without running. 0 disables noise and
+	// charges nothing (correctness tests only).
+	Epsilon float64
+}
+
+// sessionBackend is a standing deployment that can answer queries; the
+// simulation and cluster engines each provide one.
+type sessionBackend interface {
+	query(ctx context.Context, q QuerySpec) (int64, *Report, error)
+	close() error
+}
+
+// Session is a standing deployment answering a sequence of budgeted
+// queries — the paper's deployment story (§4.5): a regulator poses a few
+// queries per year against a long-lived distributed graph, each charged to
+// an ε budget. Opening the session performs the one-time work (trusted-
+// party setup, GMW sessions with their OT handshakes, circuit compilation,
+// fixed-base tables); each Query then only refreshes shares and runs the
+// protocol, so the Init phase that dominates short runs is paid once.
+//
+// Queries are serialized; Close releases the deployment.
+type Session struct {
+	mu       sync.Mutex
+	backend  sessionBackend
+	acct     *dp.Accountant // nil = unmetered
+	decode   func(int64) float64
+	defaults QuerySpec
+	closed   bool
+}
+
+func newSession(b sessionBackend, job Job, budget float64) *Session {
+	s := &Session{
+		backend:  b,
+		decode:   job.Decode,
+		defaults: QuerySpec{Iterations: job.Iterations, Epsilon: job.Epsilon},
+	}
+	if budget > 0 {
+		s.acct = dp.NewAccountant(budget)
+	}
+	return s
+}
+
+// Query runs one budgeted query against the standing deployment. It
+// charges q.Epsilon to the session's accountant first and refuses —
+// without executing anything — when the charge would overdraw the budget
+// (dp.ErrBudgetExhausted). Canceling ctx aborts the query; the session is
+// then in an undefined protocol state and only Close is safe.
+func (s *Session) Query(ctx context.Context, q QuerySpec) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("dstress: session is closed")
+	}
+	if q.Iterations == 0 {
+		q.Iterations = s.defaults.Iterations
+	}
+	if q.Iterations < 0 {
+		return nil, fmt.Errorf("dstress: negative iteration count %d", q.Iterations)
+	}
+	if q.Epsilon < 0 || math.IsNaN(q.Epsilon) || math.IsInf(q.Epsilon, 0) {
+		return nil, fmt.Errorf("dstress: invalid epsilon %v", q.Epsilon)
+	}
+	if s.acct != nil {
+		if err := s.acct.Spend(q.Epsilon); err != nil {
+			return nil, err
+		}
+	}
+	raw, rep, err := s.backend.query(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	value := float64(raw)
+	if s.decode != nil {
+		value = s.decode(raw)
+	}
+	return &Result{Raw: raw, Value: value, Epsilon: q.Epsilon, Report: rep}, nil
+}
+
+// Remaining returns the unspent ε budget (+Inf when unmetered).
+func (s *Session) Remaining() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.acct == nil {
+		return math.Inf(1)
+	}
+	return s.acct.Remaining()
+}
+
+// Spent returns the consumed ε budget.
+func (s *Session) Spent() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.acct == nil {
+		return 0
+	}
+	return s.acct.Spent()
+}
+
+// Close tears the standing deployment down. Idempotent.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.backend.close()
+}
