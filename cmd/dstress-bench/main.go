@@ -9,19 +9,32 @@
 //	dstress-bench -full -group p256   # paper-scale parameters
 //	dstress-bench -json BENCH.json    # machine-readable results
 //	dstress-bench -list               # experiment index (e1..e12)
+//
+// -load switches to the service-layer load generator instead: the same
+// query workload is pushed through internal/serve pools of the given
+// sizes and sustained queries/sec compared, on real simulation sessions
+// with an emulated remote-fleet latency per query (-load-wan; 0 measures
+// raw local CPU, which cannot scale with the pool on a single core).
+//
+//	dstress-bench -load 1,3           # queries/sec: pool of 1 vs pool of 3
+//	dstress-bench -load 1,2,4 -load-wan 500ms -load-queries 24
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"dstress/internal/experiments"
 	"dstress/internal/group"
+	"dstress/internal/serve"
 )
 
 // jsonExperiment is one experiment's machine-readable record: the table
@@ -56,8 +69,18 @@ func main() {
 		groupName = flag.String("group", "", "crypto group: p256, p384, modp256 (default: modp256 quick / p256 full)")
 		jsonPath  = flag.String("json", "", "also write results as JSON to this file ('-' for stdout)")
 		list      = flag.Bool("list", false, "print the experiment index and exit")
+
+		loadPools   = flag.String("load", "", "service-layer load generator: comma-separated pool sizes to compare (e.g. 1,3); empty runs the experiment suite instead")
+		loadQueries = flag.Int("load-queries", 18, "queries served per pool size in -load mode")
+		loadClients = flag.Int("load-clients", 0, "concurrent submitters in -load mode (0 = 2x the largest pool)")
+		loadWAN     = flag.Duration("load-wan", 300*time.Millisecond, "emulated remote-fleet latency each query holds its session for in -load mode (0 = raw local CPU)")
 	)
 	flag.Parse()
+
+	if *loadPools != "" {
+		runLoad(*loadPools, *loadQueries, *loadClients, *loadWAN)
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {
@@ -134,4 +157,27 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "completed in %v\n", total.Round(time.Millisecond))
+}
+
+// runLoad parses the -load pool list and runs the service-layer load
+// generator: queries/sec vs pool size over real simulation sessions.
+func runLoad(pools string, queries, clients int, wan time.Duration) {
+	var sizes []int
+	for _, f := range strings.Split(pools, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || p <= 0 {
+			log.Fatalf("-load wants comma-separated positive pool sizes, got %q", pools)
+		}
+		sizes = append(sizes, p)
+	}
+	results, err := serve.RunLoad(context.Background(), serve.LoadOptions{
+		Pools: sizes, Queries: queries, Clients: clients, WANDelay: wan,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(serve.FormatLoadResults(results, wan))
 }

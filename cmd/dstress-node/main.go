@@ -18,11 +18,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"dstress/internal/cluster"
 	"dstress/internal/network"
@@ -53,11 +56,23 @@ func main() {
 	)
 	flag.Parse()
 
-	ctx := context.Background()
+	// Ctrl-C / SIGTERM cancels the root context: the node (or the whole
+	// coordinated run) aborts cleanly — blocked protocol receives unwind
+	// with an error — instead of peers discovering the death via failure
+	// detection.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	fatal := func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		if errors.Is(ctx.Err(), context.Canceled) {
+			msg += " (interrupted: shut down cleanly)"
+		}
+		log.Fatal(msg)
 	}
 
 	switch *mode {
@@ -72,7 +87,7 @@ func main() {
 			AdvertiseAddr: *advertise,
 		})
 		if err != nil {
-			log.Fatalf("node %d: %v", *id, err)
+			fatal("node %d: %v", *id, err)
 		}
 		fmt.Fprintf(os.Stderr, "node %d done: sent %d bytes in %d msgs, total time %v\n",
 			*id, res.Stats.BytesSent, res.Stats.MessagesSent, res.Report.TotalTime().Round(1e6))
@@ -97,7 +112,7 @@ func main() {
 			co.Addr(), sc.Graph.N(), *model, *n, *d, *k, sc.Iterations, *epsilon, *alpha)
 		sum, err := co.Run(ctx)
 		if err != nil {
-			log.Fatal(err)
+			fatal("coordinator: %v", err)
 		}
 		fmt.Printf("exact TDS (trusted baseline): $%.2fM\n", exactTDS/1e6)
 		fmt.Printf("released TDS (ε=%v):          $%.2fM\n", *epsilon, cluster.DecodeDollars(sc, sum.Result)/1e6)

@@ -21,10 +21,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dstress"
@@ -51,7 +54,11 @@ func main() {
 	)
 	flag.Parse()
 
-	ctx := context.Background()
+	// Ctrl-C / SIGTERM cancels the root context: every blocked protocol
+	// receive unwinds with an error and the run aborts cleanly instead of
+	// peers discovering the death via failure detection.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -144,6 +151,9 @@ func main() {
 		Decode: cfg.Decode,
 	})
 	if err != nil {
+		if errors.Is(ctx.Err(), context.Canceled) {
+			log.Fatalf("interrupted: run aborted cleanly (%v)", err)
+		}
 		log.Fatal(err)
 	}
 

@@ -1,0 +1,140 @@
+// dstress-serve is the DStress query service daemon: a standing pool of
+// deployments over a synthetic banking network, answering budget-checked
+// queries over JSON-HTTP. It is the serving layer of the paper's
+// deployment story (§4.5): tenants (regulators) pose a few ε-charged
+// queries per year against a long-lived distributed graph; the pool lets
+// many such queries run concurrently, one per standing fleet.
+//
+//	dstress-serve -listen 127.0.0.1:8080 -n 8 -k 1 -d 3 -pool 2
+//
+//	curl -s localhost:8080/v1/queries -d '{"tenant":"fed","epsilon":0.23}'
+//	curl -s localhost:8080/v1/tenants/fed/budget
+//	curl -s -X POST localhost:8080/v1/tenants/fed/replenish
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drains gracefully: new submissions are refused, in-flight
+// and admitted queries finish, every pooled session is closed; a second
+// signal (or -drain-timeout) aborts the in-flight protocol runs instead.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dstress"
+	"dstress/internal/cluster"
+	"dstress/internal/group"
+	"dstress/internal/serve"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		pool         = flag.Int("pool", 2, "maximum standing deployments (pool cap)")
+		warm         = flag.Int("warm", 1, "deployments opened at boot; the rest grow lazily under load")
+		queue        = flag.Int("queue", 64, "admitted-query queue depth (backpressure beyond it)")
+		tenantBudget = flag.Float64("tenant-budget", math.Ln2, "annual ε budget granted to each new tenant (§4.5; 0 refuses unknown tenants)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long a drain waits for in-flight queries before aborting them")
+
+		// Scenario flags, mirroring dstress-run.
+		model     = flag.String("model", "en", "risk model: en (Eisenberg-Noe) or egj (Elliott-Golub-Jackson)")
+		n         = flag.Int("n", 8, "number of banks")
+		core      = flag.Int("core", 3, "core size of the core-periphery topology")
+		d         = flag.Int("d", 3, "public degree bound D")
+		k         = flag.Int("k", 1, "collusion bound k (blocks of k+1)")
+		iters     = flag.Int("iters", 0, "default iterations per query (0 = log2 N)")
+		shock     = flag.Int("shock", 1, "number of core banks whose reserves are wiped")
+		epsilon   = flag.Float64("epsilon", 0.23, "default per-query ε when a submission does not set one")
+		alpha     = flag.Float64("alpha", 0.9, "transfer-noise parameter in [0,1)")
+		groupName = flag.String("group", "modp256", "crypto group: p256, p384, modp256")
+		aggFanIn  = flag.Int("aggfanin", 0, "aggregation-tree fan-in (0 = flat aggregation)")
+		seed      = flag.Int64("seed", 42, "synthetic network seed")
+		transport = flag.String("transport", "sim", "deployment backend per pool member: sim or tcp (loopback cluster)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sc, exactTDS, err := cluster.BuildSynthetic(cluster.SyntheticOptions{
+		Model: *model, N: *n, Core: *core, D: *d, K: *k,
+		Iterations: *iters, Shock: *shock, Epsilon: *epsilon, Alpha: *alpha,
+		Group: *groupName, Seed: *seed, AggFanIn: *aggFanIn,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := group.ByName(sc.Cfg.Group)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job := dstress.Job{
+		Spec: &sc.Prog, Graph: sc.Graph, Iterations: sc.Iterations, Epsilon: *epsilon,
+		Decode: func(raw int64) float64 { return cluster.DecodeDollars(sc, raw) },
+	}
+	econf := dstress.EngineConfig{
+		Group: g, K: *k, Alpha: *alpha, AggFanIn: *aggFanIn,
+	}
+	var eng dstress.SessionEngine
+	switch *transport {
+	case "sim":
+		eng = dstress.NewSimEngine(econf)
+	case "tcp":
+		eng = dstress.NewClusterEngine(econf)
+	default:
+		log.Fatalf("unknown -transport %q (want sim or tcp)", *transport)
+	}
+
+	log.Printf("warming %d/%d %s deployment(s): %s N=%d D=%d k=%d I=%d group=%s α=%v (exact TDS baseline $%.2fM)",
+		*warm, *pool, *transport, *model, *n, *d, *k, sc.Iterations, g.Name(), *alpha, exactTDS/1e6)
+	svc, err := serve.New(ctx, serve.Config{
+		Open: func(ctx context.Context) (serve.QueryRunner, error) {
+			return eng.Open(ctx, job, 0) // tenant budgets are enforced by the service ledger
+		},
+		PoolCap: *pool, Warm: *warm, QueueDepth: *queue,
+		DefaultBudget:     *tenantBudget,
+		DefaultIterations: sc.Iterations,
+		DefaultEpsilon:    *epsilon,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: serve.NewHandler(svc)}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- srv.ListenAndServe() }()
+	log.Printf("serving on http://%s (pool cap %d, queue %d, tenant budget ε=%.4g)",
+		*listen, *pool, *queue, *tenantBudget)
+
+	select {
+	case err := <-httpErr:
+		log.Fatalf("http server: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	log.Printf("signal received: draining (new submissions refused; in-flight queries finishing, up to %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- srv.Shutdown(drainCtx) }()
+	drainErr := svc.Drain(drainCtx)
+	if err := <-shutdownErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	m := svc.Metrics()
+	log.Printf("drained: served %d, failed %d, refused %d, ε charged %.4g", m.Served, m.Failed, m.Refused, m.EpsilonCharged)
+	if drainErr != nil {
+		log.Fatalf("drain: %v", drainErr)
+	}
+	fmt.Fprintln(os.Stderr, "bye")
+}

@@ -40,6 +40,9 @@
 //
 // NewClusterEngine runs the same Job on real TCP-connected node daemons;
 // see examples/ for runnable programs and DESIGN.md for the system map.
+// Above the facade, internal/serve and cmd/dstress-serve expose a pool of
+// standing sessions as a multi-tenant HTTP query service with per-tenant
+// ε admission control.
 package dstress
 
 import (

@@ -124,7 +124,12 @@ type Engine interface {
 
 // SessionEngine is an Engine that can hold a deployment open across
 // queries: trusted-party setup, GMW handshakes, and fixed-base tables are
-// paid once at Open and reused by every Query.
+// paid once at Open and reused by every Query. Each Open stands up an
+// independent deployment, so a caller may hold several sessions from one
+// engine and drive them concurrently — one in-flight query per session
+// (ErrSessionBusy guards the protocol state) — which is how the
+// internal/serve query service scales throughput: a pool of sessions,
+// each answering one query at a time.
 type SessionEngine interface {
 	Engine
 	Open(ctx context.Context, job Job, budget float64) (*Session, error)

@@ -1,0 +1,122 @@
+// Command service demonstrates the DStress query service layer
+// (internal/serve behind cmd/dstress-serve): a pool of standing
+// deployments answers concurrent, budget-checked queries from several
+// tenants, budgets are enforced at admission, and the service drains
+// gracefully.
+//
+// Everything runs in-process on the simulation engine; cmd/dstress-serve
+// wraps the same service in an HTTP daemon.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"dstress"
+	"dstress/internal/dp"
+	"dstress/internal/serve"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// A small Eisenberg–Noe debt chain as the standing deployment's graph.
+	const n = 4
+	net := &dstress.ENNetwork{N: n, Cash: make([]float64, n), Debt: make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		net.Cash[i] = 5e6
+		net.Debt[i] = make([]float64, n)
+		if i+1 < n {
+			net.Debt[i][i+1] = 40e6
+		}
+	}
+	net.ApplyCashShock([]int{0}, 0)
+
+	cfg := dstress.DefaultCircuitConfig()
+	spec := dstress.ProgramSpec{Kind: "en", Width: cfg.Width, Unit: cfg.Unit, GranularityDollars: 1e6, Leverage: 0.1}
+	graph, err := dstress.ENGraph(net, cfg, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job := dstress.Job{
+		Spec: &spec, Graph: graph, Iterations: dstress.RecommendedIterations(n),
+		Decode: cfg.Decode,
+	}
+	eng := dstress.NewSimEngine(dstress.EngineConfig{
+		Group: dstress.TestGroup(), K: 1, Alpha: 0.9,
+	})
+
+	// The service: up to 2 standing deployments, each tenant granted the
+	// paper's annual budget ε_max = ln 2 on first contact (§4.5).
+	svc, err := serve.New(ctx, serve.Config{
+		Open: func(ctx context.Context) (serve.QueryRunner, error) {
+			return eng.Open(ctx, job, 0)
+		},
+		PoolCap: 2, Warm: 1,
+		DefaultBudget:     dstress.DefaultUtilityParams().EpsilonMax,
+		DefaultIterations: job.Iterations,
+		DefaultEpsilon:    0.23,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three regulators each pose queries concurrently; at ε = 0.23 per
+	// query the annual ln 2 budget admits exactly 3 each (§4.5), so the
+	// 4th is refused at submit time without touching the protocol.
+	var wg sync.WaitGroup
+	for _, tenant := range []string{"fed", "ecb", "boe"} {
+		for q := 0; q < 4; q++ {
+			wg.Add(1)
+			go func(tenant string, q int) {
+				defer wg.Done()
+				st, err := svc.Do(ctx, serve.Request{Tenant: tenant})
+				switch {
+				case errors.Is(err, dp.ErrBudgetExhausted):
+					fmt.Printf("%s query %d: refused (annual ε budget exhausted)\n", tenant, q)
+				case err != nil:
+					log.Fatalf("%s query %d: %v", tenant, q, err)
+				case st.State != serve.StateDone:
+					// Admitted but failed mid-protocol: the budget is spent
+					// (bits crossed the wire) and Result is nil.
+					log.Fatalf("%s query %d failed: %s", tenant, q, st.Err)
+				default:
+					fmt.Printf("%s query %d: released TDS $%.2fM (ε=%.2f, %v)\n",
+						tenant, q, st.Result.Value/1e6, st.Result.Epsilon,
+						st.Finished.Sub(st.Submitted).Round(1e6))
+				}
+			}(tenant, q)
+		}
+	}
+	wg.Wait()
+
+	fmt.Println("\ntenant budgets after the year's queries:")
+	for _, st := range svc.Ledger().Statuses() {
+		fmt.Printf("  %-4s spent %.2f of %.2f (remaining %.2f)\n", st.Tenant, st.Spent, st.Budget, st.Remaining)
+	}
+
+	m := svc.Metrics()
+	fmt.Printf("\nservice: served %d, refused %d, pool %d sessions, ε charged %.2f\n",
+		m.Served, m.Refused, m.PoolSessions, m.EpsilonCharged)
+
+	// The annual reset (§4.5): budgets replenish, queries fit again.
+	if err := svc.Ledger().Replenish("fed"); err != nil {
+		log.Fatal(err)
+	}
+	st, err := svc.Do(ctx, serve.Request{Tenant: "fed"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if st.State != serve.StateDone {
+		log.Fatalf("query after replenish failed: %s", st.Err)
+	}
+	fmt.Printf("after replenish: fed released TDS $%.2fM\n", st.Result.Value/1e6)
+
+	if err := svc.Drain(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("drained: all sessions closed")
+}

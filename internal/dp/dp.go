@@ -179,10 +179,12 @@ type Accountant struct {
 	spent  float64
 }
 
-// NewAccountant creates an accountant with the given total ε budget.
+// NewAccountant creates an accountant with the given total ε budget. A
+// zero budget is allowed and refuses every positive spend — a tenant
+// pinned to "no queries".
 func NewAccountant(budget float64) *Accountant {
-	if budget <= 0 {
-		panic("dp: budget must be positive")
+	if budget < 0 || math.IsNaN(budget) {
+		panic("dp: budget must be non-negative")
 	}
 	return &Accountant{budget: budget}
 }
@@ -218,6 +220,13 @@ func (a *Accountant) Spent() float64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.spent
+}
+
+// Budget returns the total ε budget (spent + remaining).
+func (a *Accountant) Budget() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.budget
 }
 
 // Replenish resets consumption to zero (§4.5: the budget is replenished once

@@ -1,0 +1,138 @@
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// ErrUnknownTenant reports an operation against a tenant the ledger has
+// never seen and cannot lazily enroll.
+var ErrUnknownTenant = errors.New("dp: unknown tenant")
+
+// Ledger tracks one ε Accountant per tenant — the multi-tenant accounting
+// surface behind a standing query service (§4.5: each data set carries an
+// annual budget, replenished when aggregate positions become public
+// anyway). Tenants are either declared up front with an explicit budget or,
+// when the ledger has a positive default budget, enrolled lazily on their
+// first spend. All methods are safe for concurrent use.
+type Ledger struct {
+	mu            sync.Mutex
+	defaultBudget float64
+	tenants       map[string]*Accountant
+	// charged accumulates every successful spend and, unlike the
+	// accountants, is never reset by Replenish: it is the service-lifetime
+	// "ε released" metric, not an enforcement quantity.
+	charged float64
+}
+
+// NewLedger creates a ledger. defaultBudget is the budget granted to
+// tenants first seen at spend time: 0 refuses unknown tenants
+// (ErrUnknownTenant), +Inf admits them unmetered, and any positive value
+// enrolls them with that annual budget.
+func NewLedger(defaultBudget float64) *Ledger {
+	if defaultBudget < 0 || math.IsNaN(defaultBudget) {
+		panic("dp: default budget must be non-negative")
+	}
+	return &Ledger{defaultBudget: defaultBudget, tenants: make(map[string]*Accountant)}
+}
+
+// Declare enrolls a tenant with an explicit budget, replacing any existing
+// enrollment (and its consumption history — use Replenish for the annual
+// reset instead). A zero budget pins the tenant to "no queries": every
+// positive spend is refused with ErrBudgetExhausted.
+func (l *Ledger) Declare(tenant string, budget float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tenants[tenant] = NewAccountant(budget)
+}
+
+// account returns the tenant's accountant, lazily enrolling under the
+// default budget. Callers hold l.mu.
+func (l *Ledger) account(tenant string) (*Accountant, error) {
+	if a, ok := l.tenants[tenant]; ok {
+		return a, nil
+	}
+	if l.defaultBudget == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	a := NewAccountant(l.defaultBudget)
+	l.tenants[tenant] = a
+	return a, nil
+}
+
+// Spend charges eps to the tenant's budget, failing atomically with
+// ErrBudgetExhausted when it would overdraw (nothing is charged then) and
+// ErrUnknownTenant when the tenant is not enrolled and the ledger has no
+// default budget.
+func (l *Ledger) Spend(tenant string, eps float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a, err := l.account(tenant)
+	if err != nil {
+		return err
+	}
+	if err := a.Spend(eps); err != nil {
+		return fmt.Errorf("tenant %q: %w", tenant, err)
+	}
+	l.charged += eps
+	return nil
+}
+
+// Replenish resets the tenant's consumption to zero — the §4.5 annual
+// reset. Unknown tenants are an error: replenishing cannot enroll.
+func (l *Ledger) Replenish(tenant string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a, ok := l.tenants[tenant]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	a.Replenish()
+	return nil
+}
+
+// BudgetStatus is one tenant's budget position.
+type BudgetStatus struct {
+	Tenant    string
+	Budget    float64
+	Spent     float64
+	Remaining float64
+}
+
+// Status returns the tenant's budget position. A tenant the ledger could
+// lazily enroll reports the default budget untouched rather than an error,
+// so a front end can show a would-be tenant its allowance.
+func (l *Ledger) Status(tenant string) (BudgetStatus, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if a, ok := l.tenants[tenant]; ok {
+		return BudgetStatus{Tenant: tenant, Budget: a.Budget(), Spent: a.Spent(), Remaining: a.Remaining()}, nil
+	}
+	if l.defaultBudget == 0 {
+		return BudgetStatus{}, fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	return BudgetStatus{Tenant: tenant, Budget: l.defaultBudget, Spent: 0, Remaining: l.defaultBudget}, nil
+}
+
+// Statuses returns every enrolled tenant's position, sorted by tenant id.
+func (l *Ledger) Statuses() []BudgetStatus {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]BudgetStatus, 0, len(l.tenants))
+	for t, a := range l.tenants {
+		out = append(out, BudgetStatus{Tenant: t, Budget: a.Budget(), Spent: a.Spent(), Remaining: a.Remaining()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// TotalCharged returns the cumulative ε successfully charged over the
+// ledger's lifetime, across all tenants and replenishments.
+func (l *Ledger) TotalCharged() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.charged
+}

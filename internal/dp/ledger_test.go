@@ -1,0 +1,129 @@
+package dp
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestLedgerDeclaredTenant(t *testing.T) {
+	l := NewLedger(0)
+	l.Declare("regulator", 0.5)
+
+	if err := l.Spend("regulator", 0.2); err != nil {
+		t.Fatalf("first spend: %v", err)
+	}
+	if err := l.Spend("regulator", 0.2); err != nil {
+		t.Fatalf("second spend: %v", err)
+	}
+	if err := l.Spend("regulator", 0.2); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("overspend returned %v, want ErrBudgetExhausted", err)
+	}
+	st, err := l.Status("regulator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Budget != 0.5 || math.Abs(st.Spent-0.4) > 1e-12 {
+		t.Errorf("status = %+v, want budget 0.5 spent 0.4", st)
+	}
+	// The refused spend must not have charged anything.
+	if got := l.TotalCharged(); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("TotalCharged = %v, want 0.4", got)
+	}
+}
+
+func TestLedgerUnknownTenant(t *testing.T) {
+	l := NewLedger(0)
+	if err := l.Spend("ghost", 0.1); !errors.Is(err, ErrUnknownTenant) {
+		t.Errorf("spend returned %v, want ErrUnknownTenant", err)
+	}
+	if err := l.Replenish("ghost"); !errors.Is(err, ErrUnknownTenant) {
+		t.Errorf("replenish returned %v, want ErrUnknownTenant", err)
+	}
+	if _, err := l.Status("ghost"); !errors.Is(err, ErrUnknownTenant) {
+		t.Errorf("status returned %v, want ErrUnknownTenant", err)
+	}
+}
+
+func TestLedgerLazyEnrollment(t *testing.T) {
+	l := NewLedger(1.0)
+	// A never-seen tenant reports the default allowance.
+	st, err := l.Status("bank-7")
+	if err != nil || st.Remaining != 1.0 {
+		t.Fatalf("status of lazy tenant = %+v, %v; want remaining 1.0", st, err)
+	}
+	if err := l.Spend("bank-7", 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Spend("bank-7", 0.6); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("overspend returned %v", err)
+	}
+	// The §4.5 annual reset restores the full allowance but not the
+	// lifetime charged metric.
+	if err := l.Replenish("bank-7"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Spend("bank-7", 0.6); err != nil {
+		t.Fatalf("spend after replenish: %v", err)
+	}
+	if got := l.TotalCharged(); math.Abs(got-1.2) > 1e-12 {
+		t.Errorf("TotalCharged = %v, want 1.2 (replenish must not reset it)", got)
+	}
+	all := l.Statuses()
+	if len(all) != 1 || all[0].Tenant != "bank-7" {
+		t.Errorf("Statuses = %+v", all)
+	}
+}
+
+func TestLedgerUnmeteredDefault(t *testing.T) {
+	l := NewLedger(math.Inf(1))
+	for i := 0; i < 10; i++ {
+		if err := l.Spend("anyone", 1e6); err != nil {
+			t.Fatalf("unmetered spend %d: %v", i, err)
+		}
+	}
+}
+
+// TestLedgerConcurrentExactness hammers one tenant from many goroutines:
+// exactly budget/eps spends may succeed, the rest fail, and the books
+// balance to the cent.
+func TestLedgerConcurrentExactness(t *testing.T) {
+	const (
+		eps     = 0.125
+		budget  = 1.0 // exactly 8 spends fit
+		workers = 64
+	)
+	l := NewLedger(0)
+	l.Declare("t", budget)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	ok, refused := 0, 0
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := l.Spend("t", eps)
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil {
+				ok++
+			} else if errors.Is(err, ErrBudgetExhausted) {
+				refused++
+			} else {
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if ok != 8 || refused != workers-8 {
+		t.Errorf("admitted %d refused %d, want 8/%d", ok, refused, workers-8)
+	}
+	st, _ := l.Status("t")
+	if math.Abs(st.Spent-budget) > 1e-9 {
+		t.Errorf("spent %v, want exactly %v", st.Spent, budget)
+	}
+	if got := l.TotalCharged(); math.Abs(got-budget) > 1e-9 {
+		t.Errorf("TotalCharged %v, want %v", got, budget)
+	}
+}

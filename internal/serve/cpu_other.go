@@ -1,0 +1,9 @@
+//go:build !unix
+
+package serve
+
+import "time"
+
+// processCPU is unavailable here; the load generator's CPU-utilization
+// column reads 0.
+func processCPU() time.Duration { return 0 }

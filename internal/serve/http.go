@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"dstress/internal/dp"
+)
+
+// NewHandler exposes a Service over JSON-HTTP:
+//
+//	POST /v1/queries                  submit; {"wait":false} for async
+//	GET  /v1/queries/{id}             status / result
+//	GET  /v1/tenants/{tenant}/budget  ε position
+//	POST /v1/tenants/{tenant}/replenish  §4.5 annual reset
+//	GET  /healthz                     200 serving, 503 draining
+//	GET  /metrics                     Prometheus text format
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/queries", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(s, w, r)
+	})
+	mux.HandleFunc("GET /v1/queries/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown query %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, wireQuery(st))
+	})
+	mux.HandleFunc("GET /v1/tenants/{tenant}/budget", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Ledger().Status(r.PathValue("tenant"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, wireBudget(st))
+	})
+	mux.HandleFunc("POST /v1/tenants/{tenant}/replenish", func(w http.ResponseWriter, r *http.Request) {
+		tenant := r.PathValue("tenant")
+		if err := s.Ledger().Replenish(tenant); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		st, err := s.Ledger().Status(tenant)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, wireBudget(st))
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeMetrics(w, s.Metrics())
+	})
+	return mux
+}
+
+// submitRequest is the POST /v1/queries body.
+type submitRequest struct {
+	Tenant     string   `json:"tenant"`
+	Iterations int      `json:"iterations"`
+	Epsilon    *float64 `json:"epsilon"`
+	// Wait selects synchronous (default true: respond with the result)
+	// vs asynchronous (202 + id, poll GET /v1/queries/{id}).
+	Wait *bool `json:"wait"`
+}
+
+func handleSubmit(s *Service, w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	q, err := s.submit(Request{Tenant: req.Tenant, Iterations: req.Iterations, Epsilon: req.Epsilon})
+	if err != nil {
+		writeError(w, submitErrorCode(err), err)
+		return
+	}
+	if req.Wait != nil && !*req.Wait {
+		writeJSON(w, http.StatusAccepted, wireQuery(s.statusOf(q)))
+		return
+	}
+	final, err := s.waitOn(r.Context(), q)
+	if err != nil {
+		// The query keeps running server-side; hand the client its id so
+		// it can poll.
+		writeJSON(w, http.StatusAccepted, wireQuery(s.statusOf(q)))
+		return
+	}
+	writeJSON(w, http.StatusOK, wireQuery(final))
+}
+
+// submitErrorCode maps admission failures to HTTP statuses.
+func submitErrorCode(err error) int {
+	switch {
+	case errors.Is(err, dp.ErrBudgetExhausted):
+		return http.StatusTooManyRequests // budget, not rate — but the semantics match: stop asking
+	case errors.Is(err, dp.ErrUnknownTenant):
+		return http.StatusForbidden
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Wire shapes
+// ---------------------------------------------------------------------------
+
+type queryWire struct {
+	ID         string      `json:"id"`
+	Tenant     string      `json:"tenant"`
+	Status     State       `json:"status"`
+	Iterations int         `json:"iterations"`
+	Epsilon    float64     `json:"epsilon"`
+	Submitted  time.Time   `json:"submitted"`
+	Raw        *int64      `json:"raw,omitempty"`
+	Value      *float64    `json:"value,omitempty"`
+	Report     *reportWire `json:"report,omitempty"`
+	Error      string      `json:"error,omitempty"`
+	LatencyMS  float64     `json:"latency_ms,omitempty"`
+}
+
+type reportWire struct {
+	Transport string  `json:"transport"`
+	Nodes     int     `json:"nodes"`
+	WallMS    float64 `json:"wall_ms"`
+	InitMS    float64 `json:"init_ms"`
+	ComputeMS float64 `json:"compute_ms"`
+	CommMS    float64 `json:"transfer_ms"`
+	AggMS     float64 `json:"agg_ms"`
+	Bytes     int64   `json:"bytes"`
+}
+
+func wireQuery(st QueryStatus) queryWire {
+	out := queryWire{
+		ID: st.ID, Tenant: st.Tenant, Status: st.State,
+		Iterations: st.Spec.Iterations, Epsilon: st.Spec.Epsilon,
+		Submitted: st.Submitted, Error: st.Err,
+	}
+	if st.Result != nil {
+		raw, value := st.Result.Raw, st.Result.Value
+		out.Raw, out.Value = &raw, &value
+		if rep := st.Result.Report; rep != nil {
+			out.Report = &reportWire{
+				Transport: rep.Transport, Nodes: rep.Nodes,
+				WallMS:    ms(rep.WallTime),
+				InitMS:    ms(rep.InitTime),
+				ComputeMS: ms(rep.ComputeTime),
+				CommMS:    ms(rep.CommTime),
+				AggMS:     ms(rep.AggTime),
+				Bytes:     rep.TotalBytes(),
+			}
+		}
+	}
+	if !st.Finished.IsZero() {
+		out.LatencyMS = ms(st.Finished.Sub(st.Submitted))
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+type budgetWire struct {
+	Tenant string `json:"tenant"`
+	// Unmetered marks a +Inf budget; Budget and Remaining are then
+	// omitted (JSON has no Inf).
+	Unmetered bool     `json:"unmetered,omitempty"`
+	Budget    *float64 `json:"budget,omitempty"`
+	Spent     float64  `json:"spent"`
+	Remaining *float64 `json:"remaining,omitempty"`
+}
+
+func wireBudget(st dp.BudgetStatus) budgetWire {
+	out := budgetWire{Tenant: st.Tenant, Spent: st.Spent}
+	if math.IsInf(st.Budget, 1) {
+		out.Unmetered = true
+		return out
+	}
+	budget, remaining := st.Budget, st.Remaining
+	out.Budget, out.Remaining = &budget, &remaining
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	// Marshal before writing the header, so an encoding failure becomes
+	// an honest 500 instead of a 200 with an empty body.
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, fmt.Sprintf("encoding response: %v", err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// writeMetrics renders the counters in Prometheus text exposition format.
+func writeMetrics(w http.ResponseWriter, m Metrics) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p := func(name, typ, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
+	}
+	p("dstress_queries_submitted_total", "counter", "Admission attempts.", m.Submitted)
+	p("dstress_queries_refused_total", "counter", "Submissions refused (budget, queue, draining, validation).", m.Refused)
+	p("dstress_queries_served_total", "counter", "Queries completed successfully.", m.Served)
+	p("dstress_queries_failed_total", "counter", "Admitted queries that failed during execution.", m.Failed)
+	p("dstress_queue_depth", "gauge", "Admitted queries waiting for a pool session.", m.QueueDepth)
+	p("dstress_pool_sessions", "gauge", "Standing deployments in the pool.", m.PoolSessions)
+	p("dstress_pool_busy", "gauge", "Pool sessions answering a query right now.", m.PoolBusy)
+	p("dstress_epsilon_charged_total", "counter", "Lifetime privacy budget admitted across all tenants.", m.EpsilonCharged)
+	p("dstress_query_latency_seconds_sum", "counter", "Summed submit-to-finish latency of served queries.", m.LatencySum.Seconds())
+	p("dstress_query_latency_seconds_count", "counter", "Served queries contributing to the latency sum.", m.LatencyCount)
+	draining := 0
+	if m.Draining {
+		draining = 1
+	}
+	p("dstress_draining", "gauge", "1 once shutdown has begun.", draining)
+}

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"dstress"
+)
+
+// LoadOptions parameterizes the service-layer load generator: the same
+// fixed query workload is pushed through pools of increasing size and the
+// sustained queries/sec compared.
+type LoadOptions struct {
+	// Pools lists the pool sizes to measure (e.g. 1, 3).
+	Pools []int
+	// Queries is how many queries each measurement serves (default 18).
+	Queries int
+	// Clients is how many concurrent submitters drive the service
+	// (default 2× the largest pool).
+	Clients int
+	// WANDelay emulates the round-trip and remote-compute latency of a
+	// geo-distributed fleet, added inside each pooled session's query
+	// (while the session is occupied). The paper's deployment runs each
+	// bank on its own machine, so a production front end spends most of a
+	// query's wall time waiting on the fleet — the regime where pooling
+	// multiplies throughput. 0 measures raw local simulation, which on a
+	// single-core host is CPU-bound and cannot scale with the pool.
+	WANDelay time.Duration
+	// K is the collusion bound for the underlying sim deployment
+	// (default 1: blocks of 2).
+	K int
+	// Logf receives progress lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// LoadResult is one pool size's measurement.
+type LoadResult struct {
+	Pool       int
+	Queries    int
+	Wall       time.Duration
+	QPS        float64
+	AvgLatency time.Duration
+	// CPUUtil is process CPU time over wall time during the measurement
+	// (1.0 ≈ one saturated core): the honest context for any scaling
+	// claim — a CPU-saturated measurement cannot speed up by pooling.
+	CPUUtil float64
+}
+
+// loadJob builds the fixed workload: a tiny degree-sum program over a
+// 4-cycle, one iteration — deliberately light so the per-query cost is
+// dominated by the emulated fleet latency, as it would be with remote
+// nodes, rather than by local cryptography.
+func loadJob() (dstress.Job, error) {
+	prog := &dstress.Program{
+		Name: "load-degree-sum", StateBits: 8, MsgBits: 8, AggBits: 16,
+		Sensitivity: 1,
+		PrivBits:    func(D int) int { return 1 },
+		BuildUpdate: func(b *dstress.CircuitBuilder, D int, state, priv dstress.Word, msgs []dstress.Word) (dstress.Word, []dstress.Word) {
+			acc := b.ConstWord(0, 8)
+			for _, m := range msgs {
+				acc = b.Add(acc, m)
+			}
+			out := make([]dstress.Word, D)
+			for d := range out {
+				out[d] = b.ConstWord(1, 8)
+			}
+			return acc, out
+		},
+		BuildAggregate: func(b *dstress.CircuitBuilder, states []dstress.Word) dstress.Word {
+			acc := b.ConstWord(0, 16)
+			for _, s := range states {
+				acc = b.Add(acc, b.ZeroExtend(s, 16))
+			}
+			return acc
+		},
+	}
+	g := dstress.NewGraph(4, 2)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return dstress.Job{}, err
+		}
+	}
+	for v := 0; v < 4; v++ {
+		g.Priv[v] = []uint8{0}
+	}
+	return dstress.Job{Program: prog, Graph: g, Iterations: 1}, nil
+}
+
+// wanRunner wraps a real session, holding it occupied for an extra delay
+// per query to model a remote fleet's network rounds.
+type wanRunner struct {
+	s     *dstress.Session
+	delay time.Duration
+}
+
+func (r wanRunner) Query(ctx context.Context, q dstress.QuerySpec) (*dstress.Result, error) {
+	res, err := r.s.Query(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	if r.delay > 0 {
+		select {
+		case <-time.After(r.delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return res, nil
+}
+
+func (r wanRunner) Close() error { return r.s.Close() }
+
+// RunLoad measures sustained queries/sec against pools of each requested
+// size. Every query executes the full MPC protocol on a real simulation
+// session; WANDelay additionally occupies the session per query to model a
+// remote fleet. Session warm-up (Open) happens before the clock starts.
+func RunLoad(ctx context.Context, opts LoadOptions) ([]LoadResult, error) {
+	if len(opts.Pools) == 0 {
+		opts.Pools = []int{1, 3}
+	}
+	if opts.Queries <= 0 {
+		opts.Queries = 18
+	}
+	if opts.Clients <= 0 {
+		maxPool := 0
+		for _, p := range opts.Pools {
+			if p > maxPool {
+				maxPool = p
+			}
+		}
+		opts.Clients = 2 * maxPool
+	}
+	if opts.K <= 0 {
+		opts.K = 1
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	job, err := loadJob()
+	if err != nil {
+		return nil, err
+	}
+	eng := dstress.NewSimEngine(dstress.EngineConfig{
+		Group: dstress.TestGroup(), K: opts.K, Alpha: 0.5, OTMode: dstress.OTDealer,
+	})
+
+	var results []LoadResult
+	for _, pool := range opts.Pools {
+		if pool <= 0 {
+			return nil, fmt.Errorf("serve: invalid pool size %d", pool)
+		}
+		svc, err := New(ctx, Config{
+			Open: func(ctx context.Context) (QueryRunner, error) {
+				sess, err := eng.Open(ctx, job, 0)
+				if err != nil {
+					return nil, err
+				}
+				return wanRunner{s: sess, delay: opts.WANDelay}, nil
+			},
+			PoolCap: pool, Warm: pool,
+			QueueDepth:    opts.Queries + opts.Clients,
+			DefaultBudget: math.Inf(1),
+			AllowUnnoised: true,
+			Logf:          func(string, ...any) {},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: warming pool of %d: %w", pool, err)
+		}
+		logf("pool %d: warmed, serving %d queries from %d clients", pool, opts.Queries, opts.Clients)
+
+		work := make(chan struct{}, opts.Queries)
+		for i := 0; i < opts.Queries; i++ {
+			work <- struct{}{}
+		}
+		close(work)
+
+		start := time.Now()
+		cpu0 := processCPU()
+		errs := make(chan error, opts.Clients)
+		var latency = make(chan time.Duration, opts.Queries)
+		for c := 0; c < opts.Clients; c++ {
+			go func() {
+				for range work {
+					t0 := time.Now()
+					st, err := svc.Do(ctx, Request{Tenant: "loadgen"})
+					if err == nil && st.State != StateDone {
+						err = fmt.Errorf("query %s finished %s: %s", st.ID, st.State, st.Err)
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+					latency <- time.Since(t0)
+				}
+				errs <- nil
+			}()
+		}
+		for c := 0; c < opts.Clients; c++ {
+			if err := <-errs; err != nil {
+				svc.Drain(context.Background())
+				return nil, err
+			}
+		}
+		wall := time.Since(start)
+		cpu := processCPU() - cpu0
+		close(latency)
+		var latSum time.Duration
+		for l := range latency {
+			latSum += l
+		}
+		if err := svc.Drain(ctx); err != nil {
+			return nil, err
+		}
+		res := LoadResult{
+			Pool: pool, Queries: opts.Queries, Wall: wall,
+			QPS:        float64(opts.Queries) / wall.Seconds(),
+			AvgLatency: latSum / time.Duration(opts.Queries),
+			CPUUtil:    cpu.Seconds() / wall.Seconds(),
+		}
+		logf("pool %d: %d queries in %v → %.2f q/s (avg latency %v, cpu %.2f)",
+			pool, opts.Queries, wall.Round(time.Millisecond), res.QPS,
+			res.AvgLatency.Round(time.Millisecond), res.CPUUtil)
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// FormatLoadResults renders the measurements as the bench table, with a
+// scaling column relative to the first (smallest) pool.
+func FormatLoadResults(results []LoadResult, wan time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "service-layer load generator: queries/sec vs pool size (emulated fleet latency %v)\n\n", wan)
+	fmt.Fprintf(&b, "pool  queries  wall        q/s      scaling  avg latency  cpu util\n")
+	for _, r := range results {
+		scale := r.QPS / results[0].QPS
+		fmt.Fprintf(&b, "%-4d  %-7d  %-10v  %-7.2f  %-7.2f  %-11v  %.2f\n",
+			r.Pool, r.Queries, r.Wall.Round(time.Millisecond), r.QPS, scale,
+			r.AvgLatency.Round(time.Millisecond), r.CPUUtil)
+	}
+	if wan == 0 {
+		b.WriteString("\nnote: with no emulated fleet latency every query is local CPU; on a\n" +
+			"single-core host throughput cannot scale with the pool (cpu util ≈ 1).\n")
+	}
+	return b.String()
+}

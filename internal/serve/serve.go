@@ -1,0 +1,540 @@
+// Package serve is the DStress query service: a standing pool of
+// deployments answering many concurrent, budget-checked queries.
+//
+// The facade's Session is a single standing deployment, and one session
+// answers one query at a time — a fleet's GMW tags and transfer rounds
+// belong to a single protocol run and cannot interleave. The unit of
+// concurrency is therefore the pool: Service owns several sessions (warm-
+// started at boot, lazily grown to a cap), a work queue dispatches
+// submitted queries to idle members, and a per-tenant dp.Ledger performs
+// admission control — a query that would overdraw its tenant's ε budget is
+// refused at submit time, before it occupies a session or touches the
+// protocol. Drain stops admission, lets in-flight and already-admitted
+// queries finish (they are charged; the releases must happen), and closes
+// every pooled session.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"sync"
+	"time"
+
+	"dstress"
+	"dstress/internal/dp"
+)
+
+// ErrDraining reports a submission against a service that is shutting
+// down.
+var ErrDraining = errors.New("serve: service is draining, not accepting new queries")
+
+// ErrQueueFull reports a submission that found the admission queue at
+// capacity — backpressure, not a budget decision; nothing is charged.
+var ErrQueueFull = errors.New("serve: query queue is full, retry later")
+
+// errZeroEpsilon rejects unnoised queries on services that meter budgets.
+var errZeroEpsilon = errors.New("serve: queries must carry epsilon > 0 (a metered service always noises releases)")
+
+// QueryRunner is one pool member: a standing deployment that answers one
+// query at a time. *dstress.Session satisfies it; tests and the load
+// generator wrap it.
+type QueryRunner interface {
+	Query(ctx context.Context, q dstress.QuerySpec) (*dstress.Result, error)
+	Close() error
+}
+
+// Config parameterizes a Service.
+type Config struct {
+	// Open stands up one pool member. Required. Typically a closure over
+	// SessionEngine.Open with the deployment's Job.
+	Open func(ctx context.Context) (QueryRunner, error)
+	// PoolCap is the maximum number of standing sessions (default 1).
+	PoolCap int
+	// Warm is how many sessions to open synchronously at boot; the rest
+	// grow lazily under load. Clamped to [1, PoolCap].
+	Warm int
+	// QueueDepth caps admitted-but-undispatched queries (default 64);
+	// submissions beyond it fail with ErrQueueFull and are not charged.
+	QueueDepth int
+	// DefaultBudget is the ε budget granted to tenants first seen at
+	// submit: 0 refuses unknown tenants, +Inf admits them unmetered.
+	DefaultBudget float64
+	// Tenants pre-declares tenant budgets (overriding DefaultBudget).
+	Tenants map[string]float64
+	// DefaultIterations fills a submission's zero Iterations.
+	DefaultIterations int
+	// DefaultEpsilon fills a submission that does not set ε.
+	DefaultEpsilon float64
+	// AllowUnnoised permits explicit ε = 0 queries (exact releases —
+	// correctness tests and benchmarks only; a real service refuses them).
+	AllowUnnoised bool
+	// Retain caps how many finished queries stay queryable via Get
+	// (default 1024) so a long-running daemon's status map stays bounded.
+	Retain int
+	// Logf receives service events (pool growth, recycled sessions);
+	// nil uses log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// State is a query's lifecycle position.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Request is one query submission.
+type Request struct {
+	// Tenant is the budget the query is charged to ("" means "default").
+	Tenant string
+	// Iterations (0 = service default).
+	Iterations int
+	// Epsilon is the output-privacy charge. Nil means the service
+	// default; explicit 0 is refused unless AllowUnnoised.
+	Epsilon *float64
+}
+
+// query is one admitted query's record.
+type query struct {
+	id        string
+	tenant    string
+	spec      dstress.QuerySpec
+	submitted time.Time
+
+	done chan struct{} // closed at completion
+
+	// Owned by the worker that runs the query; readable after done (or
+	// under s.mu via snapshot).
+	state    State
+	started  time.Time
+	finished time.Time
+	result   *dstress.Result
+	err      error
+}
+
+// QueryStatus is a point-in-time snapshot of one query.
+type QueryStatus struct {
+	ID        string
+	Tenant    string
+	State     State
+	Spec      dstress.QuerySpec
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	// Result is set iff State == StateDone.
+	Result *dstress.Result
+	// Err is set iff State == StateFailed.
+	Err string
+}
+
+// Metrics is a point-in-time snapshot of service counters.
+type Metrics struct {
+	// Submitted counts admission attempts; Refused the ones turned away
+	// (budget, queue, draining, validation); Served and Failed partition
+	// the admitted queries that have finished.
+	Submitted, Refused, Served, Failed uint64
+	// QueueDepth is admitted-but-undispatched queries; PoolSessions the
+	// standing sessions; PoolBusy how many are answering right now.
+	QueueDepth, PoolSessions, PoolBusy int
+	// EpsilonCharged is the lifetime ε admitted across all tenants
+	// (replenishments do not reset it).
+	EpsilonCharged float64
+	// LatencySum/LatencyCount aggregate submit→finish latency of served
+	// queries.
+	LatencySum   time.Duration
+	LatencyCount uint64
+	// Draining is set once shutdown has begun.
+	Draining bool
+}
+
+// Service multiplexes budget-checked queries over a pool of standing
+// deployments.
+type Service struct {
+	cfg    Config
+	ledger *dp.Ledger
+	logf   func(string, ...any)
+
+	// baseCtx governs in-flight protocol runs; canceled only when a
+	// drain deadline forces abandonment.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	work chan *query
+
+	mu       sync.Mutex
+	wg       sync.WaitGroup
+	draining bool
+	queries  map[string]*query
+	order    []string // finished query ids, oldest first, for retention
+	nextID   uint64
+	workers  int
+	busy     int
+
+	submitted, refused, served, failed uint64
+	latencySum                         time.Duration
+	latencyCount                       uint64
+}
+
+// New builds the service and warm-starts cfg.Warm sessions synchronously,
+// so a returned service can answer immediately and a broken deployment
+// fails at boot, not at the first query.
+func New(ctx context.Context, cfg Config) (*Service, error) {
+	if cfg.Open == nil {
+		return nil, fmt.Errorf("serve: Config.Open is required")
+	}
+	if cfg.PoolCap <= 0 {
+		cfg.PoolCap = 1
+	}
+	if cfg.Warm <= 0 {
+		cfg.Warm = 1
+	}
+	if cfg.Warm > cfg.PoolCap {
+		cfg.Warm = cfg.PoolCap
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = 1024
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	s := &Service{
+		cfg:     cfg,
+		ledger:  dp.NewLedger(cfg.DefaultBudget),
+		logf:    logf,
+		work:    make(chan *query, cfg.QueueDepth),
+		queries: make(map[string]*query),
+	}
+	for t, b := range cfg.Tenants {
+		s.ledger.Declare(t, b)
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.WithoutCancel(ctx))
+	for i := 0; i < cfg.Warm; i++ {
+		r, err := cfg.Open(ctx)
+		if err != nil {
+			s.baseCancel()
+			close(s.work)
+			s.wg.Wait()
+			return nil, fmt.Errorf("serve: warming session %d/%d: %w", i+1, cfg.Warm, err)
+		}
+		s.startWorker(r)
+	}
+	return s, nil
+}
+
+// startWorker registers and launches a worker that owns runner r.
+func (s *Service) startWorker(r QueryRunner) {
+	s.mu.Lock()
+	s.workers++
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.worker(r)
+}
+
+// Ledger exposes the tenant accounting surface (budget status,
+// replenishment) to front ends.
+func (s *Service) Ledger() *dp.Ledger { return s.ledger }
+
+// Submit validates and admits one query: the tenant's ε is charged here,
+// atomically against the budget, and a query that would overdraw is
+// refused without occupying anything. On success the query is queued for
+// the next idle pool member and its id returned.
+func (s *Service) Submit(req Request) (*QueryStatus, error) {
+	q, err := s.submit(req)
+	if err != nil {
+		return nil, err
+	}
+	st := s.statusOf(q)
+	return &st, nil
+}
+
+// submit is Submit returning the live record, so in-package callers can
+// wait on the query itself rather than re-looking it up by id (which can
+// lose a race against retention trimming).
+func (s *Service) submit(req Request) (*query, error) {
+	spec := dstress.QuerySpec{Iterations: req.Iterations}
+	if spec.Iterations == 0 {
+		spec.Iterations = s.cfg.DefaultIterations
+	}
+	if req.Epsilon != nil {
+		spec.Epsilon = *req.Epsilon
+	} else {
+		spec.Epsilon = s.cfg.DefaultEpsilon
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.submitted++
+	if s.draining {
+		s.refused++
+		return nil, ErrDraining
+	}
+	if spec.Iterations < 0 {
+		s.refused++
+		return nil, fmt.Errorf("serve: negative iteration count %d", spec.Iterations)
+	}
+	if spec.Epsilon < 0 || math.IsNaN(spec.Epsilon) || math.IsInf(spec.Epsilon, 0) {
+		s.refused++
+		return nil, fmt.Errorf("serve: invalid epsilon %v", spec.Epsilon)
+	}
+	if spec.Epsilon == 0 && !s.cfg.AllowUnnoised {
+		s.refused++
+		return nil, errZeroEpsilon
+	}
+	// Check capacity before charging: every send happens under s.mu, so a
+	// free slot observed here cannot vanish, and a full queue costs the
+	// tenant nothing.
+	if len(s.work) == cap(s.work) {
+		s.refused++
+		return nil, ErrQueueFull
+	}
+	if err := s.ledger.Spend(tenant, spec.Epsilon); err != nil {
+		s.refused++
+		return nil, err
+	}
+
+	s.nextID++
+	q := &query{
+		id:        fmt.Sprintf("q-%d", s.nextID),
+		tenant:    tenant,
+		spec:      spec,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+		state:     StateQueued,
+	}
+	s.queries[q.id] = q
+	s.work <- q
+	s.growLocked()
+	return q, nil
+}
+
+// statusOf snapshots a live record under the lock.
+func (s *Service) statusOf(q *query) QueryStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return snapshot(q)
+}
+
+// growLocked lazily adds a pool member when demand outstrips the standing
+// sessions. Opening is slow (handshakes, setup), so it happens off the
+// submit path; the worker registers before the open so concurrent bursts
+// do not overshoot PoolCap.
+func (s *Service) growLocked() {
+	if s.workers >= s.cfg.PoolCap {
+		return
+	}
+	if s.busy+len(s.work) <= s.workers {
+		return // an idle member will pick the queue up
+	}
+	s.workers++
+	s.wg.Add(1)
+	go func() {
+		r, err := s.cfg.Open(s.baseCtx)
+		if err != nil {
+			s.logf("serve: growing pool: %v", err)
+			s.mu.Lock()
+			s.workers--
+			s.mu.Unlock()
+			s.wg.Done()
+			return
+		}
+		s.logf("serve: pool grew to %d sessions", s.poolSize())
+		s.worker(r)
+	}()
+}
+
+func (s *Service) poolSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workers
+}
+
+// worker answers queries on its own standing session until the queue
+// closes. A query that fails leaves the session in an undefined protocol
+// state (Session documents that only Close is then safe), so the worker
+// recycles it: close now, reopen lazily when the next query arrives —
+// a persistently broken deployment then fails queries with a clear error
+// instead of wedging the service.
+func (s *Service) worker(r QueryRunner) {
+	defer s.wg.Done()
+	defer func() {
+		if r != nil {
+			if err := r.Close(); err != nil {
+				s.logf("serve: closing pool session: %v", err)
+			}
+		}
+	}()
+	for q := range s.work {
+		s.mu.Lock()
+		s.busy++
+		q.state = StateRunning
+		q.started = time.Now()
+		s.mu.Unlock()
+
+		if r == nil {
+			var err error
+			if r, err = s.cfg.Open(s.baseCtx); err != nil {
+				r = nil
+				s.finish(q, nil, fmt.Errorf("serve: reopening pool session: %w", err))
+				continue
+			}
+			s.logf("serve: pool session recycled")
+		}
+		res, err := r.Query(s.baseCtx, q.spec)
+		if err != nil {
+			if cerr := r.Close(); cerr != nil {
+				s.logf("serve: closing failed session: %v", cerr)
+			}
+			r = nil
+		}
+		s.finish(q, res, err)
+	}
+}
+
+// finish records a query's outcome and bookkeeping.
+func (s *Service) finish(q *query, res *dstress.Result, err error) {
+	s.mu.Lock()
+	s.busy--
+	q.finished = time.Now()
+	if err != nil {
+		q.state = StateFailed
+		q.err = err
+		s.failed++
+	} else {
+		q.state = StateDone
+		q.result = res
+		s.served++
+		s.latencySum += q.finished.Sub(q.submitted)
+		s.latencyCount++
+	}
+	s.order = append(s.order, q.id)
+	for len(s.order) > s.cfg.Retain {
+		delete(s.queries, s.order[0])
+		s.order = s.order[1:]
+	}
+	s.mu.Unlock()
+	close(q.done)
+}
+
+// snapshot copies a query's current state; callers hold s.mu (or the
+// query is finished, after which its fields are immutable).
+func snapshot(q *query) QueryStatus {
+	st := QueryStatus{
+		ID: q.id, Tenant: q.tenant, State: q.state, Spec: q.spec,
+		Submitted: q.submitted, Started: q.started, Finished: q.finished,
+		Result: q.result,
+	}
+	if q.err != nil {
+		st.Err = q.err.Error()
+	}
+	return st
+}
+
+// Get returns a snapshot of a submitted query's status.
+func (s *Service) Get(id string) (QueryStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queries[id]
+	if !ok {
+		return QueryStatus{}, false
+	}
+	return snapshot(q), true
+}
+
+// Wait blocks until the query finishes (or ctx expires) and returns its
+// final status. Finished queries stay retrievable for the most recent
+// Retain completions; prefer Do for submit-and-wait, which holds the
+// record and cannot lose it to retention.
+func (s *Service) Wait(ctx context.Context, id string) (QueryStatus, error) {
+	s.mu.Lock()
+	q, ok := s.queries[id]
+	s.mu.Unlock()
+	if !ok {
+		return QueryStatus{}, fmt.Errorf("serve: unknown query %q", id)
+	}
+	return s.waitOn(ctx, q)
+}
+
+// waitOn blocks on the record itself.
+func (s *Service) waitOn(ctx context.Context, q *query) (QueryStatus, error) {
+	select {
+	case <-q.done:
+	case <-ctx.Done():
+		return QueryStatus{}, ctx.Err()
+	}
+	return s.statusOf(q), nil
+}
+
+// Do submits one query and waits for its result: the synchronous path.
+func (s *Service) Do(ctx context.Context, req Request) (QueryStatus, error) {
+	q, err := s.submit(req)
+	if err != nil {
+		return QueryStatus{}, err
+	}
+	return s.waitOn(ctx, q)
+}
+
+// Metrics returns a snapshot of the service counters.
+func (s *Service) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Metrics{
+		Submitted: s.submitted, Refused: s.refused,
+		Served: s.served, Failed: s.failed,
+		QueueDepth: len(s.work), PoolSessions: s.workers, PoolBusy: s.busy,
+		EpsilonCharged: s.ledger.TotalCharged(),
+		LatencySum:     s.latencySum, LatencyCount: s.latencyCount,
+		Draining: s.draining,
+	}
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain shuts the service down gracefully: new submissions are refused
+// immediately with ErrDraining, in-flight and already-admitted queries run
+// to completion (their ε is charged; the releases must happen), and every
+// pooled session is closed. If ctx expires first, the remaining protocol
+// runs are aborted through their contexts, the sessions are still closed,
+// and the ctx error is returned. Idempotent; concurrent calls all wait.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		// Safe: every send holds s.mu and checks draining first.
+		close(s.work)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // abort in-flight protocol runs
+		<-done
+		return fmt.Errorf("serve: drain aborted in-flight queries: %w", ctx.Err())
+	}
+}

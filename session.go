@@ -2,12 +2,24 @@ package dstress
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 
 	"dstress/internal/dp"
 )
+
+// ErrSessionBusy reports a Query submitted while another query is already
+// in flight on the same session. One session is one standing deployment:
+// its GMW tags and transfer rounds belong to a single protocol run, so two
+// interleaved queries would corrupt each other's messages on the shared
+// transports. Callers that need concurrency run a pool of sessions (see
+// internal/serve) and dispatch to idle members instead of sharing one.
+var ErrSessionBusy = errors.New("dstress: session is busy answering another query")
+
+// ErrSessionClosed reports a Query against a session after Close.
+var ErrSessionClosed = errors.New("dstress: session is closed")
 
 // QuerySpec parameterizes one query against a standing Session.
 type QuerySpec struct {
@@ -36,9 +48,15 @@ type sessionBackend interface {
 // fixed-base tables); each Query then only refreshes shares and runs the
 // protocol, so the Init phase that dominates short runs is paid once.
 //
-// Queries are serialized; Close releases the deployment.
+// A session answers one query at a time: a Query submitted while another
+// is in flight fails fast with ErrSessionBusy rather than blocking, so a
+// pool scheduler can move on to an idle session. Close releases the
+// deployment, waiting first for any in-flight query to finish (cancel the
+// query's context to hurry it along).
 type Session struct {
 	mu       sync.Mutex
+	idle     sync.Cond // signalled when busy drops
+	busy     bool
 	backend  sessionBackend
 	acct     *dp.Accountant // nil = unmetered
 	decode   func(int64) float64
@@ -52,6 +70,7 @@ func newSession(b sessionBackend, job Job, budget float64) *Session {
 		decode:   job.Decode,
 		defaults: QuerySpec{Iterations: job.Iterations, Epsilon: job.Epsilon},
 	}
+	s.idle.L = &s.mu
 	if budget > 0 {
 		s.acct = dp.NewAccountant(budget)
 	}
@@ -61,29 +80,46 @@ func newSession(b sessionBackend, job Job, budget float64) *Session {
 // Query runs one budgeted query against the standing deployment. It
 // charges q.Epsilon to the session's accountant first and refuses —
 // without executing anything — when the charge would overdraw the budget
-// (dp.ErrBudgetExhausted). Canceling ctx aborts the query; the session is
-// then in an undefined protocol state and only Close is safe.
+// (dp.ErrBudgetExhausted). A query submitted while another is in flight is
+// refused with ErrSessionBusy (and not charged). Canceling ctx aborts the
+// query; the session is then in an undefined protocol state and only Close
+// is safe.
 func (s *Session) Query(ctx context.Context, q QuerySpec) (*Result, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
-		return nil, fmt.Errorf("dstress: session is closed")
+		s.mu.Unlock()
+		return nil, ErrSessionClosed
+	}
+	if s.busy {
+		s.mu.Unlock()
+		return nil, ErrSessionBusy
 	}
 	if q.Iterations == 0 {
 		q.Iterations = s.defaults.Iterations
 	}
 	if q.Iterations < 0 {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("dstress: negative iteration count %d", q.Iterations)
 	}
 	if q.Epsilon < 0 || math.IsNaN(q.Epsilon) || math.IsInf(q.Epsilon, 0) {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("dstress: invalid epsilon %v", q.Epsilon)
 	}
 	if s.acct != nil {
 		if err := s.acct.Spend(q.Epsilon); err != nil {
+			s.mu.Unlock()
 			return nil, err
 		}
 	}
+	s.busy = true
+	s.mu.Unlock()
+
 	raw, rep, err := s.backend.query(ctx, q)
+
+	s.mu.Lock()
+	s.busy = false
+	s.idle.Broadcast()
+	s.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -114,13 +150,19 @@ func (s *Session) Spent() float64 {
 	return s.acct.Spent()
 }
 
-// Close tears the standing deployment down. Idempotent.
+// Close tears the standing deployment down, waiting first for an in-flight
+// query to finish so the protocol is never torn down under a live run.
+// Idempotent.
 func (s *Session) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	for s.busy {
+		s.idle.Wait()
+	}
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	s.mu.Unlock()
 	return s.backend.close()
 }

@@ -1,0 +1,94 @@
+package dstress
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// gateBackend is a sessionBackend whose query blocks until released, so
+// tests can hold a session provably in-flight.
+type gateBackend struct {
+	started chan struct{} // closed when a query begins executing
+	release chan struct{} // query returns when this is closed
+	closed  chan struct{} // closed by close()
+}
+
+func newGateBackend() *gateBackend {
+	return &gateBackend{
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+		closed:  make(chan struct{}),
+	}
+}
+
+func (b *gateBackend) query(ctx context.Context, q QuerySpec) (int64, *Report, error) {
+	close(b.started)
+	select {
+	case <-b.release:
+		return 42, &Report{Transport: "fake"}, nil
+	case <-ctx.Done():
+		return 0, nil, ctx.Err()
+	}
+}
+
+func (b *gateBackend) close() error {
+	close(b.closed)
+	return nil
+}
+
+// TestSessionBusyGuard pins the concurrent-caller contract: while one
+// query is in flight, a second Query fails fast with ErrSessionBusy (and
+// is not charged), Close waits for the in-flight query instead of tearing
+// the protocol down under it, and after release everything completes.
+func TestSessionBusyGuard(t *testing.T) {
+	b := newGateBackend()
+	sess := newSession(b, Job{Iterations: 1}, 1.0)
+
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := sess.Query(context.Background(), QuerySpec{Epsilon: 0.5})
+		firstDone <- err
+	}()
+	select {
+	case <-b.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first query never reached the backend")
+	}
+
+	// Concurrent caller: refused with the typed error, budget untouched.
+	if _, err := sess.Query(context.Background(), QuerySpec{Epsilon: 0.5}); !errors.Is(err, ErrSessionBusy) {
+		t.Fatalf("concurrent query returned %v, want ErrSessionBusy", err)
+	}
+	if got := sess.Spent(); got != 0.5 {
+		t.Errorf("refused query changed the accountant: spent %v, want 0.5", got)
+	}
+
+	// Close must wait for the in-flight query, not race it.
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- sess.Close() }()
+	select {
+	case <-b.closed:
+		t.Fatal("Close tore the backend down under an in-flight query")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(b.release)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("in-flight query failed: %v", err)
+	}
+	if err := <-closeDone; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-b.closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("backend never closed")
+	}
+
+	// After Close, queries are refused with the typed closed error.
+	if _, err := sess.Query(context.Background(), QuerySpec{Epsilon: 0.1}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("query after Close returned %v, want ErrSessionClosed", err)
+	}
+}
