@@ -1,5 +1,5 @@
 // Benchmark harness: one testing.B target per paper table/figure (the
-// E1–E12 index of DESIGN.md). Each target regenerates its experiment at
+// E1–E13 index of DESIGN.md). Each target regenerates its experiment at
 // quick scale and logs the table; run the paper-scale version with
 // cmd/dstress-bench -full.
 package dstress_test
@@ -112,5 +112,14 @@ func BenchmarkContagionSim(b *testing.B) {
 func BenchmarkAblations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		logTable(b, experiments.Ablation(quick))
+	}
+}
+
+// BenchmarkOTSubstrateSetup regenerates the E13 pairwise-OT-substrate
+// deployment-open measurement: base-OT handshakes and setup time vs the
+// retired per-session bootstrap.
+func BenchmarkOTSubstrateSetup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.OTSubstrateSetup(quick))
 	}
 }

@@ -8,7 +8,7 @@
 //	dstress-bench -experiment e6      # Figure 5 only
 //	dstress-bench -full -group p256   # paper-scale parameters
 //	dstress-bench -json BENCH.json    # machine-readable results
-//	dstress-bench -list               # experiment index (e1..e12)
+//	dstress-bench -list               # experiment index (e1..e13)
 //
 // -load switches to the service-layer load generator instead: the same
 // query workload is pushed through internal/serve pools of the given
@@ -38,14 +38,19 @@ import (
 )
 
 // jsonExperiment is one experiment's machine-readable record: the table
-// cells (times, bytes, gate counts) exactly as rendered, plus wall time.
+// cells (times, bytes, gate counts) exactly as rendered, plus wall time
+// and the deployment-open metadata (setup-phase time and pairwise base-OT
+// handshake count) so perf trajectories capture setup-cost changes
+// separately from steady-state latency.
 type jsonExperiment struct {
-	Experiment string     `json:"experiment"`
-	Title      string     `json:"title"`
-	Header     []string   `json:"header"`
-	Rows       [][]string `json:"rows"`
-	Notes      []string   `json:"notes,omitempty"`
-	ElapsedMS  float64    `json:"elapsed_ms"`
+	Experiment       string     `json:"experiment"`
+	Title            string     `json:"title"`
+	Header           []string   `json:"header"`
+	Rows             [][]string `json:"rows"`
+	Notes            []string   `json:"notes,omitempty"`
+	ElapsedMS        float64    `json:"elapsed_ms"`
+	SetupMS          float64    `json:"setup_ms,omitempty"`
+	BaseOTHandshakes int64      `json:"base_ot_handshakes,omitempty"`
 }
 
 // jsonReport is the top-level -json document, with enough run metadata to
@@ -64,7 +69,7 @@ type jsonReport struct {
 
 func main() {
 	var (
-		expID     = flag.String("experiment", "all", "experiment id (e1..e12) or 'all'")
+		expID     = flag.String("experiment", "all", "experiment id (e1..e13) or 'all'")
 		full      = flag.Bool("full", false, "use the paper-scale parameters (slow)")
 		groupName = flag.String("group", "", "crypto group: p256, p384, modp256 (default: modp256 quick / p256 full)")
 		jsonPath  = flag.String("json", "", "also write results as JSON to this file ('-' for stdout)")
@@ -124,12 +129,14 @@ func main() {
 		}
 		fmt.Fprintln(tableOut, t.String())
 		report.Experiments = append(report.Experiments, jsonExperiment{
-			Experiment: t.ID,
-			Title:      t.Title,
-			Header:     t.Header,
-			Rows:       t.Rows,
-			Notes:      t.Notes,
-			ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+			Experiment:       t.ID,
+			Title:            t.Title,
+			Header:           t.Header,
+			Rows:             t.Rows,
+			Notes:            t.Notes,
+			ElapsedMS:        float64(elapsed) / float64(time.Millisecond),
+			SetupMS:          t.SetupMS,
+			BaseOTHandshakes: t.BaseOTHandshakes,
 		})
 	}
 

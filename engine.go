@@ -93,6 +93,16 @@ type Report struct {
 	InitBytes, ComputeBytes, CommBytes, AggBytes int64
 	// WallTime is the end-to-end duration observed by the driver.
 	WallTime time.Duration
+	// SetupTime is the one-time deployment-open cost (trusted-party setup,
+	// GMW sessions with their pairwise base-OT handshakes, circuit
+	// compilation): sim pays it at Open, tcp inside the first query's Init
+	// (slowest node). Identical for every query of a standing session.
+	SetupTime time.Duration
+	// BaseOTHandshakes counts the deployment's pairwise base-OT bootstraps
+	// across all nodes: with the OT substrate, one per ordered node pair
+	// sharing at least one session, independent of the block count. Dealer
+	// runs report 0.
+	BaseOTHandshakes int64
 	// AvgNodeBytes and MaxNodeBytes summarize per-node sent+received
 	// traffic — the "traffic per node" quantity of Figures 4–6.
 	AvgNodeBytes float64
@@ -249,8 +259,10 @@ func (b *simBackend) query(ctx context.Context, q QuerySpec) (int64, *Report, er
 		CommTime: rep.CommTime, AggTime: rep.AggTime,
 		InitBytes: rep.InitBytes, ComputeBytes: rep.ComputeBytes,
 		CommBytes: rep.CommBytes, AggBytes: rep.AggBytes,
-		WallTime:     time.Since(start),
-		AvgNodeBytes: rep.AvgNodeBytes, MaxNodeBytes: rep.MaxNodeBytes,
+		WallTime:         time.Since(start),
+		SetupTime:        rep.SetupTime,
+		BaseOTHandshakes: rep.BaseOTHandshakes,
+		AvgNodeBytes:     rep.AvgNodeBytes, MaxNodeBytes: rep.MaxNodeBytes,
 		Iterations:     rep.Iterations,
 		UpdateAndGates: rep.UpdateAndGates, AggAndGates: rep.AggAndGates,
 	}
@@ -358,6 +370,10 @@ func summaryReport(sum *cluster.Summary, nodes int) *Report {
 		if rep.AggTime > out.AggTime {
 			out.AggTime = rep.AggTime
 		}
+		if rep.SetupTime > out.SetupTime {
+			out.SetupTime = rep.SetupTime
+		}
+		out.BaseOTHandshakes += rep.BaseOTHandshakes
 		initB += rep.InitBytes
 		compB += rep.ComputeBytes
 		commB += rep.CommBytes

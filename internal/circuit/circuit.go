@@ -26,6 +26,7 @@ package circuit
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Wire identifies a single-bit value in the circuit. Wires 0 and 1 are the
@@ -84,6 +85,39 @@ type Circuit struct {
 	Rounds []Round
 	// NumAnd caches the AND-gate count, the cost unit for GMW traffic.
 	NumAnd int
+
+	packedOnce sync.Once
+	packed     []PackedRound
+}
+
+// PackedRound is the gathered layout of one interaction round's AND batch:
+// entry k holds the k-th AND gate's operand and output wire ids, so a
+// word-level evaluator can gather operand bits into packed words and
+// scatter results back without re-walking Gates on every evaluation.
+type PackedRound struct {
+	A, B, Out []Wire
+}
+
+// PackedRounds returns (building lazily, cached) the per-round gathered
+// AND-batch layout aligned with Rounds.
+func (c *Circuit) PackedRounds() []PackedRound {
+	c.packedOnce.Do(func() {
+		pr := make([]PackedRound, len(c.Rounds))
+		for r, round := range c.Rounds {
+			p := PackedRound{
+				A:   make([]Wire, len(round.And)),
+				B:   make([]Wire, len(round.And)),
+				Out: make([]Wire, len(round.And)),
+			}
+			for k, gi := range round.And {
+				g := c.Gates[gi]
+				p.A[k], p.B[k], p.Out[k] = g.A, g.B, c.gateOut(gi)
+			}
+			pr[r] = p
+		}
+		c.packed = pr
+	})
+	return c.packed
 }
 
 // NumWires returns the total wire count (constants + inputs + gates).

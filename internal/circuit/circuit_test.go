@@ -528,3 +528,44 @@ func BenchmarkEvalMul32(b *testing.B) {
 		}
 	}
 }
+
+func TestPackedRoundsMatchSchedule(t *testing.T) {
+	// The packed layout must be a gather of Rounds: same AND gates in the
+	// same order, with operand and output wires matching Gates.
+	b := NewBuilder()
+	x := b.InputWord(12)
+	y := b.InputWord(12)
+	b.OutputWord(b.Mul(x, y))
+	b.OutputWord(b.DivU(x, y))
+	c := b.Build()
+
+	pr := c.PackedRounds()
+	if len(pr) != len(c.Rounds) {
+		t.Fatalf("packed layout has %d rounds, schedule %d", len(pr), len(c.Rounds))
+	}
+	nAnd := 0
+	for r, round := range c.Rounds {
+		if len(pr[r].A) != len(round.And) || len(pr[r].B) != len(round.And) || len(pr[r].Out) != len(round.And) {
+			t.Fatalf("round %d: packed batch sizes %d/%d/%d, want %d",
+				r, len(pr[r].A), len(pr[r].B), len(pr[r].Out), len(round.And))
+		}
+		for k, gi := range round.And {
+			g := c.Gates[gi]
+			if g.Kind != AND {
+				t.Fatalf("round %d entry %d: gate %d is %v", r, k, gi, g.Kind)
+			}
+			if pr[r].A[k] != g.A || pr[r].B[k] != g.B || pr[r].Out[k] != c.gateOut(gi) {
+				t.Fatalf("round %d entry %d: packed wires (%d,%d,%d), gate has (%d,%d,%d)",
+					r, k, pr[r].A[k], pr[r].B[k], pr[r].Out[k], g.A, g.B, c.gateOut(gi))
+			}
+			nAnd++
+		}
+	}
+	if nAnd != c.NumAnd {
+		t.Errorf("packed layout covers %d AND gates, circuit has %d", nAnd, c.NumAnd)
+	}
+	// The cache must be stable across calls.
+	if &c.PackedRounds()[0] != &pr[0] {
+		t.Error("PackedRounds rebuilt on second call")
+	}
+}

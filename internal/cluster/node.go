@@ -15,6 +15,7 @@ import (
 	"dstress/internal/gmw"
 	"dstress/internal/group"
 	"dstress/internal/network"
+	"dstress/internal/ot"
 	"dstress/internal/secretshare"
 	"dstress/internal/tcpnet"
 	"dstress/internal/transfer"
@@ -267,10 +268,16 @@ type engine struct {
 	// budget, mirroring vertex.Runtime: a standing node serves queries at
 	// different budgets over one set of GMW sessions.
 	aggPlans map[float64]*nodeAggPlan
+	// sub is this node's pairwise OT substrate: one base-OT handshake per
+	// ordered peer pair for the engine's lifetime, with every GMW session
+	// deriving its own extension streams from it.
+	sub *ot.Substrate
 	// sessionsReady records that the GMW sessions (and their OT
 	// handshakes) are standing; they are joined during the first job and
 	// reused by every later one.
 	sessionsReady bool
+	// setupTime is the one-time session-join cost paid by the first job.
+	setupTime time.Duration
 	// certUses accumulates certificate-key uses across a session's jobs
 	// so fixed-base tables amortize even when single queries are short.
 	certUses int
@@ -354,6 +361,7 @@ func newEngine(id network.NodeID, tr network.Transport, grp group.Group, job job
 		msgShare:   make(map[int][]uint64),
 		certCache:  transfer.NewCertKeyCache(),
 		aggPlans:   make(map[float64]*nodeAggPlan),
+		sub:        ot.NewSubstrate(grp, tr),
 	}
 	if e.updCirc, err = prog.UpdateCircuit(g.D); err != nil {
 		return nil, err
@@ -402,7 +410,7 @@ func indexOf(ids []network.NodeID, id network.NodeID) int {
 // sessions in different orders, so any bounded schedule could deadlock
 // across processes.
 func (e *engine) createSessions(ctx context.Context) error {
-	opt := gmw.IKNPOT{Group: e.grp}
+	opt := gmw.SubstrateOT{Sub: e.sub}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
@@ -507,12 +515,15 @@ func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error 
 			return err
 		}
 		e.sessionsReady = true
+		e.setupTime = time.Since(t0)
 	}
 	if err := e.initShares(ctx); err != nil {
 		return err
 	}
 	rep.InitTime = time.Since(t0)
 	rep.InitBytes = phaseBytes(b0)
+	rep.SetupTime = e.setupTime
+	rep.BaseOTHandshakes = e.sub.Handshakes()
 
 	// --- Iterations. ---
 	for it := 0; it <= iterations; it++ {

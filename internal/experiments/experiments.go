@@ -109,11 +109,19 @@ const circuitWidth = 32
 
 // Table is a titled grid of results.
 type Table struct {
-	ID     string // experiment id (E1..E12)
+	ID     string // experiment id (E1..E13)
 	Title  string // paper reference
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// SetupMS is the summed deployment-open (setup-phase) wall time across
+	// the experiment's runs, in milliseconds; 0 when the experiment stands
+	// no deployment. Recorded per experiment so BENCH_*.json trajectories
+	// capture setup-cost changes separately from steady-state latency.
+	SetupMS float64
+	// BaseOTHandshakes is the summed pairwise base-OT handshake count
+	// across the experiment's deployments (0 for dealer-provisioned runs).
+	BaseOTHandshakes int64
 }
 
 // Add appends a row.
@@ -188,6 +196,7 @@ var registry = []Entry{
 	{"E10", "edgebudget", "Appendix B: edge-privacy budget", func(Options) *Table { return EdgeBudgetTable() }},
 	{"E11", "contagion", "Appendix C: core-periphery contagion scenarios", ContagionSim},
 	{"E12", "ablation", "Ablations: transfer aggregation, adders, bucketing, aggregation tree", Ablation},
+	{"E13", "otsubstrate", "§5.3: pairwise OT substrate — deployment-open base-OT handshakes and setup time", OTSubstrateSetup},
 }
 
 // Registry returns the experiment index in run order.
@@ -202,7 +211,7 @@ func All(o Options) []*Table {
 	return out
 }
 
-// ByID returns the experiment with the given id (e1..e12, case
+// ByID returns the experiment with the given id (e1..e13, case
 // insensitive) or alias, or nil.
 func ByID(id string, o Options) *Table {
 	id = strings.ToLower(id)

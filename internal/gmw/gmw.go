@@ -24,6 +24,12 @@
 // from circuit.Rounds), which is what makes the per-step latency of §5.2
 // proportional to circuit depth rather than AND count.
 //
+// The data plane is packed: wire values live in a []uint64 bitmap, an AND
+// round gathers its operand bits into packed words once, and everything
+// downstream — the local xᵢyᵢ term, the OT pads and derandomization masks,
+// the per-peer share accumulation — is 64-bits-at-a-time word arithmetic
+// (see internal/ot's packed variants and circuit.PackedRounds).
+//
 // Collusion resistance matches the paper: with k+1 parties, any k colluders
 // miss at least one share of every wire (GMW is secure against n−1
 // semi-honest corruptions).
@@ -31,7 +37,6 @@ package gmw
 
 import (
 	"context"
-	"crypto/rand"
 	"fmt"
 	"sync"
 
@@ -44,19 +49,30 @@ import (
 // OTOption selects how the pairwise oblivious transfers are provisioned.
 type OTOption interface{ otOption() }
 
-// IKNPOT bootstraps real DH base OTs over Group and extends them with IKNP.
-// Setup costs 2·λ base OTs per party pair; this is the configuration that
-// models the paper's prototype faithfully.
+// IKNPOT bootstraps fresh DH base OTs over Group for this one session and
+// extends them with IKNP. Deployments that stand up many sessions should
+// use SubstrateOT instead, which pays the public-key bootstrap once per
+// node pair; IKNPOT remains for self-contained two-party uses and tests.
 type IKNPOT struct{ Group group.Group }
 
+// SubstrateOT attaches the session to a deployment-wide pairwise OT
+// substrate: the base-OT handshake runs (at most) once per ordered node
+// pair per deployment, and this session derives its own extension streams
+// from it via a PRF over the session tag. This is the configuration that
+// models the paper's prototype faithfully at deployment scale.
+type SubstrateOT struct{ Sub *ot.Substrate }
+
 // DealerOT draws correlated randomness from a trusted-party broker
-// (offline/online split). Online traffic is identical to IKNPOT minus the
-// 16-byte-per-OT extension messages; see internal/ot for the argument that
-// this preserves the TP's never-sees-private-data property.
+// (offline/online split). Online traffic is identical to the IKNP options
+// minus the 16-byte-per-OT extension messages; see internal/ot for the
+// argument that this preserves the TP's never-sees-private-data property.
+// One broker serves a whole deployment: sessions get independent streams
+// derived from the broker's per-pair master seeds by session tag.
 type DealerOT struct{ Broker *ot.DealerBroker }
 
-func (IKNPOT) otOption()   {}
-func (DealerOT) otOption() {}
+func (IKNPOT) otOption()      {}
+func (SubstrateOT) otOption() {}
+func (DealerOT) otOption()    {}
 
 // Config describes one party's view of a GMW session.
 type Config struct {
@@ -70,7 +86,7 @@ type Config struct {
 	Transport network.Transport
 	// Tag namespaces this session's traffic.
 	Tag string
-	// OT selects the OT provisioning (IKNPOT or DealerOT).
+	// OT selects the OT provisioning (SubstrateOT, IKNPOT or DealerOT).
 	OT OTOption
 }
 
@@ -88,7 +104,9 @@ type Party struct {
 
 // NewParty joins the session described by cfg. For IKNPOT the call blocks
 // until all peers join (base-OT handshakes), so the n parties must call it
-// concurrently; canceling ctx aborts a handshake stuck on an absent peer.
+// concurrently; for SubstrateOT it blocks only on pairs whose one-time
+// handshake hasn't happened yet. Canceling ctx aborts a handshake stuck on
+// an absent peer.
 func NewParty(ctx context.Context, cfg Config) (*Party, error) {
 	n := len(cfg.Parties)
 	if n < 2 {
@@ -119,19 +137,18 @@ func NewParty(ctx context.Context, cfg Config) (*Party, error) {
 			if j == p.me {
 				continue
 			}
-			// Broker keys are global node ids so distinct sessions over the
-			// same broker stay distinct per pair... per (i,j) the stream is
-			// shared across sessions, which is fine: both ends consume in
-			// lockstep only within one session, so one broker must serve
-			// one session. The vertex runtime allocates one broker per
-			// block session.
+			// Streams are keyed by global node ids plus the session tag:
+			// one deployment-wide broker hands every session of every pair
+			// its own derived stream, consumed in lockstep within that
+			// session only.
 			sTag := network.Tag(cfg.Tag, "ot", p.me, j)
 			rTag := network.Tag(cfg.Tag, "ot", j, p.me)
-			p.send[j] = ot.NewBitSender(opt.Broker.Sender(p.me, j), p.ep, cfg.Parties[j], sTag)
-			p.recv[j] = ot.NewBitReceiver(opt.Broker.Receiver(j, p.me), p.ep, cfg.Parties[j], rTag)
+			si, sj := int(cfg.Parties[p.me]), int(cfg.Parties[j])
+			p.send[j] = ot.NewBitSender(opt.Broker.Sender(si, sj, cfg.Tag), p.ep, cfg.Parties[j], sTag)
+			p.recv[j] = ot.NewBitReceiver(opt.Broker.Receiver(sj, si, cfg.Tag), p.ep, cfg.Parties[j], rTag)
 		}
-	case IKNPOT:
-		// Run all 2(n-1) handshakes concurrently; they interleave freely
+	case IKNPOT, SubstrateOT:
+		// Run all 2(n-1) attachments concurrently; they interleave freely
 		// because tags separate the directions.
 		var wg sync.WaitGroup
 		var mu sync.Mutex
@@ -143,6 +160,18 @@ func NewParty(ctx context.Context, cfg Config) (*Party, error) {
 			}
 			mu.Unlock()
 		}
+		mkSender := func(ctx context.Context, peer network.NodeID, tag string) (*ot.IKNPSender, error) {
+			if sub, ok := opt.(SubstrateOT); ok {
+				return sub.Sub.SenderFor(ctx, peer, tag)
+			}
+			return ot.NewIKNPSender(ctx, opt.(IKNPOT).Group, p.ep, peer, tag)
+		}
+		mkReceiver := func(ctx context.Context, peer network.NodeID, tag string) (*ot.IKNPReceiver, error) {
+			if sub, ok := opt.(SubstrateOT); ok {
+				return sub.Sub.ReceiverFor(ctx, peer, tag)
+			}
+			return ot.NewIKNPReceiver(ctx, opt.(IKNPOT).Group, p.ep, peer, tag)
+		}
 		for j := 0; j < n; j++ {
 			if j == p.me {
 				continue
@@ -152,7 +181,7 @@ func NewParty(ctx context.Context, cfg Config) (*Party, error) {
 			go func() {
 				defer wg.Done()
 				sTag := network.Tag(cfg.Tag, "ot", p.me, j)
-				src, err := ot.NewIKNPSender(ctx, opt.Group, p.ep, cfg.Parties[j], sTag)
+				src, err := mkSender(ctx, cfg.Parties[j], sTag)
 				if err != nil {
 					record(err)
 					return
@@ -164,7 +193,7 @@ func NewParty(ctx context.Context, cfg Config) (*Party, error) {
 			go func() {
 				defer wg.Done()
 				rTag := network.Tag(cfg.Tag, "ot", j, p.me)
-				src, err := ot.NewIKNPReceiver(ctx, opt.Group, p.ep, cfg.Parties[j], rTag)
+				src, err := mkReceiver(ctx, cfg.Parties[j], rTag)
 				if err != nil {
 					record(err)
 					return
@@ -200,56 +229,60 @@ func (p *Party) Evaluate(ctx context.Context, c *circuit.Circuit, inputShares []
 	evalID := p.seq
 	p.seq++
 
-	vals := make([]uint8, c.NumWires())
+	// Wire values as a packed bitmap; every wire is written exactly once.
+	vals := make([]uint64, ot.Words(c.NumWires()))
 	// Public constant one: party 0 holds the set share.
 	if p.me == 0 {
-		vals[circuit.WireOne] = 1
+		ot.SetBit(vals, int(circuit.WireOne), 1)
 	}
 	for i, b := range inputShares {
 		if b > 1 {
 			return nil, fmt.Errorf("gmw: input share %d is not a bit", i)
 		}
-		vals[2+i] = b
+		ot.SetBit(vals, 2+i, uint64(b))
 	}
 
-	gateOut := func(gi int) int { return 2 + c.NumInputs + gi }
-	evalLocal := func(gi int) {
-		g := c.Gates[gi]
-		vals[gateOut(gi)] = vals[g.A] ^ vals[g.B]
-	}
-
+	packed := c.PackedRounds()
 	for r, round := range c.Rounds {
 		if len(round.And) > 0 {
-			if err := p.andRound(ctx, c, vals, round.And, evalID, r); err != nil {
+			if err := p.andRound(ctx, vals, &packed[r], evalID, r); err != nil {
 				return nil, err
 			}
 		}
 		for _, gi := range round.Local {
-			evalLocal(gi)
+			g := c.Gates[gi]
+			ot.SetBit(vals, 2+c.NumInputs+gi, ot.Bit(vals, int(g.A))^ot.Bit(vals, int(g.B)))
 		}
 	}
 
 	out := make([]uint8, len(c.Outputs))
 	for i, w := range c.Outputs {
-		out[i] = vals[w]
+		out[i] = uint8(ot.Bit(vals, int(w)))
 	}
 	return out, nil
 }
 
 // andRound evaluates a batch of AND gates with one OT exchange per ordered
-// party pair.
-func (p *Party) andRound(ctx context.Context, c *circuit.Circuit, vals []uint8, gates []int, evalID, round int) error {
-	nG := len(gates)
-	xs := make([]uint8, nG) // my shares of the A inputs
-	ys := make([]uint8, nG) // my shares of the B inputs
-	acc := make([]uint8, nG)
-	for k, gi := range gates {
-		g := c.Gates[gi]
-		xs[k] = vals[g.A]
-		ys[k] = vals[g.B]
-		acc[k] = xs[k] & ys[k]
+// party pair, entirely on packed words. Each peer direction accumulates
+// into its own buffer; the buffers are XOR-folded after the barrier, so the
+// hot path never contends on a shared accumulator.
+func (p *Party) andRound(ctx context.Context, vals []uint64, pr *circuit.PackedRound, evalID, round int) error {
+	nG := len(pr.Out)
+	nW := ot.Words(nG)
+	xs := make([]uint64, nW) // my shares of the A inputs, gathered
+	ys := make([]uint64, nW) // my shares of the B inputs, gathered
+	for k := range pr.Out {
+		sh := uint(k) & 63
+		xs[k>>6] |= ot.Bit(vals, int(pr.A[k])) << sh
+		ys[k>>6] |= ot.Bit(vals, int(pr.B[k])) << sh
+	}
+	acc := make([]uint64, nW)
+	for w := range acc {
+		acc[w] = xs[w] & ys[w] // local diagonal term xᵢyᵢ
 	}
 
+	sent := make([][]uint64, p.n) // my pads r, per sender direction
+	got := make([][]uint64, p.n)  // received cross-term shares, per receiver direction
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	var firstErr error
@@ -270,42 +303,42 @@ func (p *Party) andRound(ctx context.Context, c *circuit.Circuit, vals []uint8, 
 		// Sender direction me→j: contribute r, peer learns r ⊕ xs·(their y).
 		go func() {
 			defer wg.Done()
-			r := randomBits(nG)
-			m1 := make([]uint8, nG)
-			for k := range m1 {
-				m1[k] = r[k] ^ xs[k]
+			r := ot.RandomWords(nG)
+			m1 := make([]uint64, nW)
+			for w := range m1 {
+				m1[w] = r[w] ^ xs[w]
 			}
-			if err := p.send[j].SendBits(ctx, r, m1); err != nil {
+			if err := p.send[j].SendPacked(ctx, r, m1, nG); err != nil {
 				record(fmt.Errorf("gmw: eval %d round %d send to %d: %w", evalID, round, j, err))
 				return
 			}
-			mu.Lock()
-			for k := range acc {
-				acc[k] ^= r[k]
-			}
-			mu.Unlock()
+			sent[j] = r
 		}()
 		// Receiver direction j→me: select with my y shares.
 		go func() {
 			defer wg.Done()
-			got, err := p.recv[j].ReceiveBits(ctx, ys)
+			g, err := p.recv[j].ReceivePacked(ctx, ys, nG)
 			if err != nil {
 				record(fmt.Errorf("gmw: eval %d round %d recv from %d: %w", evalID, round, j, err))
 				return
 			}
-			mu.Lock()
-			for k := range acc {
-				acc[k] ^= got[k]
-			}
-			mu.Unlock()
+			got[j] = g
 		}()
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return firstErr
 	}
-	for k, gi := range gates {
-		vals[2+c.NumInputs+gi] = acc[k]
+	for j := 0; j < p.n; j++ {
+		if sent[j] != nil {
+			ot.XorInto(acc, sent[j])
+		}
+		if got[j] != nil {
+			ot.XorInto(acc, got[j])
+		}
+	}
+	for k, w := range pr.Out {
+		ot.SetBit(vals, int(w), ot.Bit(acc, k))
 	}
 	return nil
 }
@@ -341,13 +374,4 @@ func (p *Party) Open(ctx context.Context, shares []uint8) ([]uint8, error) {
 		}
 	}
 	return out, nil
-}
-
-// randomBits returns n unpacked uniform bits from crypto/rand.
-func randomBits(n int) []uint8 {
-	buf := make([]byte, (n+7)/8)
-	if _, err := rand.Read(buf); err != nil {
-		panic(fmt.Sprintf("gmw: entropy failure: %v", err))
-	}
-	return ot.UnpackBits(buf, n)
 }

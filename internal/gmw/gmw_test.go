@@ -2,6 +2,7 @@ package gmw
 
 import (
 	"context"
+	mrand "math/rand"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -407,5 +408,225 @@ func BenchmarkGMW3PartyMul16Dealer(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		runSession(b, 3, c, in, dealerOpt)
+	}
+}
+
+// runSubstrateSession evaluates c with n parties over per-node OT
+// substrates (the deployment configuration), returning the opened bits and
+// the substrates for handshake-count inspection.
+func runSubstrateSession(t testing.TB, n int, c *circuit.Circuit, inputs []uint8, sessions int) ([]uint8, []*ot.Substrate) {
+	t.Helper()
+	net := network.New()
+	parties := make([]network.NodeID, n)
+	subs := make([]*ot.Substrate, n)
+	for i := range parties {
+		parties[i] = network.NodeID(i + 1)
+		subs[i] = ot.NewSubstrate(group.ModP256(), net.Endpoint(parties[i]))
+	}
+	shares := make([][]uint8, n)
+	for i := range shares {
+		shares[i] = make([]uint8, len(inputs))
+	}
+	for b, v := range inputs {
+		sh := secretshare.SplitXOR(uint64(v), n, 1)
+		for i := range sh {
+			shares[i][b] = uint8(sh[i])
+		}
+	}
+	var out []uint8
+	for s := 0; s < sessions; s++ {
+		results := make([][]uint8, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p, err := NewParty(context.Background(), Config{
+					Parties: parties, Index: i, Transport: net.Endpoint(parties[i]),
+					Tag: network.Tag("sess", s), OT: SubstrateOT{Sub: subs[i]},
+				})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				outShares, err := p.Evaluate(context.Background(), c, shares[i])
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				results[i], errs[i] = p.Open(context.Background(), outShares)
+			}()
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("session %d party %d: %v", s, i, err)
+			}
+		}
+		for i := 1; i < n; i++ {
+			for b := range results[0] {
+				if results[i][b] != results[0][b] {
+					t.Fatalf("session %d: parties 0 and %d disagree on bit %d", s, i, b)
+				}
+			}
+		}
+		out = results[0]
+	}
+	return out, subs
+}
+
+func TestSubstrateSession(t *testing.T) {
+	// Full substrate path (real base OTs, PRF-derived session streams) with
+	// 3 parties on a deep circuit.
+	b := circuit.NewBuilder()
+	x := b.InputWord(8)
+	y := b.InputWord(8)
+	b.OutputWord(b.Mul(x, y))
+	c := b.Build()
+	in := append(circuit.EncodeWord(9, 8), circuit.EncodeWord(11, 8)...)
+	got, _ := runSubstrateSession(t, 3, c, in, 1)
+	if v := circuit.DecodeWordU(got); v != 99 {
+		t.Errorf("9*11 = %d", v)
+	}
+}
+
+func TestSubstrateHandshakeCountAcrossSessions(t *testing.T) {
+	// The regression this PR exists to prevent: standing up S sessions over
+	// the same party set must run exactly one base-OT handshake per ordered
+	// pair, not S of them.
+	b := circuit.NewBuilder()
+	x := b.Input()
+	y := b.Input()
+	b.Output(b.And(x, y))
+	c := b.Build()
+	const n, sessions = 3, 4
+	_, subs := runSubstrateSession(t, n, c, []uint8{1, 1}, sessions)
+	var total int64
+	for i, s := range subs {
+		if h := s.Handshakes(); h != int64(n-1) {
+			t.Errorf("node %d: %d handshakes across %d sessions, want %d", i, h, sessions, n-1)
+		}
+		total += s.Handshakes()
+	}
+	if want := int64(n * (n - 1)); total != want {
+		t.Errorf("deployment ran %d handshakes, want %d (= ordered pairs)", total, want)
+	}
+}
+
+// randomCircuit builds a random mixed XOR/AND circuit over nIn inputs with
+// nGates gates wired to earlier wires, every wire exported, so the packed
+// evaluator's gather/scatter paths see arbitrary topologies.
+func randomCircuit(rng *mrand.Rand, nIn, nGates int) *circuit.Circuit {
+	b := circuit.NewBuilder()
+	wires := []circuit.Wire{b.Zero(), b.One()}
+	for i := 0; i < nIn; i++ {
+		wires = append(wires, b.Input())
+	}
+	for g := 0; g < nGates; g++ {
+		a := wires[rng.Intn(len(wires))]
+		w := wires[rng.Intn(len(wires))]
+		var out circuit.Wire
+		if rng.Intn(2) == 0 {
+			out = b.Xor(a, w)
+		} else {
+			out = b.And(a, w)
+		}
+		wires = append(wires, out)
+	}
+	// Export a spread of wires, always including the last.
+	for i := 2; i < len(wires); i += 3 {
+		b.Output(wires[i])
+	}
+	b.Output(wires[len(wires)-1])
+	return b.Build()
+}
+
+func TestPackedEvaluateEquivalence(t *testing.T) {
+	// Equivalence pin: the packed word-level Evaluate must agree with the
+	// bit-at-a-time reference semantics (circuit.Eval) on random circuits
+	// and random inputs, across party counts.
+	rng := mrand.New(mrand.NewSource(7))
+	for trial := 0; trial < 6; trial++ {
+		nIn := 3 + rng.Intn(12)
+		c := randomCircuit(rng, nIn, 20+rng.Intn(120))
+		in := make([]uint8, nIn)
+		for i := range in {
+			in[i] = uint8(rng.Intn(2))
+		}
+		want, err := c.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 2 + trial%3
+		got := runSession(t, n, c, in, dealerOpt)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (%d parties, %d gates): output bit %d = %d, reference %d",
+					trial, n, len(c.Gates), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func BenchmarkEvaluateMul16Dealer(b *testing.B) {
+	// Steady-state Evaluate cost over a standing session (per-iteration hot
+	// path): 16-bit multiplier, 3 parties, dealer OTs.
+	bld := circuit.NewBuilder()
+	x := bld.InputWord(16)
+	y := bld.InputWord(16)
+	bld.OutputWord(bld.Mul(x, y))
+	c := bld.Build()
+	const n = 3
+	net := network.New()
+	parties := []network.NodeID{1, 2, 3}
+	broker := ot.NewDealerBroker()
+	ps := make([]*Party, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ps[i], _ = NewParty(context.Background(), Config{
+				Parties: parties, Index: i, Transport: net.Endpoint(parties[i]),
+				Tag: "bench", OT: DealerOT{Broker: broker},
+			})
+		}()
+	}
+	wg.Wait()
+	in := make([]uint8, c.NumInputs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		var ewg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			i := i
+			ewg.Add(1)
+			go func() {
+				defer ewg.Done()
+				if _, err := ps[i].Evaluate(context.Background(), c, in); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		ewg.Wait()
+	}
+}
+
+func BenchmarkSubstrateSessionSetup(b *testing.B) {
+	// Deployment-open cost: S=4 sessions over one 3-party pair set. With
+	// the substrate the base-OT bootstrap is paid once per ordered pair,
+	// so adding sessions adds only PRF derivations.
+	bld := circuit.NewBuilder()
+	x := bld.Input()
+	y := bld.Input()
+	bld.Output(bld.And(x, y))
+	c := bld.Build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		runSubstrateSession(b, 3, c, []uint8{1, 1}, 4)
 	}
 }

@@ -7,14 +7,25 @@ import (
 
 // DealerBroker hands out the two halves of dealt random-OT streams for
 // ordered party pairs. It plays the trusted party's role in the offline
-// phase: each directed pair (sender i → receiver j) gets one correlated
-// stream, and each half is claimed exactly once by the party that owns it.
+// phase, mirroring the pairwise Substrate: each directed pair (sender i →
+// receiver j) holds one master seed for the whole deployment, and every
+// session derives its own independent stream from it with the same PRF the
+// substrate uses (seed = AES_master(SHA-256(tag)[:16])). One broker
+// therefore serves every session of a deployment — block, aggregation,
+// noise — with both halves of each (pair, session) stream consuming in
+// lockstep within that session only.
 //
 // The broker is safe for concurrent use; parties typically claim their
 // halves from separate goroutines during session setup.
 type DealerBroker struct {
-	mu    sync.Mutex
-	pairs map[[2]int]*brokerEntry
+	mu      sync.Mutex
+	masters map[[2]int][]byte
+	streams map[brokerKey]*brokerEntry
+}
+
+type brokerKey struct {
+	i, j int
+	tag  string
 }
 
 type brokerEntry struct {
@@ -24,29 +35,40 @@ type brokerEntry struct {
 
 // NewDealerBroker creates an empty broker.
 func NewDealerBroker() *DealerBroker {
-	return &DealerBroker{pairs: make(map[[2]int]*brokerEntry)}
+	return &DealerBroker{
+		masters: make(map[[2]int][]byte),
+		streams: make(map[brokerKey]*brokerEntry),
+	}
 }
 
-func (b *DealerBroker) entry(i, j int) *brokerEntry {
+func (b *DealerBroker) entry(i, j int, tag string) *brokerEntry {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	k := [2]int{i, j}
-	e, ok := b.pairs[k]
+	k := brokerKey{i, j, tag}
+	e, ok := b.streams[k]
 	if !ok {
-		var seed [SeedLen]byte
-		if _, err := rand.Read(seed[:]); err != nil {
-			panic(err)
+		pk := [2]int{i, j}
+		master, ok := b.masters[pk]
+		if !ok {
+			master = make([]byte, SeedLen)
+			if _, err := rand.Read(master); err != nil {
+				panic(err)
+			}
+			b.masters[pk] = master
 		}
+		var seed [SeedLen]byte
+		copy(seed[:], deriveSeed(master, derivePoint(tag)))
 		s, r := NewDealerPair(seed)
 		e = &brokerEntry{s: s, r: r}
-		b.pairs[k] = e
+		b.streams[k] = e
 	}
 	return e
 }
 
-// Sender returns the sender half of the stream for directed pair (i → j).
-func (b *DealerBroker) Sender(i, j int) *DealerSender { return b.entry(i, j).s }
-
-// Receiver returns the receiver half of the stream for directed pair
+// Sender returns the sender half of session tag's stream for directed pair
 // (i → j).
-func (b *DealerBroker) Receiver(i, j int) *DealerReceiver { return b.entry(i, j).r }
+func (b *DealerBroker) Sender(i, j int, tag string) *DealerSender { return b.entry(i, j, tag).s }
+
+// Receiver returns the receiver half of session tag's stream for directed
+// pair (i → j).
+func (b *DealerBroker) Receiver(i, j int, tag string) *DealerReceiver { return b.entry(i, j, tag).r }

@@ -31,12 +31,18 @@ import (
 //
 // Since q_i = t_i ⊕ ρ_i·s, the receiver's pad equals w0 when ρ_i = 0 and w1
 // when ρ_i = 1, which is exactly a random OT.
+//
+// The base-OT bootstrap is factored out: NewIKNPSender/NewIKNPReceiver run
+// it themselves (one public-key handshake per construction), while the
+// pairwise Substrate runs it once per node pair and hands per-session
+// PRF-derived seeds to newIKNPSenderFromSeeds/newIKNPReceiverFromSeeds.
 
 // Lambda is the IKNP security parameter (number of base OTs).
 const Lambda = 128
 
 // extChunk is the minimum extension batch, in OT instances; small requests
-// are rounded up and buffered.
+// are rounded up and buffered. Must stay a multiple of 64 (the packed data
+// plane appends whole words).
 const extChunk = 2048
 
 // hashKey is the fixed AES key of the correlation-robust hash. Any fixed
@@ -83,15 +89,41 @@ func (p *prg) next(n int) []byte {
 	return out
 }
 
-// transpose converts λ columns of mBytes each into m rows of λ/8 bytes.
-func transpose(cols [][]byte, m int) []byte {
-	rows := make([]byte, m*Lambda/8)
-	for j := 0; j < Lambda; j++ {
-		col := cols[j]
-		for i := 0; i < m; i++ {
-			if (col[i/8]>>(i%8))&1 == 1 {
-				rows[i*(Lambda/8)+j/8] |= 1 << (j % 8)
-			}
+// transpose8x8 transposes an 8×8 bit matrix packed row-major into a uint64
+// (byte r = row r, bit c of that byte = column c) with the classic
+// mask-and-shift network.
+func transpose8x8(x uint64) uint64 {
+	t := (x ^ (x >> 7)) & 0x00AA00AA00AA00AA
+	x = x ^ t ^ (t << 7)
+	t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCC
+	x = x ^ t ^ (t << 14)
+	t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0
+	x = x ^ t ^ (t << 28)
+	return x
+}
+
+// transposePacked converts λ columns of m/8 bytes each into m rows of λ/8
+// bytes, processing 8×8 bit blocks at a time (m must be a multiple of 8).
+func transposePacked(cols [][]byte, m int) []byte {
+	const rowBytes = Lambda / 8
+	rows := make([]byte, m*rowBytes)
+	mBytes := m / 8
+	for j0 := 0; j0 < Lambda; j0 += 8 {
+		c := cols[j0 : j0+8]
+		for bi := 0; bi < mBytes; bi++ {
+			x := uint64(c[0][bi]) | uint64(c[1][bi])<<8 | uint64(c[2][bi])<<16 |
+				uint64(c[3][bi])<<24 | uint64(c[4][bi])<<32 | uint64(c[5][bi])<<40 |
+				uint64(c[6][bi])<<48 | uint64(c[7][bi])<<56
+			x = transpose8x8(x)
+			base := bi*8*rowBytes + j0/8
+			rows[base] = byte(x)
+			rows[base+rowBytes] = byte(x >> 8)
+			rows[base+2*rowBytes] = byte(x >> 16)
+			rows[base+3*rowBytes] = byte(x >> 24)
+			rows[base+4*rowBytes] = byte(x >> 32)
+			rows[base+5*rowBytes] = byte(x >> 40)
+			rows[base+6*rowBytes] = byte(x >> 48)
+			rows[base+7*rowBytes] = byte(x >> 56)
 		}
 	}
 	return rows
@@ -104,50 +136,64 @@ func transpose(cols [][]byte, m int) []byte {
 // IKNPSender produces random pads (w0, w1); it is the *receiver* of the
 // base OTs.
 type IKNPSender struct {
-	ep    network.Transport
-	peer  network.NodeID
-	tag   string
-	s     []uint8 // λ base-OT choice bits
-	prgs  []*prg  // PRG(k_{s_j})
-	crh   cipher.Block
-	chunk int
-	ctr   uint64
+	ep      network.Transport
+	peer    network.NodeID
+	tag     string
+	sPacked [Lambda / 8]byte // λ base-OT choice bits, packed
+	prgs    []*prg           // PRG(k_{s_j})
+	crh     cipher.Block
+	chunk   int
+	ctr     uint64
 
-	buf0, buf1 []uint8 // unpacked buffered pads
+	buf0, buf1 bitbuf // buffered pads, packed
 }
 
-// NewIKNPSender bootstraps the extension as the pad-producing side. It
-// blocks until the peer runs NewIKNPReceiver with the same tag.
+// newIKNPSenderFromSeeds builds the extension over already-established base
+// material: sPacked are the λ choice bits, seeds[j] = k_{s_j}.
+func newIKNPSenderFromSeeds(ep network.Transport, peer network.NodeID, tag string, sPacked []byte, seeds [][]byte) *IKNPSender {
+	s := &IKNPSender{ep: ep, peer: peer, tag: tag, crh: newCRH(), chunk: extChunk}
+	copy(s.sPacked[:], sPacked)
+	s.prgs = make([]*prg, Lambda)
+	for j := range s.prgs {
+		s.prgs[j] = newPRG(seeds[j])
+	}
+	return s
+}
+
+// NewIKNPSender bootstraps the extension as the pad-producing side, running
+// its own base-OT handshake. It blocks until the peer runs NewIKNPReceiver
+// with the same tag.
 func NewIKNPSender(ctx context.Context, g group.Group, ep network.Transport, peer network.NodeID, tag string) (*IKNPSender, error) {
-	s := make([]uint8, Lambda)
 	var sb [Lambda / 8]byte
 	if _, err := rand.Read(sb[:]); err != nil {
 		return nil, fmt.Errorf("ot: drawing IKNP correlation vector: %w", err)
 	}
-	copy(s, UnpackBits(sb[:], Lambda))
-	seeds, err := BaseOTReceive(ctx, g, ep, peer, network.Tag(tag, "base"), s)
+	seeds, err := BaseOTReceive(ctx, g, ep, peer, network.Tag(tag, "base"), UnpackBits(sb[:], Lambda))
 	if err != nil {
 		return nil, fmt.Errorf("ot: IKNP base phase: %w", err)
 	}
-	prgs := make([]*prg, Lambda)
-	for j := range prgs {
-		prgs[j] = newPRG(seeds[j])
-	}
-	return &IKNPSender{ep: ep, peer: peer, tag: tag, s: s, prgs: prgs, crh: newCRH(), chunk: extChunk}, nil
+	return newIKNPSenderFromSeeds(ep, peer, tag, sb[:], seeds), nil
 }
 
-// RandomPads implements RandomOTSender; returned slices are bit-packed.
-func (s *IKNPSender) RandomPads(ctx context.Context, n int) ([]uint8, []uint8, error) {
-	for len(s.buf0) < n {
+// RandomPadWords implements RandomOTSender: n random pad pairs as packed
+// words with zeroed tails.
+func (s *IKNPSender) RandomPadWords(ctx context.Context, n int) ([]uint64, []uint64, error) {
+	for s.buf0.len() < n {
 		if err := s.extend(ctx); err != nil {
 			return nil, nil, err
 		}
 	}
-	w0 := PackBits(s.buf0[:n])
-	w1 := PackBits(s.buf1[:n])
-	s.buf0 = s.buf0[n:]
-	s.buf1 = s.buf1[n:]
-	return w0, w1, nil
+	return s.buf0.pop(n), s.buf1.pop(n), nil
+}
+
+// RandomPads implements RandomOTSender; returned slices are bit-packed
+// bytes (legacy layout).
+func (s *IKNPSender) RandomPads(ctx context.Context, n int) ([]uint8, []uint8, error) {
+	w0, w1, err := s.RandomPadWords(ctx, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return WordsToBytes(w0, n), WordsToBytes(w1, n), nil
 }
 
 func (s *IKNPSender) extend(ctx context.Context) error {
@@ -163,7 +209,7 @@ func (s *IKNPSender) extend(ctx context.Context) error {
 	cols := make([][]byte, Lambda)
 	for j := 0; j < Lambda; j++ {
 		q := s.prgs[j].next(mBytes)
-		if s.s[j] == 1 {
+		if (s.sPacked[j/8]>>(j%8))&1 == 1 {
 			u := blob[j*mBytes : (j+1)*mBytes]
 			for i := range q {
 				q[i] ^= u[i]
@@ -171,18 +217,21 @@ func (s *IKNPSender) extend(ctx context.Context) error {
 		}
 		cols[j] = q
 	}
-	rows := transpose(cols, m)
-	sPacked := PackBits(s.s)
-	row1 := make([]byte, Lambda/8)
+	rows := transposePacked(cols, m)
+	chunk0 := make([]uint64, m/64)
+	chunk1 := make([]uint64, m/64)
+	var row1 [Lambda / 8]byte
 	for i := 0; i < m; i++ {
 		row := rows[i*(Lambda/8) : (i+1)*(Lambda/8)]
 		for k := range row1 {
-			row1[k] = row[k] ^ sPacked[k]
+			row1[k] = row[k] ^ s.sPacked[k]
 		}
 		idx := s.ctr + uint64(i)
-		s.buf0 = append(s.buf0, crhBit(s.crh, idx, row))
-		s.buf1 = append(s.buf1, crhBit(s.crh, idx, row1))
+		chunk0[i>>6] |= uint64(crhBit(s.crh, idx, row)) << (uint(i) & 63)
+		chunk1[i>>6] |= uint64(crhBit(s.crh, idx, row1[:])) << (uint(i) & 63)
 	}
+	s.buf0.push(chunk0, m)
+	s.buf1.push(chunk1, m)
 	s.ctr += uint64(m)
 	return nil
 }
@@ -203,36 +252,51 @@ type IKNPReceiver struct {
 	chunk int
 	ctr   uint64
 
-	bufRho, bufW []uint8
+	bufRho, bufW bitbuf
 }
 
-// NewIKNPReceiver bootstraps the extension as the choice-consuming side.
+// newIKNPReceiverFromSeeds builds the extension over already-established
+// base material: the λ seed pairs (k0_j, k1_j).
+func newIKNPReceiverFromSeeds(ep network.Transport, peer network.NodeID, tag string, k0, k1 [][]byte) *IKNPReceiver {
+	r := &IKNPReceiver{ep: ep, peer: peer, tag: tag, crh: newCRH(), chunk: extChunk}
+	r.prg0s = make([]*prg, Lambda)
+	r.prg1s = make([]*prg, Lambda)
+	for j := 0; j < Lambda; j++ {
+		r.prg0s[j] = newPRG(k0[j])
+		r.prg1s[j] = newPRG(k1[j])
+	}
+	return r
+}
+
+// NewIKNPReceiver bootstraps the extension as the choice-consuming side,
+// running its own base-OT handshake.
 func NewIKNPReceiver(ctx context.Context, g group.Group, ep network.Transport, peer network.NodeID, tag string) (*IKNPReceiver, error) {
 	k0, k1, err := BaseOTSend(ctx, g, ep, peer, network.Tag(tag, "base"), Lambda)
 	if err != nil {
 		return nil, fmt.Errorf("ot: IKNP base phase: %w", err)
 	}
-	p0 := make([]*prg, Lambda)
-	p1 := make([]*prg, Lambda)
-	for j := 0; j < Lambda; j++ {
-		p0[j] = newPRG(k0[j])
-		p1[j] = newPRG(k1[j])
-	}
-	return &IKNPReceiver{ep: ep, peer: peer, tag: tag, prg0s: p0, prg1s: p1, crh: newCRH(), chunk: extChunk}, nil
+	return newIKNPReceiverFromSeeds(ep, peer, tag, k0, k1), nil
 }
 
-// RandomChoices implements RandomOTReceiver; returned slices are bit-packed.
-func (r *IKNPReceiver) RandomChoices(ctx context.Context, n int) ([]uint8, []uint8, error) {
-	for len(r.bufRho) < n {
+// RandomChoiceWords implements RandomOTReceiver: n random choices and their
+// pads as packed words with zeroed tails.
+func (r *IKNPReceiver) RandomChoiceWords(ctx context.Context, n int) ([]uint64, []uint64, error) {
+	for r.bufRho.len() < n {
 		if err := r.extend(ctx); err != nil {
 			return nil, nil, err
 		}
 	}
-	rho := PackBits(r.bufRho[:n])
-	w := PackBits(r.bufW[:n])
-	r.bufRho = r.bufRho[n:]
-	r.bufW = r.bufW[n:]
-	return rho, w, nil
+	return r.bufRho.pop(n), r.bufW.pop(n), nil
+}
+
+// RandomChoices implements RandomOTReceiver; returned slices are bit-packed
+// bytes (legacy layout).
+func (r *IKNPReceiver) RandomChoices(ctx context.Context, n int) ([]uint8, []uint8, error) {
+	rho, w, err := r.RandomChoiceWords(ctx, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return WordsToBytes(rho, n), WordsToBytes(w, n), nil
 }
 
 func (r *IKNPReceiver) extend(ctx context.Context) error {
@@ -256,13 +320,14 @@ func (r *IKNPReceiver) extend(ctx context.Context) error {
 	if err := r.ep.Send(r.peer, network.Tag(r.tag, "ext", r.ctr/uint64(m)), blob); err != nil {
 		return err
 	}
-	rows := transpose(cols, m)
-	rho := UnpackBits(rhoPacked, m)
+	rows := transposePacked(cols, m)
+	chunkW := make([]uint64, m/64)
 	for i := 0; i < m; i++ {
 		row := rows[i*(Lambda/8) : (i+1)*(Lambda/8)]
-		r.bufRho = append(r.bufRho, rho[i])
-		r.bufW = append(r.bufW, crhBit(r.crh, r.ctr+uint64(i), row))
+		chunkW[i>>6] |= uint64(crhBit(r.crh, r.ctr+uint64(i), row)) << (uint(i) & 63)
 	}
+	r.bufRho.push(BytesToWords(rhoPacked, m), m)
+	r.bufW.push(chunkW, m)
 	r.ctr += uint64(m)
 	return nil
 }

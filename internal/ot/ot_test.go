@@ -333,7 +333,7 @@ func TestTransposeRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	rows := transpose(cols, m)
+	rows := transposePacked(cols, m)
 	for j := 0; j < Lambda; j++ {
 		for i := 0; i < m; i++ {
 			cb := (cols[j][i/8] >> (i % 8)) & 1
@@ -381,5 +381,20 @@ func BenchmarkDealerRandomOTs(b *testing.B) {
 		if _, _, err := r.RandomChoices(context.Background(), 1024); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestPackedValidation(t *testing.T) {
+	ds, dr := NewRandomDealerPair()
+	net := network.New()
+	bs := NewBitSender(ds, net.Endpoint(1), 2, "pv")
+	br := NewBitReceiver(dr, net.Endpoint(2), 1, "pv")
+	// Short word vectors must error, not panic (65 bits need 2 words).
+	short := make([]uint64, 1)
+	if err := bs.SendPacked(context.Background(), short, short, 65); err == nil {
+		t.Error("short message vectors accepted")
+	}
+	if _, err := br.ReceivePacked(context.Background(), short, 65); err == nil {
+		t.Error("short choice vector accepted")
 	}
 }

@@ -77,6 +77,18 @@ type Report struct {
 	// Phase wall-clock durations. Noising happens inside the aggregation
 	// MPC, matching the paper's "Aggregation & noising" bar in Figure 5.
 	InitTime, ComputeTime, CommTime, AggTime time.Duration
+	// SetupTime is the one-time deployment-open cost: trusted-party setup,
+	// GMW session creation with the pairwise base-OT handshakes, circuit
+	// compilation. Simulated runs pay it in New (before the first query);
+	// cluster nodes pay it inside the first job's Init phase. It is the
+	// same for every query of a standing deployment.
+	SetupTime time.Duration
+	// BaseOTHandshakes counts the pairwise base-OT bootstraps the
+	// deployment has performed (summed over all simulated nodes; per node
+	// in cluster reports). With the OT substrate this equals the number of
+	// ordered node pairs sharing at least one session — independent of the
+	// block count. Dealer-provisioned runs report 0.
+	BaseOTHandshakes int64
 	// Phase traffic totals. Simulated runs fill these with bytes summed
 	// across all nodes (session bootstrap happens in New, before any phase
 	// is charged); cluster runs fill them with the one node's sent+received
@@ -116,6 +128,17 @@ type Runtime struct {
 	secrets map[network.NodeID]trustedparty.NodeSecrets
 
 	updCirc *circuit.Circuit
+
+	// broker is the deployment-wide dealer broker (OTDealer): one per
+	// runtime, with every GMW session drawing its own tag-derived stream.
+	broker *ot.DealerBroker
+	// substrates holds each simulated node's pairwise OT substrate
+	// (OTIKNP): the base-OT handshake runs once per ordered node pair per
+	// deployment, regardless of how many block sessions the pair shares.
+	subMu      sync.Mutex
+	substrates map[network.NodeID]*ot.Substrate
+	// setupTime is the one-time deployment bootstrap cost measured in New.
+	setupTime time.Duration
 
 	// aggPlans caches the per-ε aggregation machinery: a standing runtime
 	// (Session) answers queries at different privacy budgets, and each
@@ -167,9 +190,14 @@ func New(cfg Config, prog *Program, g *Graph) (*Runtime, error) {
 		return nil, fmt.Errorf("vertex: need at least K+1 = %d vertices, got %d", cfg.K+1, g.N())
 	}
 
+	setupStart := time.Now()
 	r := &Runtime{
 		cfg: cfg, prog: prog, graph: g, net: network.New(),
-		certCache: transfer.NewCertKeyCache(),
+		certCache:  transfer.NewCertKeyCache(),
+		substrates: make(map[network.NodeID]*ot.Substrate),
+	}
+	if cfg.OTMode == OTDealer {
+		r.broker = ot.NewDealerBroker()
 	}
 
 	var err error
@@ -211,6 +239,7 @@ func New(cfg Config, prog *Program, g *Graph) (*Runtime, error) {
 	if err := r.createSessions(); err != nil {
 		return nil, err
 	}
+	r.setupTime = time.Since(setupStart)
 
 	// Initial share state: everything starts as shares of ⊥ / init values;
 	// the init phase of Run distributes them (and charges traffic).
@@ -231,14 +260,19 @@ func (r *Runtime) createSessions() error {
 	mkSession := func(members []network.NodeID, tag string) ([]*gmw.Party, error) {
 		parties := make([]*gmw.Party, len(members))
 		errs := make([]error, len(members))
-		var opt gmw.OTOption
-		switch r.cfg.OTMode {
-		case OTDealer:
-			opt = gmw.DealerOT{Broker: ot.NewDealerBroker()}
-		case OTIKNP:
-			opt = gmw.IKNPOT{Group: r.cfg.Group}
-		default:
-			return nil, fmt.Errorf("vertex: unknown OT mode %d", r.cfg.OTMode)
+		// Each member attaches with its own node-scoped OT provisioning:
+		// the shared deployment broker (dealer) or the node's pairwise
+		// substrate (IKNP), so session creation never re-runs a base-OT
+		// bootstrap a pair has already paid for.
+		opt := func(id network.NodeID) (gmw.OTOption, error) {
+			switch r.cfg.OTMode {
+			case OTDealer:
+				return gmw.DealerOT{Broker: r.broker}, nil
+			case OTIKNP:
+				return gmw.SubstrateOT{Sub: r.substrate(id)}, nil
+			default:
+				return nil, fmt.Errorf("vertex: unknown OT mode %d", r.cfg.OTMode)
+			}
 		}
 		var wg sync.WaitGroup
 		for i := range members {
@@ -246,10 +280,15 @@ func (r *Runtime) createSessions() error {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				o, err := opt(members[i])
+				if err != nil {
+					errs[i] = err
+					return
+				}
 				// All members run in-process, so the handshake cannot block
 				// on an absent peer; Background is safe here.
 				parties[i], errs[i] = gmw.NewParty(context.Background(), gmw.Config{
-					Parties: members, Index: i, Transport: r.net.Endpoint(members[i]), Tag: tag, OT: opt,
+					Parties: members, Index: i, Transport: r.net.Endpoint(members[i]), Tag: tag, OT: o,
 				})
 			}()
 		}
@@ -276,6 +315,33 @@ func (r *Runtime) createSessions() error {
 	}
 	r.aggSession = agg
 	return nil
+}
+
+// substrate returns (creating on first use) node id's pairwise OT
+// substrate. One substrate per simulated node, shared by every session the
+// node is a member of.
+func (r *Runtime) substrate(id network.NodeID) *ot.Substrate {
+	r.subMu.Lock()
+	defer r.subMu.Unlock()
+	s, ok := r.substrates[id]
+	if !ok {
+		s = ot.NewSubstrate(r.cfg.Group, r.net.Endpoint(id))
+		r.substrates[id] = s
+	}
+	return s
+}
+
+// BaseOTHandshakes returns the deployment-wide count of pairwise base-OT
+// bootstraps, summed over all simulated nodes: one per ordered node pair
+// that shares at least one GMW session, independent of the block count.
+func (r *Runtime) BaseOTHandshakes() int64 {
+	r.subMu.Lock()
+	defer r.subMu.Unlock()
+	var total int64
+	for _, s := range r.substrates {
+		total += s.Handshakes()
+	}
+	return total
 }
 
 // aggPlan bundles the ε-dependent half of an execution: the noise spec and
@@ -329,9 +395,11 @@ func (r *Runtime) RunQuery(ctx context.Context, iterations int, epsilon float64)
 		return 0, nil, err
 	}
 	rep := &Report{
-		Iterations:     iterations,
-		UpdateAndGates: r.updCirc.NumAnd,
-		AggAndGates:    plan.circ.NumAnd,
+		Iterations:       iterations,
+		UpdateAndGates:   r.updCirc.NumAnd,
+		AggAndGates:      plan.circ.NumAnd,
+		SetupTime:        r.setupTime,
+		BaseOTHandshakes: r.BaseOTHandshakes(),
 	}
 	// All K+1 senders of an edge share this in-process cache, so each
 	// certificate key is used (K+1)·iterations times per query; uses

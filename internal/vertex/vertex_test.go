@@ -9,6 +9,7 @@ import (
 
 	"dstress/internal/circuit"
 	"dstress/internal/group"
+	"dstress/internal/network"
 )
 
 var tg = group.ModP256()
@@ -600,5 +601,74 @@ func TestSessionQueriesMatchReference(t *testing.T) {
 	bound := int64(spec.Trials) << spec.Shift
 	if diff := got - want; diff < -bound || diff > bound {
 		t.Errorf("noised query %d is beyond the structural bound ±%d of %d", got, bound, want)
+	}
+}
+
+func TestBaseOTHandshakesEqualNodePairs(t *testing.T) {
+	// Regression guard for the pairwise OT substrate: a deployment's base-OT
+	// handshake count must equal the number of ordered node pairs that share
+	// at least one GMW session — independent of how many block sessions each
+	// pair co-occurs in (the pre-substrate stack paid 2λ base OTs per pair
+	// *per session*).
+	p := sumProgram()
+	g := ringGraph(t, 6, p) // N=6, K=2 → 7 sessions (6 blocks + agg), heavy pair overlap
+	rt, err := New(Config{Group: tg, K: 2, Alpha: 0.5, OTMode: OTIKNP}, p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Expected: ordered pairs co-occurring in any block or the agg block.
+	type pair [2]int
+	coOccur := map[pair]bool{}
+	addBlock := func(members []network.NodeID) {
+		for _, a := range members {
+			for _, b := range members {
+				if a != b {
+					coOccur[pair{int(a), int(b)}] = true
+				}
+			}
+		}
+	}
+	sessions := 0
+	for _, members := range rt.setup.Assignment.Blocks {
+		addBlock(members)
+		sessions++
+	}
+	addBlock(rt.setup.Assignment.AggBlock)
+	sessions++
+
+	got := rt.BaseOTHandshakes()
+	if got != int64(len(coOccur)) {
+		t.Fatalf("deployment ran %d base-OT handshakes, want %d (= ordered co-occurring pairs, over %d sessions)",
+			got, len(coOccur), sessions)
+	}
+	// The point of the substrate: strictly fewer handshakes than the
+	// per-session bootstrap would have run (each session of k+1 members
+	// costs k(k+1) ordered-pair handshakes).
+	perSession := int64(sessions * 3 * 2) // K+1=3 members → 6 ordered pairs each
+	if got >= perSession {
+		t.Errorf("handshakes %d not below per-session cost %d; substrate not shared", got, perSession)
+	}
+
+	// The deployment still computes correctly, and a second query reuses
+	// the substrate without new handshakes.
+	want, err := RunReference(p, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 2; q++ {
+		res, rep, err := rt.Run(context.Background(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != want {
+			t.Errorf("query %d: got %d, want %d", q, res, want)
+		}
+		if rep.BaseOTHandshakes != got {
+			t.Errorf("query %d re-ran handshakes: %d vs %d", q, rep.BaseOTHandshakes, got)
+		}
+		if rep.SetupTime <= 0 {
+			t.Error("setup time not reported")
+		}
 	}
 }
