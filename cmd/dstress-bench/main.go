@@ -51,6 +51,9 @@ type jsonExperiment struct {
 	ElapsedMS        float64    `json:"elapsed_ms"`
 	SetupMS          float64    `json:"setup_ms,omitempty"`
 	BaseOTHandshakes int64      `json:"base_ot_handshakes,omitempty"`
+	// Phases carries structured per-phase times and bytes for the
+	// experiment's end-to-end runs (E6/E7), one entry per run.
+	Phases []experiments.PhaseBreakdown `json:"phases,omitempty"`
 }
 
 // jsonReport is the top-level -json document, with enough run metadata to
@@ -137,6 +140,7 @@ func main() {
 			ElapsedMS:        float64(elapsed) / float64(time.Millisecond),
 			SetupMS:          t.SetupMS,
 			BaseOTHandshakes: t.BaseOTHandshakes,
+			Phases:           t.Phases,
 		})
 	}
 

@@ -21,11 +21,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
+	_ "net/http/pprof" // registered on the DefaultServeMux the -pprof server uses
 	"os"
 	"os/signal"
 	"sort"
 	"syscall"
+	"time"
 
 	"dstress/internal/cluster"
 	"dstress/internal/network"
@@ -53,8 +56,14 @@ func main() {
 		aggFanIn  = flag.Int("agg-fanin", 0, "aggregation-tree fan-in (0 = flat aggregation)")
 		seed      = flag.Int64("seed", 42, "synthetic network seed")
 		timeout   = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no deadline)")
+
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	setupLogging(*logLevel)
+	startPprof(*pprofAddr)
 
 	// Ctrl-C / SIGTERM cancels the root context: the node (or the whole
 	// coordinated run) aborts cleanly — blocked protocol receives unwind
@@ -67,18 +76,18 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	fatal := func(format string, args ...any) {
-		msg := fmt.Sprintf(format, args...)
+	fatal := func(msg string, args ...any) {
 		if errors.Is(ctx.Err(), context.Canceled) {
-			msg += " (interrupted: shut down cleanly)"
+			args = append(args, "interrupted", true)
 		}
-		log.Fatal(msg)
+		slog.Error(msg, args...)
+		os.Exit(1)
 	}
 
 	switch *mode {
 	case "node":
 		if *id < 1 {
-			log.Fatal("node mode needs -id ≥ 1")
+			fatal("node mode needs -id ≥ 1")
 		}
 		res, err := cluster.RunNode(ctx, cluster.NodeOptions{
 			ID:            network.NodeID(*id),
@@ -87,10 +96,11 @@ func main() {
 			AdvertiseAddr: *advertise,
 		})
 		if err != nil {
-			fatal("node %d: %v", *id, err)
+			fatal("node failed", "node", *id, "err", err)
 		}
-		fmt.Fprintf(os.Stderr, "node %d done: sent %d bytes in %d msgs, total time %v\n",
-			*id, res.Stats.BytesSent, res.Stats.MessagesSent, res.Report.TotalTime().Round(1e6))
+		slog.Info("node done", "node", *id,
+			"bytes_sent", res.Stats.BytesSent, "msgs_sent", res.Stats.MessagesSent,
+			"total_ms", res.Report.TotalTime().Milliseconds())
 		if res.HasResult {
 			fmt.Printf("node %d (aggregation member) released aggregate: %d\n", *id, res.Result)
 		}
@@ -102,17 +112,18 @@ func main() {
 			Group: *groupName, Seed: *seed, AggFanIn: *aggFanIn,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal("building scenario", "err", err)
 		}
 		co, err := cluster.NewCoordinator(*listen, sc)
 		if err != nil {
-			log.Fatal(err)
+			fatal("starting coordinator", "err", err)
 		}
-		fmt.Fprintf(os.Stderr, "coordinator on %s: waiting for %d nodes (%s, N=%d D=%d k=%d I=%d ε=%v α=%v)\n",
-			co.Addr(), sc.Graph.N(), *model, *n, *d, *k, sc.Iterations, *epsilon, *alpha)
+		slog.Info("coordinator waiting for nodes", "addr", co.Addr(), "nodes", sc.Graph.N(),
+			"model", *model, "n", *n, "d", *d, "k", *k, "iterations", sc.Iterations,
+			"epsilon", *epsilon, "alpha", *alpha)
 		sum, err := co.Run(ctx)
 		if err != nil {
-			fatal("coordinator: %v", err)
+			fatal("coordinator run failed", "err", err)
 		}
 		fmt.Printf("exact TDS (trusted baseline): $%.2fM\n", exactTDS/1e6)
 		fmt.Printf("released TDS (ε=%v):          $%.2fM\n", *epsilon, cluster.DecodeDollars(sc, sum.Result)/1e6)
@@ -132,8 +143,61 @@ func main() {
 				nodeID, rep.InitTime.Round(1e6), rep.ComputeTime.Round(1e6),
 				rep.CommTime.Round(1e6), rep.AggTime.Round(1e6), st.BytesSent)
 		}
+		printStragglers(sum, ids)
 
 	default:
-		log.Fatalf("unknown -mode %q (want node or coordinator)", *mode)
+		fatal("unknown -mode (want node or coordinator)", "mode", *mode)
 	}
+}
+
+// printStragglers names the slowest node per phase: every phase barriers on
+// the protocol's own communication, so the folded phase times above are
+// exactly these nodes' wall times.
+func printStragglers(sum *cluster.Summary, ids []int) {
+	phases := []struct {
+		name string
+		get  func(network.NodeID) time.Duration
+	}{
+		{"init", func(id network.NodeID) time.Duration { return sum.Reports[id].InitTime }},
+		{"compute", func(id network.NodeID) time.Duration { return sum.Reports[id].ComputeTime }},
+		{"transfer", func(id network.NodeID) time.Duration { return sum.Reports[id].CommTime }},
+		{"agg+noise", func(id network.NodeID) time.Duration { return sum.Reports[id].AggTime }},
+	}
+	fmt.Printf("\nslowest node per phase:")
+	for _, ph := range phases {
+		var worst int
+		var worstT time.Duration
+		for _, nodeID := range ids {
+			if t := ph.get(network.NodeID(nodeID)); t > worstT {
+				worstT, worst = t, nodeID
+			}
+		}
+		fmt.Printf(" %s=%d (%v)", ph.name, worst, worstT.Round(1e6))
+	}
+	fmt.Println()
+}
+
+// setupLogging installs a text slog handler at the requested level as the
+// process-wide default (internal/cluster logs through slog too).
+func setupLogging(level string) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		fmt.Fprintf(os.Stderr, "invalid -log-level %q (want debug, info, warn, or error)\n", level)
+		os.Exit(2)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+}
+
+// startPprof serves net/http/pprof on its own listener when addr is set —
+// opt-in, and never on the protocol or API ports.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		slog.Info("pprof listening", "addr", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			slog.Error("pprof server failed", "err", err)
+		}
+	}()
 }

@@ -8,6 +8,12 @@
 //	dstress-run -model egj -n 16 -group p256 -ot iknp
 //	dstress-run -model en -n 8 -transport tcp -timeout 2m
 //	dstress-run -model en -n 32 -aggfanin 8
+//	dstress-run -model en -n 8 -transport tcp -trace trace.json
+//
+// -trace writes a Chrome trace-event file of the run (load it in Perfetto
+// or chrome://tracing): per-iteration compute/communicate spans, per-block
+// GMW spans, transfer and aggregation spans — on tcp, one process row per
+// node, straight from each daemon's own span table.
 //
 // -transport selects the execution backend behind the same dstress.Engine
 // API: sim (default) executes every node's role in this process against
@@ -32,6 +38,7 @@ import (
 
 	"dstress"
 	"dstress/internal/group"
+	"dstress/internal/obs"
 )
 
 func main() {
@@ -51,6 +58,7 @@ func main() {
 		seed      = flag.Int64("seed", 42, "synthetic network seed")
 		transport = flag.String("transport", "sim", "execution transport: sim (in-process hub) or tcp (loopback cluster of real daemons)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (Perfetto-loadable)")
 	)
 	flag.Parse()
 
@@ -146,6 +154,14 @@ func main() {
 	fmt.Fprintf(os.Stderr, "running %s on %s: N=%d D=%d k=%d I=%d group=%s ε=%v α=%v aggfanin=%d\n",
 		*model, *transport, *n, *d, *k, *iters, g.Name(), *epsilon, *alpha, *aggFanIn)
 
+	// -trace arms the observability plumbing: the driver's spans (sim) or
+	// the nodes' shipped span tables (tcp) accumulate on this trace.
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace(0)
+		ctx = obs.With(ctx, tr)
+	}
+
 	res, err := eng.Run(ctx, dstress.Job{
 		Spec: &spec, Graph: graph, Iterations: *iters, Epsilon: *epsilon,
 		Decode: cfg.Decode,
@@ -161,6 +177,21 @@ func main() {
 	fmt.Printf("released TDS (ε=%v):          $%.2fM\n", *epsilon, res.Value/1e6)
 	fmt.Println()
 	printReport(res.Report)
+
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s (load in Perfetto or chrome://tracing)\n",
+			len(tr.Spans()), *traceOut)
+	}
 }
 
 // printReport renders the unified report — the same table regardless of
@@ -177,4 +208,20 @@ func printReport(rep *dstress.Report) {
 	fmt.Printf("\nupdate circuit: %d AND gates; aggregate: %d AND gates\n", rep.UpdateAndGates, rep.AggAndGates)
 	fmt.Printf("traffic per node: avg %.1f KB, max %.1f KB\n",
 		rep.AvgNodeBytes/1024, float64(rep.MaxNodeBytes)/1024)
+
+	// Cluster runs carry the per-node table behind the folded numbers:
+	// print it, and name the straggler whose wall time each phase shows.
+	if len(rep.NodePhases) > 0 {
+		fmt.Printf("\nnode   init          compute       transfer      agg+noise\n")
+		for _, np := range rep.NodePhases {
+			fmt.Printf("%-5d  %-12v  %-12v  %-12v  %-12v\n",
+				np.Node, round(np.InitTime), round(np.ComputeTime),
+				round(np.CommTime), round(np.AggTime))
+		}
+		fmt.Printf("\nslowest node per phase:")
+		for _, l := range rep.SlowestNodes() {
+			fmt.Printf(" %s=%d (%v)", l.Phase, l.Node, round(l.Time))
+		}
+		fmt.Println()
+	}
 }

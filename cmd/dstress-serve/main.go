@@ -22,9 +22,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
+	_ "net/http/pprof" // registered on the DefaultServeMux the -pprof server uses
 	"os"
 	"os/signal"
 	"syscall"
@@ -59,8 +60,30 @@ func main() {
 		aggFanIn  = flag.Int("aggfanin", 0, "aggregation-tree fan-in (0 = flat aggregation)")
 		seed      = flag.Int64("seed", 42, "synthetic network seed")
 		transport = flag.String("transport", "sim", "deployment backend per pool member: sim or tcp (loopback cluster)")
+
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off — kept off the API port)")
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "invalid -log-level %q (want debug, info, warn, or error)\n", *logLevel)
+		os.Exit(2)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+	fatal := func(msg string, args ...any) {
+		slog.Error(msg, args...)
+		os.Exit(1)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			slog.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				slog.Error("pprof server failed", "err", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -71,11 +94,11 @@ func main() {
 		Group: *groupName, Seed: *seed, AggFanIn: *aggFanIn,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("building scenario", "err", err)
 	}
 	g, err := group.ByName(sc.Cfg.Group)
 	if err != nil {
-		log.Fatal(err)
+		fatal("resolving group", "err", err)
 	}
 	job := dstress.Job{
 		Spec: &sc.Prog, Graph: sc.Graph, Iterations: sc.Iterations, Epsilon: *epsilon,
@@ -91,11 +114,12 @@ func main() {
 	case "tcp":
 		eng = dstress.NewClusterEngine(econf)
 	default:
-		log.Fatalf("unknown -transport %q (want sim or tcp)", *transport)
+		fatal("unknown -transport (want sim or tcp)", "transport", *transport)
 	}
 
-	log.Printf("warming %d/%d %s deployment(s): %s N=%d D=%d k=%d I=%d group=%s α=%v (exact TDS baseline $%.2fM)",
-		*warm, *pool, *transport, *model, *n, *d, *k, sc.Iterations, g.Name(), *alpha, exactTDS/1e6)
+	slog.Info("warming deployments", "warm", *warm, "pool", *pool, "transport", *transport,
+		"model", *model, "n", *n, "d", *d, "k", *k, "iterations", sc.Iterations,
+		"group", g.Name(), "alpha", *alpha, "exact_tds_musd", exactTDS/1e6)
 	svc, err := serve.New(ctx, serve.Config{
 		Open: func(ctx context.Context) (serve.QueryRunner, error) {
 			return eng.Open(ctx, job, 0) // tenant budgets are enforced by the service ledger
@@ -104,37 +128,37 @@ func main() {
 		DefaultBudget:     *tenantBudget,
 		DefaultIterations: sc.Iterations,
 		DefaultEpsilon:    *epsilon,
+		Logf:              func(format string, args ...any) { slog.Info(fmt.Sprintf(format, args...)) },
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("starting service", "err", err)
 	}
 
 	srv := &http.Server{Addr: *listen, Handler: serve.NewHandler(svc)}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- srv.ListenAndServe() }()
-	log.Printf("serving on http://%s (pool cap %d, queue %d, tenant budget ε=%.4g)",
-		*listen, *pool, *queue, *tenantBudget)
+	slog.Info("serving", "addr", *listen, "pool_cap", *pool, "queue", *queue, "tenant_budget", *tenantBudget)
 
 	select {
 	case err := <-httpErr:
-		log.Fatalf("http server: %v", err)
+		fatal("http server failed", "err", err)
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills the process the default way
 
-	log.Printf("signal received: draining (new submissions refused; in-flight queries finishing, up to %v)", *drainTimeout)
+	slog.Info("draining", "reason", "signal", "timeout", *drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	shutdownErr := make(chan error, 1)
 	go func() { shutdownErr <- srv.Shutdown(drainCtx) }()
 	drainErr := svc.Drain(drainCtx)
 	if err := <-shutdownErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("http shutdown: %v", err)
+		slog.Warn("http shutdown", "err", err)
 	}
 	m := svc.Metrics()
-	log.Printf("drained: served %d, failed %d, refused %d, ε charged %.4g", m.Served, m.Failed, m.Refused, m.EpsilonCharged)
+	slog.Info("drained", "served", m.Served, "failed", m.Failed, "refused", m.Refused, "epsilon_charged", m.EpsilonCharged)
 	if drainErr != nil {
-		log.Fatalf("drain: %v", drainErr)
+		fatal("drain failed", "err", drainErr)
 	}
 	fmt.Fprintln(os.Stderr, "bye")
 }

@@ -3,9 +3,12 @@ package dstress
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"dstress/internal/cluster"
+	"dstress/internal/network"
+	"dstress/internal/obs"
 	"dstress/internal/vertex"
 )
 
@@ -111,6 +114,50 @@ type Report struct {
 	Iterations int
 	// UpdateAndGates and AggAndGates record circuit sizes (cost drivers).
 	UpdateAndGates, AggAndGates int
+	// NodePhases is the per-node phase table behind the folded numbers
+	// above — one row per participant, sorted by node id. Cluster runs
+	// only ("sim" executes every role on one process, so a per-node split
+	// of its wall time is not observable); nil in sim reports.
+	NodePhases []NodePhase
+}
+
+// NodePhase is one node's per-phase wall times and its sent+received
+// traffic, as reported by the node itself.
+type NodePhase struct {
+	Node                                         int
+	InitTime, ComputeTime, CommTime, AggTime     time.Duration
+	InitBytes, ComputeBytes, CommBytes, AggBytes int64
+}
+
+// PhaseLeader names the slowest node for one phase — the straggler whose
+// wall time the folded Report shows, since every phase barriers on the
+// protocol's own communication.
+type PhaseLeader struct {
+	Phase string
+	Node  int
+	Time  time.Duration
+}
+
+// SlowestNodes returns the straggler per phase (init, compute, communicate,
+// aggregate), in execution order. Empty when the report has no per-node
+// table (sim runs).
+func (r *Report) SlowestNodes() []PhaseLeader {
+	if len(r.NodePhases) == 0 {
+		return nil
+	}
+	leaders := []PhaseLeader{
+		{Phase: "init"}, {Phase: "compute"}, {Phase: "communicate"}, {Phase: "aggregate"},
+	}
+	for _, np := range r.NodePhases {
+		times := [4]time.Duration{np.InitTime, np.ComputeTime, np.CommTime, np.AggTime}
+		for i, t := range times {
+			if t > leaders[i].Time {
+				leaders[i].Time = t
+				leaders[i].Node = np.Node
+			}
+		}
+	}
+	return leaders
 }
 
 // TotalTime returns the summed phase durations.
@@ -344,6 +391,21 @@ func (b *clusterBackend) query(ctx context.Context, q QuerySpec) (int64, *Report
 	if err != nil {
 		return 0, nil, err
 	}
+	// If the caller is tracing, fold the nodes' span tables and protocol
+	// counters (shipped back on the control plane) into its trace. Span
+	// offsets stay node-relative — node clocks are not synchronized, and
+	// the Chrome export keys lanes by span.Node anyway.
+	if tr := obs.From(ctx); tr != nil {
+		ids := make([]int, 0, len(sum.Spans))
+		for id := range sum.Spans {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			tr.AddSpans(sum.Spans[network.NodeID(id)])
+			tr.AddCounters(sum.Counters[network.NodeID(id)])
+		}
+	}
 	return sum.Result, summaryReport(sum, b.nodes), nil
 }
 
@@ -385,5 +447,18 @@ func summaryReport(sum *cluster.Summary, nodes int) *Report {
 	out.InitBytes, out.ComputeBytes, out.CommBytes, out.AggBytes = initB/2, compB/2, commB/2, aggB/2
 	out.AvgNodeBytes = sum.AvgNodeBytes()
 	out.MaxNodeBytes = sum.MaxNodeBytes()
+	// Keep the raw per-node rows (sent+received, the node's own view) so
+	// callers can attribute the folded maxima to stragglers.
+	out.NodePhases = make([]NodePhase, 0, len(sum.Reports))
+	for id, rep := range sum.Reports {
+		out.NodePhases = append(out.NodePhases, NodePhase{
+			Node:     int(id),
+			InitTime: rep.InitTime, ComputeTime: rep.ComputeTime,
+			CommTime: rep.CommTime, AggTime: rep.AggTime,
+			InitBytes: rep.InitBytes, ComputeBytes: rep.ComputeBytes,
+			CommBytes: rep.CommBytes, AggBytes: rep.AggBytes,
+		})
+	}
+	sort.Slice(out.NodePhases, func(a, b int) bool { return out.NodePhases[a].Node < out.NodePhases[b].Node })
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -11,6 +12,7 @@ import (
 
 	"dstress/internal/group"
 	"dstress/internal/network"
+	"dstress/internal/obs"
 	"dstress/internal/trustedparty"
 	"dstress/internal/vertex"
 )
@@ -45,6 +47,12 @@ type Summary struct {
 	Reports map[network.NodeID]vertex.Report
 	// Stats holds each node's transport counters.
 	Stats map[network.NodeID]network.Stats
+	// Spans holds each node's span table (offsets relative to that node's
+	// own job start — node clocks are not synchronized) and Counters its
+	// protocol counters. Nodes always record; both ride the control plane
+	// after the query, so collecting them is free on the data-plane path.
+	Spans    map[network.NodeID][]obs.Span
+	Counters map[network.NodeID]map[string]int64
 	// WallTime is the coordinator-observed duration from job dispatch to
 	// the last node's report.
 	WallTime time.Duration
@@ -347,6 +355,7 @@ func (s *Session) Run(ctx context.Context, q Query) (*Summary, error) {
 	// query must not consume the one job that ships the setup.
 	first := s.jobsSent == 0
 	s.jobsSent++
+	seq := s.jobsSent
 	s.mu.Unlock()
 
 	g := s.c.sc.Graph
@@ -356,7 +365,7 @@ func (s *Session) Run(ctx context.Context, q Query) (*Summary, error) {
 
 	// On any failure below the session is unusable: release the fleet so
 	// every node fails fast instead of waiting on dead counterparties.
-	sum, err := s.runQuery(ctx, q, cfg, g, n, first)
+	sum, err := s.runQuery(ctx, q, cfg, g, n, first, seq)
 	if err != nil {
 		s.abort()
 		return nil, err
@@ -364,8 +373,9 @@ func (s *Session) Run(ctx context.Context, q Query) (*Summary, error) {
 	return sum, nil
 }
 
-func (s *Session) runQuery(ctx context.Context, q Query, cfg ConfigWire, g *vertex.Graph, n int, first bool) (*Summary, error) {
+func (s *Session) runQuery(ctx context.Context, q Query, cfg ConfigWire, g *vertex.Graph, n int, first bool, seq int) (*Summary, error) {
 	// --- Dispatch the job; this triggers the query.
+	slog.Debug("cluster query dispatch", "query", seq, "nodes", n, "iterations", q.Iterations, "epsilon", q.Epsilon, "first", first)
 	start := time.Now()
 	for _, id := range s.ids {
 		job := jobMsg{
@@ -374,6 +384,7 @@ func (s *Session) runQuery(ctx context.Context, q Query, cfg ConfigWire, g *vert
 			InitState:  g.InitState[id-1],
 			Priv:       g.Priv[id-1],
 			Iterations: q.Iterations,
+			Seq:        seq,
 		}
 		if first {
 			job.Topo = TopologyWire{D: g.D, Out: g.Out}
@@ -405,8 +416,10 @@ func (s *Session) runQuery(ctx context.Context, q Query, cfg ConfigWire, g *vert
 		}()
 	}
 	sum := &Summary{
-		Reports: make(map[network.NodeID]vertex.Report, n),
-		Stats:   make(map[network.NodeID]network.Stats, n),
+		Reports:  make(map[network.NodeID]vertex.Report, n),
+		Stats:    make(map[network.NodeID]network.Stats, n),
+		Spans:    make(map[network.NodeID][]obs.Span, n),
+		Counters: make(map[network.NodeID]map[string]int64, n),
 	}
 	var results []int64
 	for i := 0; i < n; i++ {
@@ -421,12 +434,17 @@ func (s *Session) runQuery(ctx context.Context, q Query, cfg ConfigWire, g *vert
 			}
 			sum.Reports[d.ID] = d.Report
 			sum.Stats[d.ID] = d.Stats
+			sum.Spans[d.ID] = d.Spans
+			sum.Counters[d.ID] = d.Counters
 			if d.HasResult {
 				results = append(results, d.Result)
 			}
+			slog.Debug("cluster node reported", "query", seq, "node", d.ID,
+				"bytes_sent", d.Stats.BytesSent, "spans", len(d.Spans))
 		}
 	}
 	sum.WallTime = time.Since(start)
+	slog.Debug("cluster query complete", "query", seq, "wall_ms", sum.WallTime.Milliseconds(), "total_bytes", sum.TotalBytes())
 
 	// Every aggregation-block member opened the aggregate; they must agree.
 	if want := len(s.setup.Assignment.AggBlock); len(results) != want {

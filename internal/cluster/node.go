@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"dstress/internal/gmw"
 	"dstress/internal/group"
 	"dstress/internal/network"
+	"dstress/internal/obs"
 	"dstress/internal/ot"
 	"dstress/internal/secretshare"
 	"dstress/internal/tcpnet"
@@ -139,10 +141,23 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 	var last *NodeResult
 	for job := range jobCh {
 		if job.Shutdown {
+			slog.Debug("cluster node shutting down", "node", opt.ID)
 			return last, nil
 		}
+		// Nodes always record: a per-job trace is a few hundred spans and
+		// ships over the control plane only after the query, so the data
+		// plane never pays for it. The coordinator decides what to do with
+		// the tables (straggler attribution, -trace export).
+		trace := obs.NewTrace(int32(opt.ID))
+		if job.Seq > 0 {
+			trace.SetQuery(fmt.Sprintf("q/%d", job.Seq))
+		}
+		jobCtx := obs.With(ctlCtx, trace)
+		slog.Debug("cluster job received",
+			"node", opt.ID, "query", job.Seq, "iterations", job.Iterations)
 		var res NodeResult
 		statsBefore := peer.Stats()
+		tagBefore := peer.TagStats()
 		runErr := func() error {
 			if eng == nil {
 				var err error
@@ -162,7 +177,7 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 				// NAT.
 				peer.Register(opt.ID, selfDialAddr(peer.Addr()))
 			}
-			return eng.runJob(ctlCtx, job, &res)
+			return eng.runJob(jobCtx, job, &res)
 		}()
 		// Report this job's traffic, not the whole session's: the peer's
 		// counters are cumulative, so later queries subtract the baseline.
@@ -172,9 +187,29 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 			BytesReceived: now.BytesReceived - statsBefore.BytesReceived,
 			MessagesSent:  now.MessagesSent - statsBefore.MessagesSent,
 		}
-		done := doneMsg{ID: opt.ID, HasResult: res.HasResult, Result: res.Result, Report: res.Report, Stats: res.Stats}
+		// Fold this job's per-tag-prefix traffic deltas into the counters.
+		for prefix, ts := range peer.TagStats() {
+			before := tagBefore[prefix]
+			trace.Add("net/"+prefix+"/bytes_sent", ts.BytesSent-before.BytesSent)
+			trace.Add("net/"+prefix+"/bytes_recv", ts.BytesReceived-before.BytesReceived)
+			trace.Add("net/"+prefix+"/msgs_sent", ts.MessagesSent-before.MessagesSent)
+		}
+		done := doneMsg{
+			ID: opt.ID, HasResult: res.HasResult, Result: res.Result,
+			Report: res.Report, Stats: res.Stats,
+			Spans: trace.Spans(), Counters: trace.Counters(),
+		}
 		if runErr != nil {
 			done.Err = runErr.Error()
+			slog.Error("cluster job failed", "node", opt.ID, "query", job.Seq, "error", runErr)
+		} else {
+			slog.Debug("cluster job done",
+				"node", opt.ID, "query", job.Seq,
+				"init_ms", res.Report.InitTime.Milliseconds(),
+				"compute_ms", res.Report.ComputeTime.Milliseconds(),
+				"transfer_ms", res.Report.CommTime.Milliseconds(),
+				"agg_ms", res.Report.AggTime.Milliseconds(),
+				"bytes_sent", res.Stats.BytesSent)
 		}
 		if err := enc.Encode(done); err != nil && runErr == nil {
 			runErr = fmt.Errorf("cluster: reporting result: %w", err)
@@ -507,6 +542,7 @@ func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error 
 		s := e.tr.Stats()
 		return s.BytesSent + s.BytesReceived - b0
 	}
+	trace := obs.From(ctx)
 
 	// --- Initialization: session handshakes + owner share distribution. ---
 	t0, b0 := phaseStart()
@@ -516,6 +552,7 @@ func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error 
 		}
 		e.sessionsReady = true
 		e.setupTime = time.Since(t0)
+		trace.SpanDur("init/sessions", t0, e.setupTime)
 	}
 	if err := e.initShares(ctx); err != nil {
 		return err
@@ -524,16 +561,20 @@ func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error 
 	rep.InitBytes = phaseBytes(b0)
 	rep.SetupTime = e.setupTime
 	rep.BaseOTHandshakes = e.sub.Handshakes()
+	trace.SpanDur("phase/init", t0, rep.InitTime)
 
 	// --- Iterations. ---
 	for it := 0; it <= iterations; it++ {
 		t0, b0 = phaseStart()
-		out, err := e.computeStep(ctx)
+		out, err := e.computeStep(ctx, it)
 		if err != nil {
 			return fmt.Errorf("cluster: node %d iteration %d compute: %w", e.id, it, err)
 		}
 		rep.ComputeTime += time.Since(t0)
 		rep.ComputeBytes += phaseBytes(b0)
+		if trace != nil {
+			trace.Span(fmt.Sprintf("iter/%d/compute", it), t0)
+		}
 
 		if it == iterations {
 			break
@@ -544,6 +585,9 @@ func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error 
 		}
 		rep.CommTime += time.Since(t0)
 		rep.CommBytes += phaseBytes(b0)
+		if trace != nil {
+			trace.Span(fmt.Sprintf("iter/%d/communicate", it), t0)
+		}
 	}
 
 	// --- Aggregation + noising. ---
@@ -554,6 +598,7 @@ func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error 
 	}
 	rep.AggTime = time.Since(t0)
 	rep.AggBytes = phaseBytes(b0)
+	trace.SpanDur("phase/agg", t0, rep.AggTime)
 
 	res.Result = result
 	res.HasResult = hasResult
@@ -626,8 +671,9 @@ func (e *engine) memberInput(v int) []uint8 {
 // computeStep runs the update MPC of every block this node belongs to, all
 // concurrently (each session's other members run theirs concurrently too).
 // It returns this node's fresh output-message shares, [vertex][slot].
-func (e *engine) computeStep(ctx context.Context) (map[int][]uint64, error) {
+func (e *engine) computeStep(ctx context.Context, iter int) (map[int][]uint64, error) {
 	g := e.graph
+	trace := obs.From(ctx)
 	out := make(map[int][]uint64, len(e.memberVertices))
 	// Inputs are assembled up front: memberInput reads the share maps,
 	// which the evaluation goroutines mutate.
@@ -643,7 +689,11 @@ func (e *engine) computeStep(ctx context.Context) (map[int][]uint64, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			t0 := time.Now()
 			outBits, err := e.sessions[v].Evaluate(ctx, e.updCirc, inputs[v])
+			if trace != nil && err == nil {
+				trace.Span(fmt.Sprintf("iter/%d/blk/%d/gmw", iter, v), t0)
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -686,6 +736,7 @@ func (e *engine) communicateStep(ctx context.Context, iter int, out map[int][]ui
 		}
 	}
 
+	trace := obs.From(ctx)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
@@ -694,6 +745,13 @@ func (e *engine) communicateStep(ctx context.Context, iter int, out map[int][]ui
 		defer mu.Unlock()
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("edge (%d,%d): %w", u, v, err)
+		}
+	}
+	// span wraps one transfer role; the span name extends the wire tag
+	// ("tx/<iter>/<u>/<v>") with the role this node played.
+	span := func(tag, role string, t0 time.Time) {
+		if trace != nil {
+			trace.Span(tag+"/"+role, t0)
 		}
 	}
 	for _, edge := range g.Edges() {
@@ -713,18 +771,22 @@ func (e *engine) communicateStep(ctx context.Context, iter int, out map[int][]ui
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				t0 := time.Now()
 				// Key lookup (and a possible first-iteration table build)
 				// runs in the goroutine so builds for different edges
 				// overlap instead of stalling the dispatch loop.
 				keys := e.recipientKeys(v, slotIn, vID)
 				record(u, v, transfer.SendShare(ctx, e.tparam, e.tr, uID, tag, share, keys))
+				span(tag, "send", t0)
 			}()
 		}
 		if e.id == uID {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				t0 := time.Now()
 				record(u, v, transfer.RunRelay(ctx, e.tparam, e.tr, sendersB, vID, tag, dp.CryptoSource{}))
+				span(tag, "relay", t0)
 			}()
 		}
 		if e.id == vID {
@@ -732,7 +794,9 @@ func (e *engine) communicateStep(ctx context.Context, iter int, out map[int][]ui
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				t0 := time.Now()
 				record(u, v, transfer.RunAdjust(ctx, e.tparam, e.tr, uID, recvB, nk, tag))
+				span(tag, "adjust", t0)
 			}()
 		}
 		if _, ok := e.memberIdx[v]; ok {
@@ -740,11 +804,13 @@ func (e *engine) communicateStep(ctx context.Context, iter int, out map[int][]ui
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				t0 := time.Now()
 				share, err := transfer.ReceiveShare(ctx, e.tparam, e.tr, vID, tag, e.secrets.PrivateKeys, e.table)
 				if err != nil {
 					record(u, v, err)
 					return
 				}
+				span(tag, "recv", t0)
 				mu.Lock()
 				e.msgShare[v][slotIn] = share
 				mu.Unlock()

@@ -25,6 +25,7 @@ package cluster
 
 import (
 	"dstress/internal/network"
+	"dstress/internal/obs"
 	"dstress/internal/trustedparty"
 	"dstress/internal/vertex"
 )
@@ -92,6 +93,11 @@ type jobMsg struct {
 	// the final computation step and aggregation. Cfg.Epsilon carries the
 	// query's privacy budget.
 	Iterations int
+	// Seq is the session-wide query sequence number (1-based); nodes stamp
+	// it as the "q/<Seq>" query tag on their observability spans — the
+	// first concrete use of the query-id namespace the tag-multiplexing
+	// roadmap item will extend to the data plane.
+	Seq int
 }
 
 type doneMsg struct {
@@ -103,4 +109,11 @@ type doneMsg struct {
 	Result    int64
 	Report    vertex.Report
 	Stats     network.Stats
+	// Spans is the node's per-job span table (phase, per-iteration,
+	// per-block) with offsets relative to the node's own job start;
+	// Counters its protocol counters (gmw/*, ot/*, net/<prefix>/*). Both
+	// ride the control plane only after the query finishes, so shipping
+	// them costs no data-plane time.
+	Spans    []obs.Span
+	Counters map[string]int64
 }

@@ -94,6 +94,7 @@ func Fig5EndToEnd(o Options) *Table {
 				fmt.Sprintf("%.1f", rep.AvgNodeBytes/1024))
 			t.SetupMS += float64(rep.SetupTime) / float64(time.Millisecond)
 			t.BaseOTHandshakes += rep.BaseOTHandshakes
+			t.Phases = append(t.Phases, phaseBreakdown(fmt.Sprintf("%s/block=%d", model, bs), rep))
 			_ = tds
 		}
 	}
@@ -161,6 +162,7 @@ func Fig6Projection(o Options) *Table {
 		t.Add("measured", fmt.Sprint(n), "3",
 			rep.TotalTime().Round(time.Millisecond).String(),
 			fmt.Sprintf("%.2f", rep.AvgNodeBytes/(1<<20)))
+		t.Phases = append(t.Phases, phaseBreakdown(fmt.Sprintf("EN/N=%d", n), rep))
 	}
 	t.Notes = append(t.Notes,
 		"projection assumes the paper's deployment: 100 machines host all N nodes (work serializes beyond N=100)",

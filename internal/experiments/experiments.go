@@ -16,8 +16,10 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"dstress/internal/group"
+	"dstress/internal/vertex"
 )
 
 // Options configures an experiment run.
@@ -122,6 +124,35 @@ type Table struct {
 	// BaseOTHandshakes is the summed pairwise base-OT handshake count
 	// across the experiment's deployments (0 for dealer-provisioned runs).
 	BaseOTHandshakes int64
+	// Phases holds one structured per-phase breakdown per end-to-end run
+	// (E6/E7 measured rows), so -json consumers read numbers instead of
+	// parsing the rendered duration strings back apart.
+	Phases []PhaseBreakdown
+}
+
+// PhaseBreakdown is one end-to-end run's per-phase wall times and traffic.
+type PhaseBreakdown struct {
+	Label         string  `json:"label"` // e.g. "EN/block=3" or "EN/N=16"
+	InitMS        float64 `json:"init_ms"`
+	ComputeMS     float64 `json:"compute_ms"`
+	TransferMS    float64 `json:"transfer_ms"`
+	AggMS         float64 `json:"agg_ms"`
+	InitBytes     int64   `json:"init_bytes"`
+	ComputeBytes  int64   `json:"compute_bytes"`
+	TransferBytes int64   `json:"transfer_bytes"`
+	AggBytes      int64   `json:"agg_bytes"`
+}
+
+// phaseBreakdown flattens a runtime report into the JSON-facing shape.
+func phaseBreakdown(label string, rep *vertex.Report) PhaseBreakdown {
+	msOf := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return PhaseBreakdown{
+		Label:  label,
+		InitMS: msOf(rep.InitTime), ComputeMS: msOf(rep.ComputeTime),
+		TransferMS: msOf(rep.CommTime), AggMS: msOf(rep.AggTime),
+		InitBytes: rep.InitBytes, ComputeBytes: rep.ComputeBytes,
+		TransferBytes: rep.CommBytes, AggBytes: rep.AggBytes,
+	}
 }
 
 // Add appends a row.

@@ -43,6 +43,7 @@ import (
 	"dstress/internal/circuit"
 	"dstress/internal/group"
 	"dstress/internal/network"
+	"dstress/internal/obs"
 	"dstress/internal/ot"
 )
 
@@ -242,9 +243,12 @@ func (p *Party) Evaluate(ctx context.Context, c *circuit.Circuit, inputShares []
 		ot.SetBit(vals, 2+i, uint64(b))
 	}
 
+	obs.Add(ctx, "gmw/evals", 1)
 	packed := c.PackedRounds()
 	for r, round := range c.Rounds {
 		if len(round.And) > 0 {
+			obs.Add(ctx, "gmw/and_rounds", 1)
+			obs.Add(ctx, "gmw/and_gates", int64(len(round.And)))
 			if err := p.andRound(ctx, vals, &packed[r], evalID, r); err != nil {
 				return nil, err
 			}

@@ -20,6 +20,7 @@ package network
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 )
 
@@ -68,6 +69,9 @@ type Network struct {
 	sentBytes map[NodeID]int64
 	recvBytes map[NodeID]int64
 	sentMsgs  map[NodeID]int64
+	// Per-tag-prefix accounting: which protocol layer the bytes belong to
+	// (first "/"-separated tag component — "blk", "tx", "aggsh", …).
+	tagStats map[string]TagStat
 }
 
 // New creates an empty network with the default header overhead.
@@ -78,6 +82,7 @@ func New() *Network {
 		sentBytes: make(map[NodeID]int64),
 		recvBytes: make(map[NodeID]int64),
 		sentMsgs:  make(map[NodeID]int64),
+		tagStats:  make(map[string]TagStat),
 	}
 }
 
@@ -101,13 +106,18 @@ func (n *Network) Endpoint(id NodeID) *Endpoint {
 	return e
 }
 
-func (n *Network) account(from, to NodeID, payload int) {
+func (n *Network) account(from, to NodeID, tag string, payload int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	total := int64(payload + n.overhead)
 	n.sentBytes[from] += total
 	n.recvBytes[to] += total
 	n.sentMsgs[from]++
+	ts := n.tagStats[TagPrefix(tag)]
+	ts.BytesSent += total
+	ts.BytesReceived += total // in-process delivery: every sent byte arrives
+	ts.MessagesSent++
+	n.tagStats[TagPrefix(tag)] = ts
 }
 
 // Stats is a snapshot of a node's traffic counters.
@@ -115,6 +125,45 @@ type Stats struct {
 	BytesSent     int64
 	BytesReceived int64
 	MessagesSent  int64
+}
+
+// TagStat aggregates the traffic carried under one tag prefix — the
+// protocol layer the bytes belong to. On the in-process hub sent and
+// received are equal; on tcpnet they are measured independently per side.
+type TagStat struct {
+	BytesSent     int64
+	BytesReceived int64
+	MessagesSent  int64
+}
+
+// TagTracker is optionally implemented by transports that keep per-tag-
+// prefix traffic counters (the hub Network and tcpnet.Peer both do). It is
+// deliberately NOT part of Transport: the Transport contract is frozen by
+// the networktest conformance suite, and observability is an optional
+// capability discovered by type assertion.
+type TagTracker interface {
+	TagStats() map[string]TagStat
+}
+
+// TagPrefix returns a tag's first "/"-separated component: the coarse
+// protocol layer ("blk", "tx", "init", "aggsh", …) that per-prefix traffic
+// counters aggregate by.
+func TagPrefix(tag string) string {
+	if i := strings.IndexByte(tag, '/'); i >= 0 {
+		return tag[:i]
+	}
+	return tag
+}
+
+// TagStats returns a snapshot of the per-tag-prefix traffic counters.
+func (n *Network) TagStats() map[string]TagStat {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]TagStat, len(n.tagStats))
+	for k, v := range n.tagStats {
+		out[k] = v
+	}
+	return out
 }
 
 // NodeStats returns the traffic snapshot for one node.
@@ -175,6 +224,7 @@ func (n *Network) ResetStats() {
 	n.sentBytes = make(map[NodeID]int64)
 	n.recvBytes = make(map[NodeID]int64)
 	n.sentMsgs = make(map[NodeID]int64)
+	n.tagStats = make(map[string]TagStat)
 }
 
 // ---------------------------------------------------------------------------
@@ -283,7 +333,7 @@ func (e *Endpoint) Send(to NodeID, tag string, payload []byte) error {
 	dst := e.net.Endpoint(to)
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
-	e.net.account(e.id, to, len(payload))
+	e.net.account(e.id, to, tag, len(payload))
 	dst.box(e.id, tag).put(cp)
 	return nil
 }

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("JSON Object
+// Format"), which Perfetto and chrome://tracing both load. Complete spans
+// use ph "X" with microsecond ts/dur; counters use ph "C"; process names
+// ride on "M" metadata events.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int32          `json:"pid"`
+	Tid  int32          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders the trace as Chrome trace-event JSON: one
+// process lane per node (pid = node id), spans packed greedily onto
+// threads so overlapping intervals get separate rows, and every counter as
+// a ph "C" event. The output is deterministic for a given trace — spans
+// sort by (node, start, name) and lanes are assigned first-fit — so it is
+// golden-testable.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	return writeChrome(w, t.Spans(), t.Counters())
+}
+
+func writeChrome(w io.Writer, spans []Span, counters map[string]int64) error {
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Dur != b.Dur {
+			return a.Dur > b.Dur // longer (enclosing) span first
+		}
+		return a.Name < b.Name
+	})
+
+	events := []chromeEvent{} // non-nil so an empty trace still yields a JSON array
+
+	// One metadata event per node so Perfetto labels the lanes.
+	nodeSet := map[int32]bool{}
+	for _, s := range spans {
+		nodeSet[s.Node] = true
+	}
+	nodes := make([]int32, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		label := fmt.Sprintf("node %d", n)
+		if n == 0 {
+			label = "driver"
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: n,
+			Args: map[string]any{"name": label},
+		})
+	}
+
+	// First-fit lane packing per node: a span goes on the lowest-numbered
+	// thread whose previous span has already ended, so concurrent spans
+	// (parallel blocks, overlapping transfers) render side by side instead
+	// of stacking into a single unreadable row.
+	laneEnds := map[int32][]int64{}
+	for _, s := range spans {
+		ends := laneEnds[s.Node]
+		tid := -1
+		for i, end := range ends {
+			if end <= s.Start {
+				tid = i
+				break
+			}
+		}
+		if tid < 0 {
+			tid = len(ends)
+			ends = append(ends, 0)
+		}
+		ends[tid] = s.Start + s.Dur
+		laneEnds[s.Node] = ends
+		ev := chromeEvent{
+			Name: s.Name, Ph: "X",
+			Ts: float64(s.Start) / 1e3, Dur: float64(s.Dur) / 1e3,
+			Pid: s.Node, Tid: int32(tid),
+		}
+		if s.Query != "" {
+			ev.Args = map[string]any{"query": s.Query}
+		}
+		events = append(events, ev)
+	}
+
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		events = append(events, chromeEvent{
+			Name: name, Ph: "C", Pid: 0,
+			Args: map[string]any{"value": counters[name]},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events})
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets spans 5ms to 60s — wide enough for both the
+// sub-second sim phases and multi-second cluster Init phases the
+// experiments produce. Upper bounds are in seconds, Prometheus style; the
+// implicit +Inf bucket is the total count.
+var DefaultLatencyBuckets = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a fixed-bucket latency histogram with lock-free observes,
+// shaped for Prometheus text exposition (cumulative bucket counts, a sum,
+// and a count). Observe is safe for concurrent use.
+type Histogram struct {
+	bounds []float64 // upper bounds in seconds, ascending
+	counts []atomic.Int64
+	sumNS  atomic.Int64 // sum as integer nanoseconds so adds stay atomic
+	count  atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (seconds). Nil bounds use DefaultLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds))}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	sec := d.Seconds()
+	for i, ub := range h.bounds {
+		if sec <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.sumNS.Add(d.Nanoseconds())
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is a consistent-enough view for scraping: cumulative
+// per-bucket counts aligned with Bounds, plus sum and count.
+type HistogramSnapshot struct {
+	Bounds     []float64
+	Cumulative []int64
+	Sum        float64 // seconds
+	Count      int64
+}
+
+// Snapshot returns the cumulative bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	out := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]int64, len(h.bounds)),
+		Sum:        time.Duration(h.sumNS.Load()).Seconds(),
+		Count:      h.count.Load(),
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out.Cumulative[i] = cum
+	}
+	return out
+}

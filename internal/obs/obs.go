@@ -1,0 +1,200 @@
+// Package obs is DStress's zero-dependency tracing and metrics substrate.
+//
+// The paper's whole evaluation (Figures 3–6) is a phase-time/phase-traffic
+// breakdown; this package generalizes that instrumentation from four
+// aggregate numbers per run to per-node, per-iteration, per-protocol-layer
+// spans and counters, without adding any external dependency or measurable
+// overhead when disabled.
+//
+// A *Trace travels in a context.Context (With/From). Every method on a nil
+// *Trace is a safe no-op, so instrumented code reads
+//
+//	tr := obs.From(ctx)          // nil when tracing is off
+//	t0 := time.Now()
+//	... work ...
+//	tr.Span("iter/3/compute", t0)
+//
+// and the disabled path costs one context lookup and a nil check — no
+// allocation, no lock. Hot loops that would pay for building the span name
+// guard on tr != nil first.
+//
+// Span names form a small taxonomy mirroring the transport's tag namespace
+// (see DESIGN.md "Observability"): "phase/<init|compute|transfer|agg>",
+// "iter/<n>/<compute|communicate>", "iter/<n>/blk/<v>/gmw",
+// "tx/<iter>/<u>/<v>", "agg/<flat|tree|leaf/<g>>". Counters are flat
+// name→int64 maps: "gmw/and_rounds", "ot/derand_bits",
+// "net/<prefix>/bytes_sent", … Each span carries the query tag ("q/<n>")
+// current at record time — the first concrete use of the query-id
+// namespace the multiplexing roadmap item needs.
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one recorded interval. All fields are exported so spans travel
+// over the cluster control plane (gob) from node daemons back to the
+// coordinator.
+type Span struct {
+	// Name is the span's taxonomy path, e.g. "iter/2/compute".
+	Name string
+	// Node is the node the work ran on (0 = the driving process).
+	Node int32
+	// Query is the query tag ("q/<n>") current when the span was recorded;
+	// empty outside a query.
+	Query string
+	// Start is nanoseconds since the trace's epoch; Dur is the span length
+	// in nanoseconds. Offsets are relative to the recording trace's own
+	// epoch — cluster nodes' clocks are not synchronized, so cross-node
+	// spans align per node, not globally.
+	Start, Dur int64
+}
+
+// Trace is an allocation-light span recorder plus a set of named atomic
+// counters. A nil *Trace is a valid no-op recorder: every method checks the
+// receiver, so instrumented code never branches on "is tracing on".
+type Trace struct {
+	epoch time.Time
+	node  int32
+
+	mu    sync.Mutex
+	spans []Span
+	query string
+
+	counters sync.Map // string → *atomic.Int64
+}
+
+// NewTrace returns a recorder whose spans are attributed to the given node
+// id (0 for the driving process). The epoch is the creation instant.
+func NewTrace(node int32) *Trace {
+	return &Trace{epoch: time.Now(), node: node}
+}
+
+// ctxKey carries the trace in a context; a zero-size key avoids allocation
+// on lookup.
+type ctxKey struct{}
+
+// With returns a context carrying t. A nil t is allowed and yields a
+// context From returns nil for.
+func With(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// From returns the context's trace, or nil when tracing is off. The nil
+// result is directly usable: all Trace methods are nil-safe.
+func From(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+// Add is the counter shorthand protocol layers use:
+// obs.Add(ctx, "gmw/and_rounds", 1). With no trace in ctx it is a no-op.
+func Add(ctx context.Context, name string, delta int64) {
+	From(ctx).Add(name, delta)
+}
+
+// SetQuery stamps the query tag ("q/<n>") onto every span recorded after
+// this call, prefiguring the query-id tag multiplexing scheme.
+func (t *Trace) SetQuery(q string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.query = q
+	t.mu.Unlock()
+}
+
+// Span records an interval from start to now under the current query tag.
+func (t *Trace) Span(name string, start time.Time) {
+	if t == nil {
+		return
+	}
+	t.SpanDur(name, start, time.Since(start))
+}
+
+// SpanDur records an interval of an explicit duration beginning at start.
+func (t *Trace) SpanDur(name string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{
+		Name:  name,
+		Node:  t.node,
+		Query: t.query,
+		Start: start.Sub(t.epoch).Nanoseconds(),
+		Dur:   d.Nanoseconds(),
+	})
+	t.mu.Unlock()
+}
+
+// Add bumps the named counter. Counters are created on first use; after
+// that an Add is one sync.Map load and one atomic add — safe for hot
+// protocol loops.
+func (t *Trace) Add(name string, delta int64) {
+	if t == nil {
+		return
+	}
+	c, ok := t.counters.Load(name)
+	if !ok {
+		c, _ = t.counters.LoadOrStore(name, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(delta)
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Counters returns a snapshot of the counters.
+func (t *Trace) Counters() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]int64)
+	t.counters.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
+}
+
+// AddSpans merges externally recorded spans (e.g. a cluster node's table
+// shipped in its Done message) into this trace verbatim: the spans keep
+// their own Node attribution, Query tags, and node-relative offsets.
+func (t *Trace) AddSpans(spans []Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, spans...)
+	t.mu.Unlock()
+}
+
+// AddCounters folds a counter snapshot into this trace's counters.
+func (t *Trace) AddCounters(counters map[string]int64) {
+	if t == nil {
+		return
+	}
+	// Deterministic fold order keeps merged traces reproducible.
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t.Add(name, counters[name])
+	}
+}

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.SetQuery("q/1")
+	tr.Span("x", time.Now())
+	tr.SpanDur("x", time.Now(), time.Second)
+	tr.Add("c", 1)
+	tr.AddSpans([]Span{{Name: "y"}})
+	tr.AddCounters(map[string]int64{"c": 1})
+	if got := tr.Spans(); got != nil {
+		t.Errorf("nil trace Spans() = %v, want nil", got)
+	}
+	if got := tr.Counters(); got != nil {
+		t.Errorf("nil trace Counters() = %v, want nil", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+	var parsed struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("nil trace output is not JSON: %v", err)
+	}
+}
+
+func TestContextCarry(t *testing.T) {
+	if got := From(context.Background()); got != nil {
+		t.Fatalf("From(background) = %v, want nil", got)
+	}
+	tr := NewTrace(3)
+	ctx := With(context.Background(), tr)
+	if got := From(ctx); got != tr {
+		t.Fatalf("From(With(ctx, tr)) = %v, want tr", got)
+	}
+	Add(ctx, "k", 5)
+	Add(ctx, "k", 2)
+	if got := tr.Counters()["k"]; got != 7 {
+		t.Fatalf("counter k = %d, want 7", got)
+	}
+}
+
+func TestQueryTagStamping(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Span("before", time.Now())
+	tr.SetQuery("q/1")
+	tr.Span("during", time.Now())
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Query != "" || spans[1].Query != "q/1" {
+		t.Fatalf("query tags = %q, %q; want \"\", \"q/1\"", spans[0].Query, spans[1].Query)
+	}
+}
+
+// TestConcurrentRecording hammers one trace from many goroutines; run with
+// -race (CI does) to pin the recorder's thread safety.
+func TestConcurrentRecording(t *testing.T) {
+	tr := NewTrace(0)
+	const workers, perWorker = 16, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr.Span("work", time.Now())
+				tr.Add("ops", 1)
+				if i%50 == 0 {
+					tr.SetQuery("q/2")
+					_ = tr.Spans()
+					_ = tr.Counters()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != workers*perWorker {
+		t.Fatalf("recorded %d spans, want %d", got, workers*perWorker)
+	}
+	if got := tr.Counters()["ops"]; got != workers*perWorker {
+		t.Fatalf("ops counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestMergeNodeTables(t *testing.T) {
+	tr := NewTrace(0)
+	tr.AddSpans([]Span{
+		{Name: "phase/init", Node: 1, Start: 10, Dur: 5},
+		{Name: "phase/init", Node: 2, Start: 12, Dur: 7},
+	})
+	tr.AddCounters(map[string]int64{"gmw/and_rounds": 4})
+	tr.AddCounters(map[string]int64{"gmw/and_rounds": 6})
+	if got := len(tr.Spans()); got != 2 {
+		t.Fatalf("merged %d spans, want 2", got)
+	}
+	if got := tr.Counters()["gmw/and_rounds"]; got != 10 {
+		t.Fatalf("merged counter = %d, want 10", got)
+	}
+}
+
+// TestDisabledPathAllocations pins the tentpole's overhead promise: with no
+// trace in the context, the instrumentation hot path (context lookup, nil
+// receiver method calls, counter adds) allocates nothing.
+func TestDisabledPathAllocations(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr := From(ctx)
+		tr.Add("gmw/and_rounds", 1)
+		tr.SetQuery("q/1")
+		Add(ctx, "ot/derand_bits", 64)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %v per op, want 0", allocs)
+	}
+}
+
+func BenchmarkDisabledSpanPath(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr := From(ctx); tr != nil {
+			tr.Span("iter/0/compute", time.Now())
+		}
+	}
+}
+
+func BenchmarkDisabledCounterPath(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Add(ctx, "gmw/and_rounds", 1)
+	}
+}
+
+func BenchmarkEnabledCounter(b *testing.B) {
+	ctx := With(context.Background(), NewTrace(0))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Add(ctx, "gmw/and_rounds", 1)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	h.Observe(5 * time.Millisecond)
+	h.Observe(50 * time.Millisecond)
+	h.Observe(2 * time.Second) // lands only in the implicit +Inf bucket
+	snap := h.Snapshot()
+	want := []int64{1, 2, 2}
+	for i, c := range snap.Cumulative {
+		if c != want[i] {
+			t.Fatalf("cumulative[%d] = %d, want %d (all: %v)", i, c, want[i], snap.Cumulative)
+		}
+	}
+	if snap.Count != 3 {
+		t.Fatalf("count = %d, want 3", snap.Count)
+	}
+	if snap.Sum < 2.0 || snap.Sum > 2.2 {
+		t.Fatalf("sum = %v, want ≈2.055", snap.Sum)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(time.Duration(i) * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8*500 {
+		t.Fatalf("count = %d, want %d", got, 8*500)
+	}
+}
+
+// TestChromeTraceGolden pins the exporter's exact output for a fixed span
+// table, so a format regression (Perfetto compatibility) is caught here
+// rather than by a human loading the file.
+func TestChromeTraceGolden(t *testing.T) {
+	spans := []Span{
+		{Name: "phase/init", Node: 0, Query: "q/1", Start: 0, Dur: 4_000},
+		{Name: "iter/0/compute", Node: 0, Query: "q/1", Start: 4_000, Dur: 10_000},
+		// Overlapping spans on node 1 must land on separate lanes.
+		{Name: "blk/0/gmw", Node: 1, Query: "q/1", Start: 1_000, Dur: 5_000},
+		{Name: "blk/1/gmw", Node: 1, Query: "q/1", Start: 2_000, Dur: 5_000},
+	}
+	counters := map[string]int64{"gmw/and_rounds": 12, "ot/derand_bits": 640}
+	var buf bytes.Buffer
+	if err := writeChrome(&buf, spans, counters); err != nil {
+		t.Fatal(err)
+	}
+	golden := `{"traceEvents":[` +
+		`{"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"driver"}},` +
+		`{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"node 1"}},` +
+		`{"name":"phase/init","ph":"X","ts":0,"dur":4,"pid":0,"tid":0,"args":{"query":"q/1"}},` +
+		`{"name":"iter/0/compute","ph":"X","ts":4,"dur":10,"pid":0,"tid":0,"args":{"query":"q/1"}},` +
+		`{"name":"blk/0/gmw","ph":"X","ts":1,"dur":5,"pid":1,"tid":0,"args":{"query":"q/1"}},` +
+		`{"name":"blk/1/gmw","ph":"X","ts":2,"dur":5,"pid":1,"tid":1,"args":{"query":"q/1"}},` +
+		`{"name":"gmw/and_rounds","ph":"C","ts":0,"pid":0,"tid":0,"args":{"value":12}},` +
+		`{"name":"ot/derand_bits","ph":"C","ts":0,"pid":0,"tid":0,"args":{"value":640}}` +
+		`]}`
+	if got := strings.TrimSpace(buf.String()); got != golden {
+		t.Fatalf("golden mismatch:\n got: %s\nwant: %s", got, golden)
+	}
+	// And the output must stay machine-parsable.
+	var parsed chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 8 {
+		t.Fatalf("parsed %d events, want 8", len(parsed.TraceEvents))
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"fmt"
 
 	"dstress/internal/network"
+	"dstress/internal/obs"
 )
 
 // RandomOTSender produces batches of random OTs for one direction of one
@@ -114,6 +115,10 @@ func (s *BitSender) SendPacked(ctx context.Context, m0, m1 []uint64, n int) erro
 	if err != nil {
 		return err
 	}
+	// One derandomization batch per SendPacked: the sender side counts the
+	// batch so sim runs (both directions in-process) don't double-count.
+	obs.Add(ctx, "ot/derand_batches", 1)
+	obs.Add(ctx, "ot/derand_bits", int64(n))
 	tag := network.Tag(s.tag, "derand", s.seq)
 	s.seq++
 	// Receiver announces e = c ⊕ ρ.

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sort"
+	"strconv"
 	"time"
 
 	"dstress/internal/dp"
@@ -229,6 +231,45 @@ func writeMetrics(w http.ResponseWriter, m Metrics) {
 	p("dstress_epsilon_charged_total", "counter", "Lifetime privacy budget admitted across all tenants.", m.EpsilonCharged)
 	p("dstress_query_latency_seconds_sum", "counter", "Summed submit-to-finish latency of served queries.", m.LatencySum.Seconds())
 	p("dstress_query_latency_seconds_count", "counter", "Served queries contributing to the latency sum.", m.LatencyCount)
+
+	// Per-phase latency histograms (one series set per protocol phase plus
+	// "wall"), in standard Prometheus histogram shape.
+	if len(m.PhaseLatency) > 0 {
+		name := "dstress_phase_latency_seconds"
+		fmt.Fprintf(w, "# HELP %s Per-phase latency of served queries.\n# TYPE %s histogram\n", name, name)
+		phases := make([]string, 0, len(m.PhaseLatency))
+		for ph := range m.PhaseLatency {
+			phases = append(phases, ph)
+		}
+		sort.Strings(phases)
+		for _, ph := range phases {
+			h := m.PhaseLatency[ph]
+			for i, bound := range h.Bounds {
+				fmt.Fprintf(w, "%s_bucket{phase=%q,le=%q} %d\n",
+					name, ph, strconv.FormatFloat(bound, 'g', -1, 64), h.Cumulative[i])
+			}
+			fmt.Fprintf(w, "%s_bucket{phase=%q,le=\"+Inf\"} %d\n", name, ph, h.Count)
+			fmt.Fprintf(w, "%s_sum{phase=%q} %v\n", name, ph, h.Sum)
+			fmt.Fprintf(w, "%s_count{phase=%q} %d\n", name, ph, h.Count)
+		}
+	}
+
+	// Per-tenant ε accounting. Spent survives replenishment (lifetime
+	// charge), so it is a counter; remaining budget is a gauge.
+	if len(m.Tenants) > 0 {
+		fmt.Fprintf(w, "# HELP dstress_tenant_epsilon_spent Privacy budget charged per tenant (lifetime).\n# TYPE dstress_tenant_epsilon_spent counter\n")
+		for _, t := range m.Tenants {
+			fmt.Fprintf(w, "dstress_tenant_epsilon_spent{tenant=%q} %v\n", t.Tenant, t.Spent)
+		}
+		fmt.Fprintf(w, "# HELP dstress_tenant_epsilon_remaining Unspent privacy budget per tenant (omitted when unmetered).\n# TYPE dstress_tenant_epsilon_remaining gauge\n")
+		for _, t := range m.Tenants {
+			if math.IsInf(t.Budget, 1) {
+				continue
+			}
+			fmt.Fprintf(w, "dstress_tenant_epsilon_remaining{tenant=%q} %v\n", t.Tenant, t.Remaining)
+		}
+	}
+
 	draining := 0
 	if m.Draining {
 		draining = 1

@@ -25,7 +25,12 @@ import (
 
 	"dstress"
 	"dstress/internal/dp"
+	"dstress/internal/obs"
 )
+
+// phaseNames orders the per-phase latency histograms: the four protocol
+// phases plus the end-to-end wall time, as reported by each served query.
+var phaseNames = []string{"init", "compute", "communicate", "aggregate", "wall"}
 
 // ErrDraining reports a submission against a service that is shutting
 // down.
@@ -149,6 +154,12 @@ type Metrics struct {
 	// queries.
 	LatencySum   time.Duration
 	LatencyCount uint64
+	// PhaseLatency holds one histogram snapshot per protocol phase
+	// ("init", "compute", "communicate", "aggregate") plus "wall",
+	// populated from the Report of every served query.
+	PhaseLatency map[string]obs.HistogramSnapshot
+	// Tenants is the per-tenant ε position at snapshot time.
+	Tenants []dp.BudgetStatus
 	// Draining is set once shutdown has begun.
 	Draining bool
 }
@@ -179,6 +190,10 @@ type Service struct {
 	submitted, refused, served, failed uint64
 	latencySum                         time.Duration
 	latencyCount                       uint64
+
+	// phaseHist is keyed by phaseNames; the histograms are internally
+	// atomic, so workers observe into them without holding s.mu.
+	phaseHist map[string]*obs.Histogram
 }
 
 // New builds the service and warm-starts cfg.Warm sessions synchronously,
@@ -208,11 +223,15 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 		logf = log.Printf
 	}
 	s := &Service{
-		cfg:     cfg,
-		ledger:  dp.NewLedger(cfg.DefaultBudget),
-		logf:    logf,
-		work:    make(chan *query, cfg.QueueDepth),
-		queries: make(map[string]*query),
+		cfg:       cfg,
+		ledger:    dp.NewLedger(cfg.DefaultBudget),
+		logf:      logf,
+		work:      make(chan *query, cfg.QueueDepth),
+		queries:   make(map[string]*query),
+		phaseHist: make(map[string]*obs.Histogram, len(phaseNames)),
+	}
+	for _, ph := range phaseNames {
+		s.phaseHist[ph] = obs.NewHistogram(nil)
 	}
 	for t, b := range cfg.Tenants {
 		s.ledger.Declare(t, b)
@@ -406,6 +425,14 @@ func (s *Service) worker(r QueryRunner) {
 
 // finish records a query's outcome and bookkeeping.
 func (s *Service) finish(q *query, res *dstress.Result, err error) {
+	if err == nil && res != nil && res.Report != nil {
+		rep := res.Report
+		s.phaseHist["init"].Observe(rep.InitTime)
+		s.phaseHist["compute"].Observe(rep.ComputeTime)
+		s.phaseHist["communicate"].Observe(rep.CommTime)
+		s.phaseHist["aggregate"].Observe(rep.AggTime)
+		s.phaseHist["wall"].Observe(rep.WallTime)
+	}
 	s.mu.Lock()
 	s.busy--
 	q.finished = time.Now()
@@ -489,6 +516,11 @@ func (s *Service) Do(ctx context.Context, req Request) (QueryStatus, error) {
 
 // Metrics returns a snapshot of the service counters.
 func (s *Service) Metrics() Metrics {
+	phases := make(map[string]obs.HistogramSnapshot, len(phaseNames))
+	for _, ph := range phaseNames {
+		phases[ph] = s.phaseHist[ph].Snapshot()
+	}
+	tenants := s.ledger.Statuses()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Metrics{
@@ -497,7 +529,9 @@ func (s *Service) Metrics() Metrics {
 		QueueDepth: len(s.work), PoolSessions: s.workers, PoolBusy: s.busy,
 		EpsilonCharged: s.ledger.TotalCharged(),
 		LatencySum:     s.latencySum, LatencyCount: s.latencyCount,
-		Draining: s.draining,
+		PhaseLatency: phases,
+		Tenants:      tenants,
+		Draining:     s.draining,
 	}
 }
 

@@ -57,11 +57,33 @@ type Peer struct {
 
 	bytesSent, bytesRecv, msgsSent atomic.Int64
 
+	// tagStats aggregates framed wire bytes by tag prefix (protocol layer)
+	// and peerStats by counterparty; both are sync.Maps of atomics so the
+	// data-plane hot path never takes p.mu.
+	tagStats  sync.Map // string → *tagCounter
+	peerStats sync.Map // network.NodeID → *tagCounter
+
 	closed  atomic.Bool
 	writeMu sync.Map // per-conn *sync.Mutex
 }
 
-var _ network.Transport = (*Peer)(nil)
+var (
+	_ network.Transport  = (*Peer)(nil)
+	_ network.TagTracker = (*Peer)(nil)
+)
+
+// tagCounter accumulates one prefix's (or one counterparty's) traffic.
+type tagCounter struct {
+	bytesSent, bytesRecv, msgsSent atomic.Int64
+}
+
+func counterIn(m *sync.Map, key any) *tagCounter {
+	c, ok := m.Load(key)
+	if !ok {
+		c, _ = m.LoadOrStore(key, new(tagCounter))
+	}
+	return c.(*tagCounter)
+}
 
 type boxKey struct {
 	from network.NodeID
@@ -139,6 +161,39 @@ func (p *Peer) Stats() network.Stats {
 	}
 }
 
+// TagStats returns framed wire bytes and messages aggregated by tag prefix
+// (the protocol layer: "blk", "tx", "init", …). The ident greeting is
+// excluded — it carries no protocol tag.
+func (p *Peer) TagStats() map[string]network.TagStat {
+	out := make(map[string]network.TagStat)
+	p.tagStats.Range(func(k, v any) bool {
+		c := v.(*tagCounter)
+		out[k.(string)] = network.TagStat{
+			BytesSent:     c.bytesSent.Load(),
+			BytesReceived: c.bytesRecv.Load(),
+			MessagesSent:  c.msgsSent.Load(),
+		}
+		return true
+	})
+	return out
+}
+
+// PeerStats returns framed wire bytes and messages aggregated by
+// counterparty node.
+func (p *Peer) PeerStats() map[network.NodeID]network.Stats {
+	out := make(map[network.NodeID]network.Stats)
+	p.peerStats.Range(func(k, v any) bool {
+		c := v.(*tagCounter)
+		out[k.(network.NodeID)] = network.Stats{
+			BytesSent:     c.bytesSent.Load(),
+			BytesReceived: c.bytesRecv.Load(),
+			MessagesSent:  c.msgsSent.Load(),
+		}
+		return true
+	})
+	return out
+}
+
 func (p *Peer) acceptLoop() {
 	for {
 		conn, err := p.listener.Accept()
@@ -168,10 +223,13 @@ func (p *Peer) readLoop(conn net.Conn) {
 			return
 		}
 		lastFrom, seen = from, true
-		p.bytesRecv.Add(frameBytes(tag, payload))
+		n := frameBytes(tag, payload)
+		p.bytesRecv.Add(n)
 		if tag == identTag {
 			continue
 		}
+		counterIn(&p.tagStats, network.TagPrefix(tag)).bytesRecv.Add(n)
+		counterIn(&p.peerStats, from).bytesRecv.Add(n)
 		p.box(from, tag).put(payload)
 	}
 }
@@ -312,8 +370,15 @@ func (p *Peer) Send(to network.NodeID, tag string, payload []byte) error {
 	if err := writeFrame(c, p.id, tag, payload); err != nil {
 		return fmt.Errorf("tcpnet: send to %d: %w", to, err)
 	}
-	p.bytesSent.Add(frameBytes(tag, payload))
+	n := frameBytes(tag, payload)
+	p.bytesSent.Add(n)
 	p.msgsSent.Add(1)
+	tc := counterIn(&p.tagStats, network.TagPrefix(tag))
+	tc.bytesSent.Add(n)
+	tc.msgsSent.Add(1)
+	pc := counterIn(&p.peerStats, to)
+	pc.bytesSent.Add(n)
+	pc.msgsSent.Add(1)
 	return nil
 }
 

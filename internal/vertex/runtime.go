@@ -14,6 +14,7 @@ import (
 	"dstress/internal/gmw"
 	"dstress/internal/group"
 	"dstress/internal/network"
+	"dstress/internal/obs"
 	"dstress/internal/ot"
 	"dstress/internal/secretshare"
 	"dstress/internal/transfer"
@@ -89,11 +90,16 @@ type Report struct {
 	// ordered node pairs sharing at least one session — independent of the
 	// block count. Dealer-provisioned runs report 0.
 	BaseOTHandshakes int64
-	// Phase traffic totals. Simulated runs fill these with bytes summed
-	// across all nodes (session bootstrap happens in New, before any phase
-	// is charged); cluster runs fill them with the one node's sent+received
-	// bytes, and its Init phase includes the GMW/OT session handshakes. The
-	// two modes' phase-byte tables are therefore not directly comparable.
+	// Phase traffic totals. This layer reports what it can observe: a
+	// simulated run fills these with total bytes sent across all simulated
+	// nodes (session bootstrap happens in New, before any phase is
+	// charged); a cluster node fills them with its own sent+received bytes,
+	// and its Init phase additionally includes the GMW/OT session
+	// handshakes. The dstress.Report facade folds the cluster's per-node
+	// tables back into total bytes sent (Σ sent+received over nodes,
+	// halved), so at the facade level both modes report the same quantity —
+	// see the Report doc in engine.go, and TestClusterByteAccounting for
+	// the pinned relationship.
 	InitBytes, ComputeBytes, CommBytes, AggBytes int64
 	// AvgNodeBytes and MaxNodeBytes summarize per-node traffic.
 	AvgNodeBytes float64
@@ -413,6 +419,7 @@ func (r *Runtime) RunQuery(ctx context.Context, iterations int, epsilon float64)
 	// would silently accumulate every earlier query's bytes.
 	r.net.ResetStats()
 	phaseStart := func() (time.Time, int64) { return time.Now(), r.net.TotalBytes() }
+	tr := obs.From(ctx)
 
 	// --- Initialization (§3.6): owners split and distribute shares. ---
 	t0, b0 := phaseStart()
@@ -421,6 +428,7 @@ func (r *Runtime) RunQuery(ctx context.Context, iterations int, epsilon float64)
 	}
 	rep.InitTime = time.Since(t0)
 	rep.InitBytes = r.net.TotalBytes() - b0
+	tr.SpanDur("phase/init", t0, rep.InitTime)
 
 	// --- Iterations. ---
 	for it := 0; it <= iterations; it++ {
@@ -431,6 +439,9 @@ func (r *Runtime) RunQuery(ctx context.Context, iterations int, epsilon float64)
 		}
 		rep.ComputeTime += time.Since(t0)
 		rep.ComputeBytes += r.net.TotalBytes() - b0
+		if tr != nil {
+			tr.Span(fmt.Sprintf("iter/%d/compute", it), t0)
+		}
 
 		if it == iterations {
 			break // final computation step: no communication follows
@@ -441,6 +452,9 @@ func (r *Runtime) RunQuery(ctx context.Context, iterations int, epsilon float64)
 		}
 		rep.CommTime += time.Since(t0)
 		rep.CommBytes += r.net.TotalBytes() - b0
+		if tr != nil {
+			tr.Span(fmt.Sprintf("iter/%d/communicate", it), t0)
+		}
 	}
 
 	// --- Aggregation + noising (§3.6). ---
@@ -451,9 +465,16 @@ func (r *Runtime) RunQuery(ctx context.Context, iterations int, epsilon float64)
 	}
 	rep.AggTime = time.Since(t0)
 	rep.AggBytes = r.net.TotalBytes() - b0
+	tr.SpanDur("phase/agg", t0, rep.AggTime)
 
 	rep.AvgNodeBytes = r.net.AvgNodeBytes()
 	rep.MaxNodeBytes = r.net.MaxNodeBytes()
+	if tr != nil {
+		for prefix, ts := range r.net.TagStats() {
+			tr.Add("net/"+prefix+"/bytes_sent", ts.BytesSent)
+			tr.Add("net/"+prefix+"/msgs_sent", ts.MessagesSent)
+		}
+	}
 	return result, rep, nil
 }
 
@@ -544,12 +565,16 @@ func (r *Runtime) initSharesVertex(ctx context.Context, v, k1 int) error {
 // computeStep runs every block's update MPC; returns outShares[v][slot][m].
 func (r *Runtime) computeStep(ctx context.Context, iter int) ([][][]uint64, error) {
 	g := r.graph
-	_ = iter // kept for symmetry with communicateStep's tagging
+	tr := obs.From(ctx)
 	out := make([][][]uint64, g.N())
 	if err := r.parallelFor(g.N(), func(v int) error {
+		t0 := time.Now()
 		res, err := r.runBlockMPC(ctx, v)
 		if err != nil {
 			return fmt.Errorf("block %d: %w", v, err)
+		}
+		if tr != nil { // guard: the name formatting allocates
+			tr.Span(fmt.Sprintf("iter/%d/blk/%d/gmw", iter, v), t0)
 		}
 		out[v] = res
 		return nil
@@ -646,11 +671,16 @@ func (r *Runtime) communicateStep(ctx context.Context, iter int, outShares [][][
 	}
 	// Each edge owns a distinct (v, slotIn) message slot, so the bodies
 	// write disjoint state.
+	tr := obs.From(ctx)
 	return r.parallelFor(len(edges), func(i int) error {
 		u, v := edges[i][0], edges[i][1]
+		t0 := time.Now()
 		fresh, err := r.runTransfer(ctx, iter, u, v, slotIns[i], outShares[u][OutSlot(g, u, v)])
 		if err != nil {
 			return fmt.Errorf("edge (%d,%d): %w", u, v, err)
+		}
+		if tr != nil {
+			tr.Span(fmt.Sprintf("tx/%d/%d/%d", iter, u, v), t0)
 		}
 		r.msgShares[v][slotIns[i]] = fresh
 		return nil
@@ -897,9 +927,16 @@ func (r *Runtime) aggregateTree(ctx context.Context, plan *aggPlan) (int64, erro
 	// Leaf groups are disjoint — distinct sessions, distinct reshare tags,
 	// distinct output slots — so they run concurrently under the
 	// Config.Parallelism semaphore like the per-block MPC phases.
+	tr := obs.From(ctx)
 	partialShares := make([][]uint64, nGroups) // [group][leaf member]
 	leafBlocks := make([][]network.NodeID, nGroups)
 	if err := r.parallelFor(nGroups, func(grp int) error {
+		leafT0 := time.Now()
+		defer func() {
+			if tr != nil {
+				tr.Span(fmt.Sprintf("agg/leaf/%d", grp), leafT0)
+			}
+		}()
 		lo := grp * fanIn
 		hi := lo + fanIn
 		if hi > g.N() {
@@ -937,6 +974,8 @@ func (r *Runtime) aggregateTree(ctx context.Context, plan *aggPlan) (int64, erro
 	}
 
 	// Root: combine partials + noise in the TP's aggregation block.
+	rootT0 := time.Now()
+	defer tr.Span("agg/root", rootT0)
 	combineCirc, err := r.prog.CombineCircuit(nGroups, plan.noise)
 	if err != nil {
 		return 0, err

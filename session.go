@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"dstress/internal/dp"
+	"dstress/internal/obs"
 )
 
 // ErrSessionBusy reports a Query submitted while another query is already
@@ -61,6 +62,7 @@ type Session struct {
 	acct     *dp.Accountant // nil = unmetered
 	decode   func(int64) float64
 	defaults QuerySpec
+	queries  int // queries started, for the "q/<n>" trace tag
 	closed   bool
 }
 
@@ -112,7 +114,15 @@ func (s *Session) Query(ctx context.Context, q QuerySpec) (*Result, error) {
 		}
 	}
 	s.busy = true
+	s.queries++
+	seq := s.queries
 	s.mu.Unlock()
+
+	// Stamp the caller's trace (if any) with this query's sequence number:
+	// every span recorded from here on carries "q/<n>", keeping multi-query
+	// sessions separable in one trace file. Cluster nodes stamp their own
+	// span tables with the same number from the job's Seq field.
+	obs.From(ctx).SetQuery(fmt.Sprintf("q/%d", seq))
 
 	raw, rep, err := s.backend.query(ctx, q)
 
