@@ -18,6 +18,12 @@
 //
 //	dstress-bench -load 1,3           # queries/sec: pool of 1 vs pool of 3
 //	dstress-bench -load 1,2,4 -load-wan 500ms -load-queries 24
+//	dstress-bench -load 1,2 -load-concurrent 1,2 -load-json BENCH_load.json
+//
+// -load-concurrent compares per-session query multiplexing levels: every
+// pool size is measured at each level, so "2 fleets × 1 query" and
+// "1 fleet × 2 queries" land in one table with their RSS — the memory-per-
+// throughput tradeoff between scaling out and multiplexing.
 package main
 
 import (
@@ -79,14 +85,16 @@ func main() {
 		list      = flag.Bool("list", false, "print the experiment index and exit")
 
 		loadPools   = flag.String("load", "", "service-layer load generator: comma-separated pool sizes to compare (e.g. 1,3); empty runs the experiment suite instead")
+		loadConc    = flag.String("load-concurrent", "1", "comma-separated per-session multiplexing levels to measure each pool size at in -load mode")
 		loadQueries = flag.Int("load-queries", 18, "queries served per pool size in -load mode")
-		loadClients = flag.Int("load-clients", 0, "concurrent submitters in -load mode (0 = 2x the largest pool)")
+		loadClients = flag.Int("load-clients", 0, "concurrent submitters in -load mode (0 = 2x the largest pool x concurrency)")
 		loadWAN     = flag.Duration("load-wan", 300*time.Millisecond, "emulated remote-fleet latency each query holds its session for in -load mode (0 = raw local CPU)")
+		loadJSON    = flag.String("load-json", "", "also write -load results as JSON to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
 	if *loadPools != "" {
-		runLoad(*loadPools, *loadQueries, *loadClients, *loadWAN)
+		runLoad(*loadPools, *loadConc, *loadQueries, *loadClients, *loadWAN, *loadJSON)
 		return
 	}
 
@@ -170,25 +178,79 @@ func main() {
 	fmt.Fprintf(os.Stderr, "completed in %v\n", total.Round(time.Millisecond))
 }
 
-// runLoad parses the -load pool list and runs the service-layer load
-// generator: queries/sec vs pool size over real simulation sessions.
-func runLoad(pools string, queries, clients int, wan time.Duration) {
-	var sizes []int
-	for _, f := range strings.Split(pools, ",") {
-		p, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || p <= 0 {
-			log.Fatalf("-load wants comma-separated positive pool sizes, got %q", pools)
+// loadReport is the -load-json document: one row per (pool, concurrency)
+// measurement plus run metadata, the machine-readable form committed as
+// BENCH_pr7_multiplex.json.
+type loadReport struct {
+	Timestamp  string             `json:"timestamp"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	NumCPU     int                `json:"num_cpu"`
+	WANDelayMS float64            `json:"wan_delay_ms"`
+	Queries    int                `json:"queries_per_run"`
+	Results    []serve.LoadResult `json:"results"`
+}
+
+// runLoad parses the -load pool and -load-concurrent lists and runs the
+// service-layer load generator: queries/sec (and RSS) for every pool size
+// at every per-session multiplexing level.
+func runLoad(pools, concs string, queries, clients int, wan time.Duration, jsonPath string) {
+	parseList := func(flagName, s string) []int {
+		var out []int
+		for _, f := range strings.Split(s, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || p <= 0 {
+				log.Fatalf("%s wants comma-separated positive integers, got %q", flagName, s)
+			}
+			out = append(out, p)
 		}
-		sizes = append(sizes, p)
+		return out
 	}
-	results, err := serve.RunLoad(context.Background(), serve.LoadOptions{
-		Pools: sizes, Queries: queries, Clients: clients, WANDelay: wan,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
-	})
-	if err != nil {
-		log.Fatal(err)
+	sizes := parseList("-load", pools)
+	levels := parseList("-load-concurrent", concs)
+
+	var results []serve.LoadResult
+	for _, conc := range levels {
+		rs, err := serve.RunLoad(context.Background(), serve.LoadOptions{
+			Pools: sizes, Queries: queries, Clients: clients, WANDelay: wan,
+			Concurrency: conc,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, rs...)
 	}
-	fmt.Print(serve.FormatLoadResults(results, wan))
+
+	tableOut := os.Stdout
+	if jsonPath == "-" {
+		tableOut = os.Stderr
+	}
+	fmt.Fprint(tableOut, serve.FormatLoadResults(results, wan))
+
+	if jsonPath != "" {
+		report := loadReport{
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			WANDelayMS: float64(wan) / float64(time.Millisecond),
+			Queries:    queries,
+			Results:    results,
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		if jsonPath == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

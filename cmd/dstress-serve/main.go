@@ -2,10 +2,12 @@
 // deployments over a synthetic banking network, answering budget-checked
 // queries over JSON-HTTP. It is the serving layer of the paper's
 // deployment story (§4.5): tenants (regulators) pose a few ε-charged
-// queries per year against a long-lived distributed graph; the pool lets
-// many such queries run concurrently, one per standing fleet.
+// queries per year against a long-lived distributed graph; each standing
+// fleet multiplexes -concurrent queries at once (every query gets its own
+// "q/<id>" tag namespace, so their protocol messages cannot collide), and
+// the pool scales out across fleets.
 //
-//	dstress-serve -listen 127.0.0.1:8080 -n 8 -k 1 -d 3 -pool 2
+//	dstress-serve -listen 127.0.0.1:8080 -n 8 -k 1 -d 3 -pool 2 -concurrent 2
 //
 //	curl -s localhost:8080/v1/queries -d '{"tenant":"fed","epsilon":0.23}'
 //	curl -s localhost:8080/v1/tenants/fed/budget
@@ -41,6 +43,7 @@ func main() {
 	var (
 		listen       = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
 		pool         = flag.Int("pool", 2, "maximum standing deployments (pool cap)")
+		concurrent   = flag.Int("concurrent", 1, "queries multiplexed concurrently on each standing deployment (query-id multiplexing; 1 = classic one-query-per-fleet)")
 		warm         = flag.Int("warm", 1, "deployments opened at boot; the rest grow lazily under load")
 		queue        = flag.Int("queue", 64, "admitted-query queue depth (backpressure beyond it)")
 		tenantBudget = flag.Float64("tenant-budget", math.Ln2, "annual ε budget granted to each new tenant (§4.5; 0 refuses unknown tenants)")
@@ -122,9 +125,14 @@ func main() {
 		"group", g.Name(), "alpha", *alpha, "exact_tds_musd", exactTDS/1e6)
 	svc, err := serve.New(ctx, serve.Config{
 		Open: func(ctx context.Context) (serve.QueryRunner, error) {
-			return eng.Open(ctx, job, 0) // tenant budgets are enforced by the service ledger
+			sess, err := eng.Open(ctx, job, 0) // tenant budgets are enforced by the service ledger
+			if err != nil {
+				return nil, err
+			}
+			sess.SetMaxConcurrent(*concurrent)
+			return sess, nil
 		},
-		PoolCap: *pool, Warm: *warm, QueueDepth: *queue,
+		PoolCap: *pool, SessionConcurrency: *concurrent, Warm: *warm, QueueDepth: *queue,
 		DefaultBudget:     *tenantBudget,
 		DefaultIterations: sc.Iterations,
 		DefaultEpsilon:    *epsilon,
@@ -137,7 +145,7 @@ func main() {
 	srv := &http.Server{Addr: *listen, Handler: serve.NewHandler(svc)}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- srv.ListenAndServe() }()
-	slog.Info("serving", "addr", *listen, "pool_cap", *pool, "queue", *queue, "tenant_budget", *tenantBudget)
+	slog.Info("serving", "addr", *listen, "pool_cap", *pool, "concurrent", *concurrent, "queue", *queue, "tenant_budget", *tenantBudget)
 
 	select {
 	case err := <-httpErr:

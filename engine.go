@@ -182,11 +182,12 @@ type Engine interface {
 // SessionEngine is an Engine that can hold a deployment open across
 // queries: trusted-party setup, GMW handshakes, and fixed-base tables are
 // paid once at Open and reused by every Query. Each Open stands up an
-// independent deployment, so a caller may hold several sessions from one
-// engine and drive them concurrently — one in-flight query per session
-// (ErrSessionBusy guards the protocol state) — which is how the
-// internal/serve query service scales throughput: a pool of sessions,
-// each answering one query at a time.
+// independent deployment; queries on one session multiplex up to its
+// MaxConcurrent admission limit (each under its own "q/<id>" tag
+// namespace, so their protocol messages cannot collide), and beyond the
+// limit Query fails fast with ErrSessionBusy. The internal/serve query
+// service scales throughput on both axes: a pool of sessions, each
+// admitting several concurrent queries.
 type SessionEngine interface {
 	Engine
 	Open(ctx context.Context, job Job, budget float64) (*Session, error)
@@ -293,9 +294,9 @@ type simBackend struct {
 	nodes int
 }
 
-func (b *simBackend) query(ctx context.Context, q QuerySpec) (int64, *Report, error) {
+func (b *simBackend) query(ctx context.Context, seq int, q QuerySpec) (int64, *Report, error) {
 	start := time.Now()
-	raw, rep, err := b.rt.RunQuery(ctx, q.Iterations, q.Epsilon)
+	raw, rep, err := b.rt.RunQueryID(ctx, seq, q.Iterations, q.Epsilon)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -386,8 +387,8 @@ type clusterBackend struct {
 	nodes int
 }
 
-func (b *clusterBackend) query(ctx context.Context, q QuerySpec) (int64, *Report, error) {
-	sum, err := b.lb.Run(ctx, cluster.Query{Iterations: q.Iterations, Epsilon: q.Epsilon})
+func (b *clusterBackend) query(ctx context.Context, seq int, q QuerySpec) (int64, *Report, error) {
+	sum, err := b.lb.Run(ctx, cluster.Query{Seq: seq, Iterations: q.Iterations, Epsilon: q.Epsilon})
 	if err != nil {
 		return 0, nil, err
 	}

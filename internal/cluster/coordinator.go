@@ -36,6 +36,11 @@ type Query struct {
 	// Epsilon is the output-privacy budget for this query; 0 disables the
 	// final Laplace noise (correctness tests only).
 	Epsilon float64
+	// Seq optionally fixes the query id ("q/<Seq>" tag namespace). 0 lets
+	// the session assign the next unused id. Callers that bring their own
+	// ids (the dstress session facade) must keep them unique per session;
+	// a Seq that is still in flight is rejected.
+	Seq int
 }
 
 // Summary is the coordinator's view of one completed query.
@@ -169,9 +174,10 @@ type nodeConn struct {
 }
 
 // Session is a standing deployment: registration and trusted-party setup
-// have completed, every node keeps its control connection, GMW sessions and
-// OT handshakes survive across queries, and each Run dispatches one more
-// query to the fleet. Sessions are not safe for concurrent Runs.
+// have completed, every node keeps its control connection, and OT
+// handshakes survive across queries. Runs may overlap: each dispatches a
+// jobMsg under its own query id and a per-node reader routes doneMsgs back
+// by Seq, so several queries can be in flight on one fleet concurrently.
 type Session struct {
 	c         *Coordinator
 	conns     map[network.NodeID]*nodeConn
@@ -180,9 +186,57 @@ type Session struct {
 	wireSetup trustedparty.WireSetup
 	directory map[network.NodeID]string
 
-	mu       sync.Mutex
-	jobsSent int
-	closed   bool
+	// dispatchMu serializes whole-fleet job dispatches: every node must see
+	// the session's jobs in the same order (the setup-carrying first job in
+	// particular must be first on every control connection), and gob
+	// encoders are not otherwise concurrency-safe.
+	dispatchMu sync.Mutex
+
+	mu        sync.Mutex
+	jobsSent  int
+	setupSent bool
+	pending   map[int]chan doneMsg // in-flight queries by Seq
+	closed    bool
+
+	// Reader failure state: any control-plane read error is fatal for the
+	// whole session (fail-stop), so the first one is recorded and readDone
+	// closed to wake every in-flight Run.
+	readOnce sync.Once
+	readErr  error
+	readDone chan struct{}
+}
+
+// readLoop is the per-node doneMsg router: it owns node id's decoder for
+// the session's lifetime and delivers each report to the Run that is
+// waiting on its Seq. Any decode error, identity mismatch, or report for
+// an unknown query kills the session.
+func (s *Session) readLoop(id network.NodeID, nc *nodeConn) {
+	for {
+		var d doneMsg
+		if err := nc.dec.Decode(&d); err != nil {
+			s.failReads(fmt.Errorf("cluster: node %d: reading report: %w", id, err))
+			return
+		}
+		if d.ID != id {
+			s.failReads(fmt.Errorf("cluster: report id %d on node %d's connection", d.ID, id))
+			return
+		}
+		s.mu.Lock()
+		ch := s.pending[d.Seq]
+		s.mu.Unlock()
+		if ch == nil {
+			s.failReads(fmt.Errorf("cluster: node %d reported unknown query %d", id, d.Seq))
+			return
+		}
+		ch <- d // buffered to fleet size; never blocks
+	}
+}
+
+func (s *Session) failReads(err error) {
+	s.readOnce.Do(func() {
+		s.readErr = err
+		close(s.readDone)
+	})
 }
 
 // Open runs the registration phase — accept one control connection per
@@ -329,19 +383,26 @@ func (c *Coordinator) Open(ctx context.Context) (*Session, error) {
 		directory[id] = nc.addr
 	}
 	ok = true
-	return &Session{
+	sess := &Session{
 		c: c, conns: conns, ids: ids, setup: setup,
 		wireSetup: trustedparty.MarshalSetup(c.grp, setup),
 		directory: directory,
-	}, nil
+		pending:   make(map[int]chan doneMsg),
+		readDone:  make(chan struct{}),
+	}
+	for _, id := range ids {
+		go sess.readLoop(id, conns[id])
+	}
+	return sess, nil
 }
 
 // Run dispatches one query to the standing fleet and collects the reports.
 // The first query ships the topology, directory, and signed setup; later
 // queries ship only the per-query parameters and the owners' (possibly
-// updated) private inputs, and reuse the nodes' standing GMW sessions. A
-// node failure or context cancellation aborts the whole session — the
-// deployment is fail-stop, matching the paper's prototype.
+// updated) private inputs. Runs may overlap: each query's protocol traffic
+// lives under its own "q/<Seq>" tag namespace and its reports are routed
+// back by Seq. A node failure or context cancellation aborts the whole
+// session — the deployment is fail-stop, matching the paper's prototype.
 func (s *Session) Run(ctx context.Context, q Query) (*Summary, error) {
 	if q.Iterations < 0 {
 		return nil, fmt.Errorf("cluster: negative iteration count %d", q.Iterations)
@@ -353,10 +414,27 @@ func (s *Session) Run(ctx context.Context, q Query) (*Summary, error) {
 	}
 	// Claim the first-job slot only once validation is done: a rejected
 	// query must not consume the one job that ships the setup.
-	first := s.jobsSent == 0
-	s.jobsSent++
-	seq := s.jobsSent
+	seq := q.Seq
+	if seq <= 0 {
+		seq = s.jobsSent + 1
+	}
+	if _, dup := s.pending[seq]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("cluster: query %d is already in flight", seq)
+	}
+	if seq > s.jobsSent {
+		s.jobsSent = seq
+	}
+	first := !s.setupSent
+	s.setupSent = true
+	ch := make(chan doneMsg, len(s.ids))
+	s.pending[seq] = ch
 	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.pending, seq)
+		s.mu.Unlock()
+	}()
 
 	g := s.c.sc.Graph
 	n := g.N()
@@ -365,7 +443,7 @@ func (s *Session) Run(ctx context.Context, q Query) (*Summary, error) {
 
 	// On any failure below the session is unusable: release the fleet so
 	// every node fails fast instead of waiting on dead counterparties.
-	sum, err := s.runQuery(ctx, q, cfg, g, n, first, seq)
+	sum, err := s.runQuery(ctx, q, cfg, g, n, first, seq, ch)
 	if err != nil {
 		s.abort()
 		return nil, err
@@ -373,10 +451,13 @@ func (s *Session) Run(ctx context.Context, q Query) (*Summary, error) {
 	return sum, nil
 }
 
-func (s *Session) runQuery(ctx context.Context, q Query, cfg ConfigWire, g *vertex.Graph, n int, first bool, seq int) (*Summary, error) {
-	// --- Dispatch the job; this triggers the query.
+func (s *Session) runQuery(ctx context.Context, q Query, cfg ConfigWire, g *vertex.Graph, n int, first bool, seq int, ch chan doneMsg) (*Summary, error) {
+	// --- Dispatch the job; this triggers the query. The whole fleet loop
+	// holds dispatchMu so overlapping Runs cannot interleave their jobs
+	// across connections: every node sees the same job order.
 	slog.Debug("cluster query dispatch", "query", seq, "nodes", n, "iterations", q.Iterations, "epsilon", q.Epsilon, "first", first)
 	start := time.Now()
+	s.dispatchMu.Lock()
 	for _, id := range s.ids {
 		job := jobMsg{
 			Cfg:        cfg,
@@ -392,29 +473,13 @@ func (s *Session) runQuery(ctx context.Context, q Query, cfg ConfigWire, g *vert
 			job.Setup = s.wireSetup
 		}
 		if err := s.conns[id].enc.Encode(job); err != nil {
+			s.dispatchMu.Unlock()
 			return nil, fmt.Errorf("cluster: dispatching job to node %d: %w", id, err)
 		}
 	}
+	s.dispatchMu.Unlock()
 
-	// --- Collect reports.
-	doneCh := make(chan doneMsg, n)
-	errCh := make(chan error, n)
-	for _, id := range s.ids {
-		nc := s.conns[id]
-		id := id
-		go func() {
-			var d doneMsg
-			if err := nc.dec.Decode(&d); err != nil {
-				errCh <- fmt.Errorf("cluster: node %d: reading report: %w", id, err)
-				return
-			}
-			if d.ID != id {
-				errCh <- fmt.Errorf("cluster: report id %d on node %d's connection", d.ID, id)
-				return
-			}
-			doneCh <- d
-		}()
-	}
+	// --- Collect this query's reports, routed here by the session readers.
 	sum := &Summary{
 		Reports:  make(map[network.NodeID]vertex.Report, n),
 		Stats:    make(map[network.NodeID]network.Stats, n),
@@ -426,9 +491,9 @@ func (s *Session) runQuery(ctx context.Context, q Query, cfg ConfigWire, g *vert
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case err := <-errCh:
-			return nil, err
-		case d := <-doneCh:
+		case <-s.readDone:
+			return nil, s.readErr
+		case d := <-ch:
 			if d.Err != "" {
 				return nil, fmt.Errorf("cluster: node %d failed: %s", d.ID, d.Err)
 			}
@@ -487,11 +552,13 @@ func (s *Session) Close() error {
 	conns := s.conns
 	s.mu.Unlock()
 	var firstErr error
+	s.dispatchMu.Lock()
 	for _, nc := range conns {
 		if err := nc.enc.Encode(jobMsg{Shutdown: true}); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("cluster: shutting down: %w", err)
 		}
 	}
+	s.dispatchMu.Unlock()
 	for _, nc := range conns {
 		nc.conn.Close()
 	}

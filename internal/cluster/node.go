@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -137,13 +138,29 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 		}
 	}()
 
-	var eng *engine
-	var last *NodeResult
-	for job := range jobCh {
-		if job.Shutdown {
-			slog.Debug("cluster node shutting down", "node", opt.ID)
-			return last, nil
+	// Jobs overlap: each runs in its own goroutine against per-query state
+	// (the engine keys share registers and GMW sessions by job.Seq), while
+	// the engine itself — substrate, caches, setup — stands for the whole
+	// session. encMu serializes doneMsg encodes on the shared control
+	// connection; any job failure is fatal for the daemon (fail-stop).
+	var (
+		eng      *engine
+		inflight sync.WaitGroup
+		encMu    sync.Mutex
+		stateMu  sync.Mutex
+		last     *NodeResult
+		fatalErr error
+	)
+	setFatal := func(err error) {
+		stateMu.Lock()
+		if fatalErr == nil {
+			fatalErr = err
 		}
+		stateMu.Unlock()
+		ctlCancel()
+	}
+	runOne := func(job jobMsg) {
+		defer inflight.Done()
 		// Nodes always record: a per-job trace is a few hundred spans and
 		// ships over the control plane only after the query, so the data
 		// plane never pays for it. The coordinator decides what to do with
@@ -156,46 +173,9 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 		slog.Debug("cluster job received",
 			"node", opt.ID, "query", job.Seq, "iterations", job.Iterations)
 		var res NodeResult
-		statsBefore := peer.Stats()
-		tagBefore := peer.TagStats()
-		runErr := func() error {
-			if eng == nil {
-				var err error
-				eng, err = newEngine(opt.ID, peer, grp, job, secrets)
-				if err != nil {
-					return err
-				}
-				for id, addr := range job.Directory {
-					if id != opt.ID {
-						peer.Register(id, addr)
-					}
-				}
-				// Self-delivery (a node can be relay and block member at
-				// once) goes through the peer's own listener like any other
-				// traffic — dialed at the local listen address, never the
-				// advertised one, which may not be reachable from inside a
-				// NAT.
-				peer.Register(opt.ID, selfDialAddr(peer.Addr()))
-			}
-			return eng.runJob(jobCtx, job, &res)
-		}()
-		// Report this job's traffic, not the whole session's: the peer's
-		// counters are cumulative, so later queries subtract the baseline.
-		now := peer.Stats()
-		res.Stats = network.Stats{
-			BytesSent:     now.BytesSent - statsBefore.BytesSent,
-			BytesReceived: now.BytesReceived - statsBefore.BytesReceived,
-			MessagesSent:  now.MessagesSent - statsBefore.MessagesSent,
-		}
-		// Fold this job's per-tag-prefix traffic deltas into the counters.
-		for prefix, ts := range peer.TagStats() {
-			before := tagBefore[prefix]
-			trace.Add("net/"+prefix+"/bytes_sent", ts.BytesSent-before.BytesSent)
-			trace.Add("net/"+prefix+"/bytes_recv", ts.BytesReceived-before.BytesReceived)
-			trace.Add("net/"+prefix+"/msgs_sent", ts.MessagesSent-before.MessagesSent)
-		}
+		runErr := eng.runJob(jobCtx, job, &res)
 		done := doneMsg{
-			ID: opt.ID, HasResult: res.HasResult, Result: res.Result,
+			ID: opt.ID, Seq: job.Seq, HasResult: res.HasResult, Result: res.Result,
 			Report: res.Report, Stats: res.Stats,
 			Spans: trace.Spans(), Counters: trace.Counters(),
 		}
@@ -211,21 +191,70 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 				"agg_ms", res.Report.AggTime.Milliseconds(),
 				"bytes_sent", res.Stats.BytesSent)
 		}
-		if err := enc.Encode(done); err != nil && runErr == nil {
-			runErr = fmt.Errorf("cluster: reporting result: %w", err)
+		encMu.Lock()
+		encErr := enc.Encode(done)
+		encMu.Unlock()
+		if encErr != nil && runErr == nil {
+			runErr = fmt.Errorf("cluster: reporting result: %w", encErr)
 		}
 		if runErr != nil {
-			return nil, runErr
+			setFatal(runErr)
+			return
 		}
+		stateMu.Lock()
 		last = &res
+		stateMu.Unlock()
+	}
+	for job := range jobCh {
+		if job.Shutdown {
+			slog.Debug("cluster node shutting down", "node", opt.ID)
+			inflight.Wait()
+			stateMu.Lock()
+			res, err := last, fatalErr
+			stateMu.Unlock()
+			return res, err
+		}
+		if eng == nil {
+			// The engine (and the peer directory) is built synchronously on
+			// the first job, so overlapping later jobs always find it
+			// standing.
+			var err error
+			eng, err = newEngine(opt.ID, peer, grp, job, secrets)
+			if err != nil {
+				encMu.Lock()
+				enc.Encode(doneMsg{ID: opt.ID, Seq: job.Seq, Err: err.Error()})
+				encMu.Unlock()
+				return nil, err
+			}
+			for id, addr := range job.Directory {
+				if id != opt.ID {
+					peer.Register(id, addr)
+				}
+			}
+			// Self-delivery (a node can be relay and block member at
+			// once) goes through the peer's own listener like any other
+			// traffic — dialed at the local listen address, never the
+			// advertised one, which may not be reachable from inside a
+			// NAT.
+			peer.Register(opt.ID, selfDialAddr(peer.Addr()))
+		}
+		inflight.Add(1)
+		go runOne(job)
 	}
 	// The job channel closed without a shutdown message: the control plane
-	// is gone (coordinator abort, node failure elsewhere, or caller
-	// cancellation).
-	if err := ctx.Err(); err != nil {
-		return last, err
+	// is gone (coordinator abort, node failure elsewhere, caller
+	// cancellation, or a failed job of our own).
+	inflight.Wait()
+	stateMu.Lock()
+	res, ferr := last, fatalErr
+	stateMu.Unlock()
+	if ferr != nil {
+		return nil, ferr
 	}
-	return last, fmt.Errorf("cluster: node %d: control connection to coordinator lost", opt.ID)
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, fmt.Errorf("cluster: node %d: control connection to coordinator lost", opt.ID)
 }
 
 // selfDialAddr rewrites an unspecified listen host (0.0.0.0 / ::) to
@@ -304,15 +333,24 @@ type engine struct {
 	// different budgets over one set of GMW sessions.
 	aggPlans map[float64]*nodeAggPlan
 	// sub is this node's pairwise OT substrate: one base-OT handshake per
-	// ordered peer pair for the engine's lifetime, with every GMW session
-	// deriving its own extension streams from it.
+	// ordered peer pair for the engine's lifetime, with every query's GMW
+	// sessions deriving their own extension streams from it.
 	sub *ot.Substrate
-	// sessionsReady records that the GMW sessions (and their OT
-	// handshakes) are standing; they are joined during the first job and
-	// reused by every later one.
-	sessionsReady bool
-	// setupTime is the one-time session-join cost paid by the first job.
+	// tags is the per-tag-prefix view of e.tr (nil when the transport does
+	// not track tags); with overlapping jobs it is the only way to carve
+	// one query's traffic out of the shared counters.
+	tags network.TagTracker
+
+	// setupMu guards the one-time setup accounting: the first job to start
+	// claims setup and charges the pairwise OT handshakes to its Init
+	// phase; planMu guards the ε-keyed aggregation-plan cache and certMu
+	// the certificate-cache amortization counter — all shared by
+	// overlapping jobs.
+	setupMu   sync.Mutex
+	setupDone bool
 	setupTime time.Duration
+	planMu    sync.Mutex
+	certMu    sync.Mutex
 	// certUses accumulates certificate-key uses across a session's jobs
 	// so fixed-base tables amortize even when single queries are short.
 	certUses int
@@ -327,9 +365,21 @@ type engine struct {
 	// ascending order; memberIdx gives this node's index in each block.
 	memberVertices []int
 	memberIdx      map[int]int
-	sessions       map[int]*gmw.Party
 	aggIdx         int // index in the aggregation block, or -1
-	aggParty       *gmw.Party
+}
+
+// nodeRun is one query's protocol state on one node: its GMW sessions (all
+// tagged under root, so their wire streams cannot collide with another
+// query's) and this node's XOR share registers. Each runJob owns exactly one
+// nodeRun; overlapping jobs touch disjoint nodeRuns and disjoint tag
+// namespaces.
+type nodeRun struct {
+	root      string // "q/<seq>", the tag namespace of this query
+	initState int64
+	priv      []uint8
+
+	sessions map[int]*gmw.Party
+	aggParty *gmw.Party
 
 	// stateShare[v] / msgShare[v][slot] are this node's XOR shares for the
 	// vertices it is a block member of.
@@ -389,15 +439,13 @@ func newEngine(id network.NodeID, tr network.Transport, grp group.Group, job job
 	e := &engine{
 		id: id, tr: tr, grp: grp, cfg: job.Cfg, prog: prog, graph: g,
 		setup: setup, secrets: secrets,
-		memberIdx:  make(map[int]int),
-		sessions:   make(map[int]*gmw.Party),
-		aggIdx:     -1,
-		stateShare: make(map[int]uint64),
-		msgShare:   make(map[int][]uint64),
-		certCache:  transfer.NewCertKeyCache(),
-		aggPlans:   make(map[float64]*nodeAggPlan),
-		sub:        ot.NewSubstrate(grp, tr),
+		memberIdx: make(map[int]int),
+		aggIdx:    -1,
+		certCache: transfer.NewCertKeyCache(),
+		aggPlans:  make(map[float64]*nodeAggPlan),
+		sub:       ot.NewSubstrate(grp, tr),
 	}
+	e.tags, _ = tr.(network.TagTracker)
 	if e.updCirc, err = prog.UpdateCircuit(g.D); err != nil {
 		return nil, err
 	}
@@ -439,12 +487,15 @@ func indexOf(ids []network.NodeID, id network.NodeID) int {
 	return -1
 }
 
-// createSessions joins every GMW session this node is a member of. All
-// sessions are joined concurrently and unboundedly: IKNP handshakes block
-// until every member of a session arrives, and nodes discover their
-// sessions in different orders, so any bounded schedule could deadlock
-// across processes.
-func (e *engine) createSessions(ctx context.Context) error {
+// createSessions joins every GMW session this node is a member of, tagged
+// under the query's "q/<seq>" namespace: the substrate derives each query's
+// extension streams from the tag, so after the first query has paid the
+// pairwise handshakes this is purely local seed derivation plus the GMW
+// seed exchange. All sessions are joined concurrently and unboundedly: IKNP
+// handshakes block until every member of a session arrives, and nodes
+// discover their sessions in different orders, so any bounded schedule
+// could deadlock across processes.
+func (e *engine) createSessions(ctx context.Context, run *nodeRun) error {
 	opt := gmw.SubstrateOT{Sub: e.sub}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -465,11 +516,15 @@ func (e *engine) createSessions(ctx context.Context) error {
 		v := v
 		members := e.setup.Assignment.Blocks[e.graph.NodeOf(v)]
 		wg.Add(1)
-		go join(v, members, e.memberIdx[v], network.Tag("blk", v), func(p *gmw.Party) { e.sessions[v] = p })
+		go join(v, members, e.memberIdx[v], network.Tag(run.root, "blk", v), func(p *gmw.Party) {
+			run.sessions[v] = p
+		})
 	}
 	if e.aggIdx >= 0 {
 		wg.Add(1)
-		go join(-1, e.setup.Assignment.AggBlock, e.aggIdx, "aggblk", func(p *gmw.Party) { e.aggParty = p })
+		go join(-1, e.setup.Assignment.AggBlock, e.aggIdx, network.Tag(run.root, "aggblk"), func(p *gmw.Party) {
+			run.aggParty = p
+		})
 	}
 	wg.Wait()
 	return firstErr
@@ -483,8 +538,10 @@ type nodeAggPlan struct {
 }
 
 // planFor returns (compiling and caching on first use) the aggregation plan
-// for the given privacy budget.
+// for the given privacy budget. Safe for overlapping jobs.
 func (e *engine) planFor(epsilon float64) (*nodeAggPlan, error) {
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
 	if pl, ok := e.aggPlans[epsilon]; ok {
 		return pl, nil
 	}
@@ -500,10 +557,41 @@ func (e *engine) planFor(epsilon float64) (*nodeAggPlan, error) {
 	return pl, nil
 }
 
-// runJob executes one query's full schedule and fills res. The first job
-// joins the GMW sessions (charged to its Init phase, like the simulated
-// runtime's New); later jobs of the standing session reuse them and pay
-// only share distribution.
+// tagUnderRoot reports whether tag prefix belongs to the query rooted at
+// root ("q/<seq>"): the root itself or any tag below it.
+func tagUnderRoot(prefix, root string) bool {
+	return prefix == root ||
+		(strings.HasPrefix(prefix, root) && len(prefix) > len(root) && prefix[len(root)] == '/')
+}
+
+// queryStats carves one query's traffic out of the transport's shared
+// counters by its tag namespace. withSetup additionally charges the
+// pairwise substrate handshakes ("otsub", paid once per deployment) to this
+// query, mirroring how the simulated runtime charges them to setup. Falls
+// back to the cumulative totals when the transport does not track tags.
+func (e *engine) queryStats(root string, withSetup bool) network.Stats {
+	if e.tags == nil {
+		return e.tr.Stats()
+	}
+	var s network.Stats
+	for prefix, ts := range e.tags.TagStats() {
+		if tagUnderRoot(prefix, root) || (withSetup && prefix == "otsub") {
+			s.BytesSent += ts.BytesSent
+			s.BytesReceived += ts.BytesReceived
+			s.MessagesSent += ts.MessagesSent
+		}
+	}
+	return s
+}
+
+// runJob executes one query's full schedule and fills res. The query's
+// whole wire footprint lives under its "q/<seq>" tag namespace — GMW
+// sessions, transfers, reshares — so overlapping jobs on one standing fleet
+// cannot collide; each job's sessions derive fresh OT extension streams
+// from the standing substrate. The job that wins the setup race pays the
+// pairwise base-OT handshakes in its Init phase (like the simulated
+// runtime's New); all other jobs pay only seed derivation and share
+// distribution.
 func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error {
 	iterations := job.Iterations
 	if iterations < 0 {
@@ -513,14 +601,21 @@ func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error 
 	if err != nil {
 		return err
 	}
-	// Refresh this node's own inputs: queries may follow updated books.
-	own := int(e.id) - 1
+	// This job's own inputs ride on the job message: queries may follow
+	// updated books, and overlapping queries must each see their own
+	// snapshot, so the inputs live on the run, never on the shared graph.
 	if len(job.Priv) != e.prog.PrivBits(e.graph.D) {
 		return fmt.Errorf("cluster: node %d got %d private input bits, program wants %d",
 			e.id, len(job.Priv), e.prog.PrivBits(e.graph.D))
 	}
-	e.graph.InitState[own] = job.InitState
-	e.graph.Priv[own] = job.Priv
+	run := &nodeRun{
+		root:       network.Tag("q", job.Seq),
+		initState:  job.InitState,
+		priv:       job.Priv,
+		sessions:   make(map[int]*gmw.Party),
+		stateShare: make(map[int]uint64),
+		msgShare:   make(map[int][]uint64),
+	}
 
 	rep := &vertex.Report{
 		Iterations:     iterations,
@@ -530,43 +625,58 @@ func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error 
 	// A cluster node is a single sender, so each certificate key it
 	// caches is used once per iteration; uses accumulate across the
 	// session's queries.
+	e.certMu.Lock()
 	e.certUses += iterations
 	if e.tparam.PrecomputeWorthwhile(e.certUses) {
 		e.certCache.Enable()
 	}
+	e.certMu.Unlock()
+	// The first job to arrive claims setup: its Init phase owns the
+	// pairwise OT handshakes (and the "otsub" bytes). Overlapping jobs
+	// racing through createSessions together still handshake each pair
+	// exactly once — the substrate serializes per pair — but accounting
+	// needs a single owner.
+	e.setupMu.Lock()
+	paysSetup := !e.setupDone
+	e.setupDone = true
+	e.setupMu.Unlock()
+
 	phaseStart := func() (time.Time, int64) {
-		s := e.tr.Stats()
+		s := e.queryStats(run.root, paysSetup)
 		return time.Now(), s.BytesSent + s.BytesReceived
 	}
 	phaseBytes := func(b0 int64) int64 {
-		s := e.tr.Stats()
+		s := e.queryStats(run.root, paysSetup)
 		return s.BytesSent + s.BytesReceived - b0
 	}
 	trace := obs.From(ctx)
 
-	// --- Initialization: session handshakes + owner share distribution. ---
+	// --- Initialization: session joins + owner share distribution. ---
 	t0, b0 := phaseStart()
-	if !e.sessionsReady {
-		if err := e.createSessions(ctx); err != nil {
-			return err
-		}
-		e.sessionsReady = true
-		e.setupTime = time.Since(t0)
-		trace.SpanDur("init/sessions", t0, e.setupTime)
+	if err := e.createSessions(ctx, run); err != nil {
+		return err
 	}
-	if err := e.initShares(ctx); err != nil {
+	if paysSetup {
+		e.setupMu.Lock()
+		e.setupTime = time.Since(t0)
+		e.setupMu.Unlock()
+		trace.SpanDur("init/sessions", t0, time.Since(t0))
+	}
+	if err := e.initShares(ctx, run); err != nil {
 		return err
 	}
 	rep.InitTime = time.Since(t0)
 	rep.InitBytes = phaseBytes(b0)
+	e.setupMu.Lock()
 	rep.SetupTime = e.setupTime
+	e.setupMu.Unlock()
 	rep.BaseOTHandshakes = e.sub.Handshakes()
 	trace.SpanDur("phase/init", t0, rep.InitTime)
 
 	// --- Iterations. ---
 	for it := 0; it <= iterations; it++ {
 		t0, b0 = phaseStart()
-		out, err := e.computeStep(ctx, it)
+		out, err := e.computeStep(ctx, run, it)
 		if err != nil {
 			return fmt.Errorf("cluster: node %d iteration %d compute: %w", e.id, it, err)
 		}
@@ -580,7 +690,7 @@ func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error 
 			break
 		}
 		t0, b0 = phaseStart()
-		if err := e.communicateStep(ctx, it, out); err != nil {
+		if err := e.communicateStep(ctx, run, it, out); err != nil {
 			return fmt.Errorf("cluster: node %d iteration %d communicate: %w", e.id, it, err)
 		}
 		rep.CommTime += time.Since(t0)
@@ -592,13 +702,32 @@ func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error 
 
 	// --- Aggregation + noising. ---
 	t0, b0 = phaseStart()
-	result, hasResult, err := e.aggregate(ctx, plan)
+	result, hasResult, err := e.aggregate(ctx, run, plan)
 	if err != nil {
 		return fmt.Errorf("cluster: node %d aggregation: %w", e.id, err)
 	}
 	rep.AggTime = time.Since(t0)
 	rep.AggBytes = phaseBytes(b0)
 	trace.SpanDur("phase/agg", t0, rep.AggTime)
+
+	// Per-query accounting, then retirement: snapshot this query's traffic
+	// and fold its per-prefix counters into the trace, then drop its tag
+	// namespace from the transport so a standing daemon's counters and
+	// mailboxes do not grow with every query served.
+	res.Stats = e.queryStats(run.root, paysSetup)
+	if e.tags != nil {
+		for prefix, ts := range e.tags.TagStats() {
+			if !tagUnderRoot(prefix, run.root) && !(paysSetup && prefix == "otsub") {
+				continue
+			}
+			trace.Add("net/"+prefix+"/bytes_sent", ts.BytesSent)
+			trace.Add("net/"+prefix+"/bytes_recv", ts.BytesReceived)
+			trace.Add("net/"+prefix+"/msgs_sent", ts.MessagesSent)
+		}
+	}
+	if rt, ok := e.tr.(network.TagRetirer); ok {
+		rt.RetireTagPrefix(run.root)
+	}
 
 	res.Result = result
 	res.HasResult = hasResult
@@ -611,34 +740,34 @@ func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error 
 // its block; then it collects its shares of every other vertex it is a
 // block member of. All sends happen before any receive so no pair of nodes
 // can wait on each other.
-func (e *engine) initShares(ctx context.Context) error {
+func (e *engine) initShares(ctx context.Context, run *nodeRun) error {
 	g := e.graph
 	k1 := e.cfg.K + 1
 	own := int(e.id) - 1
 	members := e.setup.Assignment.Blocks[e.id]
 
-	st := secretshare.SplitXOR(uint64(g.InitState[own]), k1, e.prog.StateBits)
+	st := secretshare.SplitXOR(uint64(run.initState), k1, e.prog.StateBits)
 	msgs := make([][]uint64, g.D)
 	for d := range msgs {
 		msgs[d] = secretshare.SplitXOR(uint64(e.prog.NoOp), k1, e.prog.MsgBits)
 	}
 	for m := 1; m < k1; m++ {
 		vals := append([]uint64{st[m]}, vertex.Column(msgs, m)...)
-		if err := e.tr.Send(members[m], network.Tag("init", own), vertex.EncodeShares(vals)); err != nil {
+		if err := e.tr.Send(members[m], network.Tag(run.root, "init", own), vertex.EncodeShares(vals)); err != nil {
 			return err
 		}
 	}
-	e.stateShare[own] = st[0]
-	e.msgShare[own] = make([]uint64, g.D)
+	run.stateShare[own] = st[0]
+	run.msgShare[own] = make([]uint64, g.D)
 	for d := range msgs {
-		e.msgShare[own][d] = msgs[d][0]
+		run.msgShare[own][d] = msgs[d][0]
 	}
 
 	for _, v := range e.memberVertices {
 		if v == own {
 			continue
 		}
-		data, err := e.tr.Recv(ctx, g.NodeOf(v), network.Tag("init", v))
+		data, err := e.tr.Recv(ctx, g.NodeOf(v), network.Tag(run.root, "init", v))
 		if err != nil {
 			return err
 		}
@@ -646,24 +775,26 @@ func (e *engine) initShares(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
-		e.stateShare[v] = vals[0]
-		e.msgShare[v] = vals[1:]
+		run.stateShare[v] = vals[0]
+		run.msgShare[v] = vals[1:]
 	}
 	return nil
 }
 
 // memberInput assembles this node's input-share bits for vertex v's update:
-// [state | priv | msgs]; only the owner contributes the private data.
-func (e *engine) memberInput(v int) []uint8 {
+// [state | priv | msgs]; only the owner contributes the private data. A
+// node is member 0 only of its own block, so the private input is the
+// run's own snapshot.
+func (e *engine) memberInput(run *nodeRun, v int) []uint8 {
 	g := e.graph
-	in := vertex.WordToBits(e.stateShare[v], e.prog.StateBits)
+	in := vertex.WordToBits(run.stateShare[v], e.prog.StateBits)
 	if e.memberIdx[v] == 0 {
-		in = append(in, g.Priv[v]...)
+		in = append(in, run.priv...)
 	} else {
 		in = append(in, make([]uint8, e.prog.PrivBits(g.D))...)
 	}
 	for d := 0; d < g.D; d++ {
-		in = append(in, vertex.WordToBits(e.msgShare[v][d], e.prog.MsgBits)...)
+		in = append(in, vertex.WordToBits(run.msgShare[v][d], e.prog.MsgBits)...)
 	}
 	return in
 }
@@ -671,7 +802,7 @@ func (e *engine) memberInput(v int) []uint8 {
 // computeStep runs the update MPC of every block this node belongs to, all
 // concurrently (each session's other members run theirs concurrently too).
 // It returns this node's fresh output-message shares, [vertex][slot].
-func (e *engine) computeStep(ctx context.Context, iter int) (map[int][]uint64, error) {
+func (e *engine) computeStep(ctx context.Context, run *nodeRun, iter int) (map[int][]uint64, error) {
 	g := e.graph
 	trace := obs.From(ctx)
 	out := make(map[int][]uint64, len(e.memberVertices))
@@ -679,7 +810,7 @@ func (e *engine) computeStep(ctx context.Context, iter int) (map[int][]uint64, e
 	// which the evaluation goroutines mutate.
 	inputs := make(map[int][]uint8, len(e.memberVertices))
 	for _, v := range e.memberVertices {
-		inputs[v] = e.memberInput(v)
+		inputs[v] = e.memberInput(run, v)
 	}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -690,7 +821,7 @@ func (e *engine) computeStep(ctx context.Context, iter int) (map[int][]uint64, e
 		go func() {
 			defer wg.Done()
 			t0 := time.Now()
-			outBits, err := e.sessions[v].Evaluate(ctx, e.updCirc, inputs[v])
+			outBits, err := run.sessions[v].Evaluate(ctx, e.updCirc, inputs[v])
 			if trace != nil && err == nil {
 				trace.Span(fmt.Sprintf("iter/%d/blk/%d/gmw", iter, v), t0)
 			}
@@ -702,7 +833,7 @@ func (e *engine) computeStep(ctx context.Context, iter int) (map[int][]uint64, e
 				}
 				return
 			}
-			e.stateShare[v] = vertex.BitsToWord(outBits[:e.prog.StateBits])
+			run.stateShare[v] = vertex.BitsToWord(outBits[:e.prog.StateBits])
 			slots := make([]uint64, g.D)
 			for d := 0; d < g.D; d++ {
 				lo := e.prog.StateBits + d*e.prog.MsgBits
@@ -722,16 +853,16 @@ func (e *engine) computeStep(ctx context.Context, iter int) (map[int][]uint64, e
 // block member, relay (node u), adjuster (node v), receiver-block member.
 // All roles across all edges run concurrently; transfers for edges this
 // node plays no role in cost it nothing.
-func (e *engine) communicateStep(ctx context.Context, iter int, out map[int][]uint64) error {
+func (e *engine) communicateStep(ctx context.Context, run *nodeRun, iter int, out map[int][]uint64) error {
 	g := e.graph
 	// Refresh all input slots with ⊥ shares; transfers overwrite the slots
 	// with real in-edges. Share 0 (the owner's) carries ⊥, the rest zero.
 	for _, v := range e.memberVertices {
 		for d := 0; d < g.D; d++ {
 			if e.memberIdx[v] == 0 {
-				e.msgShare[v][d] = uint64(e.prog.NoOp) & secretshare.Mask(e.prog.MsgBits)
+				run.msgShare[v][d] = uint64(e.prog.NoOp) & secretshare.Mask(e.prog.MsgBits)
 			} else {
-				e.msgShare[v][d] = 0
+				run.msgShare[v][d] = 0
 			}
 		}
 	}
@@ -761,7 +892,7 @@ func (e *engine) communicateStep(ctx context.Context, iter int, out map[int][]ui
 		if err != nil {
 			return err
 		}
-		tag := network.Tag("tx", iter, u, v)
+		tag := network.Tag(run.root, "tx", iter, u, v)
 		sendersB := e.setup.Assignment.Blocks[uID]
 		recvB := e.setup.Assignment.Blocks[vID]
 
@@ -812,7 +943,7 @@ func (e *engine) communicateStep(ctx context.Context, iter int, out map[int][]ui
 				}
 				span(tag, "recv", t0)
 				mu.Lock()
-				e.msgShare[v][slotIn] = share
+				run.msgShare[v][slotIn] = share
 				mu.Unlock()
 			}()
 		}
@@ -862,15 +993,15 @@ func (e *engine) reshareRecv(ctx context.Context, src []network.NodeID, tag stri
 // aggregate re-shares vertex states into the aggregation machinery (flat or
 // tree-shaped), runs the aggregation MPC with in-MPC noise, and — for
 // aggregation-block members — opens the noised result.
-func (e *engine) aggregate(ctx context.Context, plan *nodeAggPlan) (int64, bool, error) {
+func (e *engine) aggregate(ctx context.Context, run *nodeRun, plan *nodeAggPlan) (int64, bool, error) {
 	if e.cfg.AggFanIn > 0 && e.graph.N() > e.cfg.AggFanIn {
-		return e.aggregateTree(ctx, plan)
+		return e.aggregateTree(ctx, run, plan)
 	}
 	g := e.graph
 	aggMembers := e.setup.Assignment.AggBlock
 
 	for _, v := range e.memberVertices {
-		if err := e.reshareSend(e.stateShare[v], e.prog.StateBits, e.memberIdx[v], aggMembers, network.Tag("aggsh", v)); err != nil {
+		if err := e.reshareSend(run.stateShare[v], e.prog.StateBits, e.memberIdx[v], aggMembers, network.Tag(run.root, "aggsh", v)); err != nil {
 			return 0, false, err
 		}
 	}
@@ -880,18 +1011,18 @@ func (e *engine) aggregate(ctx context.Context, plan *nodeAggPlan) (int64, bool,
 	var input []uint8
 	for v := 0; v < g.N(); v++ {
 		members := e.setup.Assignment.Blocks[g.NodeOf(v)]
-		col, err := e.reshareRecv(ctx, members, network.Tag("aggsh", v))
+		col, err := e.reshareRecv(ctx, members, network.Tag(run.root, "aggsh", v))
 		if err != nil {
 			return 0, false, err
 		}
 		input = append(input, vertex.WordToBits(col, e.prog.StateBits)...)
 	}
 	input = append(input, vertex.RandomInputBits(plan.noise.RandBits())...)
-	outShares, err := e.aggParty.Evaluate(ctx, plan.circ, input)
+	outShares, err := run.aggParty.Evaluate(ctx, plan.circ, input)
 	if err != nil {
 		return 0, false, err
 	}
-	open, err := e.aggParty.Open(ctx, outShares)
+	open, err := run.aggParty.Open(ctx, outShares)
 	if err != nil {
 		return 0, false, err
 	}
@@ -902,7 +1033,7 @@ func (e *engine) aggregate(ctx context.Context, plan *nodeAggPlan) (int64, bool,
 // to AggFanIn vertices is partially aggregated by the block of the group's
 // first vertex, and the aggregation block combines the partials and draws
 // the noise.
-func (e *engine) aggregateTree(ctx context.Context, plan *nodeAggPlan) (int64, bool, error) {
+func (e *engine) aggregateTree(ctx context.Context, run *nodeRun, plan *nodeAggPlan) (int64, bool, error) {
 	g := e.graph
 	fanIn := e.cfg.AggFanIn
 	nGroups := (g.N() + fanIn - 1) / fanIn
@@ -926,7 +1057,7 @@ func (e *engine) aggregateTree(ctx context.Context, plan *nodeAggPlan) (int64, b
 			if !ok {
 				continue
 			}
-			if err := e.reshareSend(e.stateShare[v], e.prog.StateBits, mi, leafMembers, network.Tag("leafsh", grp, v)); err != nil {
+			if err := e.reshareSend(run.stateShare[v], e.prog.StateBits, mi, leafMembers, network.Tag(run.root, "leafsh", grp, v)); err != nil {
 				return 0, false, err
 			}
 		}
@@ -953,12 +1084,12 @@ func (e *engine) aggregateTree(ctx context.Context, plan *nodeAggPlan) (int64, b
 				for v := lo; v < hi && err == nil; v++ {
 					members := e.setup.Assignment.Blocks[g.NodeOf(v)]
 					var col uint64
-					col, err = e.reshareRecv(ctx, members, network.Tag("leafsh", grp, v))
+					col, err = e.reshareRecv(ctx, members, network.Tag(run.root, "leafsh", grp, v))
 					input = append(input, vertex.WordToBits(col, e.prog.StateBits)...)
 				}
 				if err == nil {
 					var outShares []uint8
-					outShares, err = e.sessions[lo].Evaluate(ctx, partialCirc, input)
+					outShares, err = run.sessions[lo].Evaluate(ctx, partialCirc, input)
 					if err == nil {
 						mu.Lock()
 						partial[grp] = vertex.BitsToWord(outShares)
@@ -987,7 +1118,7 @@ func (e *engine) aggregateTree(ctx context.Context, plan *nodeAggPlan) (int64, b
 		if !ok {
 			continue
 		}
-		if err := e.reshareSend(partial[grp], e.prog.AggBits, mi, aggMembers, network.Tag("rootsh", grp)); err != nil {
+		if err := e.reshareSend(partial[grp], e.prog.AggBits, mi, aggMembers, network.Tag(run.root, "rootsh", grp)); err != nil {
 			return 0, false, err
 		}
 	}
@@ -1004,18 +1135,18 @@ func (e *engine) aggregateTree(ctx context.Context, plan *nodeAggPlan) (int64, b
 	for grp := 0; grp < nGroups; grp++ {
 		lo, _ := groupRange(grp)
 		leafMembers := e.setup.Assignment.Blocks[g.NodeOf(lo)]
-		col, err := e.reshareRecv(ctx, leafMembers, network.Tag("rootsh", grp))
+		col, err := e.reshareRecv(ctx, leafMembers, network.Tag(run.root, "rootsh", grp))
 		if err != nil {
 			return 0, false, err
 		}
 		input = append(input, vertex.WordToBits(col, e.prog.AggBits)...)
 	}
 	input = append(input, vertex.RandomInputBits(plan.noise.RandBits())...)
-	outShares, err := e.aggParty.Evaluate(ctx, combineCirc, input)
+	outShares, err := run.aggParty.Evaluate(ctx, combineCirc, input)
 	if err != nil {
 		return 0, false, fmt.Errorf("root aggregation: %w", err)
 	}
-	open, err := e.aggParty.Open(ctx, outShares)
+	open, err := run.aggParty.Open(ctx, outShares)
 	if err != nil {
 		return 0, false, err
 	}

@@ -93,15 +93,20 @@ type jobMsg struct {
 	// the final computation step and aggregation. Cfg.Epsilon carries the
 	// query's privacy budget.
 	Iterations int
-	// Seq is the session-wide query sequence number (1-based); nodes stamp
-	// it as the "q/<Seq>" query tag on their observability spans — the
-	// first concrete use of the query-id namespace the tag-multiplexing
-	// roadmap item will extend to the data plane.
+	// Seq is the session-wide query sequence number (1-based). It is the
+	// query id: every data-plane tag of this job lives under the
+	// "q/<Seq>" namespace, nodes key their per-query protocol state by
+	// it, and it routes the matching doneMsg back to the Run that sent
+	// the job — so jobs may overlap on one standing fleet.
 	Seq int
 }
 
 type doneMsg struct {
-	ID  network.NodeID
+	ID network.NodeID
+	// Seq echoes jobMsg.Seq: with overlapping queries in flight, the
+	// coordinator routes each report to its query by this field, not by
+	// arrival order.
+	Seq int
 	Err string
 	// HasResult is set by aggregation-block members, the only nodes that
 	// learn the opened (noised) aggregate.

@@ -70,8 +70,18 @@ type Network struct {
 	recvBytes map[NodeID]int64
 	sentMsgs  map[NodeID]int64
 	// Per-tag-prefix accounting: which protocol layer the bytes belong to
-	// (first "/"-separated tag component — "blk", "tx", "aggsh", …).
+	// (first "/"-separated tag component — "blk", "tx", "aggsh", … — or
+	// "q/<id>/<layer>" for query-rooted tags).
 	tagStats map[string]TagStat
+	// Per-query accounting, keyed by query root ("q/<id>"): total bytes and
+	// per-node sent+received bytes, so overlapping queries on one hub each
+	// get their own phase/traffic numbers.
+	queryStats map[string]*queryStat
+}
+
+type queryStat struct {
+	total     int64
+	nodeBytes map[NodeID]int64 // sent+received per node
 }
 
 // New creates an empty network with the default header overhead.
@@ -83,6 +93,8 @@ func New() *Network {
 		recvBytes: make(map[NodeID]int64),
 		sentMsgs:  make(map[NodeID]int64),
 		tagStats:  make(map[string]TagStat),
+
+		queryStats: make(map[string]*queryStat),
 	}
 }
 
@@ -118,6 +130,16 @@ func (n *Network) account(from, to NodeID, tag string, payload int) {
 	ts.BytesReceived += total // in-process delivery: every sent byte arrives
 	ts.MessagesSent++
 	n.tagStats[TagPrefix(tag)] = ts
+	if root := QueryRoot(tag); root != "" {
+		qs, ok := n.queryStats[root]
+		if !ok {
+			qs = &queryStat{nodeBytes: make(map[NodeID]int64)}
+			n.queryStats[root] = qs
+		}
+		qs.total += total
+		qs.nodeBytes[from] += total
+		qs.nodeBytes[to] += total
+	}
 }
 
 // Stats is a snapshot of a node's traffic counters.
@@ -145,14 +167,52 @@ type TagTracker interface {
 	TagStats() map[string]TagStat
 }
 
-// TagPrefix returns a tag's first "/"-separated component: the coarse
-// protocol layer ("blk", "tx", "init", "aggsh", …) that per-prefix traffic
-// counters aggregate by.
+// TagPrefix returns the component a tag's traffic is aggregated under. For
+// plain tags it is the first "/"-separated component: the coarse protocol
+// layer ("blk", "tx", "init", "aggsh", …). For query-rooted tags
+// ("q/<id>/<layer>/...") it keeps the first three components, so counters
+// stay separable per layer AND per query, and a finished query's whole
+// counter set can be retired by its "q/<id>" root.
 func TagPrefix(tag string) string {
-	if i := strings.IndexByte(tag, '/'); i >= 0 {
+	i := strings.IndexByte(tag, '/')
+	if i < 0 {
+		return tag
+	}
+	if tag[:i] != "q" {
 		return tag[:i]
 	}
+	rest := tag[i+1:]
+	j := strings.IndexByte(rest, '/')
+	if j < 0 {
+		return tag
+	}
+	layer := rest[j+1:]
+	if k := strings.IndexByte(layer, '/'); k >= 0 {
+		return tag[:i+1+j+1+k]
+	}
 	return tag
+}
+
+// QueryRoot returns the "q/<id>" namespace a tag lives under, or "" for
+// tags outside any query (setup handshakes, control traffic).
+func QueryRoot(tag string) string {
+	if !strings.HasPrefix(tag, "q/") {
+		return ""
+	}
+	if j := strings.IndexByte(tag[2:], '/'); j >= 0 {
+		return tag[:2+j]
+	}
+	return tag
+}
+
+// TagRetirer is optionally implemented by transports that can retire the
+// counters and mailboxes accumulated under one tag namespace (a finished
+// query's "q/<id>" root). Like TagTracker it is discovered by type
+// assertion, keeping the Transport contract frozen. Without retirement a
+// standing fleet would leak one counter set and one set of drained
+// mailboxes per query served.
+type TagRetirer interface {
+	RetireTagPrefix(prefix string)
 }
 
 // TagStats returns a snapshot of the per-tag-prefix traffic counters.
@@ -217,6 +277,91 @@ func (n *Network) AvgNodeBytes() float64 {
 	return float64(t) / float64(len(n.endpoints))
 }
 
+// QueryBytes returns the total bytes carried so far under one query root
+// ("q/<id>"). Concurrent queries each see only their own traffic.
+func (n *Network) QueryBytes(root string) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if qs, ok := n.queryStats[root]; ok {
+		return qs.total
+	}
+	return 0
+}
+
+// QueryMaxNodeBytes returns the largest per-node sent+received byte count
+// attributable to one query root.
+func (n *Network) QueryMaxNodeBytes(root string) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	qs, ok := n.queryStats[root]
+	if !ok {
+		return 0
+	}
+	var m int64
+	for _, v := range qs.nodeBytes {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// QueryAvgNodeBytes returns the mean per-node sent+received byte count for
+// one query root, averaged over all endpoints that exist (idle nodes count
+// as zero, matching AvgNodeBytes).
+func (n *Network) QueryAvgNodeBytes(root string) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.endpoints) == 0 {
+		return 0
+	}
+	qs, ok := n.queryStats[root]
+	if !ok {
+		return 0
+	}
+	var t int64
+	for _, v := range qs.nodeBytes {
+		t += v
+	}
+	return float64(t) / float64(len(n.endpoints))
+}
+
+// RetireTagPrefix drops every counter and mailbox filed under prefix (a
+// component boundary: "q/3" retires "q/3" and "q/3/...", never "q/30").
+// Called after a query's result is reported so standing hubs don't grow a
+// counter set and mailbox set per query served. Node-level counters
+// (sentBytes &c.) are cumulative by design and are not touched.
+func (n *Network) RetireTagPrefix(prefix string) {
+	n.mu.Lock()
+	for k := range n.tagStats {
+		if tagUnder(k, prefix) {
+			delete(n.tagStats, k)
+		}
+	}
+	delete(n.queryStats, prefix)
+	eps := make([]*Endpoint, 0, len(n.endpoints))
+	for _, e := range n.endpoints {
+		eps = append(eps, e)
+	}
+	n.mu.Unlock()
+	// Sweep mailboxes outside n.mu: Endpoint.box takes only e.mu.
+	for _, e := range eps {
+		e.mu.Lock()
+		for k := range e.boxes {
+			if tagUnder(k.tag, prefix) {
+				delete(e.boxes, k)
+			}
+		}
+		e.mu.Unlock()
+	}
+}
+
+// tagUnder reports whether tag equals prefix or lives under it at a "/"
+// component boundary.
+func tagUnder(tag, prefix string) bool {
+	return tag == prefix || (strings.HasPrefix(tag, prefix) && len(tag) > len(prefix) && tag[len(prefix)] == '/')
+}
+
 // ResetStats zeroes all traffic counters (between experiment phases).
 func (n *Network) ResetStats() {
 	n.mu.Lock()
@@ -225,6 +370,7 @@ func (n *Network) ResetStats() {
 	n.recvBytes = make(map[NodeID]int64)
 	n.sentMsgs = make(map[NodeID]int64)
 	n.tagStats = make(map[string]TagStat)
+	n.queryStats = make(map[string]*queryStat)
 }
 
 // ---------------------------------------------------------------------------

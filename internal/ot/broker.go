@@ -2,6 +2,7 @@ package ot
 
 import (
 	"crypto/rand"
+	"strings"
 	"sync"
 )
 
@@ -72,3 +73,20 @@ func (b *DealerBroker) Sender(i, j int, tag string) *DealerSender { return b.ent
 // Receiver returns the receiver half of session tag's stream for directed
 // pair (i → j).
 func (b *DealerBroker) Receiver(i, j int, tag string) *DealerReceiver { return b.entry(i, j, tag).r }
+
+// RetireTagPrefix drops every derived stream whose session tag equals
+// prefix or lives under it at a "/" component boundary. A standing
+// deployment calls this when a query finishes: the per-pair master seeds
+// stay (new queries derive fresh streams from them), but the finished
+// query's stream entries stop accumulating — without this the broker grows
+// one entry per (pair, session) for every query ever served.
+func (b *DealerBroker) RetireTagPrefix(prefix string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for k := range b.streams {
+		t := k.tag
+		if t == prefix || (strings.HasPrefix(t, prefix) && len(t) > len(prefix) && t[len(prefix)] == '/') {
+			delete(b.streams, k)
+		}
+	}
+}

@@ -77,6 +77,16 @@ func NewSubstrate(g group.Group, ep network.Transport) *Substrate {
 // number of block sessions, which is the point of the substrate.
 func (s *Substrate) Handshakes() int64 { return s.handshakes.Load() }
 
+// Warm performs (or joins) the base-OT handshake with peer without
+// deriving a stream: a deployment's setup phase calls it for every peer a
+// node will ever share a session with, so that later per-query session
+// creation is purely local seed derivation. Both sides of a pair must call
+// Warm concurrently (the handshake is symmetric). Idempotent.
+func (s *Substrate) Warm(ctx context.Context, peer network.NodeID) error {
+	_, err := s.pair(ctx, peer)
+	return err
+}
+
 // pair returns (creating if needed) the per-peer entry with its handshake
 // completed, blocking while another session's call performs it. A failed
 // handshake is not cached: the next attach retries under fresh tags, so a

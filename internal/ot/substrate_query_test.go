@@ -1,0 +1,63 @@
+package ot
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dstress/internal/network"
+)
+
+// TestQueryRootSeedsPairwiseDistinct sweeps many query ids over the same
+// session suffix: every "q/<id>/..." tag must land on its own PRF point,
+// so the substrate streams of concurrently multiplexed queries are
+// pairwise independent even though they share one base-OT handshake.
+func TestQueryRootSeedsPairwiseDistinct(t *testing.T) {
+	base := make([]byte, SeedLen)
+	for i := range base {
+		base[i] = byte(i * 7)
+	}
+	seen := map[string]string{}
+	for id := 1; id <= 64; id++ {
+		tag := network.Tag("q", id, "blk", 3, "ot", 0, 1)
+		seed := deriveSeed(base, derivePoint(tag))
+		if prev, dup := seen[string(seed)]; dup {
+			t.Fatalf("query roots %s and %s derived the same substrate seed", prev, tag)
+		}
+		seen[string(seed)] = tag
+	}
+}
+
+// FuzzQueryRootStreamIndependence is the property test behind query-id
+// multiplexing: two tags that differ only in their "q/<id>" root must
+// derive distinct PRF points (and so distinct extension streams) for any
+// id pair and any session suffix, while identical tags stay
+// deterministic so both ends of a pair agree on the derived stream.
+func FuzzQueryRootStreamIndependence(f *testing.F) {
+	f.Add(uint(1), uint(2), "blk/3/ot/0/1")
+	f.Add(uint(1), uint(10), "aggblk/ot/2/5")
+	f.Add(uint(7), uint(70), "blk/0/ot/0/1/derand/9")
+	f.Add(uint(0), uint(0), "init/0")
+	f.Fuzz(func(t *testing.T, id1, id2 uint, suffix string) {
+		tag1 := fmt.Sprintf("q/%d/%s", id1, suffix)
+		tag2 := fmt.Sprintf("q/%d/%s", id2, suffix)
+		p1, p2 := derivePoint(tag1), derivePoint(tag2)
+		if id1 != id2 && p1 == p2 {
+			t.Fatalf("distinct query roots %q and %q collide on one PRF point", tag1, tag2)
+		}
+		if id1 == id2 && p1 != p2 {
+			t.Fatalf("identical tag %q derived two different PRF points", tag1)
+		}
+		base := make([]byte, SeedLen)
+		for i := range base {
+			base[i] = byte(i)
+		}
+		s1, s2 := deriveSeed(base, p1), deriveSeed(base, p2)
+		if id1 != id2 && bytes.Equal(s1, s2) {
+			t.Fatalf("distinct query roots %q and %q derived the same substrate seed", tag1, tag2)
+		}
+		if !bytes.Equal(deriveSeed(base, p1), s1) {
+			t.Fatalf("seed derivation for %q is not deterministic", tag1)
+		}
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -19,8 +21,12 @@ type LoadOptions struct {
 	// Queries is how many queries each measurement serves (default 18).
 	Queries int
 	// Clients is how many concurrent submitters drive the service
-	// (default 2× the largest pool).
+	// (default 2× the largest pool × Concurrency).
 	Clients int
+	// Concurrency is how many queries each pooled session multiplexes
+	// (default 1). Raising it scales throughput without paying another
+	// deployment's memory: the comparison behind BENCH_pr7_multiplex.json.
+	Concurrency int
 	// WANDelay emulates the round-trip and remote-compute latency of a
 	// geo-distributed fleet, added inside each pooled session's query
 	// (while the session is occupied). The paper's deployment runs each
@@ -47,6 +53,37 @@ type LoadResult struct {
 	// (1.0 ≈ one saturated core): the honest context for any scaling
 	// claim — a CPU-saturated measurement cannot speed up by pooling.
 	CPUUtil float64
+	// Concurrency is the per-session multiplexing level of the run.
+	Concurrency int
+	// RSSBytes is the process resident set right after the measurement,
+	// with the pool still standing (0 where /proc is unavailable): the
+	// memory side of the qps-per-byte comparison between scaling out
+	// (more fleets) and multiplexing (more queries per fleet).
+	RSSBytes int64
+}
+
+// processRSS reads the resident set size from /proc/self/status (VmRSS);
+// 0 on platforms without procfs.
+func processRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
 }
 
 // loadJob builds the fixed workload: a tiny degree-sum program over a
@@ -124,6 +161,9 @@ func RunLoad(ctx context.Context, opts LoadOptions) ([]LoadResult, error) {
 	if opts.Queries <= 0 {
 		opts.Queries = 18
 	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 1
+	}
 	if opts.Clients <= 0 {
 		maxPool := 0
 		for _, p := range opts.Pools {
@@ -131,7 +171,7 @@ func RunLoad(ctx context.Context, opts LoadOptions) ([]LoadResult, error) {
 				maxPool = p
 			}
 		}
-		opts.Clients = 2 * maxPool
+		opts.Clients = 2 * maxPool * opts.Concurrency
 	}
 	if opts.K <= 0 {
 		opts.K = 1
@@ -160,9 +200,10 @@ func RunLoad(ctx context.Context, opts LoadOptions) ([]LoadResult, error) {
 				if err != nil {
 					return nil, err
 				}
+				sess.SetMaxConcurrent(opts.Concurrency)
 				return wanRunner{s: sess, delay: opts.WANDelay}, nil
 			},
-			PoolCap: pool, Warm: pool,
+			PoolCap: pool, SessionConcurrency: opts.Concurrency, Warm: pool,
 			QueueDepth:    opts.Queries + opts.Clients,
 			DefaultBudget: math.Inf(1),
 			AllowUnnoised: true,
@@ -171,7 +212,8 @@ func RunLoad(ctx context.Context, opts LoadOptions) ([]LoadResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: warming pool of %d: %w", pool, err)
 		}
-		logf("pool %d: warmed, serving %d queries from %d clients", pool, opts.Queries, opts.Clients)
+		logf("pool %d: warmed, serving %d queries from %d clients (concurrency %d)",
+			pool, opts.Queries, opts.Clients, opts.Concurrency)
 
 		work := make(chan struct{}, opts.Queries)
 		for i := 0; i < opts.Queries; i++ {
@@ -208,6 +250,9 @@ func RunLoad(ctx context.Context, opts LoadOptions) ([]LoadResult, error) {
 		}
 		wall := time.Since(start)
 		cpu := processCPU() - cpu0
+		// RSS is read while the pool still stands, so the number reflects
+		// the standing deployments, not the post-drain heap.
+		rss := processRSS()
 		close(latency)
 		var latSum time.Duration
 		for l := range latency {
@@ -218,13 +263,16 @@ func RunLoad(ctx context.Context, opts LoadOptions) ([]LoadResult, error) {
 		}
 		res := LoadResult{
 			Pool: pool, Queries: opts.Queries, Wall: wall,
-			QPS:        float64(opts.Queries) / wall.Seconds(),
-			AvgLatency: latSum / time.Duration(opts.Queries),
-			CPUUtil:    cpu.Seconds() / wall.Seconds(),
+			QPS:         float64(opts.Queries) / wall.Seconds(),
+			AvgLatency:  latSum / time.Duration(opts.Queries),
+			CPUUtil:     cpu.Seconds() / wall.Seconds(),
+			Concurrency: opts.Concurrency,
+			RSSBytes:    rss,
 		}
-		logf("pool %d: %d queries in %v → %.2f q/s (avg latency %v, cpu %.2f)",
+		logf("pool %d: %d queries in %v → %.2f q/s (avg latency %v, cpu %.2f, rss %.1f MiB)",
 			pool, opts.Queries, wall.Round(time.Millisecond), res.QPS,
-			res.AvgLatency.Round(time.Millisecond), res.CPUUtil)
+			res.AvgLatency.Round(time.Millisecond), res.CPUUtil,
+			float64(res.RSSBytes)/(1<<20))
 		results = append(results, res)
 	}
 	return results, nil
@@ -235,12 +283,20 @@ func RunLoad(ctx context.Context, opts LoadOptions) ([]LoadResult, error) {
 func FormatLoadResults(results []LoadResult, wan time.Duration) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "service-layer load generator: queries/sec vs pool size (emulated fleet latency %v)\n\n", wan)
-	fmt.Fprintf(&b, "pool  queries  wall        q/s      scaling  avg latency  cpu util\n")
+	fmt.Fprintf(&b, "pool  conc  queries  wall        q/s      scaling  avg latency  cpu util  rss\n")
 	for _, r := range results {
 		scale := r.QPS / results[0].QPS
-		fmt.Fprintf(&b, "%-4d  %-7d  %-10v  %-7.2f  %-7.2f  %-11v  %.2f\n",
-			r.Pool, r.Queries, r.Wall.Round(time.Millisecond), r.QPS, scale,
-			r.AvgLatency.Round(time.Millisecond), r.CPUUtil)
+		conc := r.Concurrency
+		if conc == 0 {
+			conc = 1
+		}
+		rss := "-"
+		if r.RSSBytes > 0 {
+			rss = fmt.Sprintf("%.1f MiB", float64(r.RSSBytes)/(1<<20))
+		}
+		fmt.Fprintf(&b, "%-4d  %-4d  %-7d  %-10v  %-7.2f  %-7.2f  %-11v  %-8.2f  %s\n",
+			r.Pool, conc, r.Queries, r.Wall.Round(time.Millisecond), r.QPS, scale,
+			r.AvgLatency.Round(time.Millisecond), r.CPUUtil, rss)
 	}
 	if wan == 0 {
 		b.WriteString("\nnote: with no emulated fleet latency every query is local CPU; on a\n" +

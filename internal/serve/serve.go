@@ -1,15 +1,17 @@
 // Package serve is the DStress query service: a standing pool of
 // deployments answering many concurrent, budget-checked queries.
 //
-// The facade's Session is a single standing deployment, and one session
-// answers one query at a time — a fleet's GMW tags and transfer rounds
-// belong to a single protocol run and cannot interleave. The unit of
-// concurrency is therefore the pool: Service owns several sessions (warm-
-// started at boot, lazily grown to a cap), a work queue dispatches
-// submitted queries to idle members, and a per-tenant dp.Ledger performs
-// admission control — a query that would overdraw its tenant's ε budget is
-// refused at submit time, before it occupies a session or touches the
-// protocol. Drain stops admission, lets in-flight and already-admitted
+// Concurrency has two axes. Each pool member is one standing deployment (a
+// facade Session) that multiplexes up to SessionConcurrency overlapping
+// queries — every query runs under its own "q/<id>" tag namespace with
+// independently derived crypto streams, so one fleet pipelines query i+1's
+// compute under query i's communication. The pool then scales out across
+// members (warm-started at boot, lazily grown to a cap) for memory
+// isolation and true hardware parallelism. A work queue dispatches
+// submitted queries to free member slots, and a per-tenant dp.Ledger
+// performs admission control — a query that would overdraw its tenant's ε
+// budget is refused at submit time, before it occupies a slot or touches
+// the protocol. Drain stops admission, lets in-flight and already-admitted
 // queries finish (they are charged; the releases must happen), and closes
 // every pooled session.
 package serve
@@ -43,9 +45,11 @@ var ErrQueueFull = errors.New("serve: query queue is full, retry later")
 // errZeroEpsilon rejects unnoised queries on services that meter budgets.
 var errZeroEpsilon = errors.New("serve: queries must carry epsilon > 0 (a metered service always noises releases)")
 
-// QueryRunner is one pool member: a standing deployment that answers one
-// query at a time. *dstress.Session satisfies it; tests and the load
-// generator wrap it.
+// QueryRunner is one pool member: a standing deployment answering queries.
+// *dstress.Session satisfies it; tests and the load generator wrap it.
+// When the service runs with SessionConcurrency > 1, the runner must admit
+// that many overlapping Query calls (for a Session, SetMaxConcurrent —
+// cmd/dstress-serve wires both to one flag).
 type QueryRunner interface {
 	Query(ctx context.Context, q dstress.QuerySpec) (*dstress.Result, error)
 	Close() error
@@ -58,6 +62,12 @@ type Config struct {
 	Open func(ctx context.Context) (QueryRunner, error)
 	// PoolCap is the maximum number of standing sessions (default 1).
 	PoolCap int
+	// SessionConcurrency is how many queries are dispatched concurrently
+	// to each pool member (default 1). The member's runner must admit that
+	// many overlapping queries — for sessions, SetMaxConcurrent. Queries
+	// multiplexed on one member share its fleet's memory and handshakes;
+	// a whole extra pool member costs a full deployment.
+	SessionConcurrency int
 	// Warm is how many sessions to open synchronously at boot; the rest
 	// grow lazily under load. Clamped to [1, PoolCap].
 	Warm int
@@ -145,7 +155,8 @@ type Metrics struct {
 	// the admitted queries that have finished.
 	Submitted, Refused, Served, Failed uint64
 	// QueueDepth is admitted-but-undispatched queries; PoolSessions the
-	// standing sessions; PoolBusy how many are answering right now.
+	// standing sessions; PoolBusy the queries being answered right now
+	// (can exceed PoolSessions when sessions multiplex).
 	QueueDepth, PoolSessions, PoolBusy int
 	// EpsilonCharged is the lifetime ε admitted across all tenants
 	// (replenishments do not reset it).
@@ -212,6 +223,9 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 	if cfg.Warm > cfg.PoolCap {
 		cfg.Warm = cfg.PoolCap
 	}
+	if cfg.SessionConcurrency <= 0 {
+		cfg.SessionConcurrency = 1
+	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
@@ -245,18 +259,27 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 			s.wg.Wait()
 			return nil, fmt.Errorf("serve: warming session %d/%d: %w", i+1, cfg.Warm, err)
 		}
-		s.startWorker(r)
+		s.startMember(r)
 	}
 	return s, nil
 }
 
-// startWorker registers and launches a worker that owns runner r.
-func (s *Service) startWorker(r QueryRunner) {
+// startMember registers a new pool member and launches its worker slots.
+func (s *Service) startMember(r QueryRunner) {
 	s.mu.Lock()
 	s.workers++
 	s.mu.Unlock()
-	s.wg.Add(1)
-	go s.worker(r)
+	s.launchMember(r)
+}
+
+// launchMember spawns SessionConcurrency workers sharing one runner; the
+// caller has already counted the member in s.workers.
+func (s *Service) launchMember(r QueryRunner) {
+	m := &member{r: r, refs: s.cfg.SessionConcurrency}
+	for i := 0; i < s.cfg.SessionConcurrency; i++ {
+		s.wg.Add(1)
+		go s.worker(m)
+	}
 }
 
 // Ledger exposes the tenant accounting surface (budget status,
@@ -348,30 +371,31 @@ func (s *Service) statusOf(q *query) QueryStatus {
 }
 
 // growLocked lazily adds a pool member when demand outstrips the standing
-// sessions. Opening is slow (handshakes, setup), so it happens off the
-// submit path; the worker registers before the open so concurrent bursts
-// do not overshoot PoolCap.
+// capacity — sessions × their concurrency, since each member answers up to
+// SessionConcurrency queries at once. Opening is slow (handshakes, setup),
+// so it happens off the submit path; the member registers before the open
+// so concurrent bursts do not overshoot PoolCap.
 func (s *Service) growLocked() {
 	if s.workers >= s.cfg.PoolCap {
 		return
 	}
-	if s.busy+len(s.work) <= s.workers {
-		return // an idle member will pick the queue up
+	if s.busy+len(s.work) <= s.workers*s.cfg.SessionConcurrency {
+		return // a free member slot will pick the queue up
 	}
 	s.workers++
 	s.wg.Add(1)
 	go func() {
+		defer s.wg.Done()
 		r, err := s.cfg.Open(s.baseCtx)
 		if err != nil {
 			s.logf("serve: growing pool: %v", err)
 			s.mu.Lock()
 			s.workers--
 			s.mu.Unlock()
-			s.wg.Done()
 			return
 		}
 		s.logf("serve: pool grew to %d sessions", s.poolSize())
-		s.worker(r)
+		s.launchMember(r)
 	}()
 }
 
@@ -381,21 +405,83 @@ func (s *Service) poolSize() int {
 	return s.workers
 }
 
-// worker answers queries on its own standing session until the queue
-// closes. A query that fails leaves the session in an undefined protocol
-// state (Session documents that only Close is then safe), so the worker
-// recycles it: close now, reopen lazily when the next query arrives —
-// a persistently broken deployment then fails queries with a clear error
-// instead of wedging the service.
-func (s *Service) worker(r QueryRunner) {
-	defer s.wg.Done()
-	defer func() {
-		if r != nil {
-			if err := r.Close(); err != nil {
-				s.logf("serve: closing pool session: %v", err)
-			}
+// member is one pool member: a standing session shared by
+// SessionConcurrency worker goroutines. gen versions the session across
+// recycles so only the first failure of a generation tears it down; refs
+// counts the workers still attached, and the last one out closes the
+// session at drain.
+type member struct {
+	mu   sync.Mutex
+	r    QueryRunner
+	gen  int
+	refs int
+}
+
+// acquire returns the member's standing session (reopening it when a
+// previous failure recycled it) and the generation the caller is using.
+func (m *member) acquire(s *Service) (QueryRunner, int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.r == nil {
+		r, err := s.cfg.Open(s.baseCtx)
+		if err != nil {
+			return nil, 0, err
 		}
-	}()
+		m.r = r
+		s.logf("serve: pool session recycled")
+	}
+	return m.r, m.gen, nil
+}
+
+// poison recycles the member's session after a failed query left its
+// protocol state undefined: the first worker of a generation to fail drops
+// the session (a fresh one reopens lazily on the next query) and closes
+// the old one — Close waits for the generation's other in-flight queries,
+// none of which holds m.mu while querying, so this cannot deadlock.
+func (m *member) poison(s *Service, gen int) {
+	m.mu.Lock()
+	if m.gen != gen || m.r == nil {
+		m.mu.Unlock()
+		return
+	}
+	old := m.r
+	m.r = nil
+	m.gen++
+	m.mu.Unlock()
+	if err := old.Close(); err != nil {
+		s.logf("serve: closing failed session: %v", err)
+	}
+}
+
+// release detaches one worker; the last one closes the standing session.
+func (m *member) release(s *Service) {
+	m.mu.Lock()
+	m.refs--
+	last := m.refs == 0
+	r := m.r
+	if last {
+		m.r = nil
+	}
+	m.mu.Unlock()
+	if last && r != nil {
+		if err := r.Close(); err != nil {
+			s.logf("serve: closing pool session: %v", err)
+		}
+	}
+}
+
+// worker answers queries on its member's shared standing session until the
+// queue closes. A query that fails leaves the session in an undefined
+// protocol state (Session documents that only Close is then safe), so the
+// member recycles it: close now, reopen lazily when the next query arrives
+// — a persistently broken deployment then fails queries with a clear error
+// instead of wedging the service. The one exception is ErrSessionBusy: a
+// typed admission refusal that by contract charged nothing and touched no
+// protocol state, so the session stays standing for the queries already
+// multiplexed on it.
+func (s *Service) worker(m *member) {
+	defer s.wg.Done()
+	defer m.release(s)
 	for q := range s.work {
 		s.mu.Lock()
 		s.busy++
@@ -403,21 +489,14 @@ func (s *Service) worker(r QueryRunner) {
 		q.started = time.Now()
 		s.mu.Unlock()
 
-		if r == nil {
-			var err error
-			if r, err = s.cfg.Open(s.baseCtx); err != nil {
-				r = nil
-				s.finish(q, nil, fmt.Errorf("serve: reopening pool session: %w", err))
-				continue
-			}
-			s.logf("serve: pool session recycled")
+		r, gen, err := m.acquire(s)
+		if err != nil {
+			s.finish(q, nil, fmt.Errorf("serve: reopening pool session: %w", err))
+			continue
 		}
 		res, err := r.Query(s.baseCtx, q.spec)
-		if err != nil {
-			if cerr := r.Close(); cerr != nil {
-				s.logf("serve: closing failed session: %v", cerr)
-			}
-			r = nil
+		if err != nil && !errors.Is(err, dstress.ErrSessionBusy) {
+			m.poison(s, gen)
 		}
 		s.finish(q, res, err)
 	}

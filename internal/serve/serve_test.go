@@ -485,3 +485,164 @@ func TestRealSessionPool(t *testing.T) {
 		t.Errorf("served %d, want %d", m.Served, n)
 	}
 }
+
+// blockingRunner parks every query until released, counting how many are
+// inside it at once — the probe for multiplexed scheduling.
+type blockingRunner struct {
+	mu      sync.Mutex
+	inside  int
+	peak    int
+	entered chan struct{}
+	release chan struct{}
+	closed  *atomic.Int64
+}
+
+func (r *blockingRunner) Query(ctx context.Context, q dstress.QuerySpec) (*dstress.Result, error) {
+	r.mu.Lock()
+	r.inside++
+	if r.inside > r.peak {
+		r.peak = r.inside
+	}
+	r.mu.Unlock()
+	r.entered <- struct{}{}
+	defer func() {
+		r.mu.Lock()
+		r.inside--
+		r.mu.Unlock()
+	}()
+	select {
+	case <-r.release:
+		return &dstress.Result{Raw: 1, Value: 1, Report: &dstress.Report{Transport: "fake"}}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (r *blockingRunner) Close() error {
+	r.closed.Add(1)
+	return nil
+}
+
+// TestSessionConcurrencyMultiplexing pins the scheduler's multiplexing
+// path: with PoolCap 1 and SessionConcurrency 2, two queries run inside
+// the SAME pool member at the same time — one deployment, two query ids
+// — without opening a second session.
+func TestSessionConcurrencyMultiplexing(t *testing.T) {
+	var opened, closed atomic.Int64
+	r := &blockingRunner{entered: make(chan struct{}, 4), release: make(chan struct{}), closed: &closed}
+	svc, err := New(context.Background(), Config{
+		Open: func(ctx context.Context) (QueryRunner, error) {
+			opened.Add(1)
+			return r, nil
+		},
+		PoolCap: 1, SessionConcurrency: 2, Warm: 1,
+		DefaultBudget: math.Inf(1),
+		AllowUnnoised: true,
+		Logf:          func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			st, err := svc.Do(context.Background(), Request{})
+			if err == nil && st.State != StateDone {
+				err = errors.New("query finished " + string(st.State))
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-r.entered:
+		case <-time.After(5 * time.Second):
+			t.Fatal("second query never entered the shared runner — scheduler is not multiplexing")
+		}
+	}
+	r.mu.Lock()
+	peak := r.peak
+	r.mu.Unlock()
+	if peak != 2 {
+		t.Errorf("peak in-runner concurrency %d, want 2", peak)
+	}
+	if opened.Load() != 1 {
+		t.Errorf("opened %d sessions for 2 multiplexed queries, want 1", opened.Load())
+	}
+	close(r.release)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("multiplexed query failed: %v", err)
+		}
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if closed.Load() != 1 {
+		t.Errorf("shared runner closed %d times at drain, want exactly 1", closed.Load())
+	}
+}
+
+// TestSessionBusyDoesNotRecycle pins the typed-refusal seam at the
+// service layer: a runner that refuses with dstress.ErrSessionBusy is an
+// admission signal, not a protocol failure — the session must NOT be
+// poisoned and recycled, and the next query reuses it.
+func TestSessionBusyDoesNotRecycle(t *testing.T) {
+	var opened, closed atomic.Int64
+	var busy atomic.Bool
+	busy.Store(true)
+	svc, err := New(context.Background(), Config{
+		Open: func(ctx context.Context) (QueryRunner, error) {
+			opened.Add(1)
+			return busyOnceRunner{busy: &busy, closed: &closed}, nil
+		},
+		PoolCap: 1, Warm: 1,
+		DefaultBudget: math.Inf(1),
+		AllowUnnoised: true,
+		Logf:          func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := svc.Do(context.Background(), Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed {
+		t.Fatalf("busy-refused query state %v, want failed", st.State)
+	}
+	if closed.Load() != 0 {
+		t.Errorf("ErrSessionBusy poisoned the session (closed=%d), want it kept", closed.Load())
+	}
+	busy.Store(false)
+	st, err = svc.Do(context.Background(), Request{})
+	if err != nil || st.State != StateDone {
+		t.Fatalf("query after busy refusal: %v, state %v", err, st.State)
+	}
+	if opened.Load() != 1 {
+		t.Errorf("opened %d sessions, want 1 (busy refusal must not recycle)", opened.Load())
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// busyOnceRunner refuses with ErrSessionBusy while busy is set.
+type busyOnceRunner struct {
+	busy   *atomic.Bool
+	closed *atomic.Int64
+}
+
+func (r busyOnceRunner) Query(ctx context.Context, q dstress.QuerySpec) (*dstress.Result, error) {
+	if r.busy.Load() {
+		return nil, dstress.ErrSessionBusy
+	}
+	return &dstress.Result{Raw: 1, Value: 1, Report: &dstress.Report{Transport: "fake"}}, nil
+}
+
+func (r busyOnceRunner) Close() error {
+	r.closed.Add(1)
+	return nil
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -176,6 +177,34 @@ func (p *Peer) TagStats() map[string]network.TagStat {
 		return true
 	})
 	return out
+}
+
+// RetireTagPrefix drops the per-tag-prefix counters and drained mailboxes
+// filed under prefix (at a "/" component boundary — "q/3" retires "q/3/..."
+// but not "q/30/..."). A standing daemon calls this after reporting a
+// query's doneMsg so the tagStats map and mailbox table don't grow by one
+// entry set per query served. Node-level counters stay cumulative.
+// Implements network.TagRetirer.
+func (p *Peer) RetireTagPrefix(prefix string) {
+	under := func(tag string) bool {
+		return tag == prefix || (strings.HasPrefix(tag, prefix) && len(tag) > len(prefix) && tag[len(prefix)] == '/')
+	}
+	p.tagStats.Range(func(k, v any) bool {
+		if under(k.(string)) {
+			p.tagStats.Delete(k)
+		}
+		return true
+	})
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k, b := range p.boxes {
+		if under(k.tag) {
+			// Close before dropping: a straggler still parked in Recv gets a
+			// "peer closed" error instead of hanging on an orphaned mailbox.
+			b.close()
+			delete(p.boxes, k)
+		}
+	}
 }
 
 // PeerStats returns framed wire bytes and messages aggregated by

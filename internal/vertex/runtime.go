@@ -5,7 +5,9 @@ import (
 	crand "crypto/rand"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dstress/internal/circuit"
@@ -79,10 +81,12 @@ type Report struct {
 	// MPC, matching the paper's "Aggregation & noising" bar in Figure 5.
 	InitTime, ComputeTime, CommTime, AggTime time.Duration
 	// SetupTime is the one-time deployment-open cost: trusted-party setup,
-	// GMW session creation with the pairwise base-OT handshakes, circuit
-	// compilation. Simulated runs pay it in New (before the first query);
-	// cluster nodes pay it inside the first job's Init phase. It is the
-	// same for every query of a standing deployment.
+	// the pairwise base-OT handshakes, circuit compilation. Simulated runs
+	// pay it in New (before the first query); cluster nodes pay it inside
+	// the first job's Init phase. Per-query GMW sessions are derived
+	// locally from the warmed substrate / dealer seeds and are charged to
+	// the query that creates them. It is the same for every query of a
+	// standing deployment.
 	SetupTime time.Duration
 	// BaseOTHandshakes counts the pairwise base-OT bootstraps the
 	// deployment has performed (summed over all simulated nodes; per node
@@ -152,16 +156,15 @@ type Runtime struct {
 	planMu   sync.Mutex
 	aggPlans map[float64]*aggPlan
 
-	// runMu serializes executions: the share state and the GMW sessions
-	// admit one query at a time.
-	runMu sync.Mutex
+	// qid hands out query ids for callers that don't bring their own
+	// (Run/RunQuery); the session facade assigns ids itself via RunQueryID.
+	qid atomic.Int64
 	// certUses accumulates certificate-key uses across queries so a
 	// standing deployment eventually amortizes the fixed-base tables even
-	// when each individual query is short.
+	// when each individual query is short. Guarded by certMu: concurrent
+	// queries charge it independently.
+	certMu   sync.Mutex
 	certUses int
-
-	sessions   [][]*gmw.Party // [vertex][member]
-	aggSession []*gmw.Party
 
 	table  *elgamal.Table
 	tparam transfer.Params
@@ -172,6 +175,19 @@ type Runtime struct {
 	// lazily on an edge's first transfer; Run enables the cache only when
 	// the iteration count amortizes the build cost.
 	certCache *transfer.CertKeyCache
+}
+
+// queryRun is the per-query execution state. Everything here used to be a
+// singleton on Runtime, which forced one-query-at-a-time execution; keying
+// it by query makes overlapping queries on one standing deployment safe.
+// Sessions are cheap: after New's warm-up, creating them is pure local
+// seed derivation (substrate) or broker stream derivation (dealer), with
+// every wire tag living under the query's "q/<id>" root so two queries'
+// protocol messages can never collide on the transport.
+type queryRun struct {
+	root       string // "q/<id>": the tag namespace all traffic lives under
+	sessions   [][]*gmw.Party
+	aggSession []*gmw.Party
 
 	// Share state, indexed [vertex][member]: each member's current share.
 	stateShares [][]uint64
@@ -242,26 +258,69 @@ func New(cfg Config, prog *Program, g *Graph) (*Runtime, error) {
 	}
 	r.table = r.tparam.MakeTable(cfg.TablePFail)
 
-	if err := r.createSessions(); err != nil {
+	if err := r.warmSubstrates(); err != nil {
 		return nil, err
 	}
 	r.setupTime = time.Since(setupStart)
-
-	// Initial share state: everything starts as shares of ⊥ / init values;
-	// the init phase of Run distributes them (and charges traffic).
-	r.stateShares = make([][]uint64, g.N())
-	r.msgShares = make([][][]uint64, g.N())
-	for v := range r.msgShares {
-		r.msgShares[v] = make([][]uint64, g.D)
-	}
 	return r, nil
 }
 
-// createSessions builds the GMW sessions for every vertex block and the
-// aggregation block.
-func (r *Runtime) createSessions() error {
+// warmSubstrates pays the pairwise base-OT handshakes up front (OTIKNP):
+// every unordered node pair that shares at least one block or aggregation
+// session handshakes once, so per-query session creation afterwards is
+// purely local seed derivation and overlapping queries never contend on a
+// bootstrap. Dealer mode has nothing to warm.
+func (r *Runtime) warmSubstrates() error {
+	if r.cfg.OTMode != OTIKNP {
+		return nil
+	}
+	type upair struct{ a, b network.NodeID }
+	pairs := make(map[upair]bool)
+	addBlock := func(members []network.NodeID) {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				a, b := members[i], members[j]
+				if a == b {
+					continue
+				}
+				if b < a {
+					a, b = b, a
+				}
+				pairs[upair{a, b}] = true
+			}
+		}
+	}
+	for v := 0; v < r.graph.N(); v++ {
+		addBlock(r.setup.Assignment.Blocks[r.graph.NodeOf(v)])
+	}
+	addBlock(r.setup.Assignment.AggBlock)
+	list := make([]upair, 0, len(pairs))
+	for p := range pairs {
+		list = append(list, p)
+	}
+	// The handshake is symmetric, so both directions of a pair must run
+	// concurrently — they live in one parallelFor body and cannot deadlock
+	// across bodies.
+	return r.parallelFor(len(list), func(i int) error {
+		p := list[i]
+		var wg sync.WaitGroup
+		var ea, eb error
+		wg.Add(2)
+		go func() { defer wg.Done(); ea = r.substrate(p.a).Warm(context.Background(), p.b) }()
+		go func() { defer wg.Done(); eb = r.substrate(p.b).Warm(context.Background(), p.a) }()
+		wg.Wait()
+		if ea != nil {
+			return ea
+		}
+		return eb
+	})
+}
+
+// createSessions builds the GMW sessions for one query: every vertex block
+// plus the aggregation block, with all tags under the query's root.
+func (r *Runtime) createSessions(qr *queryRun) error {
 	g := r.graph
-	r.sessions = make([][]*gmw.Party, g.N())
+	qr.sessions = make([][]*gmw.Party, g.N())
 
 	mkSession := func(members []network.NodeID, tag string) ([]*gmw.Party, error) {
 		parties := make([]*gmw.Party, len(members))
@@ -309,17 +368,17 @@ func (r *Runtime) createSessions() error {
 
 	if err := r.parallelFor(g.N(), func(v int) error {
 		members := r.setup.Assignment.Blocks[g.NodeOf(v)]
-		s, err := mkSession(members, network.Tag("blk", v))
-		r.sessions[v] = s
+		s, err := mkSession(members, network.Tag(qr.root, "blk", v))
+		qr.sessions[v] = s
 		return err
 	}); err != nil {
 		return err
 	}
-	agg, err := mkSession(r.setup.Assignment.AggBlock, "aggblk")
+	agg, err := mkSession(r.setup.Assignment.AggBlock, network.Tag(qr.root, "aggblk"))
 	if err != nil {
 		return err
 	}
-	r.aggSession = agg
+	qr.aggSession = agg
 	return nil
 }
 
@@ -388,14 +447,21 @@ func (r *Runtime) Run(ctx context.Context, iterations int) (int64, *Report, erro
 }
 
 // RunQuery executes one query against the standing deployment at the given
-// privacy budget. The trusted-party setup, GMW sessions (with their OT
-// handshakes), and fixed-base tables built in New are reused across calls;
-// each call re-distributes fresh shares of the graph's current inputs, so a
-// long-lived Runtime answers a sequence of queries while paying the session
-// bootstrap only once. Calls are serialized.
+// privacy budget, under a fresh auto-assigned query id.
 func (r *Runtime) RunQuery(ctx context.Context, iterations int, epsilon float64) (int64, *Report, error) {
-	r.runMu.Lock()
-	defer r.runMu.Unlock()
+	return r.RunQueryID(ctx, int(r.qid.Add(1)), iterations, epsilon)
+}
+
+// RunQueryID executes one query against the standing deployment at the
+// given privacy budget, with all of its protocol traffic namespaced under
+// the "q/<qid>" tag root. The trusted-party setup, base-OT handshakes, and
+// fixed-base tables built in New are reused across calls; the query's GMW
+// sessions are derived locally from the warmed substrate (or dealer
+// broker) seeds, so distinct qids yield cryptographically independent
+// streams and overlapping calls interleave safely on one transport.
+// Callers must not reuse a qid that is still in flight; the session facade
+// hands out unique ids.
+func (r *Runtime) RunQueryID(ctx context.Context, qid, iterations int, epsilon float64) (int64, *Report, error) {
 	plan, err := r.planFor(epsilon)
 	if err != nil {
 		return 0, nil, err
@@ -410,35 +476,56 @@ func (r *Runtime) RunQuery(ctx context.Context, iterations int, epsilon float64)
 	// All K+1 senders of an edge share this in-process cache, so each
 	// certificate key is used (K+1)·iterations times per query; uses
 	// accumulate across a session's queries.
+	r.certMu.Lock()
 	r.certUses += iterations * (r.cfg.K + 1)
 	if r.tparam.PrecomputeWorthwhile(r.certUses) {
 		r.certCache.Enable()
 	}
-	// Each query reports its own traffic: without the reset, the per-node
-	// aggregates (AvgNodeBytes/MaxNodeBytes) of a session's later queries
-	// would silently accumulate every earlier query's bytes.
-	r.net.ResetStats()
-	phaseStart := func() (time.Time, int64) { return time.Now(), r.net.TotalBytes() }
+	r.certMu.Unlock()
+
+	g := r.graph
+	qr := &queryRun{root: network.Tag("q", qid)}
+	if err := r.createSessions(qr); err != nil {
+		return 0, nil, err
+	}
+	// Retire the query's namespace on every exit: per-prefix counters,
+	// per-query node stats, drained mailboxes, and dealer stream entries
+	// would otherwise accumulate per query for the life of the deployment.
+	defer func() {
+		r.net.RetireTagPrefix(qr.root)
+		if r.broker != nil {
+			r.broker.RetireTagPrefix(qr.root)
+		}
+	}()
+	qr.stateShares = make([][]uint64, g.N())
+	qr.msgShares = make([][][]uint64, g.N())
+	for v := range qr.msgShares {
+		qr.msgShares[v] = make([][]uint64, g.D)
+	}
+
+	// Phase traffic is read from the per-query counters, so overlapping
+	// queries each report exactly their own bytes.
+	phaseStart := func() (time.Time, int64) { return time.Now(), r.net.QueryBytes(qr.root) }
 	tr := obs.From(ctx)
 
 	// --- Initialization (§3.6): owners split and distribute shares. ---
 	t0, b0 := phaseStart()
-	if err := r.initShares(ctx); err != nil {
+	if err := r.initShares(ctx, qr); err != nil {
 		return 0, nil, err
 	}
 	rep.InitTime = time.Since(t0)
-	rep.InitBytes = r.net.TotalBytes() - b0
+	rep.InitBytes = r.net.QueryBytes(qr.root) - b0
 	tr.SpanDur("phase/init", t0, rep.InitTime)
 
 	// --- Iterations. ---
 	for it := 0; it <= iterations; it++ {
 		t0, b0 = phaseStart()
-		outShares, err := r.computeStep(ctx, it)
+		outShares, err := r.computeStep(ctx, qr, it)
 		if err != nil {
 			return 0, nil, fmt.Errorf("vertex: iteration %d compute: %w", it, err)
 		}
 		rep.ComputeTime += time.Since(t0)
-		rep.ComputeBytes += r.net.TotalBytes() - b0
+		rep.ComputeBytes += r.net.QueryBytes(qr.root) - b0
 		if tr != nil {
 			tr.Span(fmt.Sprintf("iter/%d/compute", it), t0)
 		}
@@ -447,11 +534,11 @@ func (r *Runtime) RunQuery(ctx context.Context, iterations int, epsilon float64)
 			break // final computation step: no communication follows
 		}
 		t0, b0 = phaseStart()
-		if err := r.communicateStep(ctx, it, outShares); err != nil {
+		if err := r.communicateStep(ctx, qr, it, outShares); err != nil {
 			return 0, nil, fmt.Errorf("vertex: iteration %d communicate: %w", it, err)
 		}
 		rep.CommTime += time.Since(t0)
-		rep.CommBytes += r.net.TotalBytes() - b0
+		rep.CommBytes += r.net.QueryBytes(qr.root) - b0
 		if tr != nil {
 			tr.Span(fmt.Sprintf("iter/%d/communicate", it), t0)
 		}
@@ -459,18 +546,21 @@ func (r *Runtime) RunQuery(ctx context.Context, iterations int, epsilon float64)
 
 	// --- Aggregation + noising (§3.6). ---
 	t0, b0 = phaseStart()
-	result, err := r.aggregate(ctx, plan)
+	result, err := r.aggregate(ctx, qr, plan)
 	if err != nil {
 		return 0, nil, fmt.Errorf("vertex: aggregation: %w", err)
 	}
 	rep.AggTime = time.Since(t0)
-	rep.AggBytes = r.net.TotalBytes() - b0
+	rep.AggBytes = r.net.QueryBytes(qr.root) - b0
 	tr.SpanDur("phase/agg", t0, rep.AggTime)
 
-	rep.AvgNodeBytes = r.net.AvgNodeBytes()
-	rep.MaxNodeBytes = r.net.MaxNodeBytes()
+	rep.AvgNodeBytes = r.net.QueryAvgNodeBytes(qr.root)
+	rep.MaxNodeBytes = r.net.QueryMaxNodeBytes(qr.root)
 	if tr != nil {
 		for prefix, ts := range r.net.TagStats() {
+			if prefix != qr.root && !strings.HasPrefix(prefix, qr.root+"/") {
+				continue
+			}
 			tr.Add("net/"+prefix+"/bytes_sent", ts.BytesSent)
 			tr.Add("net/"+prefix+"/msgs_sent", ts.MessagesSent)
 		}
@@ -482,10 +572,10 @@ func (r *Runtime) RunQuery(ctx context.Context, iterations int, epsilon float64)
 // copies of ⊥ per vertex (§3.6), sent over the network so setup traffic is
 // accounted. Vertices are independent, so the distribution runs under the
 // Config.Parallelism semaphore like every other per-vertex phase.
-func (r *Runtime) initShares(ctx context.Context) error {
+func (r *Runtime) initShares(ctx context.Context, qr *queryRun) error {
 	k1 := r.cfg.K + 1
 	return r.parallelFor(r.graph.N(), func(v int) error {
-		if err := r.initSharesVertex(ctx, v, k1); err != nil {
+		if err := r.initSharesVertex(ctx, qr, v, k1); err != nil {
 			return fmt.Errorf("vertex %d init: %w", v, err)
 		}
 		return nil
@@ -520,11 +610,12 @@ func (r *Runtime) parallelFor(n int, fn func(i int) error) error {
 
 // initSharesVertex runs one vertex's share distribution: the owner splits
 // and sends, the members receive. Only indices of vertex v are written.
-func (r *Runtime) initSharesVertex(ctx context.Context, v, k1 int) error {
+func (r *Runtime) initSharesVertex(ctx context.Context, qr *queryRun, v, k1 int) error {
 	g := r.graph
 	owner := g.NodeOf(v)
 	members := r.setup.Assignment.Blocks[owner]
 	ownerEP := r.net.Endpoint(owner)
+	tag := network.Tag(qr.root, "init", v)
 
 	st := secretshare.SplitXOR(uint64(g.InitState[v]), k1, r.prog.StateBits)
 	msgs := make([][]uint64, g.D)
@@ -534,19 +625,19 @@ func (r *Runtime) initSharesVertex(ctx context.Context, v, k1 int) error {
 	// Owner keeps its own share (index 0) and sends the rest.
 	for m := 1; m < k1; m++ {
 		payload := EncodeShares(append([]uint64{st[m]}, Column(msgs, m)...))
-		if err := ownerEP.Send(members[m], network.Tag("init", v), payload); err != nil {
+		if err := ownerEP.Send(members[m], tag, payload); err != nil {
 			return err
 		}
 	}
-	r.stateShares[v] = make([]uint64, k1)
-	r.stateShares[v][0] = st[0]
+	qr.stateShares[v] = make([]uint64, k1)
+	qr.stateShares[v][0] = st[0]
 	for d := range msgs {
-		r.msgShares[v][d] = make([]uint64, k1)
-		r.msgShares[v][d][0] = msgs[d][0]
+		qr.msgShares[v][d] = make([]uint64, k1)
+		qr.msgShares[v][d][0] = msgs[d][0]
 	}
 	// Members receive their shares.
 	for m := 1; m < k1; m++ {
-		data, err := r.net.Endpoint(members[m]).Recv(ctx, owner, network.Tag("init", v))
+		data, err := r.net.Endpoint(members[m]).Recv(ctx, owner, tag)
 		if err != nil {
 			return err
 		}
@@ -554,22 +645,22 @@ func (r *Runtime) initSharesVertex(ctx context.Context, v, k1 int) error {
 		if err != nil {
 			return err
 		}
-		r.stateShares[v][m] = vals[0]
+		qr.stateShares[v][m] = vals[0]
 		for d := 0; d < g.D; d++ {
-			r.msgShares[v][d][m] = vals[1+d]
+			qr.msgShares[v][d][m] = vals[1+d]
 		}
 	}
 	return nil
 }
 
 // computeStep runs every block's update MPC; returns outShares[v][slot][m].
-func (r *Runtime) computeStep(ctx context.Context, iter int) ([][][]uint64, error) {
+func (r *Runtime) computeStep(ctx context.Context, qr *queryRun, iter int) ([][][]uint64, error) {
 	g := r.graph
 	tr := obs.From(ctx)
 	out := make([][][]uint64, g.N())
 	if err := r.parallelFor(g.N(), func(v int) error {
 		t0 := time.Now()
-		res, err := r.runBlockMPC(ctx, v)
+		res, err := r.runBlockMPC(ctx, qr, v)
 		if err != nil {
 			return fmt.Errorf("block %d: %w", v, err)
 		}
@@ -585,10 +676,10 @@ func (r *Runtime) computeStep(ctx context.Context, iter int) ([][][]uint64, erro
 }
 
 // runBlockMPC executes one vertex's update circuit in its block session.
-func (r *Runtime) runBlockMPC(ctx context.Context, v int) ([][]uint64, error) {
+func (r *Runtime) runBlockMPC(ctx context.Context, qr *queryRun, v int) ([][]uint64, error) {
 	g := r.graph
 	k1 := r.cfg.K + 1
-	parties := r.sessions[v]
+	parties := qr.sessions[v]
 
 	outShares := make([][]uint64, g.D) // [slot][member]
 	for d := range outShares {
@@ -603,7 +694,7 @@ func (r *Runtime) runBlockMPC(ctx context.Context, v int) ([][]uint64, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			in := r.memberInput(v, m)
+			in := r.memberInput(qr, v, m)
 			outBits, err := parties[m].Evaluate(ctx, r.updCirc, in)
 			if err != nil {
 				errs[m] = err
@@ -622,16 +713,16 @@ func (r *Runtime) runBlockMPC(ctx context.Context, v int) ([][]uint64, error) {
 			return nil, err
 		}
 	}
-	r.stateShares[v] = newState
+	qr.stateShares[v] = newState
 	return outShares, nil
 }
 
 // memberInput assembles member m's input-share bits for vertex v's update:
 // [state | priv | msgs]. The owner (member 0) supplies the private vertex
 // data; everyone else contributes zero shares for it.
-func (r *Runtime) memberInput(v, m int) []uint8 {
+func (r *Runtime) memberInput(qr *queryRun, v, m int) []uint8 {
 	g := r.graph
-	in := WordToBits(r.stateShares[v][m], r.prog.StateBits)
+	in := WordToBits(qr.stateShares[v][m], r.prog.StateBits)
 	privBits := r.prog.PrivBits(g.D)
 	if m == 0 {
 		in = append(in, g.Priv[v]...)
@@ -639,14 +730,14 @@ func (r *Runtime) memberInput(v, m int) []uint8 {
 		in = append(in, make([]uint8, privBits)...)
 	}
 	for d := 0; d < g.D; d++ {
-		in = append(in, WordToBits(r.msgShares[v][d][m], r.prog.MsgBits)...)
+		in = append(in, WordToBits(qr.msgShares[v][d][m], r.prog.MsgBits)...)
 	}
 	return in
 }
 
 // communicateStep runs the transfer protocol over every edge and refreshes
 // padding slots with shares of ⊥.
-func (r *Runtime) communicateStep(ctx context.Context, iter int, outShares [][][]uint64) error {
+func (r *Runtime) communicateStep(ctx context.Context, qr *queryRun, iter int, outShares [][][]uint64) error {
 	g := r.graph
 	k1 := r.cfg.K + 1
 
@@ -656,7 +747,7 @@ func (r *Runtime) communicateStep(ctx context.Context, iter int, outShares [][][
 		for d := 0; d < g.D; d++ {
 			sh := make([]uint64, k1)
 			sh[0] = uint64(r.prog.NoOp) & secretshare.Mask(r.prog.MsgBits)
-			r.msgShares[v][d] = sh
+			qr.msgShares[v][d] = sh
 		}
 	}
 
@@ -675,14 +766,14 @@ func (r *Runtime) communicateStep(ctx context.Context, iter int, outShares [][][
 	return r.parallelFor(len(edges), func(i int) error {
 		u, v := edges[i][0], edges[i][1]
 		t0 := time.Now()
-		fresh, err := r.runTransfer(ctx, iter, u, v, slotIns[i], outShares[u][OutSlot(g, u, v)])
+		fresh, err := r.runTransfer(ctx, qr, iter, u, v, slotIns[i], outShares[u][OutSlot(g, u, v)])
 		if err != nil {
 			return fmt.Errorf("edge (%d,%d): %w", u, v, err)
 		}
 		if tr != nil {
 			tr.Span(fmt.Sprintf("tx/%d/%d/%d", iter, u, v), t0)
 		}
-		r.msgShares[v][slotIns[i]] = fresh
+		qr.msgShares[v][slotIns[i]] = fresh
 		return nil
 	})
 }
@@ -690,7 +781,7 @@ func (r *Runtime) communicateStep(ctx context.Context, iter int, outShares [][][
 // runTransfer moves one message's shares from B_u to B_v (§3.5): the
 // members of B_u send encrypted subshares through node u, which aggregates
 // and noises them; node v adjusts and fans out to B_v's members.
-func (r *Runtime) runTransfer(ctx context.Context, iter, u, v, slotIn int, shares []uint64) ([]uint64, error) {
+func (r *Runtime) runTransfer(ctx context.Context, qr *queryRun, iter, u, v, slotIn int, shares []uint64) ([]uint64, error) {
 	g := r.graph
 	k1 := r.cfg.K + 1
 	uID, vID := g.NodeOf(u), g.NodeOf(v)
@@ -698,7 +789,7 @@ func (r *Runtime) runTransfer(ctx context.Context, iter, u, v, slotIn int, share
 	recvB := r.setup.Assignment.Blocks[vID]
 	keys := r.recipientKeys(v, slotIn)
 	neighborKey := r.secrets[vID].NeighborKeys[slotIn]
-	tag := network.Tag("tx", iter, u, v)
+	tag := network.Tag(qr.root, "tx", iter, u, v)
 
 	fresh := make([]uint64, k1)
 	errCh := make(chan error, 2*k1+2)
@@ -875,9 +966,9 @@ func (r *Runtime) openInBlock(ctx context.Context, sessions []*gmw.Party, shares
 // aggregate re-shares all vertex states to the aggregation machinery (flat
 // or tree-shaped, §3.6), evaluates the aggregation function plus the
 // in-MPC Laplace noise, and opens only the noised result.
-func (r *Runtime) aggregate(ctx context.Context, plan *aggPlan) (int64, error) {
+func (r *Runtime) aggregate(ctx context.Context, qr *queryRun, plan *aggPlan) (int64, error) {
 	if r.cfg.AggFanIn > 0 && r.graph.N() > r.cfg.AggFanIn {
-		return r.aggregateTree(ctx, plan)
+		return r.aggregateTree(ctx, qr, plan)
 	}
 	g := r.graph
 	k1 := r.cfg.K + 1
@@ -890,7 +981,7 @@ func (r *Runtime) aggregate(ctx context.Context, plan *aggPlan) (int64, error) {
 	if err := r.parallelFor(g.N(), func(v int) error {
 		members := r.setup.Assignment.Blocks[g.NodeOf(v)]
 		var err error
-		cols[v], err = r.reshare(ctx, r.stateShares[v], r.prog.StateBits, members, aggMembers, network.Tag("aggsh", v))
+		cols[v], err = r.reshare(ctx, qr.stateShares[v], r.prog.StateBits, members, aggMembers, network.Tag(qr.root, "aggsh", v))
 		return err
 	}); err != nil {
 		return 0, err
@@ -907,18 +998,18 @@ func (r *Runtime) aggregate(ctx context.Context, plan *aggPlan) (int64, error) {
 	for y := 0; y < k1; y++ {
 		aggInput[y] = append(aggInput[y], RandomInputBits(plan.noise.RandBits())...)
 	}
-	outShares, err := r.evalInBlock(ctx, r.aggSession, plan.circ, aggInput)
+	outShares, err := r.evalInBlock(ctx, qr.aggSession, plan.circ, aggInput)
 	if err != nil {
 		return 0, err
 	}
-	return r.openInBlock(ctx, r.aggSession, outShares)
+	return r.openInBlock(ctx, qr.aggSession, outShares)
 }
 
 // aggregateTree implements the two-level aggregation tree of §3.6: leaf
 // blocks (reusing the block of each group's first vertex) partially
 // aggregate up to AggFanIn states; the root block combines the partials
 // and draws the noise.
-func (r *Runtime) aggregateTree(ctx context.Context, plan *aggPlan) (int64, error) {
+func (r *Runtime) aggregateTree(ctx context.Context, qr *queryRun, plan *aggPlan) (int64, error) {
 	g := r.graph
 	k1 := r.cfg.K + 1
 	fanIn := r.cfg.AggFanIn
@@ -952,7 +1043,7 @@ func (r *Runtime) aggregateTree(ctx context.Context, plan *aggPlan) (int64, erro
 		leafInput := make([][]uint8, k1)
 		for v := lo; v < hi; v++ {
 			members := r.setup.Assignment.Blocks[g.NodeOf(v)]
-			col, err := r.reshare(ctx, r.stateShares[v], r.prog.StateBits, members, leafMembers, network.Tag("leafsh", grp, v))
+			col, err := r.reshare(ctx, qr.stateShares[v], r.prog.StateBits, members, leafMembers, network.Tag(qr.root, "leafsh", grp, v))
 			if err != nil {
 				return err
 			}
@@ -960,7 +1051,7 @@ func (r *Runtime) aggregateTree(ctx context.Context, plan *aggPlan) (int64, erro
 				leafInput[y] = append(leafInput[y], WordToBits(col[y], r.prog.StateBits)...)
 			}
 		}
-		outShares, err := r.evalInBlock(ctx, r.sessions[leader], partialCirc, leafInput)
+		outShares, err := r.evalInBlock(ctx, qr.sessions[leader], partialCirc, leafInput)
 		if err != nil {
 			return fmt.Errorf("vertex: leaf aggregation %d: %w", grp, err)
 		}
@@ -983,7 +1074,7 @@ func (r *Runtime) aggregateTree(ctx context.Context, plan *aggPlan) (int64, erro
 	aggMembers := r.setup.Assignment.AggBlock
 	rootInput := make([][]uint8, k1)
 	for grp := 0; grp < nGroups; grp++ {
-		col, err := r.reshare(ctx, partialShares[grp], r.prog.AggBits, leafBlocks[grp], aggMembers, network.Tag("rootsh", grp))
+		col, err := r.reshare(ctx, partialShares[grp], r.prog.AggBits, leafBlocks[grp], aggMembers, network.Tag(qr.root, "rootsh", grp))
 		if err != nil {
 			return 0, err
 		}
@@ -994,11 +1085,11 @@ func (r *Runtime) aggregateTree(ctx context.Context, plan *aggPlan) (int64, erro
 	for y := 0; y < k1; y++ {
 		rootInput[y] = append(rootInput[y], RandomInputBits(plan.noise.RandBits())...)
 	}
-	outShares, err := r.evalInBlock(ctx, r.aggSession, combineCirc, rootInput)
+	outShares, err := r.evalInBlock(ctx, qr.aggSession, combineCirc, rootInput)
 	if err != nil {
 		return 0, fmt.Errorf("vertex: root aggregation: %w", err)
 	}
-	return r.openInBlock(ctx, r.aggSession, outShares)
+	return r.openInBlock(ctx, qr.aggSession, outShares)
 }
 
 // Net exposes the network hub for traffic inspection.

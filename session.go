@@ -11,12 +11,14 @@ import (
 	"dstress/internal/obs"
 )
 
-// ErrSessionBusy reports a Query submitted while another query is already
-// in flight on the same session. One session is one standing deployment:
-// its GMW tags and transfer rounds belong to a single protocol run, so two
-// interleaved queries would corrupt each other's messages on the shared
-// transports. Callers that need concurrency run a pool of sessions (see
-// internal/serve) and dispatch to idle members instead of sharing one.
+// ErrSessionBusy reports a Query refused by the session's admission limit:
+// MaxConcurrent queries (default 1) were already in flight. The refusal is
+// fail-fast and charges nothing — no ε is spent and no protocol message is
+// sent — so a pool scheduler can immediately retry on another session.
+// Queries on one session multiplex safely (each runs under its own
+// "q/<id>" tag namespace with independently derived crypto streams); the
+// limit exists to bound memory and CPU contention, not to protect protocol
+// state. Raise it with SetMaxConcurrent.
 var ErrSessionBusy = errors.New("dstress: session is busy answering another query")
 
 // ErrSessionClosed reports a Query against a session after Close.
@@ -35,9 +37,12 @@ type QuerySpec struct {
 }
 
 // sessionBackend is a standing deployment that can answer queries; the
-// simulation and cluster engines each provide one.
+// simulation and cluster engines each provide one. seq is the session's
+// query id: the backend namespaces every protocol message of the query
+// under the "q/<seq>" tag root, so overlapping calls (distinct seqs) never
+// collide on the shared transports.
 type sessionBackend interface {
-	query(ctx context.Context, q QuerySpec) (int64, *Report, error)
+	query(ctx context.Context, seq int, q QuerySpec) (int64, *Report, error)
 	close() error
 }
 
@@ -49,28 +54,33 @@ type sessionBackend interface {
 // fixed-base tables); each Query then only refreshes shares and runs the
 // protocol, so the Init phase that dominates short runs is paid once.
 //
-// A session answers one query at a time: a Query submitted while another
-// is in flight fails fast with ErrSessionBusy rather than blocking, so a
-// pool scheduler can move on to an idle session. Close releases the
-// deployment, waiting first for any in-flight query to finish (cancel the
-// query's context to hurry it along).
+// A session multiplexes queries: each runs under its own "q/<id>" tag
+// namespace with crypto streams derived per query from the standing
+// handshakes, so overlapping queries never touch each other's messages.
+// Admission is bounded by MaxConcurrent (default 1): a Query beyond the
+// limit fails fast with ErrSessionBusy rather than blocking or queueing, so
+// a pool scheduler can move on to another session. Close releases the
+// deployment, waiting first for all in-flight queries to finish (cancel the
+// queries' contexts to hurry them along).
 type Session struct {
-	mu       sync.Mutex
-	idle     sync.Cond // signalled when busy drops
-	busy     bool
-	backend  sessionBackend
-	acct     *dp.Accountant // nil = unmetered
-	decode   func(int64) float64
-	defaults QuerySpec
-	queries  int // queries started, for the "q/<n>" trace tag
-	closed   bool
+	mu            sync.Mutex
+	idle          sync.Cond // signalled when inflight drops
+	inflight      int
+	maxConcurrent int
+	backend       sessionBackend
+	acct          *dp.Accountant // nil = unmetered
+	decode        func(int64) float64
+	defaults      QuerySpec
+	queries       int // queries started; query id of the next Query
+	closed        bool
 }
 
 func newSession(b sessionBackend, job Job, budget float64) *Session {
 	s := &Session{
-		backend:  b,
-		decode:   job.Decode,
-		defaults: QuerySpec{Iterations: job.Iterations, Epsilon: job.Epsilon},
+		backend:       b,
+		maxConcurrent: 1,
+		decode:        job.Decode,
+		defaults:      QuerySpec{Iterations: job.Iterations, Epsilon: job.Epsilon},
 	}
 	s.idle.L = &s.mu
 	if budget > 0 {
@@ -79,20 +89,35 @@ func newSession(b sessionBackend, job Job, budget float64) *Session {
 	return s
 }
 
+// SetMaxConcurrent sets the admission limit: how many queries may be in
+// flight on this session at once (minimum 1). The default of 1 keeps the
+// classic one-query-at-a-time behavior; raising it lets a standing fleet
+// answer several queries concurrently, pipelining one query's compute under
+// another's communication. Already-admitted queries are never evicted by
+// lowering the limit.
+func (s *Session) SetMaxConcurrent(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	s.maxConcurrent = n
+	s.mu.Unlock()
+}
+
 // Query runs one budgeted query against the standing deployment. It
 // charges q.Epsilon to the session's accountant first and refuses —
 // without executing anything — when the charge would overdraw the budget
-// (dp.ErrBudgetExhausted). A query submitted while another is in flight is
-// refused with ErrSessionBusy (and not charged). Canceling ctx aborts the
-// query; the session is then in an undefined protocol state and only Close
-// is safe.
+// (dp.ErrBudgetExhausted). A query submitted while MaxConcurrent queries
+// are already in flight is refused with ErrSessionBusy (and not charged).
+// Canceling ctx aborts the query; the session is then in an undefined
+// protocol state and only Close is safe.
 func (s *Session) Query(ctx context.Context, q QuerySpec) (*Result, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrSessionClosed
 	}
-	if s.busy {
+	if s.inflight >= s.maxConcurrent {
 		s.mu.Unlock()
 		return nil, ErrSessionBusy
 	}
@@ -113,7 +138,7 @@ func (s *Session) Query(ctx context.Context, q QuerySpec) (*Result, error) {
 			return nil, err
 		}
 	}
-	s.busy = true
+	s.inflight++
 	s.queries++
 	seq := s.queries
 	s.mu.Unlock()
@@ -121,13 +146,14 @@ func (s *Session) Query(ctx context.Context, q QuerySpec) (*Result, error) {
 	// Stamp the caller's trace (if any) with this query's sequence number:
 	// every span recorded from here on carries "q/<n>", keeping multi-query
 	// sessions separable in one trace file. Cluster nodes stamp their own
-	// span tables with the same number from the job's Seq field.
+	// span tables with the same number from the job's Seq field, and every
+	// backend namespaces the query's wire traffic under the same "q/<n>".
 	obs.From(ctx).SetQuery(fmt.Sprintf("q/%d", seq))
 
-	raw, rep, err := s.backend.query(ctx, q)
+	raw, rep, err := s.backend.query(ctx, seq, q)
 
 	s.mu.Lock()
-	s.busy = false
+	s.inflight--
 	s.idle.Broadcast()
 	s.mu.Unlock()
 	if err != nil {
@@ -160,12 +186,12 @@ func (s *Session) Spent() float64 {
 	return s.acct.Spent()
 }
 
-// Close tears the standing deployment down, waiting first for an in-flight
-// query to finish so the protocol is never torn down under a live run.
-// Idempotent.
+// Close tears the standing deployment down, waiting first for all
+// in-flight queries to finish so the protocol is never torn down under a
+// live run. Idempotent.
 func (s *Session) Close() error {
 	s.mu.Lock()
-	for s.busy {
+	for s.inflight > 0 {
 		s.idle.Wait()
 	}
 	if s.closed {

@@ -7,24 +7,24 @@ import (
 	"time"
 )
 
-// gateBackend is a sessionBackend whose query blocks until released, so
+// gateBackend is a sessionBackend whose queries block until released, so
 // tests can hold a session provably in-flight.
 type gateBackend struct {
-	started chan struct{} // closed when a query begins executing
-	release chan struct{} // query returns when this is closed
+	started chan int      // receives each query's seq as it begins executing
+	release chan struct{} // queries return when this is closed
 	closed  chan struct{} // closed by close()
 }
 
 func newGateBackend() *gateBackend {
 	return &gateBackend{
-		started: make(chan struct{}),
+		started: make(chan int, 16),
 		release: make(chan struct{}),
 		closed:  make(chan struct{}),
 	}
 }
 
-func (b *gateBackend) query(ctx context.Context, q QuerySpec) (int64, *Report, error) {
-	close(b.started)
+func (b *gateBackend) query(ctx context.Context, seq int, q QuerySpec) (int64, *Report, error) {
+	b.started <- seq
 	select {
 	case <-b.release:
 		return 42, &Report{Transport: "fake"}, nil
@@ -90,5 +90,69 @@ func TestSessionBusyGuard(t *testing.T) {
 	// After Close, queries are refused with the typed closed error.
 	if _, err := sess.Query(context.Background(), QuerySpec{Epsilon: 0.1}); !errors.Is(err, ErrSessionClosed) {
 		t.Fatalf("query after Close returned %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestSessionMaxConcurrent pins the admission seam: SetMaxConcurrent(2)
+// admits two overlapping queries with distinct query ids, the third is
+// refused fail-fast with ErrSessionBusy and charged nothing, and a slot
+// freed by a finishing query is reusable.
+func TestSessionMaxConcurrent(t *testing.T) {
+	b := newGateBackend()
+	sess := newSession(b, Job{Iterations: 1}, 10.0)
+	sess.SetMaxConcurrent(2)
+
+	results := make(chan error, 3)
+	runQuery := func() {
+		_, err := sess.Query(context.Background(), QuerySpec{Epsilon: 1})
+		results <- err
+	}
+	go runQuery()
+	go runQuery()
+	seqs := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		select {
+		case seq := <-b.started:
+			seqs[seq] = true
+		case <-time.After(5 * time.Second):
+			t.Fatalf("query %d never reached the backend", i)
+		}
+	}
+	if !seqs[1] || !seqs[2] {
+		t.Fatalf("overlapping queries got seqs %v, want distinct ids 1 and 2", seqs)
+	}
+
+	// Third query: over the limit, typed refusal, budget untouched.
+	if _, err := sess.Query(context.Background(), QuerySpec{Epsilon: 1}); !errors.Is(err, ErrSessionBusy) {
+		t.Fatalf("over-admission query returned %v, want ErrSessionBusy", err)
+	}
+	if got := sess.Spent(); got != 2 {
+		t.Errorf("refused query changed the accountant: spent %v, want 2", got)
+	}
+
+	close(b.release)
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("admitted query failed: %v", err)
+		}
+	}
+
+	// Slots freed: a new query is admitted again and gets the next id.
+	b.release = make(chan struct{})
+	go runQuery()
+	select {
+	case seq := <-b.started:
+		if seq != 3 {
+			t.Fatalf("post-release query got seq %d, want 3", seq)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-release query never reached the backend")
+	}
+	close(b.release)
+	if err := <-results; err != nil {
+		t.Fatalf("post-release query failed: %v", err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
 	}
 }
