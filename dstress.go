@@ -46,6 +46,8 @@
 package dstress
 
 import (
+	"context"
+
 	"dstress/internal/circuit"
 	"dstress/internal/dp"
 	"dstress/internal/finnet"
@@ -95,9 +97,10 @@ const (
 )
 
 // NewRuntime builds a runtime: trusted-party setup (§3.4), block GMW
-// sessions, circuit compilation, and initial share state.
-func NewRuntime(cfg Config, p *Program, g *Graph) (*Runtime, error) {
-	return vertex.New(cfg, p, g)
+// sessions, circuit compilation, and initial share state. ctx bounds the
+// deployment bootstrap (base-OT warm-up between in-process peers).
+func NewRuntime(ctx context.Context, cfg Config, p *Program, g *Graph) (*Runtime, error) {
+	return vertex.New(ctx, cfg, p, g)
 }
 
 // RunReference executes a program in plaintext with the exact circuits the

@@ -44,7 +44,7 @@ func TestPublicAPIQuickstartFlow(t *testing.T) {
 		t.Errorf("circuit TDS %v vs solver %v", got, truth.TDS)
 	}
 
-	rt, err := dstress.NewRuntime(dstress.Config{
+	rt, err := dstress.NewRuntime(context.Background(), dstress.Config{
 		Group: dstress.TestGroup(), K: 1, Alpha: 0.5, OTMode: dstress.OTDealer,
 	}, prog, graph)
 	if err != nil {

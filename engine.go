@@ -277,12 +277,12 @@ func (e *SimEngine) Run(ctx context.Context, job Job) (*Result, error) {
 // Session whose queries reuse all of it. budget is the total ε the session
 // may spend (0 = unmetered); job's Iterations and Epsilon become the
 // session's defaults.
-func (e *SimEngine) Open(_ context.Context, job Job, budget float64) (*Session, error) {
+func (e *SimEngine) Open(ctx context.Context, job Job, budget float64) (*Session, error) {
 	prog, err := job.program()
 	if err != nil {
 		return nil, err
 	}
-	rt, err := vertex.New(e.vertexConfig(job.Epsilon), prog, job.Graph)
+	rt, err := vertex.New(ctx, e.vertexConfig(job.Epsilon), prog, job.Graph)
 	if err != nil {
 		return nil, err
 	}

@@ -64,7 +64,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt, err := dstress.NewRuntime(dstress.Config{
+	rt, err := dstress.NewRuntime(context.Background(), dstress.Config{
 		Group: dstress.TestGroup(), K: 2, Alpha: 0.9, Epsilon: 1.0,
 		OTMode: dstress.OTDealer,
 	}, prog, graph)

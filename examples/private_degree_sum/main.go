@@ -81,7 +81,7 @@ func main() {
 	}
 	fmt.Printf("exact edge count: %d (graph has %d edges)\n", exact, len(edges))
 
-	rt, err := dstress.NewRuntime(dstress.Config{
+	rt, err := dstress.NewRuntime(context.Background(), dstress.Config{
 		Group: dstress.TestGroup(), K: 2, Alpha: 0.5, Epsilon: 0.7,
 		OTMode: dstress.OTDealer,
 	}, prog, g)

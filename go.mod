@@ -1,3 +1,9 @@
 module dstress
 
+// Dependency-free by design: the build environment is offline (no module
+// proxy), so everything — including the static-analysis suite behind
+// cmd/dstress-vet, which would normally sit on
+// golang.org/x/tools/go/analysis — is built on the standard library.
+// See the "Static analysis" section of DESIGN.md.
+
 go 1.22

@@ -1,0 +1,219 @@
+// Package analysis is a small static-analysis framework plus the DStress
+// invariant checkers that run on it (see cmd/dstress-vet). The API mirrors
+// golang.org/x/tools/go/analysis — Analyzer, Pass, Reportf — so the
+// checkers could move onto the real framework wholesale, but it is built
+// purely on the standard library: the container this repo grows in has no
+// module proxy, so x/tools cannot be vendored. Packages are loaded via
+// `go list -export` and type-checked against compiler export data, which
+// works fully offline (see load.go).
+//
+// The four analyzers encode protocol invariants that code review keeps
+// re-litigating:
+//
+//   - tagpath: protocol-message tags must derive from network.Tag, the
+//     query-root helper, so concurrent queries stay in disjoint tag
+//     namespaces and OT seed derivation (PRF keyed by tag) never collides.
+//   - ctxflow: anything on a Recv path takes a context.Context and does
+//     not mint context.Background/TODO mid-library, so query cancellation
+//     reaches every blocking receive.
+//   - securerand: math/rand never appears in the crypto packages.
+//   - errflow: protocol packages neither discard errors into `_` nor
+//     panic on recoverable failures.
+//
+// A finding that is intentional is silenced with a line comment on the
+// offending line (or the line above): //dstress:tag-ok, //dstress:ctx-ok,
+// //dstress:rand-ok, //dstress:err-ok, //dstress:panic-ok — ideally with a
+// reason after the marker. securerand ignores the escape inside the
+// hard-forbidden crypto packages (see scope.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	Name string
+	// Doc is the one-paragraph description shown by `dstress-vet -help`.
+	Doc string
+	// Run performs the analysis on one package and reports findings
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// A Pass connects an Analyzer to one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the import path scope decisions key on. It normally
+	// equals Pkg.Path(); fixture tests override it so a testdata package
+	// can stand in for a real one (see the analysistest package).
+	PkgPath string
+
+	report func(Diagnostic)
+	// annotations[filename][line] holds the dstress: markers on that line.
+	annotations map[string]map[int][]string
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Annotated reports whether the line holding pos carries the
+// //dstress:<marker> escape — as a trailing comment on the line itself, or
+// as a standalone comment on the line immediately above. A trailing escape
+// on the previous line deliberately does NOT leak downward: it silences
+// only the line it sits on.
+func (p *Pass) Annotated(pos token.Pos, marker string) bool {
+	if p.annotations == nil {
+		p.annotations = map[string]map[int][]string{}
+		for _, f := range p.Files {
+			tf := p.Fset.File(f.Pos())
+			if tf == nil {
+				continue
+			}
+			lines := p.annotations[tf.Name()]
+			if lines == nil {
+				lines = map[int][]string{}
+				p.annotations[tf.Name()] = lines
+			}
+			src, _ := os.ReadFile(tf.Name())
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					markers := parseMarkers(c.Text)
+					if len(markers) == 0 {
+						continue
+					}
+					line := p.Fset.Position(c.Pos()).Line
+					lines[line] = append(lines[line], markers...)
+					if commentStartsLine(tf, src, c, line) {
+						lines[line+1] = append(lines[line+1], markers...)
+					}
+				}
+			}
+		}
+	}
+	where := p.Fset.Position(pos)
+	for _, m := range p.annotations[where.Filename][where.Line] {
+		if m == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// commentStartsLine reports whether only whitespace precedes the comment
+// on its source line (a standalone comment, whose escape covers the next
+// line, as opposed to a trailing comment covering only its own).
+func commentStartsLine(tf *token.File, src []byte, c *ast.Comment, line int) bool {
+	if src == nil {
+		return false
+	}
+	start := tf.Offset(tf.LineStart(line))
+	off := tf.Offset(c.Pos())
+	if start < 0 || off > len(src) || start > off {
+		return false
+	}
+	return strings.TrimSpace(string(src[start:off])) == ""
+}
+
+// parseMarkers extracts dstress: markers from one comment's text, e.g.
+// "//dstress:panic-ok — fixed key size" yields ["panic-ok"].
+func parseMarkers(text string) []string {
+	var out []string
+	for rest := text; ; {
+		i := strings.Index(rest, "dstress:")
+		if i < 0 {
+			return out
+		}
+		rest = rest[i+len("dstress:"):]
+		end := strings.IndexFunc(rest, func(r rune) bool {
+			return !(r == '-' || r >= 'a' && r <= 'z' || r >= '0' && r <= '9')
+		})
+		if end < 0 {
+			end = len(rest)
+		}
+		if end > 0 {
+			out = append(out, rest[:end])
+		}
+	}
+}
+
+// walkWithStack visits every node under root, passing the path of ancestor
+// nodes (outermost first, not including n itself). Returning false prunes
+// the subtree.
+func walkWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		if keep {
+			stack = append(stack, n)
+		}
+		return keep
+	})
+}
+
+// calleeFunc resolves the static *types.Func a call dispatches to, or nil
+// for builtins, conversions and dynamic calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isErrorType reports whether a value of type t carries an error: the
+// error interface itself or any concrete type implementing it.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType) || types.Implements(types.NewPointer(t), errType)
+}

@@ -1,0 +1,95 @@
+// Package analysistest runs an analyzer over a fixture directory and
+// checks its findings against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on this repo's stdlib-only
+// framework.
+//
+// A fixture is a directory of Go files forming one package. A line that
+// should produce a finding carries a trailing comment of the form
+//
+//	// want `regexp`
+//
+// and the harness fails the test on any unmatched expectation (the
+// analyzer missed a seeded violation) or unexpected diagnostic (the
+// analyzer over-reports).
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dstress/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("want `([^`]+)`")
+
+// Run loads dir as a package named asPkgPath (so scope-sensitive checks
+// see the impersonated real package) and applies the analyzer.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, asPkgPath string) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir, asPkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	// Collect expectations: file:line -> pending regexps.
+	type expect struct {
+		re   *regexp.Regexp
+		used bool
+	}
+	expects := map[string][]*expect{}
+	key := func(file string, line int) string {
+		// Findings and comments both carry absolute paths from the same
+		// FileSet, so the raw name is a stable key.
+		return file + ":" + strconv.Itoa(line)
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := key(pos.Filename, pos.Line)
+					expects[k] = append(expects[k], &expect{re: re})
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.Run(a, pkg, asPkgPath)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		k := key(d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, e := range expects[k] {
+			if !e.used && e.re.MatchString(d.Message) {
+				e.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for k, es := range expects {
+		for _, e := range es {
+			if !e.used {
+				t.Errorf("%s: expected finding matching %q, got none", shorten(k), e.re)
+			}
+		}
+	}
+}
+
+func shorten(k string) string {
+	if i := strings.LastIndex(k, "/"); i >= 0 {
+		return k[i+1:]
+	}
+	return k
+}

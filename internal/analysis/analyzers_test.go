@@ -1,0 +1,33 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dstress/internal/analysis"
+	"dstress/internal/analysis/analysistest"
+)
+
+// The fixtures impersonate real packages (the harness type-checks them
+// under the given import path) so scope-sensitive behavior — notably
+// securerand's refusal to honor //dstress:rand-ok inside the crypto
+// packages — is exercised exactly as dstress-vet would apply it.
+
+func TestTagPath(t *testing.T) {
+	analysistest.Run(t, "testdata/tagpath", analysis.TagPath, "dstress/internal/ot")
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata/ctxflow", analysis.CtxFlow, "dstress/internal/gmw")
+}
+
+func TestErrFlow(t *testing.T) {
+	analysistest.Run(t, "testdata/errflow", analysis.ErrFlow, "dstress/internal/transfer")
+}
+
+func TestSecureRandStrict(t *testing.T) {
+	analysistest.Run(t, "testdata/securerand_strict", analysis.SecureRand, "dstress/internal/ot")
+}
+
+func TestSecureRandLenient(t *testing.T) {
+	analysistest.Run(t, "testdata/securerand_lenient", analysis.SecureRand, "dstress/internal/finnet")
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrFlow enforces error propagation in protocol packages.
+//
+// A swallowed error in a protocol phase doesn't crash — it desynchronizes:
+// one party proceeds while its peer has already failed, and the query
+// hangs on a Recv that will never be fed. And a panic on a recoverable
+// failure (entropy exhaustion, short read) tears down a whole node for a
+// condition the query-level error path already knows how to report. Two
+// rules:
+//
+//  1. no error value is discarded into `_`;
+//  2. panic arguments don't carry error values (panic(err),
+//     panic(fmt.Sprintf("...", err))) — return them instead. Plain-string
+//     panics remain fine: they assert programmer invariants, not runtime
+//     failures.
+//
+// //dstress:err-ok and //dstress:panic-ok silence the rules per line (for
+// the rare impossible-by-construction error, say a fixed-size AES key).
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "no discarded errors and no panics on recoverable failures in protocol packages",
+	Run:  runErrFlow,
+}
+
+func runErrFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkDiscard(pass, n)
+			case *ast.CallExpr:
+				checkErrPanic(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscard flags `_ = expr` (and `_, x := f()`) positions whose
+// discarded value is an error.
+func checkDiscard(pass *Pass, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		t := discardedType(pass, as, i)
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		if pass.Annotated(id.Pos(), "err-ok") {
+			continue
+		}
+		pass.Reportf(id.Pos(), "error discarded into _; handle or return it (//dstress:err-ok for provably irrelevant errors)")
+	}
+}
+
+// discardedType resolves the type flowing into LHS position i.
+func discardedType(pass *Pass, as *ast.AssignStmt, i int) types.Type {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// x, _ := f() — index into the result tuple.
+		tv, ok := pass.TypesInfo.Types[as.Rhs[0]]
+		if !ok {
+			return nil
+		}
+		if tuple, ok := tv.Type.(*types.Tuple); ok && i < tuple.Len() {
+			return tuple.At(i).Type()
+		}
+		// Non-call multi-assign forms (map index, type assertion) put a
+		// bool in the second slot; never an error.
+		return nil
+	}
+	if i < len(as.Rhs) {
+		if tv, ok := pass.TypesInfo.Types[as.Rhs[i]]; ok {
+			return tv.Type
+		}
+	}
+	return nil
+}
+
+// checkErrPanic flags panic calls whose argument mentions an error value.
+func checkErrPanic(pass *Pass, call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" || len(call.Args) != 1 {
+		return
+	}
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+			return // a local function shadowing the builtin
+		}
+	}
+	var carried ast.Expr
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		if carried != nil {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if _, isIdent := e.(*ast.Ident); !isIdent {
+			if _, isSel := e.(*ast.SelectorExpr); !isSel {
+				return true
+			}
+		}
+		if tv, ok := pass.TypesInfo.Types[e]; ok && tv.IsValue() && isErrorType(tv.Type) {
+			carried = e
+			return false
+		}
+		return true
+	})
+	if carried == nil || pass.Annotated(call.Pos(), "panic-ok") {
+		return
+	}
+	pass.Reportf(call.Pos(), "panic carries an error value; return it so the query-level error path reports it (//dstress:panic-ok for impossible-by-construction errors)")
+}

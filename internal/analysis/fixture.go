@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// LoadDir parses and type-checks a directory of Go files as one package
+// with the given import path — the entry point for fixture tests, whose
+// testdata directories are invisible to go list. Imports are resolved the
+// same way Load resolves them: `go list -export` on the fixture's imports
+// (standard library only, in practice) and compiler export data from the
+// build cache. pkgPath is what scope-sensitive checks see, so a fixture
+// can impersonate any real package.
+func LoadDir(dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				importSet[p] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	exports := map[string]string{}
+	if len(importSet) > 0 {
+		var imports []string
+		for p := range importSet {
+			imports = append(imports, p)
+		}
+		sort.Strings(imports)
+		pkgs, err := listPackages(dir, append([]string{"-export", "-deps"}, imports...))
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", dir, err)
+	}
+	return &Package{
+		Path:      pkgPath,
+		Name:      tpkg.Name(),
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one type-checked target package ready for analysis.
+type Package struct {
+	Path      string // import path
+	Name      string // package name ("main" for commands)
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves the package patterns and type-checks every matched package
+// (dependencies come from compiler export data, so no network or module
+// proxy is involved). Only non-test Go files are loaded: the invariants
+// the analyzers encode bind implementation code, and tests routinely break
+// them on purpose.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := listPackages(dir, append([]string{"-export", "-deps"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	var targets []*listPkg
+	exports := map[string]string{} // import path -> export data file
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := typeCheck(fset, t, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// listPackages runs `go list -e -json` with the given extra arguments in
+// dir and decodes the package stream.
+func listPackages(dir string, extra []string) ([]*listPkg, error) {
+	args := append([]string{
+		"list", "-e",
+		"-json=ImportPath,Name,Dir,GoFiles,ImportMap,Export,DepOnly,Error",
+	}, extra...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}
+
+// typeCheck parses and checks one target package from source, resolving
+// its imports through the export-data files go list reported.
+func typeCheck(fset *token.FileSet, p *listPkg, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (dependency of %s)", path, p.ImportPath)
+		}
+		return os.Open(exp)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+	}
+	return &Package{
+		Path:      p.ImportPath,
+		Name:      p.Name,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// Run applies one analyzer to one loaded package and returns its findings.
+// pathOverride, when non-empty, substitutes for the package's import path
+// in scope-sensitive checks (used by fixture tests).
+func Run(a *Analyzer, pkg *Package, pathOverride string) ([]Diagnostic, error) {
+	path := pkg.Path
+	if pathOverride != "" {
+		path = pathOverride
+	}
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		PkgPath:   path,
+		report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s on %s: %v", a.Name, path, err)
+	}
+	return diags, nil
+}

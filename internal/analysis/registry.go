@@ -1,0 +1,14 @@
+package analysis
+
+// All lists every analyzer the dstress-vet driver runs, in report order.
+var All = []*Analyzer{TagPath, CtxFlow, SecureRand, ErrFlow}
+
+// ByName resolves an analyzer from its command-line name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import "strings"
+
+// modulePath is the import-path prefix of this repository's packages.
+const modulePath = "dstress"
+
+// protocolPkgs are the packages that move protocol messages: everything
+// that names a wire tag or holds a share in flight. tagpath and errflow
+// run here.
+var protocolPkgs = map[string]bool{
+	"internal/ot":       true,
+	"internal/gmw":      true,
+	"internal/transfer": true,
+	"internal/vertex":   true,
+	"internal/cluster":  true,
+}
+
+// ctxflowPkgs extends the protocol set with every library package on a
+// Recv path or holding a deployment lifetime. Not listed (and so not
+// checked): package main and examples (they own their root context),
+// tests, and the leaf packages with no transport access (finnet, dp, obs,
+// cost, experiments, networktest — the latter two mint Background by
+// design for offline measurement harnesses).
+var ctxflowPkgs = map[string]bool{
+	"":                      true, // the dstress facade package itself
+	"internal/ot":           true,
+	"internal/gmw":          true,
+	"internal/transfer":     true,
+	"internal/vertex":       true,
+	"internal/cluster":      true,
+	"internal/serve":        true,
+	"internal/network":      true,
+	"internal/tcpnet":       true,
+	"internal/trustedparty": true,
+	"internal/secretshare":  true,
+	"internal/elgamal":      true,
+	"internal/group":        true,
+}
+
+// strictRandPkgs hold secret state or randomness whose predictability
+// breaks the protocol; math/rand is forbidden there outright and the
+// //dstress:rand-ok escape is NOT honored.
+var strictRandPkgs = map[string]bool{
+	"internal/ot":           true,
+	"internal/gmw":          true,
+	"internal/elgamal":      true,
+	"internal/secretshare":  true,
+	"internal/group":        true,
+	"internal/transfer":     true,
+	"internal/trustedparty": true,
+}
+
+// relPath strips the module prefix: "dstress/internal/ot" -> "internal/ot",
+// "dstress" -> "". Paths outside the module come back unchanged.
+func relPath(pkgPath string) string {
+	if pkgPath == modulePath {
+		return ""
+	}
+	return strings.TrimPrefix(pkgPath, modulePath+"/")
+}
+
+// InScope reports whether the analyzer applies to the package. Analyzers
+// themselves are scope-free; the driver (and the fixture harness, via its
+// path override) makes this decision so one table governs the whole tool.
+func InScope(a *Analyzer, pkgPath, pkgName string) bool {
+	rel := relPath(pkgPath)
+	switch a.Name {
+	case "tagpath", "errflow":
+		return protocolPkgs[rel]
+	case "ctxflow":
+		return pkgName != "main" && ctxflowPkgs[rel]
+	case "securerand":
+		// Everywhere: the escape hatch (outside strictRandPkgs) is the
+		// annotation, not the scope table.
+		return pkgName != "main"
+	}
+	return false
+}

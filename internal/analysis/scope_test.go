@@ -1,0 +1,55 @@
+package analysis
+
+import "testing"
+
+func TestInScope(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		pkgPath  string
+		pkgName  string
+		want     bool
+	}{
+		{TagPath, "dstress/internal/ot", "ot", true},
+		{TagPath, "dstress/internal/cluster", "cluster", true},
+		{TagPath, "dstress/internal/obs", "obs", false},
+		{TagPath, "dstress/internal/finnet", "finnet", false},
+		{ErrFlow, "dstress/internal/gmw", "gmw", true},
+		{ErrFlow, "dstress/internal/dp", "dp", false},
+		{CtxFlow, "dstress", "dstress", true},
+		{CtxFlow, "dstress/internal/serve", "serve", true},
+		{CtxFlow, "dstress/internal/experiments", "experiments", false},
+		{CtxFlow, "dstress/cmd/dstress-run", "main", false},
+		{SecureRand, "dstress/internal/finnet", "finnet", true},
+		{SecureRand, "dstress/internal/ot", "ot", true},
+		{SecureRand, "dstress/examples/quickstart", "main", false},
+	}
+	for _, c := range cases {
+		if got := InScope(c.analyzer, c.pkgPath, c.pkgName); got != c.want {
+			t.Errorf("InScope(%s, %s, %s) = %v, want %v", c.analyzer.Name, c.pkgPath, c.pkgName, got, c.want)
+		}
+	}
+}
+
+func TestParseMarkers(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//dstress:tag-ok", []string{"tag-ok"}},
+		{"//dstress:panic-ok — fixed key size cannot fail", []string{"panic-ok"}},
+		{"// plain comment", nil},
+		{"//dstress:rand-ok — a // want `x`", []string{"rand-ok"}},
+	}
+	for _, c := range cases {
+		got := parseMarkers(c.text)
+		if len(got) != len(c.want) {
+			t.Errorf("parseMarkers(%q) = %v, want %v", c.text, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseMarkers(%q) = %v, want %v", c.text, got, c.want)
+			}
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package analysis
+
+import "strconv"
+
+// SecureRand forbids math/rand where randomness must be unpredictable.
+//
+// Every secret in the system — OT seeds and pads, XOR shares, ElGamal
+// exponents, Laplace noise bits — must come from crypto/rand; a math/rand
+// draw anywhere near them is game over regardless of seeding. Outside the
+// crypto packages, deterministic workload synthesis is a legitimate use
+// and is waved through with //dstress:rand-ok on (or above) the import
+// line. Inside strictRandPkgs the annotation is ignored: there is no
+// legitimate use to annotate.
+var SecureRand = &Analyzer{
+	Name: "securerand",
+	Doc:  "forbid math/rand in packages handling secrets (crypto packages: unconditionally)",
+	Run:  runSecureRand,
+}
+
+func runSecureRand(pass *Pass) error {
+	strict := strictRandPkgs[relPath(pass.PkgPath)]
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || (path != "math/rand" && path != "math/rand/v2") {
+				continue
+			}
+			pos := imp.Pos()
+			if n := imp.Name; n != nil {
+				pos = n.Pos()
+			}
+			switch {
+			case strict:
+				pass.Reportf(pos, "import of %s in crypto package %s (secret randomness must come from crypto/rand; //dstress:rand-ok is not honored here)", path, pass.PkgPath)
+			case !pass.Annotated(imp.Pos(), "rand-ok"):
+				pass.Reportf(pos, "import of %s (use crypto/rand, or annotate a deterministic non-crypto use with //dstress:rand-ok)", path)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+// Fixture for the errflow analyzer: discarded errors and error-carrying
+// panics, next to the forms that must stay legal.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+func mayFail() error { return errors.New("x") }
+
+func value() (int, error) { return 0, nil }
+
+func discards() {
+	_ = mayFail()   // want `error discarded into _`
+	v, _ := value() // want `error discarded into _`
+	_ = v           // plain non-error discard: fine
+	m := map[string]int{}
+	_, ok := m["k"] // comma-ok bool: fine
+	_ = ok
+	_ = mayFail() //dstress:err-ok — fixture escape
+}
+
+func panics(err error) {
+	if err != nil {
+		panic(err) // want `panic carries an error value`
+	}
+	if err != nil {
+		panic(fmt.Sprintf("wrapped: %v", err)) // want `panic carries an error value`
+	}
+	panic("invariant violated: negative length") // plain-string invariant: fine
+}
+
+func annotatedPanic(err error) {
+	if err != nil {
+		panic(err) //dstress:panic-ok — fixture escape
+	}
+}

@@ -1,0 +1,14 @@
+// Fixture for securerand outside the crypto set (loaded as
+// dstress/internal/finnet): the annotation is honored, a bare import is
+// still flagged.
+package fixture
+
+import (
+	"math/rand"           //dstress:rand-ok — deterministic workload synthesis
+	randv2 "math/rand/v2" // want `import of math/rand/v2`
+)
+
+var (
+	_ = rand.Int
+	_ = randv2.Int
+)

@@ -1,0 +1,9 @@
+// Fixture for securerand run as a crypto package (the harness loads it as
+// dstress/internal/ot): the import is forbidden even with the annotation.
+package fixture
+
+import (
+	"math/rand" //dstress:rand-ok — must NOT be honored here // want `is not honored here`
+)
+
+var _ = rand.Int

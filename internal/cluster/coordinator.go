@@ -588,7 +588,8 @@ func OpenLoopback(ctx context.Context, sc Scenario) (*Loopback, error) {
 	n := sc.Graph.N()
 	// Node lifetime is the cluster's, not the opening context's: a
 	// canceled Open must still tear the fleet down, which nodeCtx does.
-	nodeCtx, cancel := context.WithCancel(context.Background())
+	// WithoutCancel keeps ctx's values while detaching its cancellation.
+	nodeCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
 	lb := &Loopback{cancel: cancel, nodeErrs: make(chan error, n)}
 	for id := 1; id <= n; id++ {
 		id := network.NodeID(id)

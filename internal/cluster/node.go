@@ -167,7 +167,7 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 		// the tables (straggler attribution, -trace export).
 		trace := obs.NewTrace(int32(opt.ID))
 		if job.Seq > 0 {
-			trace.SetQuery(fmt.Sprintf("q/%d", job.Seq))
+			trace.SetQuery(network.Tag("q", job.Seq))
 		}
 		jobCtx := obs.With(ctlCtx, trace)
 		slog.Debug("cluster job received",
@@ -1017,7 +1017,11 @@ func (e *engine) aggregate(ctx context.Context, run *nodeRun, plan *nodeAggPlan)
 		}
 		input = append(input, vertex.WordToBits(col, e.prog.StateBits)...)
 	}
-	input = append(input, vertex.RandomInputBits(plan.noise.RandBits())...)
+	noiseBits, err := vertex.RandomInputBits(plan.noise.RandBits())
+	if err != nil {
+		return 0, false, err
+	}
+	input = append(input, noiseBits...)
 	outShares, err := run.aggParty.Evaluate(ctx, plan.circ, input)
 	if err != nil {
 		return 0, false, err
@@ -1141,7 +1145,11 @@ func (e *engine) aggregateTree(ctx context.Context, run *nodeRun, plan *nodeAggP
 		}
 		input = append(input, vertex.WordToBits(col, e.prog.AggBits)...)
 	}
-	input = append(input, vertex.RandomInputBits(plan.noise.RandBits())...)
+	noiseBits, err := vertex.RandomInputBits(plan.noise.RandBits())
+	if err != nil {
+		return 0, false, err
+	}
+	input = append(input, noiseBits...)
 	outShares, err := run.aggParty.Evaluate(ctx, combineCirc, input)
 	if err != nil {
 		return 0, false, fmt.Errorf("root aggregation: %w", err)

@@ -171,7 +171,7 @@ func ablationAggTree(o Options, t *Table) {
 			}
 			g.Priv[v] = circuit.EncodeWord(int64(v), 8)
 		}
-		rt, err := vertex.New(vertex.Config{
+		rt, err := vertex.New(context.Background(), vertex.Config{
 			Group: o.group(), K: 1, Alpha: 0, OTMode: vertex.OTDealer, AggFanIn: fanIn,
 		}, prog, g)
 		if err != nil {

@@ -59,7 +59,7 @@ func runE2E(o Options, model string, blockSize, n, d, iters int) (*vertex.Report
 	if err != nil {
 		return nil, 0, err
 	}
-	rt, err := vertex.New(vertex.Config{
+	rt, err := vertex.New(context.Background(), vertex.Config{
 		Group: o.group(), K: blockSize - 1, Alpha: 0.5, Epsilon: 0, OTMode: vertex.OTDealer,
 	}, prog, graph)
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,7 +37,7 @@ func OTSubstrateSetup(o Options) *Table {
 			continue
 		}
 		start := time.Now()
-		rt, err := vertex.New(vertex.Config{
+		rt, err := vertex.New(context.Background(), vertex.Config{
 			Group: o.group(), K: bs - 1, Alpha: 0.5, OTMode: vertex.OTIKNP,
 		}, prog, graph)
 		if err != nil {

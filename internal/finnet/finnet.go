@@ -25,7 +25,7 @@ package finnet
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand" //dstress:rand-ok — seeded workload synthesis, not cryptography
 )
 
 // Topology is a directed graph with bounded degree, shared by both model

@@ -145,8 +145,16 @@ func NewParty(ctx context.Context, cfg Config) (*Party, error) {
 			sTag := network.Tag(cfg.Tag, "ot", p.me, j)
 			rTag := network.Tag(cfg.Tag, "ot", j, p.me)
 			si, sj := int(cfg.Parties[p.me]), int(cfg.Parties[j])
-			p.send[j] = ot.NewBitSender(opt.Broker.Sender(si, sj, cfg.Tag), p.ep, cfg.Parties[j], sTag)
-			p.recv[j] = ot.NewBitReceiver(opt.Broker.Receiver(sj, si, cfg.Tag), p.ep, cfg.Parties[j], rTag)
+			ds, err := opt.Broker.Sender(si, sj, cfg.Tag)
+			if err != nil {
+				return nil, fmt.Errorf("gmw: dealer stream for pair (%d,%d): %w", si, sj, err)
+			}
+			dr, err := opt.Broker.Receiver(sj, si, cfg.Tag)
+			if err != nil {
+				return nil, fmt.Errorf("gmw: dealer stream for pair (%d,%d): %w", sj, si, err)
+			}
+			p.send[j] = ot.NewBitSender(ds, p.ep, cfg.Parties[j], sTag)
+			p.recv[j] = ot.NewBitReceiver(dr, p.ep, cfg.Parties[j], rTag)
 		}
 	case IKNPOT, SubstrateOT:
 		// Run all 2(n-1) attachments concurrently; they interleave freely
@@ -307,7 +315,11 @@ func (p *Party) andRound(ctx context.Context, vals []uint64, pr *circuit.PackedR
 		// Sender direction me→j: contribute r, peer learns r ⊕ xs·(their y).
 		go func() {
 			defer wg.Done()
-			r := ot.RandomWords(nG)
+			r, err := ot.RandomWords(nG)
+			if err != nil {
+				record(fmt.Errorf("gmw: eval %d round %d pad draw for %d: %w", evalID, round, j, err))
+				return
+			}
 			m1 := make([]uint64, nW)
 			for w := range m1 {
 				m1[w] = r[w] ^ xs[w]

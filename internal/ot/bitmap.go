@@ -1,7 +1,6 @@
 package ot
 
 import (
-	"crypto/rand"
 	"fmt"
 )
 
@@ -64,13 +63,16 @@ func WordsToBytes(w []uint64, n int) []byte {
 	return out
 }
 
-// RandomWords draws n uniform bits from crypto/rand, packed, tail zeroed.
-func RandomWords(n int) []uint64 {
+// RandomWords draws n uniform bits from the entropy source, packed, tail
+// zeroed. An entropy failure is returned, not panicked: the GMW evaluator
+// calls this inside protocol rounds, where a failed read must abort the
+// query like any other I/O error.
+func RandomWords(n int) ([]uint64, error) {
 	buf := make([]byte, (n+7)/8)
-	if _, err := rand.Read(buf); err != nil {
-		panic(fmt.Sprintf("ot: entropy failure: %v", err))
+	if err := readEntropy(buf); err != nil {
+		return nil, err
 	}
-	return BytesToWords(buf, n)
+	return BytesToWords(buf, n), nil
 }
 
 // ---------------------------------------------------------------------------

@@ -9,7 +9,11 @@ import (
 
 // randPacked returns n random bits as packed words with a zero tail.
 func randPacked(n int) []uint64 {
-	return RandomWords(n)
+	w, err := RandomWords(n)
+	if err != nil {
+		panic(err)
+	}
+	return w
 }
 
 func TestWordsBytesRoundTrip(t *testing.T) {
@@ -196,7 +200,10 @@ func TestTranspose8x8Property(t *testing.T) {
 
 func TestRandomWordsTailZero(t *testing.T) {
 	for _, n := range []int{1, 5, 63, 64, 65, 127, 1000} {
-		w := RandomWords(n)
+		w, err := RandomWords(n)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(w) != Words(n) {
 			t.Fatalf("n=%d: %d words", n, len(w))
 		}

@@ -1,7 +1,6 @@
 package ot
 
 import (
-	"crypto/rand"
 	"strings"
 	"sync"
 )
@@ -42,7 +41,7 @@ func NewDealerBroker() *DealerBroker {
 	}
 }
 
-func (b *DealerBroker) entry(i, j int, tag string) *brokerEntry {
+func (b *DealerBroker) entry(i, j int, tag string) (*brokerEntry, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	k := brokerKey{i, j, tag}
@@ -52,8 +51,8 @@ func (b *DealerBroker) entry(i, j int, tag string) *brokerEntry {
 		master, ok := b.masters[pk]
 		if !ok {
 			master = make([]byte, SeedLen)
-			if _, err := rand.Read(master); err != nil {
-				panic(err)
+			if err := readEntropy(master); err != nil {
+				return nil, err
 			}
 			b.masters[pk] = master
 		}
@@ -63,16 +62,28 @@ func (b *DealerBroker) entry(i, j int, tag string) *brokerEntry {
 		e = &brokerEntry{s: s, r: r}
 		b.streams[k] = e
 	}
-	return e
+	return e, nil
 }
 
 // Sender returns the sender half of session tag's stream for directed pair
-// (i → j).
-func (b *DealerBroker) Sender(i, j int, tag string) *DealerSender { return b.entry(i, j, tag).s }
+// (i → j). It fails only when drawing the pair's master seed fails.
+func (b *DealerBroker) Sender(i, j int, tag string) (*DealerSender, error) {
+	e, err := b.entry(i, j, tag)
+	if err != nil {
+		return nil, err
+	}
+	return e.s, nil
+}
 
 // Receiver returns the receiver half of session tag's stream for directed
 // pair (i → j).
-func (b *DealerBroker) Receiver(i, j int, tag string) *DealerReceiver { return b.entry(i, j, tag).r }
+func (b *DealerBroker) Receiver(i, j int, tag string) (*DealerReceiver, error) {
+	e, err := b.entry(i, j, tag)
+	if err != nil {
+		return nil, err
+	}
+	return e.r, nil
+}
 
 // RetireTagPrefix drops every derived stream whose session tag equals
 // prefix or lives under it at a "/" component boundary. A standing

@@ -2,7 +2,6 @@ package ot
 
 import (
 	"context"
-	"crypto/rand"
 )
 
 // Dealer source: random OTs drawn from a shared AES-CTR stream that models
@@ -35,12 +34,13 @@ func NewDealerPair(seed [SeedLen]byte) (*DealerSender, *DealerReceiver) {
 }
 
 // NewRandomDealerPair creates a dealer pair from a fresh random seed.
-func NewRandomDealerPair() (*DealerSender, *DealerReceiver) {
+func NewRandomDealerPair() (*DealerSender, *DealerReceiver, error) {
 	var seed [SeedLen]byte
-	if _, err := rand.Read(seed[:]); err != nil {
-		panic(err)
+	if err := readEntropy(seed[:]); err != nil {
+		return nil, nil, err
 	}
-	return NewDealerPair(seed)
+	s, r := NewDealerPair(seed)
+	return s, r, nil
 }
 
 // dealerDraw returns the three packed bit vectors (w0, w1, rho) for n OTs.

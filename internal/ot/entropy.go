@@ -1,0 +1,22 @@
+package ot
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+)
+
+// entropy is the package's source of secret randomness. It is a variable
+// (not a direct crypto/rand dependency at every call site) so the
+// entropy-failure paths are testable: tests swap in a failing reader and
+// assert the error reaches callers as a returned error instead of a panic.
+// Production code never reassigns it.
+var entropy io.Reader = rand.Reader
+
+// readEntropy fills buf from the entropy source.
+func readEntropy(buf []byte) error {
+	if _, err := io.ReadFull(entropy, buf); err != nil {
+		return fmt.Errorf("ot: reading entropy: %w", err)
+	}
+	return nil
+}

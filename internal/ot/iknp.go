@@ -4,7 +4,6 @@ import (
 	"context"
 	"crypto/aes"
 	"crypto/cipher"
-	"crypto/rand"
 	"encoding/binary"
 	"fmt"
 
@@ -52,7 +51,7 @@ var hashKey = []byte("dstress-iknp-crh")
 func newCRH() cipher.Block {
 	b, err := aes.NewCipher(hashKey)
 	if err != nil {
-		panic(err)
+		panic(err) //dstress:panic-ok — fixed 16-byte key, cannot fail
 	}
 	return b
 }
@@ -77,7 +76,7 @@ type prg struct{ stream cipher.Stream }
 func newPRG(seed []byte) *prg {
 	block, err := aes.NewCipher(seed[:SeedLen])
 	if err != nil {
-		panic(err)
+		panic(err) //dstress:panic-ok — SeedLen is a valid AES key size, cannot fail
 	}
 	iv := make([]byte, aes.BlockSize)
 	return &prg{stream: cipher.NewCTR(block, iv)}
@@ -165,7 +164,7 @@ func newIKNPSenderFromSeeds(ep network.Transport, peer network.NodeID, tag strin
 // with the same tag.
 func NewIKNPSender(ctx context.Context, g group.Group, ep network.Transport, peer network.NodeID, tag string) (*IKNPSender, error) {
 	var sb [Lambda / 8]byte
-	if _, err := rand.Read(sb[:]); err != nil {
+	if err := readEntropy(sb[:]); err != nil {
 		return nil, fmt.Errorf("ot: drawing IKNP correlation vector: %w", err)
 	}
 	seeds, err := BaseOTReceive(ctx, g, ep, peer, network.Tag(tag, "base"), UnpackBits(sb[:], Lambda))
@@ -303,8 +302,8 @@ func (r *IKNPReceiver) extend(ctx context.Context) error {
 	m := r.chunk
 	mBytes := m / 8
 	rhoPacked := make([]byte, mBytes)
-	if _, err := rand.Read(rhoPacked); err != nil {
-		panic(fmt.Sprintf("ot: entropy failure: %v", err))
+	if err := readEntropy(rhoPacked); err != nil {
+		return fmt.Errorf("ot: drawing IKNP choice vector: %w", err)
 	}
 	blob := make([]byte, 0, Lambda*mBytes)
 	cols := make([][]byte, Lambda)

@@ -167,8 +167,17 @@ func TestIKNPMultipleBatches(t *testing.T) {
 	}
 }
 
+func mustDealerPair(tb testing.TB) (*DealerSender, *DealerReceiver) {
+	tb.Helper()
+	s, r, err := NewRandomDealerPair()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s, r
+}
+
 func TestDealerRandomOTs(t *testing.T) {
-	ds, dr := NewRandomDealerPair()
+	ds, dr := mustDealerPair(t)
 	checkRandomOTs(t, ds, dr, 5000)
 }
 
@@ -226,7 +235,7 @@ func checkChosenOT(t *testing.T, mkPair func(net *network.Network) (RandomOTSend
 
 func TestChosenOTOverDealer(t *testing.T) {
 	checkChosenOT(t, func(net *network.Network) (RandomOTSender, RandomOTReceiver) {
-		s, r := NewRandomDealerPair()
+		s, r := mustDealerPair(t)
 		return s, r
 	})
 }
@@ -255,7 +264,7 @@ func TestChosenOTOverIKNP(t *testing.T) {
 
 func TestChosenOTSequentialBatches(t *testing.T) {
 	net := network.New()
-	ds, dr := NewRandomDealerPair()
+	ds, dr := mustDealerPair(t)
 	bs := NewBitSender(ds, net.Endpoint(1), 2, "seq")
 	br := NewBitReceiver(dr, net.Endpoint(2), 1, "seq")
 	for round := 0; round < 5; round++ {
@@ -292,7 +301,7 @@ func TestChosenOTSequentialBatches(t *testing.T) {
 }
 
 func TestSendBitsValidation(t *testing.T) {
-	ds, dr := NewRandomDealerPair()
+	ds, dr := mustDealerPair(t)
 	net := network.New()
 	bs := NewBitSender(ds, net.Endpoint(1), 2, "v")
 	if err := bs.SendBits(context.Background(), []uint8{1}, []uint8{0, 1}); err == nil {
@@ -373,7 +382,7 @@ func BenchmarkIKNPRandomOTs(b *testing.B) {
 }
 
 func BenchmarkDealerRandomOTs(b *testing.B) {
-	s, r := NewRandomDealerPair()
+	s, r := mustDealerPair(b)
 	for i := 0; i < b.N; i++ {
 		if _, _, err := s.RandomPads(context.Background(), 1024); err != nil {
 			b.Fatal(err)
@@ -385,7 +394,7 @@ func BenchmarkDealerRandomOTs(b *testing.B) {
 }
 
 func TestPackedValidation(t *testing.T) {
-	ds, dr := NewRandomDealerPair()
+	ds, dr := mustDealerPair(t)
 	net := network.New()
 	bs := NewBitSender(ds, net.Endpoint(1), 2, "pv")
 	br := NewBitReceiver(dr, net.Endpoint(2), 1, "pv")

@@ -3,7 +3,6 @@ package ot
 import (
 	"context"
 	"crypto/aes"
-	"crypto/rand"
 	"crypto/sha256"
 	"fmt"
 	"sync"
@@ -124,7 +123,7 @@ func (s *Substrate) handshake(ctx context.Context, peer network.NodeID, pb *pair
 	recvTag := network.Tag("otsub", peer, me, "base", pb.attempt)
 
 	sPacked := make([]byte, Lambda/8)
-	if _, err := rand.Read(sPacked); err != nil {
+	if err := readEntropy(sPacked); err != nil {
 		return fmt.Errorf("ot: drawing substrate correlation vector: %w", err)
 	}
 
@@ -198,7 +197,7 @@ func derivePoint(tag string) [SeedLen]byte {
 func deriveSeed(base []byte, point [SeedLen]byte) []byte {
 	blk, err := aes.NewCipher(base[:SeedLen])
 	if err != nil {
-		panic(err)
+		panic(err) //dstress:panic-ok — SeedLen is a valid AES key size, cannot fail
 	}
 	out := make([]byte, SeedLen)
 	blk.Encrypt(out, point[:])

@@ -207,20 +207,31 @@ func TestSubstrateConcurrentAttach(t *testing.T) {
 
 func TestDealerBrokerPerSessionStreams(t *testing.T) {
 	b := NewDealerBroker()
+	sender := func(i, j int, tag string) *DealerSender {
+		t.Helper()
+		s, err := b.Sender(i, j, tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
 	// Same pair, same session: halves must correlate.
-	s := b.Sender(1, 2, "sess1")
-	r := b.Receiver(1, 2, "sess1")
+	s := sender(1, 2, "sess1")
+	r, err := b.Receiver(1, 2, "sess1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	checkRandomOTs(t, s, r, 2000)
 	// Same pair, different session: an independent stream.
-	s2 := b.Sender(1, 2, "sess2")
-	w1, _, _ := b.Sender(1, 2, "sess1b").RandomPads(context.Background(), 512)
+	s2 := sender(1, 2, "sess2")
+	w1, _, _ := sender(1, 2, "sess1b").RandomPads(context.Background(), 512)
 	w2, _, _ := s2.RandomPads(context.Background(), 512)
 	if bytes.Equal(w1, w2) {
 		t.Error("distinct sessions drew identical dealt streams")
 	}
 	// Claiming the same half twice yields the same stream object (lockstep
 	// stays with the session's single consumer).
-	if b.Sender(1, 2, "sess2") != s2 {
+	if sender(1, 2, "sess2") != s2 {
 		t.Error("broker did not cache the session stream")
 	}
 }

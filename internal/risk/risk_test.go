@@ -348,7 +348,7 @@ func TestENEndToEndMPC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := vertex.New(vertex.Config{
+	rt, err := vertex.New(context.Background(), vertex.Config{
 		Group: group.ModP256(), K: 1, Alpha: 0.5, Epsilon: 0, OTMode: vertex.OTDealer,
 	}, prog, g)
 	if err != nil {
@@ -384,7 +384,7 @@ func TestEGJEndToEndMPC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := vertex.New(vertex.Config{
+	rt, err := vertex.New(context.Background(), vertex.Config{
 		Group: group.ModP256(), K: 1, Alpha: 0.5, Epsilon: 0, OTMode: vertex.OTDealer,
 	}, prog, g)
 	if err != nil {

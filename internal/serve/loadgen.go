@@ -244,7 +244,10 @@ func RunLoad(ctx context.Context, opts LoadOptions) ([]LoadResult, error) {
 		}
 		for c := 0; c < opts.Clients; c++ {
 			if err := <-errs; err != nil {
-				svc.Drain(context.Background())
+				// Drain must run even when ctx is already dead — that is
+				// often why the clients failed — so detach cancellation
+				// but keep the caller's values.
+				svc.Drain(context.WithoutCancel(ctx))
 				return nil, err
 			}
 		}

@@ -196,8 +196,9 @@ type queryRun struct {
 }
 
 // New builds a runtime: trusted-party setup, block GMW sessions, circuit
-// compilation, initial share state.
-func New(cfg Config, prog *Program, g *Graph) (*Runtime, error) {
+// compilation, initial share state. ctx bounds the deployment bootstrap
+// (the pairwise base-OT warm-up blocks on in-process peers).
+func New(ctx context.Context, cfg Config, prog *Program, g *Graph) (*Runtime, error) {
 	cfg.defaults()
 	if err := prog.Validate(); err != nil {
 		return nil, err
@@ -258,7 +259,7 @@ func New(cfg Config, prog *Program, g *Graph) (*Runtime, error) {
 	}
 	r.table = r.tparam.MakeTable(cfg.TablePFail)
 
-	if err := r.warmSubstrates(); err != nil {
+	if err := r.warmSubstrates(ctx); err != nil {
 		return nil, err
 	}
 	r.setupTime = time.Since(setupStart)
@@ -270,7 +271,7 @@ func New(cfg Config, prog *Program, g *Graph) (*Runtime, error) {
 // session handshakes once, so per-query session creation afterwards is
 // purely local seed derivation and overlapping queries never contend on a
 // bootstrap. Dealer mode has nothing to warm.
-func (r *Runtime) warmSubstrates() error {
+func (r *Runtime) warmSubstrates(ctx context.Context) error {
 	if r.cfg.OTMode != OTIKNP {
 		return nil
 	}
@@ -306,8 +307,8 @@ func (r *Runtime) warmSubstrates() error {
 		var wg sync.WaitGroup
 		var ea, eb error
 		wg.Add(2)
-		go func() { defer wg.Done(); ea = r.substrate(p.a).Warm(context.Background(), p.b) }()
-		go func() { defer wg.Done(); eb = r.substrate(p.b).Warm(context.Background(), p.a) }()
+		go func() { defer wg.Done(); ea = r.substrate(p.a).Warm(ctx, p.b) }()
+		go func() { defer wg.Done(); eb = r.substrate(p.b).Warm(ctx, p.a) }()
 		wg.Wait()
 		if ea != nil {
 			return ea
@@ -318,7 +319,7 @@ func (r *Runtime) warmSubstrates() error {
 
 // createSessions builds the GMW sessions for one query: every vertex block
 // plus the aggregation block, with all tags under the query's root.
-func (r *Runtime) createSessions(qr *queryRun) error {
+func (r *Runtime) createSessions(ctx context.Context, qr *queryRun) error {
 	g := r.graph
 	qr.sessions = make([][]*gmw.Party, g.N())
 
@@ -351,8 +352,8 @@ func (r *Runtime) createSessions(qr *queryRun) error {
 					return
 				}
 				// All members run in-process, so the handshake cannot block
-				// on an absent peer; Background is safe here.
-				parties[i], errs[i] = gmw.NewParty(context.Background(), gmw.Config{
+				// on an absent peer, but the query's ctx still bounds it.
+				parties[i], errs[i] = gmw.NewParty(ctx, gmw.Config{
 					Parties: members, Index: i, Transport: r.net.Endpoint(members[i]), Tag: tag, OT: o,
 				})
 			}()
@@ -485,7 +486,7 @@ func (r *Runtime) RunQueryID(ctx context.Context, qid, iterations int, epsilon f
 
 	g := r.graph
 	qr := &queryRun{root: network.Tag("q", qid)}
-	if err := r.createSessions(qr); err != nil {
+	if err := r.createSessions(ctx, qr); err != nil {
 		return 0, nil, err
 	}
 	// Retire the query's namespace on every exit: per-prefix counters,
@@ -558,7 +559,8 @@ func (r *Runtime) RunQueryID(ctx context.Context, qid, iterations int, epsilon f
 	rep.MaxNodeBytes = r.net.QueryMaxNodeBytes(qr.root)
 	if tr != nil {
 		for prefix, ts := range r.net.TagStats() {
-			if prefix != qr.root && !strings.HasPrefix(prefix, qr.root+"/") {
+			// Namespace-membership test, not a tag construction.
+			if prefix != qr.root && !strings.HasPrefix(prefix, qr.root+"/") { //dstress:tag-ok
 				continue
 			}
 			tr.Add("net/"+prefix+"/bytes_sent", ts.BytesSent)
@@ -996,7 +998,11 @@ func (r *Runtime) aggregate(ctx context.Context, qr *queryRun, plan *aggPlan) (i
 	// sampler; the circuit sees the XOR of all contributions, so one honest
 	// member suffices for uniformity.
 	for y := 0; y < k1; y++ {
-		aggInput[y] = append(aggInput[y], RandomInputBits(plan.noise.RandBits())...)
+		noiseBits, err := RandomInputBits(plan.noise.RandBits())
+		if err != nil {
+			return 0, err
+		}
+		aggInput[y] = append(aggInput[y], noiseBits...)
 	}
 	outShares, err := r.evalInBlock(ctx, qr.aggSession, plan.circ, aggInput)
 	if err != nil {
@@ -1083,7 +1089,11 @@ func (r *Runtime) aggregateTree(ctx context.Context, qr *queryRun, plan *aggPlan
 		}
 	}
 	for y := 0; y < k1; y++ {
-		rootInput[y] = append(rootInput[y], RandomInputBits(plan.noise.RandBits())...)
+		noiseBits, err := RandomInputBits(plan.noise.RandBits())
+		if err != nil {
+			return 0, err
+		}
+		rootInput[y] = append(rootInput[y], noiseBits...)
 	}
 	outShares, err := r.evalInBlock(ctx, qr.aggSession, combineCirc, rootInput)
 	if err != nil {
@@ -1103,7 +1113,7 @@ func (r *Runtime) UpdateCircuit() *circuit.Circuit { return r.updCirc }
 func (r *Runtime) AggregateCircuitCompiled() *circuit.Circuit {
 	pl, err := r.planFor(r.cfg.Epsilon)
 	if err != nil {
-		panic(err) // compiled once in New; cannot fail afterwards
+		panic(err) //dstress:panic-ok — plan compiled once in New; cannot fail afterwards
 	}
 	return pl.circ
 }
@@ -1179,17 +1189,13 @@ func DecodeShares(data []byte, n int) ([]uint64, error) {
 }
 
 // RandomInputBits draws n uniform unpacked bits from crypto/rand.
-func RandomInputBits(n int) []uint8 {
+func RandomInputBits(n int) ([]uint8, error) {
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
-	return randBitsCrypto(n)
-}
-
-func randBitsCrypto(n int) []uint8 {
 	buf := make([]byte, (n+7)/8)
 	if _, err := crand.Read(buf); err != nil {
-		panic(fmt.Sprintf("vertex: entropy failure: %v", err))
+		return nil, fmt.Errorf("vertex: reading entropy: %w", err)
 	}
-	return ot.UnpackBits(buf, n)
+	return ot.UnpackBits(buf, n), nil
 }

@@ -179,7 +179,7 @@ func TestRuntimeMatchesReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := New(Config{Group: tg, K: 2, Alpha: 0.5, Epsilon: 0, OTMode: OTDealer}, p, g)
+	rt, err := New(context.Background(), Config{Group: tg, K: 2, Alpha: 0.5, Epsilon: 0, OTMode: OTDealer}, p, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestRuntimeNoTransferNoise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := New(Config{Group: tg, K: 1, Alpha: 0, OTMode: OTDealer}, p, g)
+	rt, err := New(context.Background(), Config{Group: tg, K: 1, Alpha: 0, OTMode: OTDealer}, p, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestRuntimeWithOutputNoise(t *testing.T) {
 	const eps = 1.0
 	seen := map[int64]bool{}
 	for trial := 0; trial < 3; trial++ {
-		rt, err := New(Config{Group: tg, K: 1, Alpha: 0.5, Epsilon: eps, OTMode: OTDealer}, p, g)
+		rt, err := New(context.Background(), Config{Group: tg, K: 1, Alpha: 0.5, Epsilon: eps, OTMode: OTDealer}, p, g)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -257,7 +257,7 @@ func TestRuntimeWithOutputNoise(t *testing.T) {
 		// All three trials returned the exact value — possible but ~1/8³
 		// likely if noise were working; flag as suspicious only when the
 		// noise circuit is provably disabled.
-		rt, _ := New(Config{Group: tg, K: 1, Alpha: 0.5, Epsilon: eps, OTMode: OTDealer}, p, g)
+		rt, _ := New(context.Background(), Config{Group: tg, K: 1, Alpha: 0.5, Epsilon: eps, OTMode: OTDealer}, p, g)
 		pl, err := rt.planFor(eps)
 		if err != nil {
 			t.Fatal(err)
@@ -276,7 +276,7 @@ func TestRuntimeIKNP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := New(Config{Group: tg, K: 1, Alpha: 0.5, OTMode: OTIKNP}, p, g)
+	rt, err := New(context.Background(), Config{Group: tg, K: 1, Alpha: 0.5, OTMode: OTIKNP}, p, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,10 +292,10 @@ func TestRuntimeIKNP(t *testing.T) {
 func TestRuntimeValidation(t *testing.T) {
 	p := sumProgram()
 	g := ringGraph(t, 3, p)
-	if _, err := New(Config{Group: nil, K: 1}, p, g); err == nil {
+	if _, err := New(context.Background(), Config{Group: nil, K: 1}, p, g); err == nil {
 		t.Error("nil group accepted")
 	}
-	if _, err := New(Config{Group: tg, K: 5}, p, g); err == nil {
+	if _, err := New(context.Background(), Config{Group: tg, K: 5}, p, g); err == nil {
 		t.Error("K+1 > N accepted")
 	}
 }
@@ -331,7 +331,10 @@ func TestNoiseCircuitDistribution(t *testing.T) {
 	const samples = 3000
 	var sum, sumSq float64
 	for i := 0; i < samples; i++ {
-		in := RandomInputBits(spec.RandBits())
+		in, err := RandomInputBits(spec.RandBits())
+		if err != nil {
+			t.Fatal(err)
+		}
 		out, err := c.Eval(in)
 		if err != nil {
 			t.Fatal(err)
@@ -359,7 +362,11 @@ func TestNoiseCircuitShift(t *testing.T) {
 	b.OutputWord(spec.Build(b, rnd, 16))
 	c := b.Build()
 	for i := 0; i < 50; i++ {
-		out, err := c.Eval(RandomInputBits(spec.RandBits()))
+		in, err := RandomInputBits(spec.RandBits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.Eval(in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -410,7 +417,7 @@ func TestHierarchicalAggregationMatchesFlat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := New(Config{Group: tg, K: 1, Alpha: 0.5, OTMode: OTDealer, AggFanIn: 3}, p, g)
+	rt, err := New(context.Background(), Config{Group: tg, K: 1, Alpha: 0.5, OTMode: OTDealer, AggFanIn: 3}, p, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -431,7 +438,7 @@ func TestHierarchicalAggregationUnevenGroups(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := New(Config{Group: tg, K: 1, Alpha: 0, OTMode: OTDealer, AggFanIn: 3}, p, g)
+	rt, err := New(context.Background(), Config{Group: tg, K: 1, Alpha: 0, OTMode: OTDealer, AggFanIn: 3}, p, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,7 +458,7 @@ func TestHierarchicalAggregationWithNoise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := New(Config{Group: tg, K: 1, Alpha: 0.5, Epsilon: 1.0, OTMode: OTDealer, AggFanIn: 2}, p, g)
+	rt, err := New(context.Background(), Config{Group: tg, K: 1, Alpha: 0.5, Epsilon: 1.0, OTMode: OTDealer, AggFanIn: 2}, p, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -494,7 +501,7 @@ func TestRuntimePrecomputedCertsMatchReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := New(Config{Group: tg, K: 2, Alpha: 0.5, Epsilon: 0, OTMode: OTDealer}, p, g)
+	rt, err := New(context.Background(), Config{Group: tg, K: 2, Alpha: 0.5, Epsilon: 0, OTMode: OTDealer}, p, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -522,7 +529,7 @@ func TestRuntimeParallelismOne(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := New(Config{Group: tg, K: 1, Alpha: 0.5, OTMode: OTDealer, AggFanIn: 2, Parallelism: 1}, p, g)
+	rt, err := New(context.Background(), Config{Group: tg, K: 1, Alpha: 0.5, OTMode: OTDealer, AggFanIn: 2, Parallelism: 1}, p, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -541,7 +548,7 @@ func TestRuntimeParallelismOne(t *testing.T) {
 func TestRunCancellation(t *testing.T) {
 	p := sumProgram()
 	g := ringGraph(t, 3, p)
-	rt, err := New(Config{Group: tg, K: 1, Alpha: 0.5, OTMode: OTDealer}, p, g)
+	rt, err := New(context.Background(), Config{Group: tg, K: 1, Alpha: 0.5, OTMode: OTDealer}, p, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -578,7 +585,7 @@ func TestSessionQueriesMatchReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := New(Config{Group: tg, K: 1, Alpha: 0.5, OTMode: OTDealer}, p, g)
+	rt, err := New(context.Background(), Config{Group: tg, K: 1, Alpha: 0.5, OTMode: OTDealer}, p, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -612,7 +619,7 @@ func TestBaseOTHandshakesEqualNodePairs(t *testing.T) {
 	// *per session*).
 	p := sumProgram()
 	g := ringGraph(t, 6, p) // N=6, K=2 → 7 sessions (6 blocks + agg), heavy pair overlap
-	rt, err := New(Config{Group: tg, K: 2, Alpha: 0.5, OTMode: OTIKNP}, p, g)
+	rt, err := New(context.Background(), Config{Group: tg, K: 2, Alpha: 0.5, OTMode: OTIKNP}, p, g)
 	if err != nil {
 		t.Fatal(err)
 	}
