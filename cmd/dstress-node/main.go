@@ -27,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -56,6 +57,13 @@ func main() {
 		aggFanIn  = flag.Int("agg-fanin", 0, "aggregation-tree fan-in (0 = flat aggregation)")
 		seed      = flag.Int64("seed", 42, "synthetic network seed")
 		timeout   = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no deadline)")
+
+		// Health-plane flags. -health is node mode; the rest are
+		// coordinator mode.
+		healthAddr  = flag.String("health", "", "serve GET /healthz on this address (node mode; 200 while serving, 503 once draining; empty = off)")
+		heartbeat   = flag.Duration("heartbeat", 0, "fleet heartbeat interval (coordinator mode; 0 = 1s default)")
+		stallWindow = flag.Duration("stall-window", 0, "flag an in-flight query as stalled after this long without phase progress (coordinator mode; 0 = 30s default)")
+		flightDump  = flag.String("flight-dump", "", "on query failure, write the flight-recorder post-mortem JSON here (coordinator mode)")
 
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
@@ -89,6 +97,7 @@ func main() {
 		if *id < 1 {
 			fatal("node mode needs -id ≥ 1")
 		}
+		startHealth(ctx, *healthAddr)
 		res, err := cluster.RunNode(ctx, cluster.NodeOptions{
 			ID:            network.NodeID(*id),
 			CoordAddr:     *coord,
@@ -118,11 +127,18 @@ func main() {
 		if err != nil {
 			fatal("starting coordinator", "err", err)
 		}
+		if *heartbeat > 0 {
+			co.HeartbeatInterval = *heartbeat
+		}
+		if *stallWindow > 0 {
+			co.StallWindow = *stallWindow
+		}
 		slog.Info("coordinator waiting for nodes", "addr", co.Addr(), "nodes", sc.Graph.N(),
 			"model", *model, "n", *n, "d", *d, "k", *k, "iterations", sc.Iterations,
 			"epsilon", *epsilon, "alpha", *alpha)
 		sum, err := co.Run(ctx)
 		if err != nil {
+			writeFlightDump(*flightDump, err)
 			fatal("coordinator run failed", "err", err)
 		}
 		fmt.Printf("exact TDS (trusted baseline): $%.2fM\n", exactTDS/1e6)
@@ -186,6 +202,56 @@ func setupLogging(level string) {
 		os.Exit(2)
 	}
 	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+}
+
+// startHealth serves GET /healthz on its own listener when addr is set:
+// 200 "ok" while the node is serving, 503 "draining" once the root context
+// is canceled (SIGTERM / timeout) — the same contract dstress-serve's
+// /healthz keeps, so one probe config covers both daemons.
+func startHealth(ctx context.Context, addr string) {
+	if addr == "" {
+		return
+	}
+	var draining atomic.Bool
+	context.AfterFunc(ctx, func() { draining.Store(true) })
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	go func() {
+		slog.Info("health endpoint listening", "addr", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			slog.Error("health server failed", "err", err)
+		}
+	}()
+}
+
+// writeFlightDump writes the health plane's post-mortem (dead node, last
+// completed phase, flight-recorder tail) as JSON when the failed run
+// produced one and -flight-dump names a path.
+func writeFlightDump(path string, err error) {
+	if path == "" {
+		return
+	}
+	var qe *cluster.QueryError
+	if !errors.As(err, &qe) {
+		slog.Warn("no flight recorder data for this failure", "err", err)
+		return
+	}
+	data, derr := qe.Dump()
+	if derr != nil {
+		slog.Error("encoding flight dump", "err", derr)
+		return
+	}
+	if werr := os.WriteFile(path, data, 0o644); werr != nil {
+		slog.Error("writing flight dump", "path", path, "err", werr)
+		return
+	}
+	slog.Info("flight dump written", "path", path, "node", int(qe.Node), "last_phase", qe.LastPhase)
 }
 
 // startPprof serves net/http/pprof on its own listener when addr is set —

@@ -59,6 +59,10 @@ func main() {
 		transport = flag.String("transport", "sim", "execution transport: sim (in-process hub) or tcp (loopback cluster of real daemons)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (Perfetto-loadable)")
+
+		heartbeat   = flag.Duration("heartbeat", 0, "fleet heartbeat interval (tcp only; 0 = 1s default)")
+		stallWindow = flag.Duration("stall-window", 0, "flag the query as stalled after this long without phase progress (tcp only; 0 = 30s default)")
+		flightDump  = flag.String("flight-dump", "", "on query failure, write the flight-recorder post-mortem JSON here (tcp only)")
 	)
 	flag.Parse()
 
@@ -132,6 +136,7 @@ func main() {
 	// --- Pick the engine: the job is the same either way. ---
 	econf := dstress.EngineConfig{
 		Group: g, K: *k, Alpha: *alpha, OTMode: om, AggFanIn: *aggFanIn,
+		HeartbeatInterval: *heartbeat, StallWindow: *stallWindow,
 	}
 	var eng dstress.Engine
 	switch *transport {
@@ -167,6 +172,7 @@ func main() {
 		Decode: cfg.Decode,
 	})
 	if err != nil {
+		writeFlightDump(*flightDump, err)
 		if errors.Is(ctx.Err(), context.Canceled) {
 			log.Fatalf("interrupted: run aborted cleanly (%v)", err)
 		}
@@ -192,6 +198,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %d spans to %s (load in Perfetto or chrome://tracing)\n",
 			len(tr.Spans()), *traceOut)
 	}
+}
+
+// writeFlightDump writes the cluster health plane's post-mortem (dead
+// node, last completed phase, flight-recorder tail) as JSON when the
+// failure produced one and -flight-dump names a path.
+func writeFlightDump(path string, err error) {
+	if path == "" {
+		return
+	}
+	var qe *dstress.QueryError
+	if !errors.As(err, &qe) {
+		fmt.Fprintf(os.Stderr, "no flight recorder data for this failure\n")
+		return
+	}
+	data, derr := qe.Dump()
+	if derr != nil {
+		fmt.Fprintf(os.Stderr, "encoding flight dump: %v\n", derr)
+		return
+	}
+	if werr := os.WriteFile(path, data, 0o644); werr != nil {
+		fmt.Fprintf(os.Stderr, "writing flight dump: %v\n", werr)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "flight dump written to %s (node %d, last phase %q)\n",
+		path, int(qe.Node), qe.LastPhase)
 }
 
 // printReport renders the unified report — the same table regardless of

@@ -64,6 +64,9 @@ func main() {
 		seed      = flag.Int64("seed", 42, "synthetic network seed")
 		transport = flag.String("transport", "sim", "deployment backend per pool member: sim or tcp (loopback cluster)")
 
+		heartbeat   = flag.Duration("heartbeat", 0, "fleet heartbeat interval (tcp only; 0 = 1s default)")
+		stallWindow = flag.Duration("stall-window", 0, "flag an in-flight query as stalled after this long without phase progress (tcp only; 0 = 30s default)")
+
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off — kept off the API port)")
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	)
@@ -109,6 +112,7 @@ func main() {
 	}
 	econf := dstress.EngineConfig{
 		Group: g, K: *k, Alpha: *alpha, AggFanIn: *aggFanIn,
+		HeartbeatInterval: *heartbeat, StallWindow: *stallWindow,
 	}
 	var eng dstress.SessionEngine
 	switch *transport {

@@ -219,6 +219,14 @@ type EngineConfig struct {
 	// AggFanIn enables hierarchical aggregation (§3.6); 0 keeps the single
 	// aggregation block.
 	AggFanIn int
+	// HeartbeatInterval is the cluster health plane's ping cadence; 0 means
+	// the cluster default (1s). Simulation backends have no fleet and ignore
+	// it.
+	HeartbeatInterval time.Duration
+	// StallWindow is how long an in-flight query's slowest node may sit in
+	// one phase before the coordinator's watchdog flags the query as
+	// stalled; 0 means the cluster default (30s).
+	StallWindow time.Duration
 }
 
 // OTMode selects the GMW oblivious-transfer provisioning (OTDealer or
@@ -235,6 +243,19 @@ type ProgramSpec = cluster.ProgramSpec
 func RegisterProgram(kind string, build func(ProgramSpec) (*Program, error)) {
 	cluster.RegisterProgram(kind, build)
 }
+
+// FleetHealth is a snapshot of a cluster deployment's health plane — see
+// Session.Fleet.
+type FleetHealth = cluster.FleetHealth
+
+// NodeHealth is one node's row in a FleetHealth snapshot.
+type NodeHealth = cluster.NodeHealth
+
+// QueryError is the structured error a cluster query fails with when the
+// health plane can attribute the failure to a node: it names the dead or
+// faulty node, its last completed phase, and carries the flight-recorder
+// tail. Recover it with errors.As and write Dump() next to your logs.
+type QueryError = cluster.QueryError
 
 // ---------------------------------------------------------------------------
 // Simulation engine
@@ -317,6 +338,8 @@ func (b *simBackend) query(ctx context.Context, seq int, q QuerySpec) (int64, *R
 	return raw, out, nil
 }
 
+func (b *simBackend) fleet() *FleetHealth { return nil }
+
 func (b *simBackend) close() error { return nil }
 
 // ---------------------------------------------------------------------------
@@ -350,9 +373,11 @@ func (e *ClusterEngine) scenario(job Job) (cluster.Scenario, error) {
 			Epsilon: job.Epsilon, NoiseShift: e.cfg.NoiseShift,
 			TablePFail: e.cfg.TablePFail, AggFanIn: e.cfg.AggFanIn,
 		},
-		Prog:       *job.Spec,
-		Graph:      job.Graph,
-		Iterations: job.Iterations,
+		Prog:        *job.Spec,
+		Graph:       job.Graph,
+		Iterations:  job.Iterations,
+		Heartbeat:   e.cfg.HeartbeatInterval,
+		StallWindow: e.cfg.StallWindow,
 	}, nil
 }
 
@@ -393,22 +418,35 @@ func (b *clusterBackend) query(ctx context.Context, seq int, q QuerySpec) (int64
 		return 0, nil, err
 	}
 	// If the caller is tracing, fold the nodes' span tables and protocol
-	// counters (shipped back on the control plane) into its trace. Span
-	// offsets stay node-relative — node clocks are not synchronized, and
-	// the Chrome export keys lanes by span.Node anyway.
+	// counters (shipped back on the control plane) into its trace. Each
+	// node's spans arrive relative to that node's own trace epoch on its
+	// own clock; the health plane's NTP-style heartbeat exchange estimates
+	// each node's clock offset, so the merge rebases every table onto the
+	// driver's timeline: shift = nodeEpoch − offset − driverEpoch. Nodes
+	// without a clock estimate yet (e.g. the fleet died before the first
+	// beat) fall back to the old node-relative offsets.
 	if tr := obs.From(ctx); tr != nil {
+		base := tr.Epoch().UnixNano()
 		ids := make([]int, 0, len(sum.Spans))
 		for id := range sum.Spans {
 			ids = append(ids, int(id))
 		}
 		sort.Ints(ids)
 		for _, id := range ids {
-			tr.AddSpans(sum.Spans[network.NodeID(id)])
-			tr.AddCounters(sum.Counters[network.NodeID(id)])
+			nid := network.NodeID(id)
+			spans := sum.Spans[nid]
+			if ci, ok := sum.Clock[nid]; ok && ci.Synced && ci.EpochUnixNS != 0 {
+				shift := ci.EpochUnixNS - int64(ci.Offset) - base
+				spans = obs.ShiftSpans(spans, shift)
+			}
+			tr.AddSpans(spans)
+			tr.AddCounters(sum.Counters[nid])
 		}
 	}
 	return sum.Result, summaryReport(sum, b.nodes), nil
 }
+
+func (b *clusterBackend) fleet() *FleetHealth { return b.lb.Health() }
 
 func (b *clusterBackend) close() error { return b.lb.Close() }
 

@@ -27,6 +27,13 @@ type Scenario struct {
 	Prog       ProgramSpec
 	Graph      *vertex.Graph
 	Iterations int
+
+	// Heartbeat is the health plane's probe interval (coordinator-local,
+	// never on the wire); 0 means one second. StallWindow is how long an
+	// in-flight query's slowest node may go without a phase advance before
+	// the watchdog flags it; 0 means 30 seconds.
+	Heartbeat   time.Duration
+	StallWindow time.Duration
 }
 
 // Query parameterizes one execution against a standing deployment.
@@ -53,11 +60,14 @@ type Summary struct {
 	// Stats holds each node's transport counters.
 	Stats map[network.NodeID]network.Stats
 	// Spans holds each node's span table (offsets relative to that node's
-	// own job start — node clocks are not synchronized) and Counters its
-	// protocol counters. Nodes always record; both ride the control plane
-	// after the query, so collecting them is free on the data-plane path.
+	// own job start on its own clock) and Counters its protocol counters.
+	// Nodes always record; both ride the control plane after the query, so
+	// collecting them is free on the data-plane path. Clock carries what a
+	// merger needs to rebase the offsets onto one timeline: each node's
+	// job-start epoch and the heartbeat-estimated clock offset.
 	Spans    map[network.NodeID][]obs.Span
 	Counters map[network.NodeID]map[string]int64
+	Clock    map[network.NodeID]ClockInfo
 	// WallTime is the coordinator-observed duration from job dispatch to
 	// the last node's report.
 	WallTime time.Duration
@@ -112,6 +122,11 @@ type Coordinator struct {
 	// are bounded only by their own context. Defaults to 2 minutes; set it
 	// between NewCoordinator and Open to override.
 	RegisterTimeout time.Duration
+
+	// HeartbeatInterval and StallWindow override the scenario's health
+	// plane parameters when set between NewCoordinator and Open.
+	HeartbeatInterval time.Duration
+	StallWindow       time.Duration
 }
 
 // NewCoordinator validates the scenario and starts listening on ctrlAddr
@@ -144,7 +159,12 @@ func NewCoordinator(ctrlAddr string, sc Scenario) (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: control listen %s: %w", ctrlAddr, err)
 	}
-	return &Coordinator{sc: sc, grp: grp, prog: prog, ln: ln, RegisterTimeout: 2 * time.Minute}, nil
+	return &Coordinator{
+		sc: sc, grp: grp, prog: prog, ln: ln,
+		RegisterTimeout:   2 * time.Minute,
+		HeartbeatInterval: sc.Heartbeat,
+		StallWindow:       sc.StallWindow,
+	}, nil
 }
 
 // Addr returns the control-plane address nodes should dial.
@@ -171,6 +191,18 @@ type nodeConn struct {
 	dec  *gob.Decoder
 	addr string
 	reg  trustedparty.NodeRegistration
+
+	// writeMu serializes encodes on this connection: heartbeat pings
+	// interleave with job dispatches (dispatchMu still orders whole-fleet
+	// dispatches; this leaf lock only keeps individual gob messages whole).
+	writeMu sync.Mutex
+}
+
+// send encodes one control message under the connection's write lock.
+func (nc *nodeConn) send(m ctrlMsg) error {
+	nc.writeMu.Lock()
+	defer nc.writeMu.Unlock()
+	return nc.enc.Encode(m)
 }
 
 // Session is a standing deployment: registration and trusted-party setup
@@ -198,45 +230,184 @@ type Session struct {
 	pending   map[int]chan doneMsg // in-flight queries by Seq
 	closed    bool
 
+	// Health plane state: the live fleet model fed by heartbeats, the
+	// probe/watchdog parameters, and the pinger goroutine's stop signal.
+	health   *fleetHealth
+	hbEvery  time.Duration
+	stallWin time.Duration
+	hbStop   chan struct{}
+	hbOnce   sync.Once
+	hbDone   chan struct{}
+
 	// Reader failure state: any control-plane read error is fatal for the
-	// whole session (fail-stop), so the first one is recorded and readDone
-	// closed to wake every in-flight Run.
+	// whole session (fail-stop), so the first one is recorded — with the
+	// connection it happened on — and readDone closed to wake every
+	// in-flight Run.
 	readOnce sync.Once
 	readErr  error
+	failNode network.NodeID
 	readDone chan struct{}
 }
 
-// readLoop is the per-node doneMsg router: it owns node id's decoder for
-// the session's lifetime and delivers each report to the Run that is
-// waiting on its Seq. Any decode error, identity mismatch, or report for
-// an unknown query kills the session.
+// readLoop is the per-node message router: it owns node id's decoder for
+// the session's lifetime, folds heartbeat replies into the health model,
+// and delivers each report to the Run that is waiting on its Seq. Any
+// decode error, identity mismatch, or report for an unknown query kills
+// the session.
 func (s *Session) readLoop(id network.NodeID, nc *nodeConn) {
 	for {
-		var d doneMsg
-		if err := nc.dec.Decode(&d); err != nil {
-			s.failReads(fmt.Errorf("cluster: node %d: reading report: %w", id, err))
+		var m nodeMsg
+		if err := nc.dec.Decode(&m); err != nil {
+			s.failReads(id, fmt.Errorf("cluster: node %d: reading report: %w", id, err))
 			return
 		}
+		if m.Beat != nil {
+			s.health.observeBeat(id, m.Beat, time.Now())
+			continue
+		}
+		if m.Done == nil {
+			s.failReads(id, fmt.Errorf("cluster: node %d sent an empty message", id))
+			return
+		}
+		d := *m.Done
 		if d.ID != id {
-			s.failReads(fmt.Errorf("cluster: report id %d on node %d's connection", d.ID, id))
+			s.failReads(id, fmt.Errorf("cluster: report id %d on node %d's connection", d.ID, id))
 			return
 		}
 		s.mu.Lock()
 		ch := s.pending[d.Seq]
 		s.mu.Unlock()
 		if ch == nil {
-			s.failReads(fmt.Errorf("cluster: node %d reported unknown query %d", id, d.Seq))
+			s.failReads(id, fmt.Errorf("cluster: node %d reported unknown query %d", id, d.Seq))
 			return
 		}
 		ch <- d // buffered to fleet size; never blocks
 	}
 }
 
-func (s *Session) failReads(err error) {
+func (s *Session) failReads(id network.NodeID, err error) {
 	s.readOnce.Do(func() {
+		s.failNode = id
 		s.readErr = err
 		close(s.readDone)
 	})
+}
+
+// heartbeatLoop is the session's pinger and watchdog: one immediate ping
+// round primes the clock estimators, then every interval it probes the
+// fleet and checks in-flight queries for stalls. It runs until abort/Close.
+func (s *Session) heartbeatLoop() {
+	defer close(s.hbDone)
+	s.pingAll()
+	t := time.NewTicker(s.hbEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.hbStop:
+			return
+		case <-t.C:
+			s.pingAll()
+			s.health.checkStalls(time.Now(), s.stallWin)
+		}
+	}
+}
+
+// pingAll sends one heartbeat probe to every node. A failed send is only
+// logged: the node's read loop owns failure detection, and the silence
+// shows up as heartbeat age.
+func (s *Session) pingAll() {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return
+	}
+	now := time.Now().UnixNano()
+	for _, id := range s.ids {
+		if err := s.conns[id].send(ctrlMsg{Ping: &pingMsg{T1: now}}); err != nil {
+			slog.Debug("cluster heartbeat ping failed", "node", id, "err", err)
+		}
+	}
+}
+
+// stopHeartbeat ends the pinger; safe to call more than once.
+func (s *Session) stopHeartbeat() {
+	s.hbOnce.Do(func() { close(s.hbStop) })
+}
+
+// Health returns a live snapshot of the standing fleet: per-node heartbeat
+// age, clock offset, runtime stats, open spans, and the in-flight/stalled
+// query sets.
+func (s *Session) Health() *FleetHealth {
+	return s.health.snapshot(time.Now())
+}
+
+// postMortem names the dead node after a query failure: probe the whole
+// fleet once more and watch who answers. Live nodes reply to a ping within
+// a round trip, but under heavy load a slow survivor can take much longer
+// than any fixed window — so instead of a deadline alone, the poll waits
+// for the silent set to SETTLE: only once it has not shrunk for a couple
+// of heartbeat intervals is whoever remains silent called the casualty
+// (the regular heartbeat loop keeps re-probing in the background, so a
+// live straggler's eventual reply shrinks the set and resets the clock).
+// Returns false when everyone answered (the failure was a protocol error
+// or a caller abort, not a death) — the caller then keeps its direct
+// attribution.
+func (s *Session) postMortem() (network.NodeID, bool) {
+	probe := time.Now()
+	s.pingAll()
+	settle := 2 * s.hbEvery
+	if settle < 150*time.Millisecond {
+		settle = 150 * time.Millisecond
+	}
+	if settle > time.Second {
+		settle = time.Second
+	}
+	limit := 6 * s.hbEvery
+	if limit < 2*time.Second {
+		limit = 2 * time.Second
+	}
+	if limit > 5*time.Second {
+		limit = 5 * time.Second
+	}
+	deadline := probe.Add(limit)
+	lastLen := -1
+	lastShrink := probe
+	for {
+		dead := s.health.silentSince(probe)
+		if len(dead) == 0 {
+			return 0, false
+		}
+		now := time.Now()
+		if len(dead) != lastLen {
+			lastLen, lastShrink = len(dead), now
+		}
+		if now.Sub(lastShrink) >= settle || !now.Before(deadline) {
+			return dead[0], true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// queryError assembles the health plane's enriched failure: post-mortem
+// node attribution, the node's last reported phase, heartbeat staleness,
+// and the flight-recorder tail (the node's own if it shipped one, the
+// coordinator-side ring otherwise).
+func (s *Session) queryError(seq int, node network.NodeID, lastPhase string, events []obs.FlightEvent, cause string) error {
+	if dead, ok := s.postMortem(); ok {
+		node = dead
+	}
+	ringPhase, beatAge, ring := s.health.failureInfo(node, seq)
+	if lastPhase == "" {
+		lastPhase = ringPhase
+	}
+	if len(events) == 0 {
+		events = ring
+	}
+	return &QueryError{
+		Seq: seq, Node: node, LastPhase: lastPhase,
+		BeatAge: beatAge, Events: events, Cause: cause,
+	}
 }
 
 // Open runs the registration phase — accept one control connection per
@@ -383,16 +554,30 @@ func (c *Coordinator) Open(ctx context.Context) (*Session, error) {
 		directory[id] = nc.addr
 	}
 	ok = true
+	hbEvery := c.HeartbeatInterval
+	if hbEvery <= 0 {
+		hbEvery = defaultHeartbeat
+	}
+	stallWin := c.StallWindow
+	if stallWin <= 0 {
+		stallWin = defaultStallWindow
+	}
 	sess := &Session{
 		c: c, conns: conns, ids: ids, setup: setup,
 		wireSetup: trustedparty.MarshalSetup(c.grp, setup),
 		directory: directory,
 		pending:   make(map[int]chan doneMsg),
+		health:    newFleetHealth(ids),
+		hbEvery:   hbEvery,
+		stallWin:  stallWin,
+		hbStop:    make(chan struct{}),
+		hbDone:    make(chan struct{}),
 		readDone:  make(chan struct{}),
 	}
 	for _, id := range ids {
 		go sess.readLoop(id, conns[id])
 	}
+	go sess.heartbeatLoop()
 	return sess, nil
 }
 
@@ -435,6 +620,11 @@ func (s *Session) Run(ctx context.Context, q Query) (*Summary, error) {
 		delete(s.pending, seq)
 		s.mu.Unlock()
 	}()
+	// Register with the health plane: the stall watchdog tracks the query
+	// from dispatch, and a driver-side progress callback (if the context
+	// carries one) receives the fleet's slowest-node phase live.
+	s.health.watch(seq, obs.ProgressFrom(ctx))
+	defer s.health.unwatch(seq)
 
 	g := s.c.sc.Graph
 	n := g.N()
@@ -472,7 +662,7 @@ func (s *Session) runQuery(ctx context.Context, q Query, cfg ConfigWire, g *vert
 			job.Directory = s.directory
 			job.Setup = s.wireSetup
 		}
-		if err := s.conns[id].enc.Encode(job); err != nil {
+		if err := s.conns[id].send(ctrlMsg{Job: &job}); err != nil {
 			s.dispatchMu.Unlock()
 			return nil, fmt.Errorf("cluster: dispatching job to node %d: %w", id, err)
 		}
@@ -487,20 +677,22 @@ func (s *Session) runQuery(ctx context.Context, q Query, cfg ConfigWire, g *vert
 		Counters: make(map[network.NodeID]map[string]int64, n),
 	}
 	var results []int64
+	epochs := make(map[network.NodeID]int64, n)
 	for i := 0; i < n; i++ {
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		case <-s.readDone:
-			return nil, s.readErr
+			return nil, s.queryError(seq, s.failNode, "", nil, s.readErr.Error())
 		case d := <-ch:
 			if d.Err != "" {
-				return nil, fmt.Errorf("cluster: node %d failed: %s", d.ID, d.Err)
+				return nil, s.queryError(seq, d.ID, d.LastPhase, d.Flight, d.Err)
 			}
 			sum.Reports[d.ID] = d.Report
 			sum.Stats[d.ID] = d.Stats
 			sum.Spans[d.ID] = d.Spans
 			sum.Counters[d.ID] = d.Counters
+			epochs[d.ID] = d.Epoch
 			if d.HasResult {
 				results = append(results, d.Result)
 			}
@@ -509,6 +701,12 @@ func (s *Session) runQuery(ctx context.Context, q Query, cfg ConfigWire, g *vert
 		}
 	}
 	sum.WallTime = time.Since(start)
+	sum.Clock = make(map[network.NodeID]ClockInfo, n)
+	for id, epoch := range epochs {
+		ci := s.health.clockInfo(id)
+		ci.EpochUnixNS = epoch
+		sum.Clock[id] = ci
+	}
 	slog.Debug("cluster query complete", "query", seq, "wall_ms", sum.WallTime.Milliseconds(), "total_bytes", sum.TotalBytes())
 
 	// Every aggregation-block member opened the aggregate; they must agree.
@@ -528,6 +726,7 @@ func (s *Session) runQuery(ctx context.Context, q Query, cfg ConfigWire, g *vert
 // nodes observe the loss, cancel any in-flight query, and exit with an
 // error.
 func (s *Session) abort() {
+	s.stopHeartbeat()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -543,6 +742,7 @@ func (s *Session) abort() {
 // shutdown message and exits with its last result. Safe to call after a
 // failed Run (the session is already aborted then).
 func (s *Session) Close() error {
+	s.stopHeartbeat()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -551,10 +751,14 @@ func (s *Session) Close() error {
 	s.closed = true
 	conns := s.conns
 	s.mu.Unlock()
+	// The pinger must be fully stopped before the shutdown handshake: a
+	// ping interleaved after a node processed its shutdown job would race
+	// the connection teardown.
+	<-s.hbDone
 	var firstErr error
 	s.dispatchMu.Lock()
 	for _, nc := range conns {
-		if err := nc.enc.Encode(jobMsg{Shutdown: true}); err != nil && firstErr == nil {
+		if err := nc.send(ctrlMsg{Job: &jobMsg{Shutdown: true}}); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("cluster: shutting down: %w", err)
 		}
 	}
@@ -616,6 +820,11 @@ func OpenLoopback(ctx context.Context, sc Scenario) (*Loopback, error) {
 // Run executes one query on the standing loopback cluster.
 func (l *Loopback) Run(ctx context.Context, q Query) (*Summary, error) {
 	return l.sess.Run(ctx, q)
+}
+
+// Health returns the live fleet health of the standing loopback cluster.
+func (l *Loopback) Health() *FleetHealth {
+	return l.sess.Health()
 }
 
 // Close shuts the fleet down and reports the first node error, if any. The

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -43,6 +44,13 @@ type NodeOptions struct {
 	// start node processes before the coordinator's listener is up).
 	// 0 means 10 seconds.
 	DialWindow time.Duration
+}
+
+// jobProgress is a node's live position in one in-flight job: the last
+// phase entered and a monotone advance counter the stall watchdog keys on.
+type jobProgress struct {
+	phase string
+	steps int64
 }
 
 // NodeResult is what a node learns from a run.
@@ -114,43 +122,92 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 		return nil, fmt.Errorf("cluster: sending registration: %w", err)
 	}
 
-	// The decoder goroutine owns the control connection's read side. When
-	// it fails — the coordinator closed the connection, which it does as
-	// soon as any node reports a failure — it cancels ctlCtx, which aborts
-	// any in-flight query and releases every blocked data-plane Recv, so
-	// this daemon fails fast even when a dead peer never dialed us
+	// Jobs overlap: each runs in its own goroutine against per-query state
+	// (the engine keys share registers and GMW sessions by job.Seq), while
+	// the engine itself — substrate, caches, setup — stands for the whole
+	// session. encMu serializes control-plane encodes (done reports and
+	// heartbeat replies) on the shared connection; any job failure is fatal
+	// for the daemon (fail-stop). The health-plane state — live trace map,
+	// per-job progress, the flight-recorder ring every job's trace feeds —
+	// is declared before the decoder goroutine because heartbeats read it.
+	flight := obs.NewFlight(0)
+	var (
+		eng        *engine
+		inflight   sync.WaitGroup
+		encMu      sync.Mutex
+		stateMu    sync.Mutex
+		last       *NodeResult
+		fatalErr   error
+		liveTraces = make(map[int]*obs.Trace)
+		progress   = make(map[int]*jobProgress)
+	)
+	send := func(m nodeMsg) error {
+		encMu.Lock()
+		defer encMu.Unlock()
+		return enc.Encode(m)
+	}
+	buildBeat := func(t1 int64) *beatMsg {
+		t2 := time.Now().UnixNano()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		b := &beatMsg{
+			ID: opt.ID, T1: t1, T2: t2,
+			Goroutines: runtime.NumGoroutine(),
+			HeapBytes:  ms.HeapAlloc,
+			GCPauseNS:  ms.PauseTotalNs,
+			Flight:     flight.DrainNew(),
+		}
+		stateMu.Lock()
+		if eng != nil {
+			b.Handshakes = eng.sub.Handshakes()
+		}
+		for seq, p := range progress {
+			b.Progress = append(b.Progress, queryProgress{Seq: seq, Phase: p.phase, Steps: p.steps})
+		}
+		for _, tr := range liveTraces {
+			b.Open = append(b.Open, tr.Live()...)
+		}
+		stateMu.Unlock()
+		sort.Slice(b.Progress, func(i, j int) bool { return b.Progress[i].Seq < b.Progress[j].Seq })
+		b.T3 = time.Now().UnixNano()
+		return b
+	}
+
+	// The decoder goroutine owns the control connection's read side,
+	// answering heartbeat pings inline and handing jobs to the main loop.
+	// When it fails — the coordinator closed the connection, which it does
+	// as soon as any node reports a failure — it cancels ctlCtx, which
+	// aborts any in-flight query and releases every blocked data-plane
+	// Recv, so this daemon fails fast even when a dead peer never dialed us
 	// (tcpnet's per-sender release covers only established inbound
 	// connections).
 	jobCh := make(chan jobMsg)
 	go func() {
 		defer close(jobCh)
 		for {
-			var j jobMsg
-			if err := dec.Decode(&j); err != nil {
+			var m ctrlMsg
+			if err := dec.Decode(&m); err != nil {
 				ctlCancel()
 				return
 			}
+			if m.Ping != nil {
+				if err := send(nodeMsg{Beat: buildBeat(m.Ping.T1)}); err != nil {
+					ctlCancel()
+					return
+				}
+				continue
+			}
+			if m.Job == nil {
+				continue
+			}
 			select {
-			case jobCh <- j:
+			case jobCh <- *m.Job:
 			case <-ctlCtx.Done():
 				return
 			}
 		}
 	}()
 
-	// Jobs overlap: each runs in its own goroutine against per-query state
-	// (the engine keys share registers and GMW sessions by job.Seq), while
-	// the engine itself — substrate, caches, setup — stands for the whole
-	// session. encMu serializes doneMsg encodes on the shared control
-	// connection; any job failure is fatal for the daemon (fail-stop).
-	var (
-		eng      *engine
-		inflight sync.WaitGroup
-		encMu    sync.Mutex
-		stateMu  sync.Mutex
-		last     *NodeResult
-		fatalErr error
-	)
 	setFatal := func(err error) {
 		stateMu.Lock()
 		if fatalErr == nil {
@@ -164,23 +221,61 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 		// Nodes always record: a per-job trace is a few hundred spans and
 		// ships over the control plane only after the query, so the data
 		// plane never pays for it. The coordinator decides what to do with
-		// the tables (straggler attribution, -trace export).
+		// the tables (straggler attribution, -trace export). While the job
+		// runs, the trace is also live: heartbeats snapshot its open spans,
+		// and the attached flight recorder retains the recent event tail
+		// for the failure path.
 		trace := obs.NewTrace(int32(opt.ID))
+		trace.AttachFlight(flight)
+		var qtag string
 		if job.Seq > 0 {
-			trace.SetQuery(network.Tag("q", job.Seq))
+			qtag = network.Tag("q", job.Seq)
+			trace.SetQuery(qtag)
 		}
+		// "dispatched" counts as the first step: a node that dies during
+		// engine setup — before the protocol's first ReportProgress — still
+		// ships a phase the post-mortem can name, instead of an empty one.
+		prog := &jobProgress{phase: "dispatched", steps: 1}
+		stateMu.Lock()
+		liveTraces[job.Seq] = trace
+		progress[job.Seq] = prog
+		stateMu.Unlock()
+		flight.Record(obs.FlightEvent{
+			At: time.Now().UnixNano(), Kind: "phase", Name: "dispatched",
+			Query: qtag, Node: int32(opt.ID),
+		})
 		jobCtx := obs.With(ctlCtx, trace)
+		jobCtx = obs.WithProgress(jobCtx, func(phase string) {
+			stateMu.Lock()
+			prog.phase = phase
+			prog.steps++
+			stateMu.Unlock()
+			// A phase entry is protocol activity in its own right: spans
+			// only reach the ring when they end, so a node killed deep
+			// inside one long phase would otherwise leave an empty ring.
+			flight.Record(obs.FlightEvent{
+				At: time.Now().UnixNano(), Kind: "phase", Name: phase,
+				Query: qtag, Node: int32(opt.ID),
+			})
+		})
 		slog.Debug("cluster job received",
 			"node", opt.ID, "query", job.Seq, "iterations", job.Iterations)
 		var res NodeResult
 		runErr := eng.runJob(jobCtx, job, &res)
+		stateMu.Lock()
+		lastPhase := prog.phase
+		delete(liveTraces, job.Seq)
+		delete(progress, job.Seq)
+		stateMu.Unlock()
 		done := doneMsg{
 			ID: opt.ID, Seq: job.Seq, HasResult: res.HasResult, Result: res.Result,
 			Report: res.Report, Stats: res.Stats,
 			Spans: trace.Spans(), Counters: trace.Counters(),
+			Epoch: trace.Epoch().UnixNano(), LastPhase: lastPhase,
 		}
 		if runErr != nil {
 			done.Err = runErr.Error()
+			done.Flight = flight.Events()
 			slog.Error("cluster job failed", "node", opt.ID, "query", job.Seq, "error", runErr)
 		} else {
 			slog.Debug("cluster job done",
@@ -191,9 +286,7 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 				"agg_ms", res.Report.AggTime.Milliseconds(),
 				"bytes_sent", res.Stats.BytesSent)
 		}
-		encMu.Lock()
-		encErr := enc.Encode(done)
-		encMu.Unlock()
+		encErr := send(nodeMsg{Done: &done})
 		if encErr != nil && runErr == nil {
 			runErr = fmt.Errorf("cluster: reporting result: %w", encErr)
 		}
@@ -217,15 +310,16 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 		if eng == nil {
 			// The engine (and the peer directory) is built synchronously on
 			// the first job, so overlapping later jobs always find it
-			// standing.
-			var err error
-			eng, err = newEngine(opt.ID, peer, grp, job, secrets)
+			// standing. The write is published under stateMu because the
+			// decoder goroutine reads eng when building heartbeat replies.
+			e, err := newEngine(opt.ID, peer, grp, job, secrets)
 			if err != nil {
-				encMu.Lock()
-				enc.Encode(doneMsg{ID: opt.ID, Seq: job.Seq, Err: err.Error()})
-				encMu.Unlock()
+				send(nodeMsg{Done: &doneMsg{ID: opt.ID, Seq: job.Seq, Err: err.Error()}})
 				return nil, err
 			}
+			stateMu.Lock()
+			eng = e
+			stateMu.Unlock()
 			for id, addr := range job.Directory {
 				if id != opt.ID {
 					peer.Register(id, addr)
@@ -651,8 +745,16 @@ func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error 
 	}
 	trace := obs.From(ctx)
 
+	// Phases open a live span (Begin) and announce themselves to the
+	// progress callback before doing any work: a phase that hangs or dies
+	// is visible in heartbeat snapshots and in the failure report, not only
+	// after it completes. On an error return the open span is deliberately
+	// left unclosed — it marks where the protocol stopped.
+
 	// --- Initialization: session joins + owner share distribution. ---
 	t0, b0 := phaseStart()
+	obs.ReportProgress(ctx, "phase/init")
+	endPhase := trace.Begin("phase/init")
 	if err := e.createSessions(ctx, run); err != nil {
 		return err
 	}
@@ -671,44 +773,46 @@ func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error 
 	rep.SetupTime = e.setupTime
 	e.setupMu.Unlock()
 	rep.BaseOTHandshakes = e.sub.Handshakes()
-	trace.SpanDur("phase/init", t0, rep.InitTime)
+	endPhase()
 
 	// --- Iterations. ---
 	for it := 0; it <= iterations; it++ {
 		t0, b0 = phaseStart()
+		obs.ReportProgress(ctx, fmt.Sprintf("iter/%d/compute", it))
+		endPhase = trace.Begin(fmt.Sprintf("iter/%d/compute", it))
 		out, err := e.computeStep(ctx, run, it)
 		if err != nil {
 			return fmt.Errorf("cluster: node %d iteration %d compute: %w", e.id, it, err)
 		}
+		endPhase()
 		rep.ComputeTime += time.Since(t0)
 		rep.ComputeBytes += phaseBytes(b0)
-		if trace != nil {
-			trace.Span(fmt.Sprintf("iter/%d/compute", it), t0)
-		}
 
 		if it == iterations {
 			break
 		}
 		t0, b0 = phaseStart()
+		obs.ReportProgress(ctx, fmt.Sprintf("iter/%d/communicate", it))
+		endPhase = trace.Begin(fmt.Sprintf("iter/%d/communicate", it))
 		if err := e.communicateStep(ctx, run, it, out); err != nil {
 			return fmt.Errorf("cluster: node %d iteration %d communicate: %w", e.id, it, err)
 		}
+		endPhase()
 		rep.CommTime += time.Since(t0)
 		rep.CommBytes += phaseBytes(b0)
-		if trace != nil {
-			trace.Span(fmt.Sprintf("iter/%d/communicate", it), t0)
-		}
 	}
 
 	// --- Aggregation + noising. ---
 	t0, b0 = phaseStart()
+	obs.ReportProgress(ctx, "phase/agg")
+	endPhase = trace.Begin("phase/agg")
 	result, hasResult, err := e.aggregate(ctx, run, plan)
 	if err != nil {
 		return fmt.Errorf("cluster: node %d aggregation: %w", e.id, err)
 	}
+	endPhase()
 	rep.AggTime = time.Since(t0)
 	rep.AggBytes = phaseBytes(b0)
-	trace.SpanDur("phase/agg", t0, rep.AggTime)
 
 	// Per-query accounting, then retirement: snapshot this query's traffic
 	// and fold its per-prefix counters into the trace, then drop its tag

@@ -8,11 +8,20 @@ package cluster
 //	coordinator → node   paramsMsg    (public system parameters, §3.4 step 1)
 //	node → coordinator   regMsg       (ElGamal public keys + neighbor keys;
 //	                                   the private halves never leave the node)
-//	coordinator → node   jobMsg       (program spec, topology, owner inputs,
-//	                                   node directory, signed setup, iteration
-//	                                   count — the §3.4 step-2/3 publication)
-//	node → coordinator   doneMsg      (per-node report; the opened aggregate
-//	                                   from aggregation-block members)
+//	coordinator → node   ctrlMsg      (either a jobMsg — program spec,
+//	                                   topology, owner inputs, node directory,
+//	                                   signed setup, iteration count, the §3.4
+//	                                   step-2/3 publication — or a pingMsg
+//	                                   heartbeat probe)
+//	node → coordinator   nodeMsg      (either a doneMsg — per-node report and
+//	                                   the opened aggregate from
+//	                                   aggregation-block members — or a
+//	                                   beatMsg heartbeat reply)
+//
+// After registration both directions speak envelopes (ctrlMsg/nodeMsg)
+// because a gob stream decodes into one concrete type per Decode call, and
+// the health plane interleaves heartbeats with job traffic on the same
+// ordered connection.
 //
 // The coordinator doubles as the trusted party: like the Federal Reserve in
 // the paper's banking scenario it knows who participates and runs Setup,
@@ -70,6 +79,61 @@ type regMsg struct {
 	Reg trustedparty.WireRegistration
 }
 
+// ctrlMsg is the coordinator→node envelope: exactly one field is non-nil.
+type ctrlMsg struct {
+	Job  *jobMsg
+	Ping *pingMsg
+}
+
+// nodeMsg is the node→coordinator envelope: exactly one field is non-nil.
+type nodeMsg struct {
+	Done *doneMsg
+	Beat *beatMsg
+}
+
+// pingMsg is the coordinator's periodic heartbeat probe. T1 is the
+// coordinator's wall clock at send time (Unix nanoseconds) — the first
+// timestamp of the NTP-style exchange the clock estimator folds.
+type pingMsg struct {
+	T1 int64
+}
+
+// beatMsg is the node's heartbeat reply: the NTP timestamp echo, runtime
+// stats, live per-query progress and open spans, and the flight-recorder
+// events since the previous beat.
+type beatMsg struct {
+	ID network.NodeID
+	// T1 echoes the ping; T2 is the node's clock at ping receipt, T3 at
+	// reply send. The coordinator supplies T4 (its receive time) to
+	// complete the exchange.
+	T1, T2, T3 int64
+	// Runtime stats, sampled at reply time.
+	Goroutines int
+	HeapBytes  uint64
+	GCPauseNS  uint64
+	// Handshakes is the substrate's cumulative base-OT handshake count.
+	Handshakes int64
+	// Progress reports each in-flight query's last entered phase, sorted
+	// by Seq.
+	Progress []queryProgress
+	// Open is the live snapshot of currently-open spans across in-flight
+	// queries (offsets relative to each job's own trace epoch).
+	Open []obs.Span
+	// Flight carries the node's flight-recorder events recorded since the
+	// previous beat, capped at the ring capacity.
+	Flight []obs.FlightEvent
+}
+
+// queryProgress is one in-flight query's position on one node.
+type queryProgress struct {
+	Seq   int
+	Phase string
+	// Steps counts phase advances since the job started. The stall
+	// watchdog compares Steps counters and change times, never phase
+	// strings, so it needs no ordering over the phase taxonomy.
+	Steps int64
+}
+
 type jobMsg struct {
 	// Shutdown ends the standing session: the node exits cleanly without
 	// running another query, and every other field is ignored.
@@ -121,4 +185,15 @@ type doneMsg struct {
 	// them costs no data-plane time.
 	Spans    []obs.Span
 	Counters map[string]int64
+	// Epoch is the node's trace epoch (job start) as Unix nanoseconds on
+	// the node's own clock. Combined with the health plane's estimated
+	// clock offset it lets the coordinator rebase Spans onto its own
+	// timeline when merging.
+	Epoch int64
+	// LastPhase is the last phase the job reported entering — on a failed
+	// job, where the protocol died.
+	LastPhase string
+	// Flight is the node's flight-recorder tail, shipped only on failure
+	// so the error path can show the final seconds of protocol activity.
+	Flight []obs.FlightEvent
 }

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// ClockSample is one NTP-style four-timestamp exchange folded into offset
+// and round-trip estimates.
+type ClockSample struct {
+	// Offset is the estimated remote-clock minus local-clock difference.
+	// The estimate is exact when the outbound and return path delays are
+	// equal; otherwise it errs by at most half the RTT asymmetry.
+	Offset time.Duration
+	// RTT is the exchange's round-trip time net of remote processing.
+	RTT time.Duration
+}
+
+// clockWindow is how many recent samples an estimator retains. Queuing
+// noise inflates individual RTTs; keeping a window and trusting the
+// minimum-RTT sample (standard NTP practice) filters it out.
+const clockWindow = 8
+
+// ClockEstimator estimates a remote machine's clock offset from periodic
+// NTP-style exchanges. It is the coordinator-side half of the heartbeat
+// protocol: each ping carries the local send time, each beat echoes it
+// along with the remote receive/send times, and Sample folds the four
+// timestamps. Safe for concurrent use.
+type ClockEstimator struct {
+	mu      sync.Mutex
+	samples [clockWindow]ClockSample
+	n       int // total samples ever folded
+}
+
+// Sample folds one exchange. t1 is the local send time, t2 the remote
+// receive time, t3 the remote reply-send time, t4 the local receive time —
+// all wall-clock Unix nanoseconds on their respective machines. The classic
+// NTP estimates are
+//
+//	offset = ((t2-t1) + (t3-t4)) / 2     (remote − local)
+//	rtt    = (t4-t1) − (t3-t2)
+//
+// Exchanges that are inconsistent on one clock (t2 > t3 or t4 < t1 — a
+// clock stepped mid-exchange) are discarded.
+func (e *ClockEstimator) Sample(t1, t2, t3, t4 int64) (ClockSample, bool) {
+	if e == nil || t3 < t2 || t4 < t1 {
+		return ClockSample{}, false
+	}
+	s := ClockSample{
+		Offset: time.Duration(((t2-t1)+(t3-t4))/2) * time.Nanosecond,
+		RTT:    time.Duration((t4-t1)-(t3-t2)) * time.Nanosecond,
+	}
+	e.mu.Lock()
+	e.samples[e.n%clockWindow] = s
+	e.n++
+	e.mu.Unlock()
+	return s, true
+}
+
+// Best returns the minimum-RTT sample in the retained window — the exchange
+// least distorted by queuing delay — or false before the first sample.
+func (e *ClockEstimator) Best() (ClockSample, bool) {
+	if e == nil {
+		return ClockSample{}, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n == 0 {
+		return ClockSample{}, false
+	}
+	k := e.n
+	if k > clockWindow {
+		k = clockWindow
+	}
+	best := e.samples[0]
+	for _, s := range e.samples[1:k] {
+		if s.RTT < best.RTT {
+			best = s
+		}
+	}
+	return best, true
+}
+
+// ShiftSpans returns a copy of spans with shift nanoseconds added to every
+// Start — the rebasing step when a node's span table (offsets relative to
+// its own trace epoch on its own clock) is merged into a trace with a
+// different epoch. Callers compute shift from the node's epoch, the
+// estimated clock offset, and the destination epoch.
+func ShiftSpans(spans []Span, shift int64) []Span {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]Span, len(spans))
+	copy(out, spans)
+	for i := range out {
+		out[i].Start += shift
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Gauge is a point-in-time metric — the counterpart of Histogram for values
+// that go up and down (pool occupancy, heartbeat age, heap bytes). Set/Add
+// are atomic and lock-free; a nil *Gauge is a valid no-op.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64 // math.Float64bits of the current value
+}
+
+// NewGauge returns a gauge with the given exposition name and help text.
+func NewGauge(name, help string) *Gauge {
+	return &Gauge{name: name, help: help}
+}
+
+// Name returns the exposition name.
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Help returns the help text.
+func (g *Gauge) Help() string {
+	if g == nil {
+		return ""
+	}
+	return g.help
+}
+
+// Set replaces the current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add offsets the current value by d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// GaugeValue is a gauge snapshot for metrics exposition.
+type GaugeValue struct {
+	Name, Help string
+	Value      float64
+}
+
+// Snapshot returns the gauge's current exposition triple.
+func (g *Gauge) Snapshot() GaugeValue {
+	if g == nil {
+		return GaugeValue{}
+	}
+	return GaugeValue{Name: g.name, Help: g.help, Value: g.Value()}
+}

@@ -49,8 +49,9 @@ type Span struct {
 	Query string
 	// Start is nanoseconds since the trace's epoch; Dur is the span length
 	// in nanoseconds. Offsets are relative to the recording trace's own
-	// epoch — cluster nodes' clocks are not synchronized, so cross-node
-	// spans align per node, not globally.
+	// epoch; when span tables from different machines are merged, the
+	// merger rebases Start onto its own epoch using the per-node clock
+	// offsets the health plane estimates (ShiftSpans).
 	Start, Dur int64
 }
 
@@ -61,17 +62,38 @@ type Trace struct {
 	epoch time.Time
 	node  int32
 
-	mu    sync.Mutex
-	spans []Span
-	query string
+	mu     sync.Mutex
+	spans  []Span
+	query  string
+	open   map[uint64]openSpan
+	openID uint64
 
 	counters sync.Map // string → *atomic.Int64
+
+	// flight, when attached, receives a copy of every completed span and
+	// counter bump — the ring the health plane dumps on failure.
+	flight atomic.Pointer[Flight]
+}
+
+// openSpan is a begun-but-unfinished interval, visible through Live.
+type openSpan struct {
+	name  string
+	start time.Time
 }
 
 // NewTrace returns a recorder whose spans are attributed to the given node
 // id (0 for the driving process). The epoch is the creation instant.
 func NewTrace(node int32) *Trace {
 	return &Trace{epoch: time.Now(), node: node}
+}
+
+// Epoch returns the instant span Starts are relative to (the trace's
+// creation time). The zero time for a nil trace.
+func (t *Trace) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
 }
 
 // ctxKey carries the trace in a context; a zero-size key avoids allocation
@@ -122,14 +144,93 @@ func (t *Trace) SpanDur(name string, start time.Time, d time.Duration) {
 		return
 	}
 	t.mu.Lock()
+	query := t.query
 	t.spans = append(t.spans, Span{
 		Name:  name,
 		Node:  t.node,
-		Query: t.query,
+		Query: query,
 		Start: start.Sub(t.epoch).Nanoseconds(),
 		Dur:   d.Nanoseconds(),
 	})
 	t.mu.Unlock()
+	if f := t.flight.Load(); f != nil {
+		f.Record(FlightEvent{
+			At:    start.Add(d).UnixNano(),
+			Kind:  "span",
+			Name:  name,
+			Query: query,
+			Node:  t.node,
+			Dur:   d.Nanoseconds(),
+		})
+	}
+}
+
+// noopEnd is the closer Begin hands out on a nil trace; a shared instance
+// keeps the disabled path allocation-free.
+var noopEnd = func() {}
+
+// Begin opens a span that is visible through Live until the returned closer
+// runs; the closer then records it like Span would. The health plane's
+// heartbeats snapshot open spans, so a phase that never finishes is still
+// observable while it hangs.
+func (t *Trace) Begin(name string) func() {
+	if t == nil {
+		return noopEnd
+	}
+	start := time.Now()
+	t.mu.Lock()
+	if t.open == nil {
+		t.open = make(map[uint64]openSpan)
+	}
+	t.openID++
+	id := t.openID
+	t.open[id] = openSpan{name: name, start: start}
+	t.mu.Unlock()
+	return func() {
+		t.mu.Lock()
+		delete(t.open, id)
+		t.mu.Unlock()
+		t.SpanDur(name, start, time.Since(start))
+	}
+}
+
+// Live snapshots the currently-open spans. Each entry's Dur is the elapsed
+// time so far; Start is relative to the trace epoch as usual. The result is
+// sorted by Start then Name for determinism.
+func (t *Trace) Live() []Span {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	t.mu.Lock()
+	out := make([]Span, 0, len(t.open))
+	for _, o := range t.open {
+		out = append(out, Span{
+			Name:  o.name,
+			Node:  t.node,
+			Query: t.query,
+			Start: o.start.Sub(t.epoch).Nanoseconds(),
+			Dur:   now.Sub(o.start).Nanoseconds(),
+		})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// AttachFlight connects a flight recorder: every completed span and counter
+// bump recorded after this call is mirrored into f's ring. Attaching nil
+// detaches.
+func (t *Trace) AttachFlight(f *Flight) {
+	if t == nil {
+		return
+	}
+	t.flight.Store(f)
 }
 
 // Add bumps the named counter. Counters are created on first use; after
@@ -144,6 +245,21 @@ func (t *Trace) Add(name string, delta int64) {
 		c, _ = t.counters.LoadOrStore(name, new(atomic.Int64))
 	}
 	c.(*atomic.Int64).Add(delta)
+	if f := t.flight.Load(); f != nil {
+		// Only flight-attached traces (cluster node daemons) pay for the
+		// query-tag read; the common path above stays lock-free.
+		t.mu.Lock()
+		query := t.query
+		t.mu.Unlock()
+		f.Record(FlightEvent{
+			At:    time.Now().UnixNano(),
+			Kind:  "counter",
+			Name:  name,
+			Query: query,
+			Node:  t.node,
+			Delta: delta,
+		})
+	}
 }
 
 // Spans returns a copy of the recorded spans.

@@ -18,6 +18,14 @@ func TestNilTraceIsSafe(t *testing.T) {
 	tr.Add("c", 1)
 	tr.AddSpans([]Span{{Name: "y"}})
 	tr.AddCounters(map[string]int64{"c": 1})
+	tr.AttachFlight(NewFlight(4))
+	tr.Begin("open")()
+	if !tr.Epoch().IsZero() {
+		t.Error("nil trace Epoch() is not the zero time")
+	}
+	if got := tr.Live(); got != nil {
+		t.Errorf("nil trace Live() = %v, want nil", got)
+	}
 	if got := tr.Spans(); got != nil {
 		t.Errorf("nil trace Spans() = %v, want nil", got)
 	}
@@ -121,7 +129,9 @@ func TestDisabledPathAllocations(t *testing.T) {
 		tr := From(ctx)
 		tr.Add("gmw/and_rounds", 1)
 		tr.SetQuery("q/1")
+		tr.Begin("phase/init")()
 		Add(ctx, "ot/derand_bits", 64)
+		ReportProgress(ctx, "phase/init")
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled path allocates %v per op, want 0", allocs)

@@ -1,0 +1,35 @@
+package obs
+
+import "context"
+
+// ProgressFunc receives live phase advances ("phase/init",
+// "iter/3/compute", "phase/agg", …) as instrumented code enters them.
+// Unlike spans, which record after the fact, progress fires at phase start
+// — it is what lets a watchdog notice a phase that never ends.
+type ProgressFunc func(phase string)
+
+// progressKey carries the callback in a context; zero-size to avoid
+// allocation on lookup.
+type progressKey struct{}
+
+// WithProgress returns a context whose ReportProgress calls invoke fn.
+// fn must be safe to call from the goroutine doing the protocol work and
+// must not block.
+func WithProgress(ctx context.Context, fn ProgressFunc) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// ProgressFrom returns the context's progress callback, or nil.
+func ProgressFrom(ctx context.Context) ProgressFunc {
+	fn, _ := ctx.Value(progressKey{}).(ProgressFunc)
+	return fn
+}
+
+// ReportProgress announces entry into a phase. With no callback in ctx it
+// costs one context lookup and a nil check — mirroring the disabled-path
+// contract of tracing.
+func ReportProgress(ctx context.Context, phase string) {
+	if fn := ProgressFrom(ctx); fn != nil {
+		fn(phase)
+	}
+}

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dstress"
+	"dstress/internal/obs"
+)
+
+// healthRunner is a pool member that reports protocol phases through the
+// context's progress callback and exposes a fabricated fleet-health
+// snapshot, so the live-phase and /v1/fleet plumbing is testable without
+// standing up a real cluster.
+type healthRunner struct {
+	entered chan string   // receives each phase as the query enters it
+	ack     chan struct{} // nil, or: the query waits here after each phase
+	release chan struct{} // the query blocks in its last phase until closed
+	closed  atomic.Bool
+}
+
+func (r *healthRunner) Query(ctx context.Context, q dstress.QuerySpec) (*dstress.Result, error) {
+	for _, phase := range []string{"phase/init", "iter/0/compute"} {
+		obs.ReportProgress(ctx, phase)
+		select {
+		case r.entered <- phase:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if r.ack != nil {
+			select {
+			case <-r.ack:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	select {
+	case <-r.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return &dstress.Result{Raw: 1, Value: 1, Epsilon: q.Epsilon, Report: &dstress.Report{Transport: "fake"}}, nil
+}
+
+func (r *healthRunner) Fleet() *dstress.FleetHealth {
+	return &dstress.FleetHealth{
+		InFlight: []int{1},
+		Stalled:  []int{1},
+		Nodes: []dstress.NodeHealth{
+			{
+				Node: 1, Beats: 7, BeatAge: 40 * time.Millisecond,
+				ClockOffset: 3 * time.Millisecond, RTT: time.Millisecond, Synced: true,
+				Goroutines: 12, HeapBytes: 1 << 20, Handshakes: 3,
+				Phases: map[int]string{1: "iter/0/compute"},
+				Open:   []obs.Span{{Name: "iter/0/compute", Query: "q/1", Dur: int64(5 * time.Millisecond)}},
+			},
+			{Node: 2, Beats: 7, BeatAge: 35 * time.Millisecond, Synced: false},
+		},
+	}
+}
+
+func (r *healthRunner) Close() error {
+	r.closed.Store(true)
+	return nil
+}
+
+// TestLiveQueryPhase pins the live-progress path: while a query runs, its
+// status (and the JSON wire shape) carries the last phase the protocol
+// reported entering; once finished, the phase is cleared.
+func TestLiveQueryPhase(t *testing.T) {
+	r := &healthRunner{entered: make(chan string), ack: make(chan struct{}), release: make(chan struct{})}
+	svc, err := New(context.Background(), Config{
+		Open:          func(ctx context.Context) (QueryRunner, error) { return r, nil },
+		DefaultBudget: 100,
+		AllowUnnoised: true,
+		Logf:          func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := false
+	defer func() {
+		if !released {
+			close(r.release)
+		}
+		svc.Drain(context.Background())
+	}()
+
+	q, err := svc.submit(Request{Tenant: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Walk the query through its phases; after each entry the status must
+	// show that phase on the running query.
+	for _, want := range []string{"phase/init", "iter/0/compute"} {
+		select {
+		case got := <-r.entered:
+			if got != want {
+				t.Fatalf("runner entered %q, want %q", got, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("query never entered its next phase")
+		}
+		st, ok := svc.Get(q.id)
+		if !ok {
+			t.Fatal("running query not retrievable")
+		}
+		if st.State != StateRunning || st.Phase != want {
+			t.Errorf("status = %s/%q, want running/%q", st.State, st.Phase, want)
+		}
+		if w := wireQuery(st); w.Phase != want {
+			t.Errorf("wire phase %q, want %q", w.Phase, want)
+		}
+		r.ack <- struct{}{}
+	}
+
+	close(r.release)
+	released = true
+	st, err := svc.Wait(context.Background(), q.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Phase != "" {
+		t.Errorf("finished status = %s/%q, want done with phase cleared", st.State, st.Phase)
+	}
+}
+
+// TestFleetEndpointAndGauges drives GET /v1/fleet and the new /metrics
+// series against a fabricated fleet snapshot: the endpoint renders per-node
+// heartbeat, clock, and progress rows, and the exposition carries runtime
+// gauges plus labeled heartbeat-age and clock-offset series.
+func TestFleetEndpointAndGauges(t *testing.T) {
+	r := &healthRunner{entered: make(chan string, 4), release: make(chan struct{})}
+	close(r.release) // queries (none are submitted) would pass straight through
+	cfg := Config{
+		Open:          func(ctx context.Context) (QueryRunner, error) { return r, nil },
+		DefaultBudget: 100,
+		Logf:          func(string, ...any) {},
+	}
+	_, srv := testService(t, cfg)
+
+	resp, body := getBody(t, srv.URL+"/v1/fleet")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet: %d %s", resp.StatusCode, body)
+	}
+	var fleet struct {
+		Fleets []struct {
+			Member   int   `json:"member"`
+			InFlight []int `json:"in_flight"`
+			Stalled  []int `json:"stalled"`
+			Nodes    []struct {
+				Node          int               `json:"node"`
+				Beats         uint64            `json:"beats"`
+				BeatAgeMS     float64           `json:"beat_age_ms"`
+				ClockOffsetMS float64           `json:"clock_offset_ms"`
+				Synced        bool              `json:"synced"`
+				Phases        map[string]string `json:"phases"`
+			} `json:"nodes"`
+		} `json:"fleets"`
+	}
+	if err := json.Unmarshal(body, &fleet); err != nil {
+		t.Fatalf("decoding fleet %s: %v", body, err)
+	}
+	if len(fleet.Fleets) != 1 {
+		t.Fatalf("fleet count %d, want 1:\n%s", len(fleet.Fleets), body)
+	}
+	f := fleet.Fleets[0]
+	if len(f.Nodes) != 2 || len(f.InFlight) != 1 || len(f.Stalled) != 1 {
+		t.Fatalf("fleet shape %+v, want 2 nodes, 1 in-flight, 1 stalled", f)
+	}
+	n1 := f.Nodes[0]
+	if n1.Node != 1 || n1.Beats != 7 || !n1.Synced || n1.BeatAgeMS != 40 || n1.ClockOffsetMS != 3 {
+		t.Errorf("node 1 row %+v not faithfully rendered", n1)
+	}
+	if n1.Phases["1"] != "iter/0/compute" {
+		t.Errorf("node 1 phases %v, want query 1 in iter/0/compute", n1.Phases)
+	}
+
+	resp, body = getBody(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"dstress_go_goroutines",
+		"dstress_go_heap_alloc_bytes",
+		"dstress_go_gc_pause_seconds_total",
+		"dstress_stalled_queries 1",
+		`dstress_node_heartbeat_age_seconds{member="0",node="1"} 0.04`,
+		`dstress_node_heartbeat_age_seconds{member="0",node="2"} 0.035`,
+		`dstress_node_clock_offset_seconds{member="0",node="1"} 0.003`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+	// Node 2 never synced, so it must not emit a clock-offset series.
+	if strings.Contains(text, `dstress_node_clock_offset_seconds{member="0",node="2"}`) {
+		t.Error("unsynced node leaked a clock-offset series")
+	}
+}

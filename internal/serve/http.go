@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"dstress/internal/dp"
@@ -19,6 +20,7 @@ import (
 //	GET  /v1/queries/{id}             status / result
 //	GET  /v1/tenants/{tenant}/budget  ε position
 //	POST /v1/tenants/{tenant}/replenish  §4.5 annual reset
+//	GET  /v1/fleet                    live fleet health (heartbeats, clocks)
 //	GET  /healthz                     200 serving, 503 draining
 //	GET  /metrics                     Prometheus text format
 func NewHandler(s *Service) http.Handler {
@@ -54,6 +56,9 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, wireBudget(st))
+	})
+	mux.HandleFunc("GET /v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, wireFleets(s.Fleets()))
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.Draining() {
@@ -135,6 +140,8 @@ type queryWire struct {
 	Report     *reportWire `json:"report,omitempty"`
 	Error      string      `json:"error,omitempty"`
 	LatencyMS  float64     `json:"latency_ms,omitempty"`
+	// Phase is the live protocol phase; present only while running.
+	Phase string `json:"phase,omitempty"`
 }
 
 type reportWire struct {
@@ -152,7 +159,7 @@ func wireQuery(st QueryStatus) queryWire {
 	out := queryWire{
 		ID: st.ID, Tenant: st.Tenant, Status: st.State,
 		Iterations: st.Spec.Iterations, Epsilon: st.Spec.Epsilon,
-		Submitted: st.Submitted, Error: st.Err,
+		Submitted: st.Submitted, Error: st.Err, Phase: st.Phase,
 	}
 	if st.Result != nil {
 		raw, value := st.Result.Raw, st.Result.Value
@@ -176,6 +183,92 @@ func wireQuery(st QueryStatus) queryWire {
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// fleetsWire is the GET /v1/fleet body: one entry per pool member with a
+// health plane (sim members have none, so the list can be shorter than the
+// pool — or empty, which still renders as [] not null).
+type fleetsWire struct {
+	Fleets []fleetWire `json:"fleets"`
+}
+
+type fleetWire struct {
+	Member   int             `json:"member"`
+	InFlight []int           `json:"in_flight"`
+	Stalled  []int           `json:"stalled"`
+	Nodes    []fleetNodeWire `json:"nodes"`
+}
+
+type fleetNodeWire struct {
+	Node          int     `json:"node"`
+	Beats         uint64  `json:"beats"`
+	BeatAgeMS     float64 `json:"beat_age_ms"`
+	ClockOffsetMS float64 `json:"clock_offset_ms"`
+	RTTMS         float64 `json:"rtt_ms"`
+	Synced        bool    `json:"synced"`
+	Goroutines    int     `json:"goroutines"`
+	HeapBytes     uint64  `json:"heap_bytes"`
+	GCPauseMS     float64 `json:"gc_pause_ms"`
+	Handshakes    int64   `json:"handshakes"`
+	// Phases maps in-flight query seq (as a string, for JSON) → the
+	// node's last entered phase.
+	Phases map[string]string `json:"phases,omitempty"`
+	// OpenSpans is the node's live span snapshot from its last beat.
+	OpenSpans []openSpanWire `json:"open_spans,omitempty"`
+}
+
+type openSpanWire struct {
+	Name  string  `json:"name"`
+	Query string  `json:"query,omitempty"`
+	DurMS float64 `json:"dur_ms"`
+}
+
+func wireFleets(fleets []FleetStatus) fleetsWire {
+	out := fleetsWire{Fleets: []fleetWire{}}
+	for _, f := range fleets {
+		fw := fleetWire{
+			Member:   f.Member,
+			InFlight: emptyInts(f.Fleet.InFlight),
+			Stalled:  emptyInts(f.Fleet.Stalled),
+			Nodes:    []fleetNodeWire{},
+		}
+		for _, n := range f.Fleet.Nodes {
+			nw := fleetNodeWire{
+				Node: n.Node, Beats: n.Beats,
+				BeatAgeMS:     ms(n.BeatAge),
+				ClockOffsetMS: ms(n.ClockOffset),
+				RTTMS:         ms(n.RTT),
+				Synced:        n.Synced,
+				Goroutines:    n.Goroutines,
+				HeapBytes:     n.HeapBytes,
+				GCPauseMS:     float64(n.GCPauseNS) / 1e6,
+				Handshakes:    n.Handshakes,
+			}
+			if len(n.Phases) > 0 {
+				nw.Phases = make(map[string]string, len(n.Phases))
+				for seq, ph := range n.Phases {
+					nw.Phases[strconv.Itoa(seq)] = ph
+				}
+			}
+			for _, sp := range n.Open {
+				nw.OpenSpans = append(nw.OpenSpans, openSpanWire{
+					Name: sp.Name, Query: sp.Query,
+					DurMS: float64(sp.Dur) / 1e6,
+				})
+			}
+			fw.Nodes = append(fw.Nodes, nw)
+		}
+		out.Fleets = append(out.Fleets, fw)
+	}
+	return out
+}
+
+// emptyInts keeps empty slices rendering as [] instead of null.
+func emptyInts(v []int) []int {
+	if v == nil {
+		return []int{}
+	}
+	return v
+}
 
 type budgetWire struct {
 	Tenant string `json:"tenant"`
@@ -267,6 +360,40 @@ func writeMetrics(w http.ResponseWriter, m Metrics) {
 				continue
 			}
 			fmt.Fprintf(w, "dstress_tenant_epsilon_remaining{tenant=%q} %v\n", t.Tenant, t.Remaining)
+		}
+	}
+
+	// Process gauges sampled at snapshot time (goroutines, heap, GC). A
+	// name ending in _total is a cumulative quantity and exposed as a
+	// counter.
+	for _, g := range m.Gauges {
+		typ := "gauge"
+		if strings.HasSuffix(g.Name, "_total") {
+			typ = "counter"
+		}
+		p(g.Name, typ, g.Help, g.Value)
+	}
+
+	// Fleet health: stall count plus per-node heartbeat freshness and
+	// clock-offset estimates, labeled by pool member and node id.
+	p("dstress_stalled_queries", "gauge", "In-flight queries currently flagged by a fleet stall watchdog.", m.StalledQueries)
+	if len(m.Fleets) > 0 {
+		fmt.Fprintf(w, "# HELP dstress_node_heartbeat_age_seconds Time since each fleet node's last heartbeat reply.\n# TYPE dstress_node_heartbeat_age_seconds gauge\n")
+		for _, f := range m.Fleets {
+			for _, n := range f.Fleet.Nodes {
+				fmt.Fprintf(w, "dstress_node_heartbeat_age_seconds{member=\"%d\",node=\"%d\"} %v\n",
+					f.Member, n.Node, n.BeatAge.Seconds())
+			}
+		}
+		fmt.Fprintf(w, "# HELP dstress_node_clock_offset_seconds Estimated node clock minus coordinator clock (min-RTT heartbeat exchange).\n# TYPE dstress_node_clock_offset_seconds gauge\n")
+		for _, f := range m.Fleets {
+			for _, n := range f.Fleet.Nodes {
+				if !n.Synced {
+					continue
+				}
+				fmt.Fprintf(w, "dstress_node_clock_offset_seconds{member=\"%d\",node=\"%d\"} %v\n",
+					f.Member, n.Node, n.ClockOffset.Seconds())
+			}
 		}
 	}
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"runtime"
 	"sync"
 	"time"
 
@@ -131,6 +132,10 @@ type query struct {
 	finished time.Time
 	result   *dstress.Result
 	err      error
+	// phase is the last protocol phase the running query reported entering
+	// (via the obs progress callback); cleared at completion. Guarded by
+	// s.mu.
+	phase string
 }
 
 // QueryStatus is a point-in-time snapshot of one query.
@@ -146,6 +151,9 @@ type QueryStatus struct {
 	Result *dstress.Result
 	// Err is set iff State == StateFailed.
 	Err string
+	// Phase is the query's last entered protocol phase; set only while
+	// State == StateRunning.
+	Phase string
 }
 
 // Metrics is a point-in-time snapshot of service counters.
@@ -171,8 +179,24 @@ type Metrics struct {
 	PhaseLatency map[string]obs.HistogramSnapshot
 	// Tenants is the per-tenant ε position at snapshot time.
 	Tenants []dp.BudgetStatus
+	// Gauges are point-in-time process gauges (goroutines, heap, GC
+	// pause), sampled at snapshot time.
+	Gauges []obs.GaugeValue
+	// Fleets holds one health snapshot per pool member whose deployment
+	// has a health plane (cluster sessions; sim members contribute none).
+	Fleets []FleetStatus
+	// StalledQueries counts queries the fleet stall watchdogs currently
+	// flag, summed across pool members.
+	StalledQueries int
 	// Draining is set once shutdown has begun.
 	Draining bool
+}
+
+// FleetStatus pairs one pool member with its deployment's live health
+// snapshot.
+type FleetStatus struct {
+	Member int
+	Fleet  *dstress.FleetHealth
 }
 
 // Service multiplexes budget-checked queries over a pool of standing
@@ -197,6 +221,7 @@ type Service struct {
 	nextID   uint64
 	workers  int
 	busy     int
+	members  []*member // every pool member ever launched, for Fleets
 
 	submitted, refused, served, failed uint64
 	latencySum                         time.Duration
@@ -205,6 +230,9 @@ type Service struct {
 	// phaseHist is keyed by phaseNames; the histograms are internally
 	// atomic, so workers observe into them without holding s.mu.
 	phaseHist map[string]*obs.Histogram
+
+	// Process gauges, refreshed from the Go runtime at Metrics time.
+	gaugeGoroutines, gaugeHeap, gaugeGCPause *obs.Gauge
 }
 
 // New builds the service and warm-starts cfg.Warm sessions synchronously,
@@ -243,6 +271,10 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 		work:      make(chan *query, cfg.QueueDepth),
 		queries:   make(map[string]*query),
 		phaseHist: make(map[string]*obs.Histogram, len(phaseNames)),
+
+		gaugeGoroutines: obs.NewGauge("dstress_go_goroutines", "Live goroutines in the serving process."),
+		gaugeHeap:       obs.NewGauge("dstress_go_heap_alloc_bytes", "Heap bytes currently allocated."),
+		gaugeGCPause:    obs.NewGauge("dstress_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time."),
 	}
 	for _, ph := range phaseNames {
 		s.phaseHist[ph] = obs.NewHistogram(nil)
@@ -276,6 +308,9 @@ func (s *Service) startMember(r QueryRunner) {
 // caller has already counted the member in s.workers.
 func (s *Service) launchMember(r QueryRunner) {
 	m := &member{r: r, refs: s.cfg.SessionConcurrency}
+	s.mu.Lock()
+	s.members = append(s.members, m)
+	s.mu.Unlock()
 	for i := 0; i < s.cfg.SessionConcurrency; i++ {
 		s.wg.Add(1)
 		go s.worker(m)
@@ -494,7 +529,17 @@ func (s *Service) worker(m *member) {
 			s.finish(q, nil, fmt.Errorf("serve: reopening pool session: %w", err))
 			continue
 		}
-		res, err := r.Query(s.baseCtx, q.spec)
+		// The protocol runtime reports each phase it enters through the
+		// context's progress callback; publish it on the query record so
+		// GET /v1/queries/{id} shows live progress while running.
+		ctx := obs.WithProgress(s.baseCtx, func(phase string) {
+			s.mu.Lock()
+			if q.state == StateRunning {
+				q.phase = phase
+			}
+			s.mu.Unlock()
+		})
+		res, err := r.Query(ctx, q.spec)
 		if err != nil && !errors.Is(err, dstress.ErrSessionBusy) {
 			m.poison(s, gen)
 		}
@@ -515,6 +560,7 @@ func (s *Service) finish(q *query, res *dstress.Result, err error) {
 	s.mu.Lock()
 	s.busy--
 	q.finished = time.Now()
+	q.phase = ""
 	if err != nil {
 		q.state = StateFailed
 		q.err = err
@@ -541,7 +587,7 @@ func snapshot(q *query) QueryStatus {
 	st := QueryStatus{
 		ID: q.id, Tenant: q.tenant, State: q.state, Spec: q.spec,
 		Submitted: q.submitted, Started: q.started, Finished: q.finished,
-		Result: q.result,
+		Result: q.result, Phase: q.phase,
 	}
 	if q.err != nil {
 		st.Err = q.err.Error()
@@ -593,6 +639,30 @@ func (s *Service) Do(ctx context.Context, req Request) (QueryStatus, error) {
 	return s.waitOn(ctx, q)
 }
 
+// Fleets snapshots the health plane of every pool member whose deployment
+// has one (cluster sessions — the runner type-asserts to Fleet()). Sim
+// members and recycled-away sessions contribute nothing. Member indices are
+// launch order and stable across the service's lifetime.
+func (s *Service) Fleets() []FleetStatus {
+	s.mu.Lock()
+	members := append([]*member(nil), s.members...)
+	s.mu.Unlock()
+	out := []FleetStatus{}
+	for i, m := range members {
+		m.mu.Lock()
+		r := m.r
+		m.mu.Unlock()
+		f, ok := r.(interface{ Fleet() *dstress.FleetHealth })
+		if !ok {
+			continue
+		}
+		if fh := f.Fleet(); fh != nil {
+			out = append(out, FleetStatus{Member: i, Fleet: fh})
+		}
+	}
+	return out
+}
+
 // Metrics returns a snapshot of the service counters.
 func (s *Service) Metrics() Metrics {
 	phases := make(map[string]obs.HistogramSnapshot, len(phaseNames))
@@ -600,6 +670,23 @@ func (s *Service) Metrics() Metrics {
 		phases[ph] = s.phaseHist[ph].Snapshot()
 	}
 	tenants := s.ledger.Statuses()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.gaugeGoroutines.Set(float64(runtime.NumGoroutine()))
+	s.gaugeHeap.Set(float64(ms.HeapAlloc))
+	s.gaugeGCPause.Set(float64(ms.PauseTotalNs) / 1e9)
+	gauges := []obs.GaugeValue{
+		s.gaugeGoroutines.Snapshot(),
+		s.gaugeHeap.Snapshot(),
+		s.gaugeGCPause.Snapshot(),
+	}
+	fleets := s.Fleets()
+	stalled := 0
+	for _, f := range fleets {
+		stalled += len(f.Fleet.Stalled)
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Metrics{
@@ -608,9 +695,12 @@ func (s *Service) Metrics() Metrics {
 		QueueDepth: len(s.work), PoolSessions: s.workers, PoolBusy: s.busy,
 		EpsilonCharged: s.ledger.TotalCharged(),
 		LatencySum:     s.latencySum, LatencyCount: s.latencyCount,
-		PhaseLatency: phases,
-		Tenants:      tenants,
-		Draining:     s.draining,
+		PhaseLatency:   phases,
+		Tenants:        tenants,
+		Gauges:         gauges,
+		Fleets:         fleets,
+		StalledQueries: stalled,
+		Draining:       s.draining,
 	}
 }
 

@@ -510,7 +510,12 @@ func (r *Runtime) RunQueryID(ctx context.Context, qid, iterations int, epsilon f
 	tr := obs.From(ctx)
 
 	// --- Initialization (§3.6): owners split and distribute shares. ---
+	// Each phase announces itself to the context's progress callback (the
+	// serve layer's live "phase" field) before doing any work; the same
+	// names the cluster engine reports, so both backends look alike to a
+	// watchdog.
 	t0, b0 := phaseStart()
+	obs.ReportProgress(ctx, "phase/init")
 	if err := r.initShares(ctx, qr); err != nil {
 		return 0, nil, err
 	}
@@ -521,6 +526,7 @@ func (r *Runtime) RunQueryID(ctx context.Context, qid, iterations int, epsilon f
 	// --- Iterations. ---
 	for it := 0; it <= iterations; it++ {
 		t0, b0 = phaseStart()
+		obs.ReportProgress(ctx, fmt.Sprintf("iter/%d/compute", it))
 		outShares, err := r.computeStep(ctx, qr, it)
 		if err != nil {
 			return 0, nil, fmt.Errorf("vertex: iteration %d compute: %w", it, err)
@@ -535,6 +541,7 @@ func (r *Runtime) RunQueryID(ctx context.Context, qid, iterations int, epsilon f
 			break // final computation step: no communication follows
 		}
 		t0, b0 = phaseStart()
+		obs.ReportProgress(ctx, fmt.Sprintf("iter/%d/communicate", it))
 		if err := r.communicateStep(ctx, qr, it, outShares); err != nil {
 			return 0, nil, fmt.Errorf("vertex: iteration %d communicate: %w", it, err)
 		}
@@ -547,6 +554,7 @@ func (r *Runtime) RunQueryID(ctx context.Context, qid, iterations int, epsilon f
 
 	// --- Aggregation + noising (§3.6). ---
 	t0, b0 = phaseStart()
+	obs.ReportProgress(ctx, "phase/agg")
 	result, err := r.aggregate(ctx, qr, plan)
 	if err != nil {
 		return 0, nil, fmt.Errorf("vertex: aggregation: %w", err)

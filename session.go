@@ -43,6 +43,10 @@ type QuerySpec struct {
 // collide on the shared transports.
 type sessionBackend interface {
 	query(ctx context.Context, seq int, q QuerySpec) (int64, *Report, error)
+	// fleet reports the deployment's live health plane: per-node heartbeat
+	// state, clock estimates, and in-flight query progress. Backends
+	// without a fleet (the in-process simulation) return nil.
+	fleet() *FleetHealth
 	close() error
 }
 
@@ -164,6 +168,14 @@ func (s *Session) Query(ctx context.Context, q QuerySpec) (*Result, error) {
 		value = s.decode(raw)
 	}
 	return &Result{Raw: raw, Value: value, Epsilon: q.Epsilon, Report: rep}, nil
+}
+
+// Fleet returns a live snapshot of the deployment's health plane: per-node
+// heartbeat freshness, clock-offset estimates, runtime stats, and in-flight
+// query progress as seen by the cluster coordinator. Simulation sessions
+// have no fleet and return nil.
+func (s *Session) Fleet() *FleetHealth {
+	return s.backend.fleet()
 }
 
 // Remaining returns the unspent ε budget (+Inf when unmetered).

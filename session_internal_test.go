@@ -33,6 +33,8 @@ func (b *gateBackend) query(ctx context.Context, seq int, q QuerySpec) (int64, *
 	}
 }
 
+func (b *gateBackend) fleet() *FleetHealth { return nil }
+
 func (b *gateBackend) close() error {
 	close(b.closed)
 	return nil
