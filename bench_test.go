@@ -5,8 +5,10 @@
 package dstress_test
 
 import (
+	"context"
 	"testing"
 
+	"dstress"
 	"dstress/internal/experiments"
 )
 
@@ -121,5 +123,39 @@ func BenchmarkAblations(b *testing.B) {
 func BenchmarkOTSubstrateSetup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		logTable(b, experiments.OTSubstrateSetup(quick))
+	}
+}
+
+// BenchmarkCheckpointOverhead prices the failure-recovery satellite: the
+// identical ε=0 sim query with EngineConfig.Recover off vs on. No death is
+// injected, so the "on" variant pays the full checkpoint tax — a share
+// snapshot, an AES-GCM seal, and a control-plane ship at every phase
+// barrier — and recovers nothing. The delta is the steady-state cost of
+// running a fleet with recovery armed; it stays under a few percent of
+// query wall time (see DESIGN.md's recovery section, target < 3%).
+func BenchmarkCheckpointOverhead(b *testing.B) {
+	for _, rec := range []bool{false, true} {
+		name := "recover-off"
+		if rec {
+			name = "recover-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			job, exact := enChainJob(b, 6)
+			eng := dstress.NewSimEngine(dstress.EngineConfig{
+				Group: dstress.TestGroup(), K: 1, Alpha: 0.5,
+				OTMode: dstress.OTDealer, Recover: rec,
+			})
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Run(ctx, job)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Raw != exact {
+					b.Fatalf("result %d != reference %d", res.Raw, exact)
+				}
+			}
+		})
 	}
 }

@@ -18,10 +18,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	_ "net/http/pprof" // registered on the DefaultServeMux the -pprof server uses
 	"os"
@@ -33,6 +35,8 @@ import (
 
 	"dstress/internal/cluster"
 	"dstress/internal/network"
+	"dstress/internal/obs"
+	"dstress/internal/vertex"
 )
 
 func main() {
@@ -60,6 +64,9 @@ func main() {
 
 		// Health-plane flags. -health is node mode; the rest are
 		// coordinator mode.
+		recoverOn    = flag.Bool("recover", false, "enable failure recovery (coordinator mode): nodes checkpoint shares at phase barriers, and when one dies the fleet re-blocks around it and the query resumes instead of failing")
+		chaosBarrier = flag.Int("chaos-barrier", -1, "deterministic fault injection (node mode): exit the process with code 137 right after finishing the compute step of this iteration of the first query (-1 = off)")
+
 		healthAddr  = flag.String("health", "", "serve GET /healthz on this address (node mode; 200 while serving, 503 once draining; empty = off)")
 		heartbeat   = flag.Duration("heartbeat", 0, "fleet heartbeat interval (coordinator mode; 0 = 1s default)")
 		stallWindow = flag.Duration("stall-window", 0, "flag an in-flight query as stalled after this long without phase progress (coordinator mode; 0 = 30s default)")
@@ -98,12 +105,23 @@ func main() {
 			fatal("node mode needs -id ≥ 1")
 		}
 		startHealth(ctx, *healthAddr)
-		res, err := cluster.RunNode(ctx, cluster.NodeOptions{
+		opts := cluster.NodeOptions{
 			ID:            network.NodeID(*id),
 			CoordAddr:     *coord,
 			ListenAddr:    *listen,
 			AdvertiseAddr: *advertise,
-		})
+		}
+		if *chaosBarrier >= 0 {
+			nodeID := *id
+			opts.Chaos = &cluster.NodeChaos{
+				Barrier: *chaosBarrier,
+				Kill: func() {
+					slog.Warn("chaos: exiting process", "node", nodeID)
+					os.Exit(137)
+				},
+			}
+		}
+		res, err := cluster.RunNode(ctx, opts)
 		if err != nil {
 			fatal("node failed", "node", *id, "err", err)
 		}
@@ -123,6 +141,7 @@ func main() {
 		if err != nil {
 			fatal("building scenario", "err", err)
 		}
+		sc.Recover = *recoverOn
 		co, err := cluster.NewCoordinator(*listen, sc)
 		if err != nil {
 			fatal("starting coordinator", "err", err)
@@ -141,8 +160,13 @@ func main() {
 			writeFlightDump(*flightDump, err)
 			fatal("coordinator run failed", "err", err)
 		}
+		released := cluster.DecodeDollars(sc, sum.Result)
+		writeRunDump(*flightDump, sc, sum, released, exactTDS)
 		fmt.Printf("exact TDS (trusted baseline): $%.2fM\n", exactTDS/1e6)
-		fmt.Printf("released TDS (ε=%v):          $%.2fM\n", *epsilon, cluster.DecodeDollars(sc, sum.Result)/1e6)
+		fmt.Printf("released TDS (ε=%v):          $%.2fM\n", *epsilon, released/1e6)
+		if sum.Recoveries > 0 {
+			fmt.Printf("recoveries: survived %d node death(s) by re-blocking\n", sum.Recoveries)
+		}
 		fmt.Printf("\nwall time %v, cluster traffic %.1f KB (per node: avg %.1f KB, max %.1f KB)\n",
 			sum.WallTime.Round(1e6), float64(sum.TotalBytes())/1024,
 			sum.AvgNodeBytes()/1024, float64(sum.MaxNodeBytes())/1024)
@@ -228,6 +252,46 @@ func startHealth(ctx context.Context, addr string) {
 			slog.Error("health server failed", "err", err)
 		}
 	}()
+}
+
+// writeRunDump writes the success-path run record as JSON when
+// -flight-dump names a path: the released value, two baselines, and the
+// recovery count and re-blocking timeline, so an external harness (the CI
+// recovery-smoke job) can assert that a killed node was recovered and the
+// ε=0 result still decodes exactly. reference_dollars is the plaintext
+// reference of the same fixed-point iterative program — an ε=0 run must
+// equal it to the bit; exact_dollars is the continuous solver's baseline,
+// which the bounded-iteration program only approximates.
+func writeRunDump(path string, sc cluster.Scenario, sum *cluster.Summary, released, exact float64) {
+	if path == "" {
+		return
+	}
+	reference := math.NaN()
+	if prog, err := sc.Prog.Build(); err == nil {
+		if raw, err := vertex.RunReference(prog, sc.Graph, sc.Iterations); err == nil {
+			reference = cluster.DecodeDollars(sc, raw)
+		}
+	}
+	dump := struct {
+		Recoveries       int               `json:"recoveries"`
+		ResultDollars    float64           `json:"result_dollars"`
+		ReferenceDollars float64           `json:"reference_dollars"`
+		ExactDollars     float64           `json:"exact_dollars"`
+		Events           []obs.FlightEvent `json:"events"`
+	}{sum.Recoveries, released, reference, exact, sum.RecoveryEvents}
+	if dump.Events == nil {
+		dump.Events = []obs.FlightEvent{}
+	}
+	data, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		slog.Error("encoding run dump", "err", err)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		slog.Error("writing run dump", "path", path, "err", err)
+		return
+	}
+	slog.Info("run dump written", "path", path, "recoveries", sum.Recoveries)
 }
 
 // writeFlightDump writes the health plane's post-mortem (dead node, last

@@ -63,6 +63,10 @@ func main() {
 		heartbeat   = flag.Duration("heartbeat", 0, "fleet heartbeat interval (tcp only; 0 = 1s default)")
 		stallWindow = flag.Duration("stall-window", 0, "flag the query as stalled after this long without phase progress (tcp only; 0 = 30s default)")
 		flightDump  = flag.String("flight-dump", "", "on query failure, write the flight-recorder post-mortem JSON here (tcp only)")
+
+		recoverOn    = flag.Bool("recover", false, "enable failure recovery: checkpoint shares at phase barriers, re-block around a dead node and resume the query instead of failing")
+		chaosNode    = flag.Int("chaos-node", 0, "deterministic fault injection: kill this node right after the compute step of iteration -chaos-barrier (0 = off)")
+		chaosBarrier = flag.Int("chaos-barrier", 0, "iteration whose compute step triggers the -chaos-node kill")
 	)
 	flag.Parse()
 
@@ -137,6 +141,7 @@ func main() {
 	econf := dstress.EngineConfig{
 		Group: g, K: *k, Alpha: *alpha, OTMode: om, AggFanIn: *aggFanIn,
 		HeartbeatInterval: *heartbeat, StallWindow: *stallWindow,
+		Recover: *recoverOn, ChaosNode: *chaosNode, ChaosBarrier: *chaosBarrier,
 	}
 	var eng dstress.Engine
 	switch *transport {
@@ -237,6 +242,10 @@ func printReport(rep *dstress.Report) {
 	fmt.Printf("agg+noise   %-12v  %d\n", round(rep.AggTime), rep.AggBytes)
 	fmt.Printf("total       %-12v  %d\n", round(rep.TotalTime()), rep.TotalBytes())
 	fmt.Printf("\nupdate circuit: %d AND gates; aggregate: %d AND gates\n", rep.UpdateAndGates, rep.AggAndGates)
+	if rep.Recoveries > 0 {
+		fmt.Printf("recoveries: survived %d node death(s) by re-blocking (deepest replay %d barriers)\n",
+			rep.Recoveries, rep.ReplayedBarriers)
+	}
 	fmt.Printf("traffic per node: avg %.1f KB, max %.1f KB\n",
 		rep.AvgNodeBytes/1024, float64(rep.MaxNodeBytes)/1024)
 

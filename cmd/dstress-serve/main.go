@@ -66,6 +66,7 @@ func main() {
 
 		heartbeat   = flag.Duration("heartbeat", 0, "fleet heartbeat interval (tcp only; 0 = 1s default)")
 		stallWindow = flag.Duration("stall-window", 0, "flag an in-flight query as stalled after this long without phase progress (tcp only; 0 = 30s default)")
+		recoverOn   = flag.Bool("recover", false, "enable failure recovery on pool deployments: checkpoint shares at phase barriers, re-block around dead nodes and resume queries instead of failing them")
 
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off — kept off the API port)")
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
@@ -113,6 +114,7 @@ func main() {
 	econf := dstress.EngineConfig{
 		Group: g, K: *k, Alpha: *alpha, AggFanIn: *aggFanIn,
 		HeartbeatInterval: *heartbeat, StallWindow: *stallWindow,
+		Recover: *recoverOn,
 	}
 	var eng dstress.SessionEngine
 	switch *transport {

@@ -119,6 +119,13 @@ type Report struct {
 	// only ("sim" executes every role on one process, so a per-node split
 	// of its wall time is not observable); nil in sim reports.
 	NodePhases []NodePhase
+	// Recoveries counts node deaths survived during this query via
+	// re-blocking; ReplayedBarriers is how many phase barriers were
+	// re-executed resuming from checkpoints (cluster reports fold the
+	// per-node maximum). Both are zero unless EngineConfig.Recover was set
+	// and a node actually died.
+	Recoveries       int
+	ReplayedBarriers int
 }
 
 // NodePhase is one node's per-phase wall times and its sent+received
@@ -227,6 +234,17 @@ type EngineConfig struct {
 	// one phase before the coordinator's watchdog flags the query as
 	// stalled; 0 means the cluster default (30s).
 	StallWindow time.Duration
+	// Recover opts the deployment into failure recovery: share state is
+	// checkpointed at every phase barrier and an attributed node death
+	// re-blocks the deployment around the casualty and resumes in-flight
+	// queries instead of failing them. Off by default (fail-stop, matching
+	// the paper's prototype).
+	Recover bool
+	// ChaosNode and ChaosBarrier inject a deterministic fault for recovery
+	// testing: node ChaosNode dies right after the compute step of
+	// iteration ChaosBarrier of its first query. 0 disables.
+	ChaosNode    int
+	ChaosBarrier int
 }
 
 // OTMode selects the GMW oblivious-transfer provisioning (OTDealer or
@@ -275,12 +293,20 @@ var (
 func NewSimEngine(cfg EngineConfig) *SimEngine { return &SimEngine{cfg: cfg} }
 
 func (e *SimEngine) vertexConfig(epsilon float64) Config {
-	return Config{
+	cfg := Config{
 		Group: e.cfg.Group, K: e.cfg.K, Alpha: e.cfg.Alpha, Epsilon: epsilon,
 		NoiseShift: e.cfg.NoiseShift, OTMode: e.cfg.OTMode,
 		Parallelism: e.cfg.Parallelism, TablePFail: e.cfg.TablePFail,
 		AggFanIn: e.cfg.AggFanIn,
+		Recover:  e.cfg.Recover,
 	}
+	if e.cfg.ChaosNode > 0 {
+		cfg.Chaos = &vertex.ChaosSpec{
+			Victim:  network.NodeID(e.cfg.ChaosNode),
+			Barrier: e.cfg.ChaosBarrier,
+		}
+	}
+	return cfg
 }
 
 // Run executes one job end to end: deployment setup, the query, teardown.
@@ -334,6 +360,8 @@ func (b *simBackend) query(ctx context.Context, seq int, q QuerySpec) (int64, *R
 		AvgNodeBytes:     rep.AvgNodeBytes, MaxNodeBytes: rep.MaxNodeBytes,
 		Iterations:     rep.Iterations,
 		UpdateAndGates: rep.UpdateAndGates, AggAndGates: rep.AggAndGates,
+		Recoveries:       rep.Recoveries,
+		ReplayedBarriers: rep.ReplayedBarriers,
 	}
 	return raw, out, nil
 }
@@ -373,11 +401,14 @@ func (e *ClusterEngine) scenario(job Job) (cluster.Scenario, error) {
 			Epsilon: job.Epsilon, NoiseShift: e.cfg.NoiseShift,
 			TablePFail: e.cfg.TablePFail, AggFanIn: e.cfg.AggFanIn,
 		},
-		Prog:        *job.Spec,
-		Graph:       job.Graph,
-		Iterations:  job.Iterations,
-		Heartbeat:   e.cfg.HeartbeatInterval,
-		StallWindow: e.cfg.StallWindow,
+		Prog:         *job.Spec,
+		Graph:        job.Graph,
+		Iterations:   job.Iterations,
+		Heartbeat:    e.cfg.HeartbeatInterval,
+		StallWindow:  e.cfg.StallWindow,
+		Recover:      e.cfg.Recover,
+		ChaosNode:    network.NodeID(e.cfg.ChaosNode),
+		ChaosBarrier: e.cfg.ChaosBarrier,
 	}, nil
 }
 
@@ -482,7 +513,11 @@ func summaryReport(sum *cluster.Summary, nodes int) *Report {
 		out.Iterations = rep.Iterations
 		out.UpdateAndGates = rep.UpdateAndGates
 		out.AggAndGates = rep.AggAndGates
+		if rep.ReplayedBarriers > out.ReplayedBarriers {
+			out.ReplayedBarriers = rep.ReplayedBarriers
+		}
 	}
+	out.Recoveries = sum.Recoveries
 	out.InitBytes, out.ComputeBytes, out.CommBytes, out.AggBytes = initB/2, compB/2, commB/2, aggB/2
 	out.AvgNodeBytes = sum.AvgNodeBytes()
 	out.MaxNodeBytes = sum.MaxNodeBytes()

@@ -34,6 +34,22 @@ type Scenario struct {
 	// the watchdog flags it; 0 means 30 seconds.
 	Heartbeat   time.Duration
 	StallWindow time.Duration
+
+	// Recover opts the deployment into failure recovery: nodes checkpoint
+	// encrypted share snapshots at every phase barrier, and on an
+	// attributed node death the coordinator re-blocks around the casualty
+	// and resumes every in-flight query instead of failing the session.
+	// Off by default — then a node death is session-fatal (fail-stop),
+	// matching the paper's prototype.
+	Recover bool
+
+	// ChaosNode and ChaosBarrier inject a deterministic kill into loopback
+	// clusters (OpenLoopback only): node ChaosNode dies right after it
+	// finishes the compute step of iteration ChaosBarrier of its first
+	// query. ChaosNode 0 disables. Multi-process deployments inject faults
+	// via NodeOptions.Chaos (or dstress-node's -chaos-barrier) instead.
+	ChaosNode    network.NodeID
+	ChaosBarrier int
 }
 
 // Query parameterizes one execution against a standing deployment.
@@ -71,6 +87,12 @@ type Summary struct {
 	// WallTime is the coordinator-observed duration from job dispatch to
 	// the last node's report.
 	WallTime time.Duration
+	// Recoveries counts the re-blockings that happened while this query was
+	// in flight; RecoveryEvents is their coordinator-side timeline (death,
+	// reblock, and resume events). Both are zero/empty unless the scenario
+	// enabled Recover and a node actually died.
+	Recoveries     int
+	RecoveryEvents []obs.FlightEvent
 }
 
 // TotalBytes sums the bytes sent by all nodes.
@@ -230,6 +252,28 @@ type Session struct {
 	pending   map[int]chan doneMsg // in-flight queries by Seq
 	closed    bool
 
+	// --- Failure-recovery plane (active when the scenario sets Recover).
+	recoverOn bool
+	// tp and regs are retained from Open so a recovery can re-run the
+	// trusted party's blocking over the surviving registrations.
+	tp   *trustedparty.TrustedParty
+	regs []trustedparty.NodeRegistration
+	// recMu single-flights re-blocking: several collect loops (and death
+	// notices) can observe the same casualty concurrently, and exactly one
+	// recovery must win.
+	recMu sync.Mutex
+	// deathCh carries read-loop death notices to whichever collect loop
+	// selects first. Buffered to fleet size so readers never block.
+	deathCh chan network.NodeID
+	// Under mu: per-seq attempt numbers and dispatch specs, the checkpoint
+	// table (seq → node → barrier → encrypted blob, opaque to the
+	// coordinator), the recovery counter, and the recovery event log.
+	attempts   map[int]int
+	specs      map[int]querySpec
+	ckpts      map[int]map[network.NodeID]map[int][]byte
+	recoveries int
+	recEvents  []obs.FlightEvent
+
 	// Health plane state: the live fleet model fed by heartbeats, the
 	// probe/watchdog parameters, and the pinger goroutine's stop signal.
 	health   *fleetHealth
@@ -249,20 +293,37 @@ type Session struct {
 	readDone chan struct{}
 }
 
+// querySpec retains what the coordinator needs to rebuild a query's job
+// messages when a recovery resumes it: the per-query config (epsilon
+// included) and iteration count.
+type querySpec struct {
+	cfg        ConfigWire
+	iterations int
+}
+
 // readLoop is the per-node message router: it owns node id's decoder for
 // the session's lifetime, folds heartbeat replies into the health model,
-// and delivers each report to the Run that is waiting on its Seq. Any
-// decode error, identity mismatch, or report for an unknown query kills
-// the session.
+// archives checkpoint blobs, and delivers each report to the Run that is
+// waiting on its Seq. Without recovery, any decode error, identity
+// mismatch, or report for an unknown query kills the session; with it, a
+// decode error becomes a death notice and stray reports from superseded
+// attempts are dropped.
 func (s *Session) readLoop(id network.NodeID, nc *nodeConn) {
 	for {
 		var m nodeMsg
 		if err := nc.dec.Decode(&m); err != nil {
+			if s.noteDeath(id, err) {
+				return
+			}
 			s.failReads(id, fmt.Errorf("cluster: node %d: reading report: %w", id, err))
 			return
 		}
 		if m.Beat != nil {
 			s.health.observeBeat(id, m.Beat, time.Now())
+			continue
+		}
+		if m.Ckpt != nil {
+			s.storeCkpt(id, m.Ckpt)
 			continue
 		}
 		if m.Done == nil {
@@ -278,11 +339,61 @@ func (s *Session) readLoop(id network.NodeID, nc *nodeConn) {
 		ch := s.pending[d.Seq]
 		s.mu.Unlock()
 		if ch == nil {
+			if s.recoverOn {
+				// A superseded attempt's report can trail in after the
+				// resumed attempt already completed the query.
+				slog.Debug("cluster: dropping report for inactive query",
+					"node", id, "query", d.Seq, "attempt", d.Attempt)
+				continue
+			}
 			s.failReads(id, fmt.Errorf("cluster: node %d reported unknown query %d", id, d.Seq))
 			return
 		}
-		ch <- d // buffered to fleet size; never blocks
+		ch <- d // buffered past fleet size; see Run
 	}
+}
+
+// noteDeath routes a control-connection loss into the recovery plane.
+// Returns false when recovery is off or the session is closing (normal
+// teardown breaks connections too) — the caller then fail-stops as before.
+func (s *Session) noteDeath(id network.NodeID, err error) bool {
+	if !s.recoverOn {
+		return false
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return false
+	}
+	slog.Warn("cluster: node control connection lost", "node", id, "error", err)
+	select {
+	case s.deathCh <- id:
+	default: // a notice for this fleet state is already queued
+	}
+	return true
+}
+
+// storeCkpt archives one node's encrypted barrier snapshot. The coordinator
+// holds no recovery key: blobs are opaque and only ever handed back to the
+// replacement of a dead node.
+func (s *Session) storeCkpt(id network.NodeID, c *ckptMsg) {
+	if !s.recoverOn {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byNode := s.ckpts[c.Seq]
+	if byNode == nil {
+		byNode = make(map[network.NodeID]map[int][]byte)
+		s.ckpts[c.Seq] = byNode
+	}
+	byBarrier := byNode[id]
+	if byBarrier == nil {
+		byBarrier = make(map[int][]byte)
+		byNode[id] = byBarrier
+	}
+	byBarrier[c.Barrier] = c.Blob
 }
 
 func (s *Session) failReads(id network.NodeID, err error) {
@@ -317,15 +428,22 @@ func (s *Session) heartbeatLoop() {
 // shows up as heartbeat age.
 func (s *Session) pingAll() {
 	s.mu.Lock()
-	closed := s.closed
-	s.mu.Unlock()
-	if closed {
+	if s.closed {
+		s.mu.Unlock()
 		return
 	}
-	now := time.Now().UnixNano()
+	// Snapshot under mu: a recovery shrinks ids/conns concurrently.
+	conns := make([]*nodeConn, 0, len(s.ids))
+	ids := make([]network.NodeID, 0, len(s.ids))
 	for _, id := range s.ids {
-		if err := s.conns[id].send(ctrlMsg{Ping: &pingMsg{T1: now}}); err != nil {
-			slog.Debug("cluster heartbeat ping failed", "node", id, "err", err)
+		ids = append(ids, id)
+		conns = append(conns, s.conns[id])
+	}
+	s.mu.Unlock()
+	now := time.Now().UnixNano()
+	for i, nc := range conns {
+		if err := nc.send(ctrlMsg{Ping: &pingMsg{T1: now}}); err != nil {
+			slog.Debug("cluster heartbeat ping failed", "node", ids[i], "err", err)
 		}
 	}
 }
@@ -418,7 +536,7 @@ func (s *Session) queryError(seq int, node network.NodeID, lastPhase string, eve
 func (c *Coordinator) Open(ctx context.Context) (*Session, error) {
 	g := c.sc.Graph
 	n := g.N()
-	params := trustedparty.Params{Group: c.grp, K: c.sc.Cfg.K, D: g.D, L: c.prog.MsgBits}
+	params := trustedparty.Params{Group: c.grp, K: c.sc.Cfg.K, D: g.D, L: c.prog.MsgBits, Recoverable: c.sc.Recover}
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -573,6 +691,13 @@ func (c *Coordinator) Open(ctx context.Context) (*Session, error) {
 		hbStop:    make(chan struct{}),
 		hbDone:    make(chan struct{}),
 		readDone:  make(chan struct{}),
+		recoverOn: c.sc.Recover,
+		tp:        tp,
+		regs:      regs,
+		deathCh:   make(chan network.NodeID, n),
+		attempts:  make(map[int]int),
+		specs:     make(map[int]querySpec),
+		ckpts:     make(map[int]map[network.NodeID]map[int][]byte),
 	}
 	for _, id := range ids {
 		go sess.readLoop(id, conns[id])
@@ -586,8 +711,11 @@ func (c *Coordinator) Open(ctx context.Context) (*Session, error) {
 // queries ship only the per-query parameters and the owners' (possibly
 // updated) private inputs. Runs may overlap: each query's protocol traffic
 // lives under its own "q/<Seq>" tag namespace and its reports are routed
-// back by Seq. A node failure or context cancellation aborts the whole
-// session — the deployment is fail-stop, matching the paper's prototype.
+// back by Seq. Without Scenario.Recover, a node failure or context
+// cancellation aborts the whole session — fail-stop, matching the paper's
+// prototype. With it, an attributed node death re-blocks the fleet around
+// the casualty and resumes the query from its last common checkpoint
+// barrier; only unattributable failures (or a failed recovery) abort.
 func (s *Session) Run(ctx context.Context, q Query) (*Summary, error) {
 	if q.Iterations < 0 {
 		return nil, fmt.Errorf("cluster: negative iteration count %d", q.Iterations)
@@ -612,12 +740,18 @@ func (s *Session) Run(ctx context.Context, q Query) (*Summary, error) {
 	}
 	first := !s.setupSent
 	s.setupSent = true
-	ch := make(chan doneMsg, len(s.ids))
+	// Buffered past fleet size so the per-node readers never block on a
+	// collect loop that is busy recovering: with re-blocking, one query can
+	// see up to one report per node per attempt.
+	ch := make(chan doneMsg, 4*len(s.ids))
 	s.pending[seq] = ch
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
 		delete(s.pending, seq)
+		delete(s.attempts, seq)
+		delete(s.specs, seq)
+		delete(s.ckpts, seq)
 		s.mu.Unlock()
 	}()
 	// Register with the health plane: the stall watchdog tracks the query
@@ -647,8 +781,18 @@ func (s *Session) runQuery(ctx context.Context, q Query, cfg ConfigWire, g *vert
 	// across connections: every node sees the same job order.
 	slog.Debug("cluster query dispatch", "query", seq, "nodes", n, "iterations", q.Iterations, "epsilon", q.Epsilon, "first", first)
 	start := time.Now()
+	s.mu.Lock()
+	s.specs[seq] = querySpec{cfg: cfg, iterations: q.Iterations}
+	recStart, evStart := s.recoveries, len(s.recEvents)
+	s.mu.Unlock()
 	s.dispatchMu.Lock()
-	for _, id := range s.ids {
+	// Snapshot the fleet while holding dispatchMu: a recovery both shrinks
+	// ids and sends its own control traffic under the same lock, so the
+	// snapshot can never name a retired connection.
+	s.mu.Lock()
+	live := append([]network.NodeID(nil), s.ids...)
+	s.mu.Unlock()
+	for _, id := range live {
 		job := jobMsg{
 			Cfg:        cfg,
 			Prog:       s.c.sc.Prog,
@@ -656,6 +800,9 @@ func (s *Session) runQuery(ctx context.Context, q Query, cfg ConfigWire, g *vert
 			Priv:       g.Priv[id-1],
 			Iterations: q.Iterations,
 			Seq:        seq,
+			Attempt:    1,
+			Recover:    s.recoverOn,
+			Adopted:    s.adoptedFor(id),
 		}
 		if first {
 			job.Topo = TopologyWire{D: g.D, Out: g.Out}
@@ -664,40 +811,94 @@ func (s *Session) runQuery(ctx context.Context, q Query, cfg ConfigWire, g *vert
 		}
 		if err := s.conns[id].send(ctrlMsg{Job: &job}); err != nil {
 			s.dispatchMu.Unlock()
+			// With recovery on, a mid-dispatch connection loss is a death
+			// like any other: re-block around it, which also resumes this
+			// very query (it is already pending) on the shrunken fleet.
+			if s.recoverOn && !first {
+				if rerr := s.recoverDead(id, seq, 0); rerr == nil {
+					goto collect
+				}
+			}
 			return nil, fmt.Errorf("cluster: dispatching job to node %d: %w", id, err)
 		}
 	}
 	s.dispatchMu.Unlock()
 
+collect:
 	// --- Collect this query's reports, routed here by the session readers.
+	// With recovery off, the fleet is fixed and exactly n clean reports
+	// complete the query. With it, completion means: every currently-live
+	// node has reported for the query's current attempt — a re-blocking
+	// mid-collect shrinks the fleet, bumps the attempt, and discards
+	// superseded reports.
 	sum := &Summary{
 		Reports:  make(map[network.NodeID]vertex.Report, n),
 		Stats:    make(map[network.NodeID]network.Stats, n),
 		Spans:    make(map[network.NodeID][]obs.Span, n),
 		Counters: make(map[network.NodeID]map[string]int64, n),
 	}
-	var results []int64
-	epochs := make(map[network.NodeID]int64, n)
-	for i := 0; i < n; i++ {
+	got := make(map[network.NodeID]doneMsg, n)
+	for {
+		s.mu.Lock()
+		attempt := s.attempts[seq]
+		if attempt == 0 {
+			attempt = 1
+		}
+		liveNow := append([]network.NodeID(nil), s.ids...)
+		s.mu.Unlock()
+		complete := true
+		for _, id := range liveNow {
+			if d, ok := got[id]; !ok || normAttempt(d.Attempt) != attempt {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			live = liveNow
+			break
+		}
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		case <-s.readDone:
 			return nil, s.queryError(seq, s.failNode, "", nil, s.readErr.Error())
+		case dead := <-s.deathCh:
+			if err := s.recoverDead(dead, seq, 0); err != nil {
+				return nil, s.queryError(seq, dead, "", nil, err.Error())
+			}
 		case d := <-ch:
+			if normAttempt(d.Attempt) != attempt {
+				slog.Debug("cluster: discarding superseded report",
+					"query", seq, "node", d.ID, "attempt", d.Attempt, "current", attempt)
+				continue
+			}
 			if d.Err != "" {
+				if s.recoverOn {
+					// The run failed but the node survives: some peer died
+					// mid-protocol. Attribute and re-block; the query
+					// resumes on the shrunken fleet.
+					if err := s.recoverDead(0, seq, attempt); err == nil {
+						continue
+					}
+				}
 				return nil, s.queryError(seq, d.ID, d.LastPhase, d.Flight, d.Err)
 			}
-			sum.Reports[d.ID] = d.Report
-			sum.Stats[d.ID] = d.Stats
-			sum.Spans[d.ID] = d.Spans
-			sum.Counters[d.ID] = d.Counters
-			epochs[d.ID] = d.Epoch
-			if d.HasResult {
-				results = append(results, d.Result)
-			}
+			got[d.ID] = d
 			slog.Debug("cluster node reported", "query", seq, "node", d.ID,
 				"bytes_sent", d.Stats.BytesSent, "spans", len(d.Spans))
+		}
+	}
+	var results []int64
+	epochs := make(map[network.NodeID]int64, n)
+	for _, id := range live {
+		d := got[id]
+		sum.Reports[d.ID] = d.Report
+		sum.Stats[d.ID] = d.Stats
+		sum.Spans[d.ID] = d.Spans
+		sum.Counters[d.ID] = d.Counters
+		epochs[d.ID] = d.Epoch
+		if d.HasResult {
+			results = append(results, d.Result)
 		}
 	}
 	sum.WallTime = time.Since(start)
@@ -707,11 +908,19 @@ func (s *Session) runQuery(ctx context.Context, q Query, cfg ConfigWire, g *vert
 		ci.EpochUnixNS = epoch
 		sum.Clock[id] = ci
 	}
-	slog.Debug("cluster query complete", "query", seq, "wall_ms", sum.WallTime.Milliseconds(), "total_bytes", sum.TotalBytes())
+	s.mu.Lock()
+	sum.Recoveries = s.recoveries - recStart
+	if evEnd := len(s.recEvents); evEnd > evStart {
+		sum.RecoveryEvents = append([]obs.FlightEvent(nil), s.recEvents[evStart:evEnd]...)
+	}
+	aggWant := len(s.setup.Assignment.AggBlock)
+	s.mu.Unlock()
+	slog.Debug("cluster query complete", "query", seq, "wall_ms", sum.WallTime.Milliseconds(),
+		"total_bytes", sum.TotalBytes(), "recoveries", sum.Recoveries)
 
 	// Every aggregation-block member opened the aggregate; they must agree.
-	if want := len(s.setup.Assignment.AggBlock); len(results) != want {
-		return nil, fmt.Errorf("cluster: %d nodes reported a result, want %d aggregation members", len(results), want)
+	if len(results) != aggWant {
+		return nil, fmt.Errorf("cluster: %d nodes reported a result, want %d aggregation members", len(results), aggWant)
 	}
 	for _, r := range results[1:] {
 		if r != results[0] {
@@ -720,6 +929,255 @@ func (s *Session) runQuery(ctx context.Context, q Query, cfg ConfigWire, g *vert
 	}
 	sum.Result = results[0]
 	return sum, nil
+}
+
+// normAttempt maps the wire attempt field (0 on pre-recovery builds and
+// fresh dispatches) to its logical value.
+func normAttempt(a int) int {
+	if a < 1 {
+		return 1
+	}
+	return a
+}
+
+// resumePlan is the coordinator's decision for one in-flight query during a
+// recovery: its new attempt number and the barrier it resumes from.
+type resumePlan struct {
+	seq, attempt, barrier int
+	spec                  querySpec
+}
+
+// adoptedFor lists the vertices node id acts as owner of without being
+// their registered owner — non-empty only after a re-blocking — together
+// with the owners' inputs (the coordinator is the experiment driver and
+// holds every owner's inputs; see the wire package comment).
+func (s *Session) adoptedFor(id network.NodeID) map[int]adoptedInput {
+	s.mu.Lock()
+	setup := s.setup
+	s.mu.Unlock()
+	g := s.c.sc.Graph
+	var m map[int]adoptedInput
+	for v := 0; v < g.N(); v++ {
+		owner := g.NodeOf(v)
+		if owner == id || setup.Assignment.Blocks[owner][0] != id {
+			continue
+		}
+		if m == nil {
+			m = make(map[int]adoptedInput)
+		}
+		m[v] = adoptedInput{InitState: g.InitState[v], Priv: g.Priv[v]}
+	}
+	return m
+}
+
+// resumeJob rebuilds node id's job message for a resumed attempt of one
+// in-flight query. Topology, directory, and setup are omitted: the fleet is
+// standing and the enclosing recoverMsg carries the new setup.
+func (s *Session) resumeJob(id network.NodeID, p resumePlan) jobMsg {
+	g := s.c.sc.Graph
+	return jobMsg{
+		Cfg:        p.spec.cfg,
+		Prog:       s.c.sc.Prog,
+		InitState:  g.InitState[id-1],
+		Priv:       g.Priv[id-1],
+		Iterations: p.spec.iterations,
+		Seq:        p.seq,
+		Attempt:    p.attempt,
+		Recover:    true,
+		Adopted:    s.adoptedFor(id),
+	}
+}
+
+// minBarrierLocked picks query q's resume barrier: the latest checkpoint
+// barrier every fleet member (the casualty included — its blob is what the
+// replacement restores from) has shipped, or −1 when some node never
+// checkpointed the query at all (then it restarts from initialization).
+// Caller holds s.mu.
+func (s *Session) minBarrierLocked(q int) int {
+	b := -1
+	for i, id := range s.ids {
+		latest := -1
+		for bb := range s.ckpts[q][id] {
+			if bb > latest {
+				latest = bb
+			}
+		}
+		if i == 0 || latest < b {
+			b = latest
+		}
+	}
+	return b
+}
+
+// recoverDead re-blocks the session around one dead node and resumes every
+// in-flight query on the shrunken fleet. hint names the casualty when the
+// caller watched its control connection die; 0 asks the post-mortem probe
+// to attribute one from heartbeat silence. attempt (when non-zero) is the
+// query attempt whose failure report prompted the call — if a concurrent
+// recovery already superseded that attempt, the call is a stale duplicate
+// and succeeds as a no-op.
+func (s *Session) recoverDead(hint network.NodeID, seq, attempt int) error {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	s.mu.Lock()
+	closed := s.closed
+	hintLive := hint != 0 && indexOf(s.ids, hint) >= 0
+	cur := normAttempt(s.attempts[seq])
+	s.mu.Unlock()
+	if closed {
+		return fmt.Errorf("cluster: session closed during recovery")
+	}
+	if hint != 0 && !hintLive {
+		return nil // an earlier recovery already handled this death
+	}
+	if hint == 0 && attempt != 0 && attempt != cur {
+		return nil // the failure belonged to a superseded attempt
+	}
+	// Pause the stall watchdog: every in-flight query is frozen at its
+	// resume barrier until the recovered fleet re-enters the schedule, and
+	// that silence is not a stall.
+	s.health.beginRecovery()
+	defer s.health.endRecovery(time.Now())
+	dead, ok := s.postMortem()
+	if !ok {
+		if hint == 0 {
+			return fmt.Errorf("cluster: query %d failed but every node answers pings: unrecoverable protocol error", seq)
+		}
+		dead = hint
+	}
+	s.mu.Lock()
+	candidates := append([]network.NodeID(nil), s.ids...)
+	setup := s.setup
+	s.mu.Unlock()
+	if indexOf(candidates, dead) < 0 {
+		return nil // already re-blocked around this casualty
+	}
+
+	// The replacement inherits the casualty's owner slots; it must share no
+	// block with it, or it would hold two shares of one secret. Lowest live
+	// id wins for determinism.
+	var repl network.NodeID
+	for _, id := range candidates {
+		if id != dead && trustedparty.ReplacementOK(setup.Assignment, dead, id) {
+			repl = id
+			break
+		}
+	}
+	if repl == 0 {
+		return fmt.Errorf("cluster: replacing dead node %d: %w", dead, trustedparty.ErrNoReplacement)
+	}
+	next, err := s.tp.Reblock(setup, s.regs, dead, repl)
+	if err != nil {
+		return fmt.Errorf("cluster: re-blocking around node %d: %w", dead, err)
+	}
+	wireNext := trustedparty.MarshalSetup(s.c.grp, next)
+
+	// Vertices the replacement adopts: every vertex whose acting owner was
+	// the casualty under the assignment being replaced. The adjuster role
+	// for edges into an adopted vertex needs the ORIGINAL registrant's
+	// neighbor keys — the re-issued certificates are randomized under them —
+	// and chained deaths resolve naturally because each vertex keeps
+	// pointing at its registrant via NodeOf.
+	g := s.c.sc.Graph
+	regByID := make(map[network.NodeID]trustedparty.NodeRegistration, len(s.regs))
+	for _, r := range s.regs {
+		regByID[r.ID] = r
+	}
+	adoptedKeys := make(map[int][][]byte)
+	adoptedIns := make(map[int]adoptedInput)
+	for v := 0; v < g.N(); v++ {
+		if setup.Assignment.Blocks[g.NodeOf(v)][0] != dead {
+			continue
+		}
+		reg := regByID[g.NodeOf(v)]
+		keys := make([][]byte, len(reg.NeighborKeys))
+		for j, nk := range reg.NeighborKeys {
+			keys[j] = nk.Bytes()
+		}
+		adoptedKeys[v] = keys
+		adoptedIns[v] = adoptedInput{InitState: g.InitState[v], Priv: g.Priv[v]}
+	}
+
+	// Commit: bump every in-flight query's attempt, retire the casualty,
+	// swap the setup, and announce under dispatchMu so the recovery message
+	// orders before any later job on every control connection.
+	now := time.Now().UnixNano()
+	s.dispatchMu.Lock()
+	defer s.dispatchMu.Unlock()
+	s.mu.Lock()
+	epoch := s.recoveries + 1
+	var plans []resumePlan
+	deadBlobs := make(map[int][]byte)
+	for q := range s.pending {
+		b := s.minBarrierLocked(q)
+		na := normAttempt(s.attempts[q]) + 1
+		s.attempts[q] = na
+		plans = append(plans, resumePlan{seq: q, attempt: na, barrier: b, spec: s.specs[q]})
+		if b >= 0 {
+			deadBlobs[q] = s.ckpts[q][dead][b]
+		}
+	}
+	sort.Slice(plans, func(i, j int) bool { return plans[i].seq < plans[j].seq })
+	s.setup = next
+	s.wireSetup = wireNext
+	deadConn := s.conns[dead]
+	delete(s.conns, dead)
+	liveNow := make([]network.NodeID, 0, len(s.ids)-1)
+	for _, id := range s.ids {
+		if id != dead {
+			liveNow = append(liveNow, id)
+		}
+	}
+	s.ids = liveNow
+	s.recoveries++
+	evs := []obs.FlightEvent{
+		{At: now, Kind: "recover", Name: fmt.Sprintf("death node=%d", dead), Node: int32(dead)},
+		{At: now, Kind: "recover", Name: fmt.Sprintf("reblock epoch=%d dead=%d repl=%d", epoch, dead, repl), Node: int32(repl)},
+	}
+	for _, p := range plans {
+		evs = append(evs, obs.FlightEvent{
+			At: now, Kind: "recover",
+			Name:  fmt.Sprintf("resume attempt=%d barrier=%d", p.attempt, p.barrier),
+			Query: network.Tag("q", p.seq), Node: int32(repl),
+		})
+	}
+	s.recEvents = append(s.recEvents, evs...)
+	s.mu.Unlock()
+	if deadConn != nil {
+		deadConn.conn.Close()
+	}
+	s.health.markDead(dead)
+
+	var firstErr error
+	for _, id := range liveNow {
+		rm := recoverMsg{Epoch: epoch, Dead: dead, Repl: repl, Setup: wireNext}
+		if id == repl {
+			rm.AdoptedKeys = adoptedKeys
+			rm.AdoptedInputs = adoptedIns
+			rm.DeadBlobs = deadBlobs
+		}
+		for _, p := range plans {
+			rm.Resumes = append(rm.Resumes, resumeSpec{
+				Seq: p.seq, Attempt: p.attempt, Barrier: p.barrier,
+				Job: s.resumeJob(id, p),
+			})
+		}
+		s.mu.Lock()
+		nc := s.conns[id]
+		s.mu.Unlock()
+		if nc == nil {
+			continue
+		}
+		if err := nc.send(ctrlMsg{Recover: &rm}); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: sending recovery to node %d: %w", id, err)
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	slog.Info("cluster recovered around dead node",
+		"epoch", epoch, "dead", dead, "repl", repl, "resumed", len(plans))
+	return nil
 }
 
 // abort closes every control connection without the shutdown handshake;
@@ -749,7 +1207,12 @@ func (s *Session) Close() error {
 		return nil
 	}
 	s.closed = true
-	conns := s.conns
+	// Copy: a recovery may have shrunk the map, and the map itself must not
+	// be iterated outside mu.
+	conns := make([]*nodeConn, 0, len(s.conns))
+	for _, nc := range s.conns {
+		conns = append(conns, nc)
+	}
 	s.mu.Unlock()
 	// The pinger must be fully stopped before the shutdown handshake: a
 	// ping interleaved after a node processed its shutdown job would race
@@ -797,12 +1260,24 @@ func OpenLoopback(ctx context.Context, sc Scenario) (*Loopback, error) {
 	lb := &Loopback{cancel: cancel, nodeErrs: make(chan error, n)}
 	for id := 1; id <= n; id++ {
 		id := network.NodeID(id)
+		opts := NodeOptions{ID: id, CoordAddr: co.Addr(), ListenAddr: "127.0.0.1:0"}
+		runCtx := nodeCtx
+		chaosVictim := sc.ChaosNode != 0 && id == sc.ChaosNode
+		if chaosVictim {
+			// The chaos victim gets its own cancelable context: Kill drops
+			// the whole node — control and data planes — exactly as a
+			// process death would, without touching its peers.
+			vctx, vcancel := context.WithCancel(nodeCtx)
+			runCtx = vctx
+			opts.Chaos = &NodeChaos{Barrier: sc.ChaosBarrier, Kill: vcancel}
+		}
 		lb.nodeWg.Add(1)
 		go func() {
 			defer lb.nodeWg.Done()
-			if _, err := RunNode(nodeCtx, NodeOptions{
-				ID: id, CoordAddr: co.Addr(), ListenAddr: "127.0.0.1:0",
-			}); err != nil {
+			if _, err := RunNode(runCtx, opts); err != nil {
+				if chaosVictim {
+					return // its death is the experiment, not a failure
+				}
 				lb.nodeErrs <- fmt.Errorf("node %d: %w", id, err)
 			}
 		}()

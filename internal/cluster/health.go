@@ -65,6 +65,12 @@ type fleetHealth struct {
 	watchers map[int]obs.ProgressFunc // per-seq live-phase callbacks
 	starts   map[int]time.Time        // per-seq dispatch times
 	stalled  map[int]bool             // seqs currently flagged
+	// Recovery plane: dead lists retired casualties, recoveries counts
+	// completed re-blockings, and recovering (when > 0) pauses the stall
+	// watchdog — a query frozen at its resume barrier is not stalled.
+	dead       []network.NodeID
+	recoveries int
+	recovering int
 }
 
 func newFleetHealth(ids []network.NodeID) *fleetHealth {
@@ -191,9 +197,60 @@ func (h *fleetHealth) unwatch(seq int) {
 	}
 }
 
+// markDead retires a node from the model after a re-blocking: it leaves the
+// live id set (so post-mortems and snapshots stop consulting it) and joins
+// the Dead list.
+func (h *fleetHealth) markDead(id network.NodeID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	keep := h.ids[:0]
+	for _, x := range h.ids {
+		if x != id {
+			keep = append(keep, x)
+		}
+	}
+	h.ids = keep
+	delete(h.nodes, id)
+	h.dead = append(h.dead, id)
+}
+
+// beginRecovery pauses the stall watchdog while a re-blocking is in
+// progress; endRecovery resumes it and re-seeds every live node's progress
+// marks so the time a query spent frozen at its resume barrier does not
+// count toward the stall window. The counter nests: overlapping recoveries
+// (several collect loops observing one death) only resume the watchdog when
+// the last one finishes.
+func (h *fleetHealth) beginRecovery() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.recovering++
+}
+
+func (h *fleetHealth) endRecovery(now time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.recovering--
+	if h.recovering > 0 {
+		return
+	}
+	h.recoveries++
+	for seq := range h.starts {
+		delete(h.stalled, seq)
+		for _, id := range h.ids {
+			// Reset to step 0 at "now": the resumed attempt's step counter
+			// restarts from scratch, and observeBeat only advances a mark
+			// when steps grow — a stale high-water mark from the superseded
+			// attempt would otherwise mask all of the new attempt's
+			// progress and fire the watchdog spuriously.
+			h.nodes[id].prog[seq] = &progressMark{phase: "recovering", changed: now}
+		}
+	}
+}
+
 // checkStalls is the watchdog tick: an in-flight query older than the
 // window whose slowest node has not advanced within the window is flagged
 // (slog + the Stalled list in snapshots); a later advance clears the flag.
+// Paused while a recovery is re-blocking the fleet.
 func (h *fleetHealth) checkStalls(now time.Time, window time.Duration) {
 	type stallEvent struct {
 		seq     int
@@ -203,6 +260,10 @@ func (h *fleetHealth) checkStalls(now time.Time, window time.Duration) {
 	}
 	var events []stallEvent
 	h.mu.Lock()
+	if h.recovering > 0 {
+		h.mu.Unlock()
+		return
+	}
 	for seq, start := range h.starts {
 		if now.Sub(start) < window {
 			continue
@@ -270,7 +331,11 @@ func (h *fleetHealth) silentSince(probe time.Time) []network.NodeID {
 func (h *fleetHealth) snapshot(now time.Time) *FleetHealth {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	out := &FleetHealth{Nodes: make([]NodeHealth, 0, len(h.ids))}
+	out := &FleetHealth{
+		Nodes:      make([]NodeHealth, 0, len(h.ids)),
+		Dead:       append([]network.NodeID(nil), h.dead...),
+		Recoveries: h.recoveries,
+	}
 	for seq := range h.starts {
 		out.InFlight = append(out.InFlight, seq)
 	}
@@ -331,6 +396,11 @@ type FleetHealth struct {
 	Nodes    []NodeHealth
 	InFlight []int // query seqs currently running, ascending
 	Stalled  []int // query seqs flagged by the stall watchdog, ascending
+	// Dead lists nodes retired by re-blockings, in death order, and
+	// Recoveries counts the re-blockings; both stay empty/zero unless the
+	// scenario enabled Recover and a node died.
+	Dead       []network.NodeID
+	Recoveries int
 }
 
 // NodeHealth is one node's row in a FleetHealth snapshot.

@@ -5,11 +5,13 @@ import (
 	"encoding/gob"
 	"fmt"
 	"log/slog"
+	"math/big"
 	"net"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dstress/internal/circuit"
@@ -44,6 +46,38 @@ type NodeOptions struct {
 	// start node processes before the coordinator's listener is up).
 	// 0 means 10 seconds.
 	DialWindow time.Duration
+	// Chaos, when set, injects one deterministic fault: see NodeChaos.
+	Chaos *NodeChaos
+}
+
+// NodeChaos is the deterministic fault-injection harness: the first time
+// any first-attempt run on this node finishes the compute step of
+// iteration Barrier, Kill is invoked and the run blocks until its context
+// dies. Kill is the failure mode — cancel a context for an in-process
+// crash, or exit the process to mimic kill -9. Firing at a barrier (not
+// after a sleep) makes the kill reproducible regardless of host speed.
+type NodeChaos struct {
+	Barrier int
+	Kill    func()
+}
+
+// runHandle tracks one in-flight run so a recovery can cancel and
+// supersede it: a superseded run's exit is swallowed entirely — no done
+// report, no fatal error — because a fresh attempt replaces it.
+type runHandle struct {
+	cancel     context.CancelFunc
+	done       chan struct{}
+	attempt    int
+	superseded bool
+}
+
+// runReq is one run invocation: the archived or dispatched job, the
+// attempt number (1 for a coordinator dispatch), and the barrier to resume
+// from (−1 runs from initialization).
+type runReq struct {
+	job         jobMsg
+	attempt     int
+	fromBarrier int
 }
 
 // jobProgress is a node's live position in one in-flight job: the last
@@ -140,6 +174,7 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 		fatalErr   error
 		liveTraces = make(map[int]*obs.Trace)
 		progress   = make(map[int]*jobProgress)
+		runs       = make(map[int]*runHandle)
 	)
 	send := func(m nodeMsg) error {
 		encMu.Lock()
@@ -181,9 +216,9 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 	// Recv, so this daemon fails fast even when a dead peer never dialed us
 	// (tcpnet's per-sender release covers only established inbound
 	// connections).
-	jobCh := make(chan jobMsg)
+	ctlCh := make(chan ctrlMsg)
 	go func() {
-		defer close(jobCh)
+		defer close(ctlCh)
 		for {
 			var m ctrlMsg
 			if err := dec.Decode(&m); err != nil {
@@ -197,11 +232,11 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 				}
 				continue
 			}
-			if m.Job == nil {
+			if m.Job == nil && m.Recover == nil {
 				continue
 			}
 			select {
-			case jobCh <- *m.Job:
+			case ctlCh <- m:
 			case <-ctlCtx.Done():
 				return
 			}
@@ -216,8 +251,13 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 		stateMu.Unlock()
 		ctlCancel()
 	}
-	runOne := func(job jobMsg) {
+	runOne := func(req runReq) {
 		defer inflight.Done()
+		job := req.job
+		runCtx, runCancel := context.WithCancel(ctlCtx)
+		defer runCancel()
+		h := &runHandle{cancel: runCancel, done: make(chan struct{}), attempt: req.attempt}
+		defer close(h.done)
 		// Nodes always record: a per-job trace is a few hundred spans and
 		// ships over the control plane only after the query, so the data
 		// plane never pays for it. The coordinator decides what to do with
@@ -239,12 +279,13 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 		stateMu.Lock()
 		liveTraces[job.Seq] = trace
 		progress[job.Seq] = prog
+		runs[job.Seq] = h
 		stateMu.Unlock()
 		flight.Record(obs.FlightEvent{
 			At: time.Now().UnixNano(), Kind: "phase", Name: "dispatched",
 			Query: qtag, Node: int32(opt.ID),
 		})
-		jobCtx := obs.With(ctlCtx, trace)
+		jobCtx := obs.With(runCtx, trace)
 		jobCtx = obs.WithProgress(jobCtx, func(phase string) {
 			stateMu.Lock()
 			prog.phase = phase
@@ -259,16 +300,28 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 			})
 		})
 		slog.Debug("cluster job received",
-			"node", opt.ID, "query", job.Seq, "iterations", job.Iterations)
+			"node", opt.ID, "query", job.Seq, "attempt", req.attempt, "iterations", job.Iterations)
 		var res NodeResult
-		runErr := eng.runJob(jobCtx, job, &res)
+		runErr := eng.runJob(jobCtx, req, &res)
 		stateMu.Lock()
 		lastPhase := prog.phase
 		delete(liveTraces, job.Seq)
 		delete(progress, job.Seq)
+		if runs[job.Seq] == h {
+			delete(runs, job.Seq)
+		}
+		superseded := h.superseded
 		stateMu.Unlock()
+		if superseded {
+			// A recovery canceled this attempt; a resumed attempt replaces
+			// it, so neither its error nor a report reaches the coordinator.
+			slog.Debug("cluster job superseded by recovery",
+				"node", opt.ID, "query", job.Seq, "attempt", req.attempt)
+			return
+		}
 		done := doneMsg{
-			ID: opt.ID, Seq: job.Seq, HasResult: res.HasResult, Result: res.Result,
+			ID: opt.ID, Seq: job.Seq, Attempt: req.attempt,
+			HasResult: res.HasResult, Result: res.Result,
 			Report: res.Report, Stats: res.Stats,
 			Spans: trace.Spans(), Counters: trace.Counters(),
 			Epoch: trace.Epoch().UnixNano(), LastPhase: lastPhase,
@@ -291,14 +344,66 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 			runErr = fmt.Errorf("cluster: reporting result: %w", encErr)
 		}
 		if runErr != nil {
-			setFatal(runErr)
+			// With recovery on, one run's failure is not daemon-fatal: the
+			// error rode the done report, and the coordinator decides
+			// whether to re-block and resume or abort the session. Without
+			// it (or when even the report could not be sent) the daemon
+			// fail-stops as before.
+			if !job.Recover || encErr != nil {
+				setFatal(runErr)
+			}
 			return
 		}
 		stateMu.Lock()
 		last = &res
 		stateMu.Unlock()
 	}
-	for job := range jobCh {
+	handleRecover := func(rm recoverMsg) error {
+		stateMu.Lock()
+		e := eng
+		var waits []*runHandle
+		for _, r := range rm.Resumes {
+			if h := runs[r.Seq]; h != nil && h.attempt < r.Attempt {
+				h.superseded = true
+				h.cancel()
+				waits = append(waits, h)
+			}
+		}
+		stateMu.Unlock()
+		if e == nil {
+			return fmt.Errorf("cluster: node %d got a recover message before any job", opt.ID)
+		}
+		// Superseded attempts must fully unwind before the engine's
+		// setup-derived state is swapped under them.
+		for _, h := range waits {
+			<-h.done
+		}
+		flight.Record(obs.FlightEvent{
+			At: time.Now().UnixNano(), Kind: "recover",
+			Name: fmt.Sprintf("reblock epoch=%d dead=%d repl=%d", rm.Epoch, rm.Dead, rm.Repl),
+			Node: int32(opt.ID),
+		})
+		if err := e.applyRecover(rm); err != nil {
+			return fmt.Errorf("cluster: node %d applying reblock: %w", opt.ID, err)
+		}
+		for _, r := range rm.Resumes {
+			job := r.Job
+			job.Seq, job.Attempt = r.Seq, r.Attempt
+			slog.Info("cluster resuming query after reblock",
+				"node", opt.ID, "query", r.Seq, "attempt", r.Attempt, "barrier", r.Barrier)
+			inflight.Add(1)
+			go runOne(runReq{job: job, attempt: r.Attempt, fromBarrier: r.Barrier})
+		}
+		return nil
+	}
+	for m := range ctlCh {
+		if m.Recover != nil {
+			if err := handleRecover(*m.Recover); err != nil {
+				setFatal(err)
+			}
+			continue
+		}
+		job := *m.Job
 		if job.Shutdown {
 			slog.Debug("cluster node shutting down", "node", opt.ID)
 			inflight.Wait()
@@ -312,10 +417,16 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 			// the first job, so overlapping later jobs always find it
 			// standing. The write is published under stateMu because the
 			// decoder goroutine reads eng when building heartbeat replies.
-			e, err := newEngine(opt.ID, peer, grp, job, secrets)
+			e, err := newEngine(opt.ID, peer, grp, job, secrets, opt.Chaos)
 			if err != nil {
-				send(nodeMsg{Done: &doneMsg{ID: opt.ID, Seq: job.Seq, Err: err.Error()}})
+				send(nodeMsg{Done: &doneMsg{ID: opt.ID, Seq: job.Seq, Attempt: 1, Err: err.Error()}})
 				return nil, err
+			}
+			e.shipCkpt = func(c ckptMsg) {
+				if err := send(nodeMsg{Ckpt: &c}); err != nil {
+					slog.Warn("cluster checkpoint ship failed",
+						"node", opt.ID, "query", c.Seq, "barrier", c.Barrier, "error", err)
+				}
 			}
 			stateMu.Lock()
 			eng = e
@@ -332,8 +443,12 @@ func RunNode(ctx context.Context, opt NodeOptions) (*NodeResult, error) {
 			// NAT.
 			peer.Register(opt.ID, selfDialAddr(peer.Addr()))
 		}
+		attempt := job.Attempt
+		if attempt < 1 {
+			attempt = 1
+		}
 		inflight.Add(1)
-		go runOne(job)
+		go runOne(runReq{job: job, attempt: attempt, fromBarrier: -1})
 	}
 	// The job channel closed without a shutdown message: the control plane
 	// is gone (coordinator abort, node failure elsewhere, caller
@@ -457,9 +572,50 @@ type engine struct {
 
 	// memberVertices lists the vertices whose block contains this node, in
 	// ascending order; memberIdx gives this node's index in each block.
+	// Both — like setup, aggIdx, and certCache — are rewritten by
+	// applyRecover, which only runs once every in-flight run has unwound,
+	// so runs never observe a half-applied re-blocking.
 	memberVertices []int
 	memberIdx      map[int]int
 	aggIdx         int // index in the aggregation block, or -1
+
+	// --- Failure-recovery plane (active when recoverOn). ---
+	recoverOn  bool
+	chaos      *NodeChaos
+	chaosFired atomic.Bool
+	// keyMu guards the fleet recovery key exchange: the lowest-id node
+	// generates the key and distributes it over the data plane, so the
+	// coordinator never holds it and checkpoint blobs stay opaque to it.
+	keyMu  sync.Mutex
+	recKey []byte
+	// archMu guards the per-query archives: the dispatched job and this
+	// node's own barrier snapshots, retained past completion (capped)
+	// because a recovery may resume a query this node already finished.
+	archMu    sync.Mutex
+	archives  map[int]*queryArchive
+	archOrder []int
+	// adoptedNK / adoptedIn hold, per adopted vertex, the dead
+	// registrant's neighbor keys (the re-issued certificates were
+	// randomized under them) and the owner inputs the replacement runs
+	// with. Written by applyRecover, read by later runs.
+	adoptedNK map[int][]*big.Int
+	adoptedIn map[int]adoptedInput
+	// recChanged lists the vertices whose block membership changed in the
+	// latest re-blocking; resumed runs re-randomize exactly these.
+	recChanged []int
+	// shipCkpt sends one encrypted snapshot up the control plane.
+	shipCkpt func(ckptMsg)
+}
+
+// archiveCap bounds how many per-query archives a standing daemon retains.
+const archiveCap = 8
+
+// queryArchive is one query's recoverable state on one node.
+type queryArchive struct {
+	snaps map[int]*vertex.Snapshot
+	// adoptBlob is the dead node's encrypted snapshot at the resume
+	// barrier, handed to the replacement by the coordinator.
+	adoptBlob []byte
 }
 
 // nodeRun is one query's protocol state on one node: its GMW sessions (all
@@ -468,9 +624,19 @@ type engine struct {
 // nodeRun; overlapping jobs touch disjoint nodeRuns and disjoint tag
 // namespaces.
 type nodeRun struct {
-	root      string // "q/<seq>", the tag namespace of this query
-	initState int64
-	priv      []uint8
+	root string // "q/<seq>", the tag namespace of this query
+	// proto is the namespace protocol traffic actually uses: root on the
+	// first attempt, root/a/<attempt> on post-recovery attempts, so a
+	// resumed run's streams can never collide with a superseded attempt's
+	// strays. It nests under root, so per-query byte accounting and final
+	// tag retirement still cover every attempt.
+	proto string
+	// inits / privs are the owner inputs for every vertex this node acts
+	// as owner of: its own vertex, plus any adopted after a re-blocking.
+	inits map[int]int64
+	privs map[int][]uint8
+	// recKey is the fleet recovery key (nil when recovery is off).
+	recKey []byte
 
 	sessions map[int]*gmw.Party
 	aggParty *gmw.Party
@@ -481,7 +647,7 @@ type nodeRun struct {
 	msgShare   map[int][]uint64
 }
 
-func newEngine(id network.NodeID, tr network.Transport, grp group.Group, job jobMsg, secrets trustedparty.NodeSecrets) (*engine, error) {
+func newEngine(id network.NodeID, tr network.Transport, grp group.Group, job jobMsg, secrets trustedparty.NodeSecrets, chaos *NodeChaos) (*engine, error) {
 	prog, err := job.Prog.Build()
 	if err != nil {
 		return nil, err
@@ -538,6 +704,11 @@ func newEngine(id network.NodeID, tr network.Transport, grp group.Group, job job
 		certCache: transfer.NewCertKeyCache(),
 		aggPlans:  make(map[float64]*nodeAggPlan),
 		sub:       ot.NewSubstrate(grp, tr),
+		recoverOn: job.Recover,
+		chaos:     chaos,
+		archives:  make(map[int]*queryArchive),
+		adoptedNK: make(map[int][]*big.Int),
+		adoptedIn: make(map[int]adoptedInput),
 	}
 	e.tags, _ = tr.(network.TagTracker)
 	if e.updCirc, err = prog.UpdateCircuit(g.D); err != nil {
@@ -610,13 +781,13 @@ func (e *engine) createSessions(ctx context.Context, run *nodeRun) error {
 		v := v
 		members := e.setup.Assignment.Blocks[e.graph.NodeOf(v)]
 		wg.Add(1)
-		go join(v, members, e.memberIdx[v], network.Tag(run.root, "blk", v), func(p *gmw.Party) {
+		go join(v, members, e.memberIdx[v], network.Tag(run.proto, "blk", v), func(p *gmw.Party) {
 			run.sessions[v] = p
 		})
 	}
 	if e.aggIdx >= 0 {
 		wg.Add(1)
-		go join(-1, e.setup.Assignment.AggBlock, e.aggIdx, network.Tag(run.root, "aggblk"), func(p *gmw.Party) {
+		go join(-1, e.setup.Assignment.AggBlock, e.aggIdx, network.Tag(run.proto, "aggblk"), func(p *gmw.Party) {
 			run.aggParty = p
 		})
 	}
@@ -678,6 +849,319 @@ func (e *engine) queryStats(root string, withSetup bool) network.Stats {
 	return s
 }
 
+// ownerOf returns the acting owner of vertex v: the first member of v's
+// block. Before any re-blocking that is the registered owner (node v+1);
+// after one it may be the replacement that adopted the dead owner's slot.
+// Relay and adjuster roles follow the acting owner.
+func (e *engine) ownerOf(v int) network.NodeID {
+	return e.setup.Assignment.Blocks[e.graph.NodeOf(v)][0]
+}
+
+// neighborKey returns the key the adjuster role uses for edge slot
+// (v, slot): this node's own registered key for its own vertex, the dead
+// registrant's key for an adopted one — the trusted party re-issued the
+// changed certificates under the ORIGINAL registrant's neighbor keys, so
+// adjustments must use them too.
+func (e *engine) neighborKey(v, slot int) (*big.Int, error) {
+	if int(e.id)-1 == v {
+		return e.secrets.NeighborKeys[slot], nil
+	}
+	nks := e.adoptedNK[v]
+	if slot >= len(nks) {
+		return nil, fmt.Errorf("cluster: node %d has no neighbor key for adopted vertex %d slot %d", e.id, v, slot)
+	}
+	return nks[slot], nil
+}
+
+// recoveryKey returns the fleet recovery key, running the one-time
+// exchange on first use: the lowest-id node generates it and ships it to
+// every peer over the data plane, so checkpoint blobs stored by the
+// coordinator stay opaque to it (a colluding coordinator+node pair could
+// open them; see DESIGN.md). A failed exchange is retried by the next run
+// rather than latched, so one canceled query cannot poison the daemon.
+func (e *engine) recoveryKey(ctx context.Context) ([]byte, error) {
+	e.keyMu.Lock()
+	defer e.keyMu.Unlock()
+	if e.recKey != nil {
+		return e.recKey, nil
+	}
+	minID := e.id
+	for id := range e.setup.Assignment.Blocks {
+		if id < minID {
+			minID = id
+		}
+	}
+	if e.id == minID {
+		key, err := vertex.NewRecoveryKey()
+		if err != nil {
+			return nil, err
+		}
+		for id := range e.setup.Assignment.Blocks {
+			if id == e.id {
+				continue
+			}
+			if err := e.tr.Send(id, network.Tag("reckey"), key); err != nil {
+				return nil, err
+			}
+		}
+		e.recKey = key
+		return key, nil
+	}
+	data, err := e.tr.Recv(ctx, minID, network.Tag("reckey"))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != vertex.RecoveryKeySize {
+		return nil, fmt.Errorf("cluster: recovery key has %d bytes, want %d", len(data), vertex.RecoveryKeySize)
+	}
+	e.recKey = data
+	return data, nil
+}
+
+// archiveJob opens a query's archive — the local home for its barrier
+// snapshots — evicting the oldest archive past archiveCap. Resume jobs
+// themselves ride in from the coordinator on resumeSpec, so the archive
+// holds only share state.
+func (e *engine) archiveJob(seq int) {
+	e.archMu.Lock()
+	defer e.archMu.Unlock()
+	if e.archives[seq] != nil {
+		return
+	}
+	e.archives[seq] = &queryArchive{snaps: make(map[int]*vertex.Snapshot)}
+	e.archOrder = append(e.archOrder, seq)
+	if len(e.archOrder) > archiveCap {
+		drop := e.archOrder[0]
+		e.archOrder = e.archOrder[1:]
+		delete(e.archives, drop)
+	}
+}
+
+// replayedFrom counts the barriers this node re-executes when resuming at
+// b: from b through the latest barrier its own first attempt had reached.
+func (e *engine) replayedFrom(seq, b int) int {
+	e.archMu.Lock()
+	defer e.archMu.Unlock()
+	latest := b
+	if arch := e.archives[seq]; arch != nil {
+		for bb := range arch.snaps {
+			if bb > latest {
+				latest = bb
+			}
+		}
+	}
+	return latest - b + 1
+}
+
+// checkpointBarrier externalizes the run's share registers at barrier b:
+// the snapshot is archived locally and its encrypting goes to the
+// coordinator as a ckptMsg. Shipping is best-effort — a lost blob only
+// narrows which barrier a future recovery can resume from.
+func (e *engine) checkpointBarrier(run *nodeRun, seq, attempt, b int) {
+	if !e.recoverOn {
+		return
+	}
+	snap := &vertex.Snapshot{
+		Barrier: b,
+		State:   make(map[int]uint64, len(e.memberVertices)),
+		Msgs:    make(map[int][]uint64, len(e.memberVertices)),
+	}
+	for _, v := range e.memberVertices {
+		snap.State[v] = run.stateShare[v]
+		snap.Msgs[v] = append([]uint64(nil), run.msgShare[v]...)
+	}
+	e.archMu.Lock()
+	if arch := e.archives[seq]; arch != nil {
+		arch.snaps[b] = snap
+	}
+	e.archMu.Unlock()
+	blob, err := vertex.EncryptSnapshot(run.recKey, vertex.EncodeSnapshot(snap))
+	if err != nil {
+		slog.Warn("cluster checkpoint encrypt failed", "node", e.id, "query", seq, "error", err)
+		return
+	}
+	if e.shipCkpt != nil {
+		e.shipCkpt(ckptMsg{Seq: seq, Attempt: attempt, Barrier: b, Blob: blob})
+	}
+}
+
+// restoreRun re-enters the lock-step schedule at a barrier: load this
+// node's own archived snapshot, merge the dead owner's decrypted blob for
+// freshly adopted vertices, re-randomize every changed block, and
+// re-checkpoint the merged state so an even later recovery can still
+// resume from this barrier.
+func (e *engine) restoreRun(ctx context.Context, run *nodeRun, req runReq) error {
+	seq, b := req.job.Seq, req.fromBarrier
+	e.archMu.Lock()
+	arch := e.archives[seq]
+	var snap *vertex.Snapshot
+	var blob []byte
+	if arch != nil {
+		snap = arch.snaps[b]
+		blob = arch.adoptBlob
+	}
+	e.archMu.Unlock()
+	if arch == nil {
+		return fmt.Errorf("cluster: query %d has no archive to resume from", seq)
+	}
+	var dead *vertex.Snapshot
+	for _, v := range e.memberVertices {
+		if snap != nil {
+			if w, ok := snap.State[v]; ok {
+				run.stateShare[v] = w
+				run.msgShare[v] = append([]uint64(nil), snap.Msgs[v]...)
+				continue
+			}
+		}
+		if dead == nil {
+			if blob == nil {
+				return fmt.Errorf("cluster: no checkpoint covers vertex %d at barrier %d of query %d", v, b, seq)
+			}
+			plain, err := vertex.DecryptSnapshot(run.recKey, blob)
+			if err != nil {
+				return fmt.Errorf("cluster: opening dead node's checkpoint for query %d: %w", seq, err)
+			}
+			if dead, err = vertex.DecodeSnapshot(plain); err != nil {
+				return err
+			}
+			if dead.Barrier != b {
+				return fmt.Errorf("cluster: dead node's checkpoint is at barrier %d, resume wants %d", dead.Barrier, b)
+			}
+		}
+		w, ok := dead.State[v]
+		if !ok {
+			return fmt.Errorf("cluster: no checkpoint covers vertex %d at barrier %d of query %d", v, b, seq)
+		}
+		run.stateShare[v] = w
+		run.msgShare[v] = append([]uint64(nil), dead.Msgs[v]...)
+	}
+	if err := e.rerandomize(ctx, run); err != nil {
+		return err
+	}
+	e.checkpointBarrier(run, seq, req.attempt, b)
+	return nil
+}
+
+// rerandomize re-shares every changed block's registers among its new
+// membership (source == destination): the replacement's restored shares
+// came out of a blob the coordinator stored, so without a fresh reshare
+// that blob would stay a live share of the block. The XOR opens unchanged;
+// every individual share is fresh. All sends complete before any receive
+// so no two members wait on each other.
+func (e *engine) rerandomize(ctx context.Context, run *nodeRun) error {
+	g := e.graph
+	for _, v := range e.recChanged {
+		mi, ok := e.memberIdx[v]
+		if !ok {
+			continue
+		}
+		members := e.setup.Assignment.Blocks[g.NodeOf(v)]
+		if err := e.reshareSend(run.stateShare[v], e.prog.StateBits, mi, members, network.Tag(run.proto, "recover", v, "st")); err != nil {
+			return err
+		}
+		for d := 0; d < g.D; d++ {
+			if err := e.reshareSend(run.msgShare[v][d], e.prog.MsgBits, mi, members, network.Tag(run.proto, "recover", v, "m", d)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, v := range e.recChanged {
+		if _, ok := e.memberIdx[v]; !ok {
+			continue
+		}
+		members := e.setup.Assignment.Blocks[g.NodeOf(v)]
+		st, err := e.reshareRecv(ctx, members, network.Tag(run.proto, "recover", v, "st"))
+		if err != nil {
+			return err
+		}
+		run.stateShare[v] = st
+		for d := 0; d < g.D; d++ {
+			m, err := e.reshareRecv(ctx, members, network.Tag(run.proto, "recover", v, "m", d))
+			if err != nil {
+				return err
+			}
+			run.msgShare[v][d] = m
+		}
+	}
+	return nil
+}
+
+// applyRecover commits a re-blocking to the standing engine. It runs on
+// the control loop after every superseded run has unwound, so rewriting
+// the setup-derived state is unobserved; resumed runs spawn only after it
+// returns.
+func (e *engine) applyRecover(rm recoverMsg) error {
+	setup, err := trustedparty.UnmarshalSetup(e.grp, rm.Setup)
+	if err != nil {
+		return err
+	}
+	if !trustedparty.VerifyAssignment(setup.VerifyKey, setup.Assignment) {
+		return fmt.Errorf("re-signed assignment signature invalid")
+	}
+	for certNode, certs := range setup.Certs {
+		for j, c := range certs {
+			if !trustedparty.VerifyCert(setup.VerifyKey, e.grp, c) {
+				return fmt.Errorf("certificate %d of node %d invalid after reblock", j, certNode)
+			}
+		}
+	}
+	g := e.graph
+	// Changed blocks — the ones the dead node sat in — read off the
+	// assignment being replaced, before it is swapped out.
+	var changed []int
+	for v := 0; v < g.N(); v++ {
+		if indexOf(e.setup.Assignment.Blocks[g.NodeOf(v)], rm.Dead) >= 0 {
+			changed = append(changed, v)
+		}
+	}
+	memberIdx := make(map[int]int)
+	var memberVertices []int
+	for v := 0; v < g.N(); v++ {
+		members := setup.Assignment.Blocks[g.NodeOf(v)]
+		if len(members) != e.cfg.K+1 {
+			return fmt.Errorf("block of vertex %d has %d members after reblock, want %d", v, len(members), e.cfg.K+1)
+		}
+		if mi := indexOf(members, e.id); mi >= 0 {
+			memberIdx[v] = mi
+			memberVertices = append(memberVertices, v)
+		}
+	}
+	sort.Ints(memberVertices)
+	if e.id == rm.Repl {
+		for v, raw := range rm.AdoptedKeys {
+			nks := make([]*big.Int, len(raw))
+			for j, kb := range raw {
+				nks[j] = new(big.Int).SetBytes(kb)
+			}
+			e.adoptedNK[v] = nks
+		}
+		for v, ai := range rm.AdoptedInputs {
+			e.adoptedIn[v] = ai
+		}
+		e.archMu.Lock()
+		for seq, blob := range rm.DeadBlobs {
+			if arch := e.archives[seq]; arch != nil {
+				arch.adoptBlob = blob
+			}
+		}
+		e.archMu.Unlock()
+	}
+	e.setup = setup
+	e.memberIdx = memberIdx
+	e.memberVertices = memberVertices
+	e.aggIdx = indexOf(setup.Assignment.AggBlock, e.id)
+	e.recChanged = changed
+	// The changed blocks' certificates were re-issued: drop the fixed-base
+	// tables and re-enable if the accumulated uses still amortize rebuilds.
+	e.certCache = transfer.NewCertKeyCache()
+	e.certMu.Lock()
+	if e.tparam.PrecomputeWorthwhile(e.certUses) {
+		e.certCache.Enable()
+	}
+	e.certMu.Unlock()
+	return nil
+}
+
 // runJob executes one query's full schedule and fills res. The query's
 // whole wire footprint lives under its "q/<seq>" tag namespace — GMW
 // sessions, transfers, reshares — so overlapping jobs on one standing fleet
@@ -685,8 +1169,11 @@ func (e *engine) queryStats(root string, withSetup bool) network.Stats {
 // from the standing substrate. The job that wins the setup race pays the
 // pairwise base-OT handshakes in its Init phase (like the simulated
 // runtime's New); all other jobs pay only seed derivation and share
-// distribution.
-func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error {
+// distribution. With recovery on, every phase barrier is checkpointed, and
+// a resumed attempt (fromBarrier ≥ 0) restores its registers instead of
+// redistributing initial shares.
+func (e *engine) runJob(ctx context.Context, req runReq, res *NodeResult) error {
+	job := req.job
 	iterations := job.Iterations
 	if iterations < 0 {
 		return fmt.Errorf("cluster: negative iteration count %d", iterations)
@@ -695,20 +1182,51 @@ func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error 
 	if err != nil {
 		return err
 	}
-	// This job's own inputs ride on the job message: queries may follow
-	// updated books, and overlapping queries must each see their own
-	// snapshot, so the inputs live on the run, never on the shared graph.
-	if len(job.Priv) != e.prog.PrivBits(e.graph.D) {
-		return fmt.Errorf("cluster: node %d got %d private input bits, program wants %d",
-			e.id, len(job.Priv), e.prog.PrivBits(e.graph.D))
-	}
 	run := &nodeRun{
 		root:       network.Tag("q", job.Seq),
-		initState:  job.InitState,
-		priv:       job.Priv,
+		inits:      make(map[int]int64),
+		privs:      make(map[int][]uint8),
 		sessions:   make(map[int]*gmw.Party),
 		stateShare: make(map[int]uint64),
 		msgShare:   make(map[int][]uint64),
+	}
+	run.proto = run.root
+	if req.attempt > 1 {
+		run.proto = network.Tag(run.root, "a", req.attempt)
+	}
+	// Owner inputs ride on the job message: queries may follow updated
+	// books, and overlapping queries must each see their own snapshot, so
+	// the inputs live on the run, never on the shared graph. A node acting
+	// as owner for adopted vertices additionally supplies their inputs
+	// (persisted engine-side at recovery, refreshed by later jobs).
+	own := int(e.id) - 1
+	run.inits[own], run.privs[own] = job.InitState, job.Priv
+	for v, ai := range e.adoptedIn {
+		run.inits[v], run.privs[v] = ai.InitState, ai.Priv
+	}
+	for v, ai := range job.Adopted {
+		run.inits[v], run.privs[v] = ai.InitState, ai.Priv
+	}
+	for _, v := range e.memberVertices {
+		if e.memberIdx[v] != 0 {
+			continue
+		}
+		priv, ok := run.privs[v]
+		if !ok {
+			return fmt.Errorf("cluster: node %d acts as owner of vertex %d but has no inputs for it", e.id, v)
+		}
+		if len(priv) != e.prog.PrivBits(e.graph.D) {
+			return fmt.Errorf("cluster: node %d got %d private input bits for vertex %d, program wants %d",
+				e.id, len(priv), v, e.prog.PrivBits(e.graph.D))
+		}
+	}
+	if e.recoverOn {
+		key, err := e.recoveryKey(ctx)
+		if err != nil {
+			return err
+		}
+		run.recKey = key
+		e.archiveJob(job.Seq)
 	}
 
 	rep := &vertex.Report{
@@ -764,8 +1282,18 @@ func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error 
 		e.setupMu.Unlock()
 		trace.SpanDur("init/sessions", t0, time.Since(t0))
 	}
-	if err := e.initShares(ctx, run); err != nil {
-		return err
+	resume := req.fromBarrier >= 0
+	var replayed int
+	if resume {
+		replayed = e.replayedFrom(job.Seq, req.fromBarrier)
+		if err := e.restoreRun(ctx, run, req); err != nil {
+			return err
+		}
+	} else {
+		if err := e.initShares(ctx, run); err != nil {
+			return err
+		}
+		e.checkpointBarrier(run, job.Seq, req.attempt, 0)
 	}
 	rep.InitTime = time.Since(t0)
 	rep.InitBytes = phaseBytes(b0)
@@ -775,8 +1303,14 @@ func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error 
 	rep.BaseOTHandshakes = e.sub.Handshakes()
 	endPhase()
 
-	// --- Iterations. ---
-	for it := 0; it <= iterations; it++ {
+	// --- Iterations. Barrier b is the start of iteration b, so a resumed
+	// run re-enters at its barrier and replays that iteration's compute. ---
+	startIter := 0
+	if resume {
+		startIter = req.fromBarrier
+		rep.ReplayedBarriers = replayed
+	}
+	for it := startIter; it <= iterations; it++ {
 		t0, b0 = phaseStart()
 		obs.ReportProgress(ctx, fmt.Sprintf("iter/%d/compute", it))
 		endPhase = trace.Begin(fmt.Sprintf("iter/%d/compute", it))
@@ -788,6 +1322,13 @@ func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error 
 		rep.ComputeTime += time.Since(t0)
 		rep.ComputeBytes += phaseBytes(b0)
 
+		if e.chaos != nil && req.attempt == 1 && it == e.chaos.Barrier &&
+			e.chaosFired.CompareAndSwap(false, true) {
+			slog.Warn("cluster chaos: killing node", "node", e.id, "query", job.Seq, "barrier", it)
+			e.chaos.Kill()
+			<-ctx.Done()
+			return ctx.Err()
+		}
 		if it == iterations {
 			break
 		}
@@ -800,6 +1341,7 @@ func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error 
 		endPhase()
 		rep.CommTime += time.Since(t0)
 		rep.CommBytes += phaseBytes(b0)
+		e.checkpointBarrier(run, job.Seq, req.attempt, it+1)
 	}
 
 	// --- Aggregation + noising. ---
@@ -839,39 +1381,43 @@ func (e *engine) runJob(ctx context.Context, job jobMsg, res *NodeResult) error 
 	return nil
 }
 
-// initShares distributes the owner-generated initial shares: this node
-// splits its own vertex's state plus D no-op slots and ships the shares to
-// its block; then it collects its shares of every other vertex it is a
+// initShares distributes the owner-generated initial shares: for every
+// vertex this node acts as owner of (its own, plus adopted ones after a
+// re-blocking) it splits the state plus D no-op slots and ships the shares
+// to the block; then it collects its shares of every other vertex it is a
 // block member of. All sends happen before any receive so no pair of nodes
 // can wait on each other.
 func (e *engine) initShares(ctx context.Context, run *nodeRun) error {
 	g := e.graph
 	k1 := e.cfg.K + 1
-	own := int(e.id) - 1
-	members := e.setup.Assignment.Blocks[e.id]
-
-	st := secretshare.SplitXOR(uint64(run.initState), k1, e.prog.StateBits)
-	msgs := make([][]uint64, g.D)
-	for d := range msgs {
-		msgs[d] = secretshare.SplitXOR(uint64(e.prog.NoOp), k1, e.prog.MsgBits)
-	}
-	for m := 1; m < k1; m++ {
-		vals := append([]uint64{st[m]}, vertex.Column(msgs, m)...)
-		if err := e.tr.Send(members[m], network.Tag(run.root, "init", own), vertex.EncodeShares(vals)); err != nil {
-			return err
+	for _, v := range e.memberVertices {
+		if e.memberIdx[v] != 0 {
+			continue
 		}
-	}
-	run.stateShare[own] = st[0]
-	run.msgShare[own] = make([]uint64, g.D)
-	for d := range msgs {
-		run.msgShare[own][d] = msgs[d][0]
+		members := e.setup.Assignment.Blocks[g.NodeOf(v)]
+		st := secretshare.SplitXOR(uint64(run.inits[v]), k1, e.prog.StateBits)
+		msgs := make([][]uint64, g.D)
+		for d := range msgs {
+			msgs[d] = secretshare.SplitXOR(uint64(e.prog.NoOp), k1, e.prog.MsgBits)
+		}
+		for m := 1; m < k1; m++ {
+			vals := append([]uint64{st[m]}, vertex.Column(msgs, m)...)
+			if err := e.tr.Send(members[m], network.Tag(run.proto, "init", v), vertex.EncodeShares(vals)); err != nil {
+				return err
+			}
+		}
+		run.stateShare[v] = st[0]
+		run.msgShare[v] = make([]uint64, g.D)
+		for d := range msgs {
+			run.msgShare[v][d] = msgs[d][0]
+		}
 	}
 
 	for _, v := range e.memberVertices {
-		if v == own {
+		if e.memberIdx[v] == 0 {
 			continue
 		}
-		data, err := e.tr.Recv(ctx, g.NodeOf(v), network.Tag(run.root, "init", v))
+		data, err := e.tr.Recv(ctx, e.ownerOf(v), network.Tag(run.proto, "init", v))
 		if err != nil {
 			return err
 		}
@@ -886,14 +1432,13 @@ func (e *engine) initShares(ctx context.Context, run *nodeRun) error {
 }
 
 // memberInput assembles this node's input-share bits for vertex v's update:
-// [state | priv | msgs]; only the owner contributes the private data. A
-// node is member 0 only of its own block, so the private input is the
-// run's own snapshot.
+// [state | priv | msgs]; only the acting owner (member 0) contributes the
+// private data, from the run's per-vertex input snapshot.
 func (e *engine) memberInput(run *nodeRun, v int) []uint8 {
 	g := e.graph
 	in := vertex.WordToBits(run.stateShare[v], e.prog.StateBits)
 	if e.memberIdx[v] == 0 {
-		in = append(in, run.priv...)
+		in = append(in, run.privs[v]...)
 	} else {
 		in = append(in, make([]uint8, e.prog.PrivBits(g.D))...)
 	}
@@ -991,13 +1536,17 @@ func (e *engine) communicateStep(ctx context.Context, run *nodeRun, iter int, ou
 	}
 	for _, edge := range g.Edges() {
 		u, v := edge[0], edge[1]
-		uID, vID := g.NodeOf(u), g.NodeOf(v)
+		vID := g.NodeOf(v)
+		// Relay and adjuster duties follow the ACTING owners of u and v —
+		// after a re-blocking those roles move with the adopted owner slot,
+		// while certificates stay keyed by the registered owner.
+		relayID, adjustID := e.ownerOf(u), e.ownerOf(v)
 		slotIn, err := g.InSlot(u, v)
 		if err != nil {
 			return err
 		}
-		tag := network.Tag(run.root, "tx", iter, u, v)
-		sendersB := e.setup.Assignment.Blocks[uID]
+		tag := network.Tag(run.proto, "tx", iter, u, v)
+		sendersB := e.setup.Assignment.Blocks[g.NodeOf(u)]
 		recvB := e.setup.Assignment.Blocks[vID]
 
 		if _, ok := e.memberIdx[u]; ok {
@@ -1011,26 +1560,29 @@ func (e *engine) communicateStep(ctx context.Context, run *nodeRun, iter int, ou
 				// runs in the goroutine so builds for different edges
 				// overlap instead of stalling the dispatch loop.
 				keys := e.recipientKeys(v, slotIn, vID)
-				record(u, v, transfer.SendShare(ctx, e.tparam, e.tr, uID, tag, share, keys))
+				record(u, v, transfer.SendShare(ctx, e.tparam, e.tr, relayID, tag, share, keys))
 				span(tag, "send", t0)
 			}()
 		}
-		if e.id == uID {
+		if e.id == relayID {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				t0 := time.Now()
-				record(u, v, transfer.RunRelay(ctx, e.tparam, e.tr, sendersB, vID, tag, dp.CryptoSource{}))
+				record(u, v, transfer.RunRelay(ctx, e.tparam, e.tr, sendersB, adjustID, tag, dp.CryptoSource{}))
 				span(tag, "relay", t0)
 			}()
 		}
-		if e.id == vID {
-			nk := e.secrets.NeighborKeys[slotIn]
+		if e.id == adjustID {
+			nk, err := e.neighborKey(v, slotIn)
+			if err != nil {
+				return err
+			}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				t0 := time.Now()
-				record(u, v, transfer.RunAdjust(ctx, e.tparam, e.tr, uID, recvB, nk, tag))
+				record(u, v, transfer.RunAdjust(ctx, e.tparam, e.tr, relayID, recvB, nk, tag))
 				span(tag, "adjust", t0)
 			}()
 		}
@@ -1040,7 +1592,7 @@ func (e *engine) communicateStep(ctx context.Context, run *nodeRun, iter int, ou
 			go func() {
 				defer wg.Done()
 				t0 := time.Now()
-				share, err := transfer.ReceiveShare(ctx, e.tparam, e.tr, vID, tag, e.secrets.PrivateKeys, e.table)
+				share, err := transfer.ReceiveShare(ctx, e.tparam, e.tr, adjustID, tag, e.secrets.PrivateKeys, e.table)
 				if err != nil {
 					record(u, v, err)
 					return
@@ -1105,7 +1657,7 @@ func (e *engine) aggregate(ctx context.Context, run *nodeRun, plan *nodeAggPlan)
 	aggMembers := e.setup.Assignment.AggBlock
 
 	for _, v := range e.memberVertices {
-		if err := e.reshareSend(run.stateShare[v], e.prog.StateBits, e.memberIdx[v], aggMembers, network.Tag(run.root, "aggsh", v)); err != nil {
+		if err := e.reshareSend(run.stateShare[v], e.prog.StateBits, e.memberIdx[v], aggMembers, network.Tag(run.proto, "aggsh", v)); err != nil {
 			return 0, false, err
 		}
 	}
@@ -1115,7 +1667,7 @@ func (e *engine) aggregate(ctx context.Context, run *nodeRun, plan *nodeAggPlan)
 	var input []uint8
 	for v := 0; v < g.N(); v++ {
 		members := e.setup.Assignment.Blocks[g.NodeOf(v)]
-		col, err := e.reshareRecv(ctx, members, network.Tag(run.root, "aggsh", v))
+		col, err := e.reshareRecv(ctx, members, network.Tag(run.proto, "aggsh", v))
 		if err != nil {
 			return 0, false, err
 		}
@@ -1165,7 +1717,7 @@ func (e *engine) aggregateTree(ctx context.Context, run *nodeRun, plan *nodeAggP
 			if !ok {
 				continue
 			}
-			if err := e.reshareSend(run.stateShare[v], e.prog.StateBits, mi, leafMembers, network.Tag(run.root, "leafsh", grp, v)); err != nil {
+			if err := e.reshareSend(run.stateShare[v], e.prog.StateBits, mi, leafMembers, network.Tag(run.proto, "leafsh", grp, v)); err != nil {
 				return 0, false, err
 			}
 		}
@@ -1192,7 +1744,7 @@ func (e *engine) aggregateTree(ctx context.Context, run *nodeRun, plan *nodeAggP
 				for v := lo; v < hi && err == nil; v++ {
 					members := e.setup.Assignment.Blocks[g.NodeOf(v)]
 					var col uint64
-					col, err = e.reshareRecv(ctx, members, network.Tag(run.root, "leafsh", grp, v))
+					col, err = e.reshareRecv(ctx, members, network.Tag(run.proto, "leafsh", grp, v))
 					input = append(input, vertex.WordToBits(col, e.prog.StateBits)...)
 				}
 				if err == nil {
@@ -1226,7 +1778,7 @@ func (e *engine) aggregateTree(ctx context.Context, run *nodeRun, plan *nodeAggP
 		if !ok {
 			continue
 		}
-		if err := e.reshareSend(partial[grp], e.prog.AggBits, mi, aggMembers, network.Tag(run.root, "rootsh", grp)); err != nil {
+		if err := e.reshareSend(partial[grp], e.prog.AggBits, mi, aggMembers, network.Tag(run.proto, "rootsh", grp)); err != nil {
 			return 0, false, err
 		}
 	}
@@ -1243,7 +1795,7 @@ func (e *engine) aggregateTree(ctx context.Context, run *nodeRun, plan *nodeAggP
 	for grp := 0; grp < nGroups; grp++ {
 		lo, _ := groupRange(grp)
 		leafMembers := e.setup.Assignment.Blocks[g.NodeOf(lo)]
-		col, err := e.reshareRecv(ctx, leafMembers, network.Tag(run.root, "rootsh", grp))
+		col, err := e.reshareRecv(ctx, leafMembers, network.Tag(run.proto, "rootsh", grp))
 		if err != nil {
 			return 0, false, err
 		}

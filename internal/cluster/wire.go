@@ -81,14 +81,16 @@ type regMsg struct {
 
 // ctrlMsg is the coordinator→node envelope: exactly one field is non-nil.
 type ctrlMsg struct {
-	Job  *jobMsg
-	Ping *pingMsg
+	Job     *jobMsg
+	Ping    *pingMsg
+	Recover *recoverMsg
 }
 
 // nodeMsg is the node→coordinator envelope: exactly one field is non-nil.
 type nodeMsg struct {
 	Done *doneMsg
 	Beat *beatMsg
+	Ckpt *ckptMsg
 }
 
 // pingMsg is the coordinator's periodic heartbeat probe. T1 is the
@@ -163,6 +165,84 @@ type jobMsg struct {
 	// it, and it routes the matching doneMsg back to the Run that sent
 	// the job — so jobs may overlap on one standing fleet.
 	Seq int
+	// Attempt is 1 on every coordinator-dispatched job. Resumed runs after
+	// a recovery are re-spawned node-side with the attempt carried by the
+	// recoverMsg; the field exists on the wire so doneMsg can echo it.
+	Attempt int
+	// Recover opts the node into the failure-recovery plane: exchange the
+	// fleet recovery key at engine bootstrap, archive and ship encrypted
+	// share snapshots at every phase barrier, and survive run failures
+	// (report them on doneMsg without poisoning the standing daemon).
+	Recover bool
+	// Adopted carries inputs for vertices this node is the *acting* owner
+	// of after earlier re-blockings — vertices whose registered owner died
+	// and whose owner slot this node inherited. Keyed by vertex index.
+	// Empty before any recovery.
+	Adopted map[int]adoptedInput
+}
+
+// adoptedInput is the per-vertex owner input for a vertex whose acting
+// owner is not its registered owner (the registrant died and this vertex's
+// owner slot was re-assigned). The coordinator is the experiment driver and
+// already holds every owner's inputs (see the package comment), so handing
+// the dead owner's inputs to the replacement adds no new trust exposure.
+type adoptedInput struct {
+	InitState int64
+	Priv      []uint8
+}
+
+// ckptMsg ships one node's encrypted share snapshot for one phase barrier
+// of one query. The coordinator stores the blob (it holds no recovery key,
+// so the blob is opaque to it) and hands the dead node's latest blob to the
+// replacement on recovery.
+type ckptMsg struct {
+	Seq     int
+	Attempt int
+	// Barrier b is the start of iteration b: 0 after initialization,
+	// b ≥ 1 after communicate(b−1).
+	Barrier int
+	Blob    []byte
+}
+
+// resumeSpec tells a node to resume one in-flight query from a barrier.
+// It carries a full per-node job message (rebuilt by the coordinator, which
+// is the dispatcher) so even a node that never received the original
+// dispatch — a query can die mid-dispatch — can run the resumed attempt.
+type resumeSpec struct {
+	Seq     int
+	Attempt int
+	// Barrier is the resume point; −1 means no common checkpoint exists
+	// and the query restarts from initialization (under attempt tags).
+	Barrier int
+	Job     jobMsg
+}
+
+// recoverMsg announces a re-blocking: node Dead is gone, node Repl takes
+// its owner slot, Setup is the TP's re-signed assignment with re-issued
+// certificates, and Resumes lists the in-flight queries to resume. The
+// replacement additionally receives the dead registrant's neighbor keys,
+// the adopted vertices' owner inputs, and the dead node's latest
+// checkpoint blobs (decryptable with the fleet recovery key the
+// coordinator never held).
+type recoverMsg struct {
+	// Epoch counts re-blockings on this session, starting at 1.
+	Epoch int
+	Dead  network.NodeID
+	Repl  network.NodeID
+	Setup trustedparty.WireSetup
+	// AdoptedKeys maps vertex → the registered owner's neighbor keys
+	// (big-endian big.Int bytes, one per out-edge slot); sent to the
+	// replacement only. The adjuster role for edges into an adopted vertex
+	// needs the ORIGINAL registrant's keys — the re-issued certificates
+	// were randomized under them.
+	AdoptedKeys map[int][][]byte
+	// AdoptedInputs maps vertex → owner inputs; sent to the replacement
+	// only.
+	AdoptedInputs map[int]adoptedInput
+	// DeadBlobs maps seq → the dead node's checkpoint blob at exactly that
+	// query's resume barrier; sent to the replacement only.
+	DeadBlobs map[int][]byte
+	Resumes   []resumeSpec
 }
 
 type doneMsg struct {
@@ -171,7 +251,11 @@ type doneMsg struct {
 	// coordinator routes each report to its query by this field, not by
 	// arrival order.
 	Seq int
-	Err string
+	// Attempt echoes the run's attempt number (1 for a fresh dispatch,
+	// bumped per re-blocking). The coordinator discards reports from
+	// superseded attempts.
+	Attempt int
+	Err     string
 	// HasResult is set by aggregation-block members, the only nodes that
 	// learn the opened (noised) aggregate.
 	HasResult bool

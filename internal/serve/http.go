@@ -192,10 +192,14 @@ type fleetsWire struct {
 }
 
 type fleetWire struct {
-	Member   int             `json:"member"`
-	InFlight []int           `json:"in_flight"`
-	Stalled  []int           `json:"stalled"`
-	Nodes    []fleetNodeWire `json:"nodes"`
+	Member   int   `json:"member"`
+	InFlight []int `json:"in_flight"`
+	Stalled  []int `json:"stalled"`
+	// Dead lists nodes retired by re-blocking recoveries (death order);
+	// Recoveries counts the re-blockings this deployment has performed.
+	Dead       []int           `json:"dead"`
+	Recoveries int             `json:"recoveries"`
+	Nodes      []fleetNodeWire `json:"nodes"`
 }
 
 type fleetNodeWire struct {
@@ -226,10 +230,15 @@ func wireFleets(fleets []FleetStatus) fleetsWire {
 	out := fleetsWire{Fleets: []fleetWire{}}
 	for _, f := range fleets {
 		fw := fleetWire{
-			Member:   f.Member,
-			InFlight: emptyInts(f.Fleet.InFlight),
-			Stalled:  emptyInts(f.Fleet.Stalled),
-			Nodes:    []fleetNodeWire{},
+			Member:     f.Member,
+			InFlight:   emptyInts(f.Fleet.InFlight),
+			Stalled:    emptyInts(f.Fleet.Stalled),
+			Dead:       []int{},
+			Recoveries: f.Fleet.Recoveries,
+			Nodes:      []fleetNodeWire{},
+		}
+		for _, d := range f.Fleet.Dead {
+			fw.Dead = append(fw.Dead, int(d))
 		}
 		for _, n := range f.Fleet.Nodes {
 			nw := fleetNodeWire{
@@ -318,6 +327,8 @@ func writeMetrics(w http.ResponseWriter, m Metrics) {
 	p("dstress_queries_refused_total", "counter", "Submissions refused (budget, queue, draining, validation).", m.Refused)
 	p("dstress_queries_served_total", "counter", "Queries completed successfully.", m.Served)
 	p("dstress_queries_failed_total", "counter", "Admitted queries that failed during execution.", m.Failed)
+	p("dstress_query_resubmits_total", "counter", "Queries automatically re-run after a fleet-level failure (not re-charged).", m.Resubmits)
+	p("dstress_recoveries_total", "counter", "Node deaths survived in place by re-blocking recoveries, summed across pool deployments.", m.FleetRecoveries)
 	p("dstress_queue_depth", "gauge", "Admitted queries waiting for a pool session.", m.QueueDepth)
 	p("dstress_pool_sessions", "gauge", "Standing deployments in the pool.", m.PoolSessions)
 	p("dstress_pool_busy", "gauge", "Pool sessions answering a query right now.", m.PoolBusy)

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"dstress"
+	"dstress/internal/cluster"
 	"dstress/internal/dp"
 	"dstress/internal/obs"
 )
@@ -136,6 +137,12 @@ type query struct {
 	// (via the obs progress callback); cleared at completion. Guarded by
 	// s.mu.
 	phase string
+	// resubmitted marks a query already re-run once after a fleet-level
+	// failure (*cluster.QueryError); a second such failure is final. The
+	// resubmission reuses the ε charged at the original Submit — the
+	// failed attempt released nothing, so the charge covers the retry.
+	// Guarded by s.mu.
+	resubmitted bool
 }
 
 // QueryStatus is a point-in-time snapshot of one query.
@@ -162,6 +169,14 @@ type Metrics struct {
 	// (budget, queue, draining, validation); Served and Failed partition
 	// the admitted queries that have finished.
 	Submitted, Refused, Served, Failed uint64
+	// Resubmits counts queries automatically re-run on a fresh pool
+	// session after a fleet-level failure (*cluster.QueryError). Each
+	// resubmission reuses the ε charged at the original Submit.
+	Resubmits uint64
+	// FleetRecoveries sums the re-blocking recoveries performed by the
+	// pool members' deployments (nodes that died mid-query and were
+	// recovered in place, without failing the query).
+	FleetRecoveries int
 	// QueueDepth is admitted-but-undispatched queries; PoolSessions the
 	// standing sessions; PoolBusy the queries being answered right now
 	// (can exceed PoolSessions when sessions multiplex).
@@ -223,9 +238,10 @@ type Service struct {
 	busy     int
 	members  []*member // every pool member ever launched, for Fleets
 
-	submitted, refused, served, failed uint64
-	latencySum                         time.Duration
-	latencyCount                       uint64
+	submitted, refused, served, failed, resubmits uint64
+
+	latencySum   time.Duration
+	latencyCount uint64
 
 	// phaseHist is keyed by phaseNames; the histograms are internally
 	// atomic, so workers observe into them without holding s.mu.
@@ -542,9 +558,40 @@ func (s *Service) worker(m *member) {
 		res, err := r.Query(ctx, q.spec)
 		if err != nil && !errors.Is(err, dstress.ErrSessionBusy) {
 			m.poison(s, gen)
+			// A fleet-level death (*cluster.QueryError) is the one
+			// failure worth retrying automatically: the query itself was
+			// sound, a node under it died. The member was just poisoned,
+			// so the retry lands on a fresh session — either this
+			// member's lazily reopened deployment or another member's.
+			// The tenant's ε was charged at Submit and the failed attempt
+			// released nothing, so the retry is NOT re-charged.
+			var qe *cluster.QueryError
+			if errors.As(err, &qe) && s.resubmit(q) {
+				s.logf("serve: query %s lost node %d (%v); resubmitting once on a fresh session", q.id, qe.Node, err)
+				continue
+			}
 		}
 		s.finish(q, res, err)
 	}
+}
+
+// resubmit requeues a fleet-failed query for one more attempt. It returns
+// false — leaving the caller to record the failure — when the query
+// already used its retry, the service is draining (the queue is closed),
+// or the queue is full.
+func (s *Service) resubmit(q *query) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q.resubmitted || s.draining || len(s.work) == cap(s.work) {
+		return false
+	}
+	q.resubmitted = true
+	q.state = StateQueued
+	q.phase = ""
+	s.busy--
+	s.resubmits++
+	s.work <- q
+	return true
 }
 
 // finish records a query's outcome and bookkeeping.
@@ -682,9 +729,10 @@ func (s *Service) Metrics() Metrics {
 		s.gaugeGCPause.Snapshot(),
 	}
 	fleets := s.Fleets()
-	stalled := 0
+	stalled, recoveries := 0, 0
 	for _, f := range fleets {
 		stalled += len(f.Fleet.Stalled)
+		recoveries += f.Fleet.Recoveries
 	}
 
 	s.mu.Lock()
@@ -692,7 +740,9 @@ func (s *Service) Metrics() Metrics {
 	return Metrics{
 		Submitted: s.submitted, Refused: s.refused,
 		Served: s.served, Failed: s.failed,
-		QueueDepth: len(s.work), PoolSessions: s.workers, PoolBusy: s.busy,
+		Resubmits:       s.resubmits,
+		FleetRecoveries: recoveries,
+		QueueDepth:      len(s.work), PoolSessions: s.workers, PoolBusy: s.busy,
 		EpsilonCharged: s.ledger.TotalCharged(),
 		LatencySum:     s.latencySum, LatencyCount: s.latencyCount,
 		PhaseLatency:   phases,

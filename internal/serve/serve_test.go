@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"dstress"
+	"dstress/internal/cluster"
 	"dstress/internal/dp"
 )
 
@@ -645,4 +647,132 @@ func (r busyOnceRunner) Query(ctx context.Context, q dstress.QuerySpec) (*dstres
 func (r busyOnceRunner) Close() error {
 	r.closed.Add(1)
 	return nil
+}
+
+// fleetFailRunner fails queries with a *cluster.QueryError (a fleet-level
+// node death) while failures remains positive, then answers normally — the
+// shape of a deployment that lost a node, got recycled, and came back
+// healthy.
+type fleetFailRunner struct {
+	failures *atomic.Int64 // remaining attempts to fail
+	attempts *atomic.Int64
+	closed   *atomic.Int64
+}
+
+func (r *fleetFailRunner) Query(ctx context.Context, q dstress.QuerySpec) (*dstress.Result, error) {
+	r.attempts.Add(1)
+	if r.failures.Add(-1) >= 0 {
+		return nil, fmt.Errorf("running query: %w",
+			&cluster.QueryError{Seq: 1, Node: 3, LastPhase: "iter/2/compute", Cause: "node vanished"})
+	}
+	return &dstress.Result{Raw: 7, Value: 7, Epsilon: q.Epsilon, Report: &dstress.Report{Transport: "fake"}}, nil
+}
+
+func (r *fleetFailRunner) Close() error { r.closed.Add(1); return nil }
+
+// TestResubmitNoDoubleCharge pins the retry contract: a query that fails
+// with a fleet-level *cluster.QueryError is automatically re-run exactly
+// once on a fresh pool session, and the tenant's ε is charged exactly once
+// — at Submit — no matter how many attempts the query takes.
+func TestResubmitNoDoubleCharge(t *testing.T) {
+	var opened, attempts, closed atomic.Int64
+	var failures atomic.Int64
+	failures.Store(1)
+	cfg := Config{
+		Open: func(ctx context.Context) (QueryRunner, error) {
+			opened.Add(1)
+			return &fleetFailRunner{failures: &failures, attempts: &attempts, closed: &closed}, nil
+		},
+		PoolCap: 1, Warm: 1,
+		Tenants: map[string]float64{"t": 2},
+		Logf:    func(string, ...any) {},
+	}
+	svc, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := 1.0
+	st, err := svc.Do(context.Background(), Request{Tenant: "t", Epsilon: &e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Result == nil || st.Result.Raw != 7 {
+		t.Fatalf("resubmitted query did not succeed: state %v result %+v err %q", st.State, st.Result, st.Err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Errorf("query ran %d attempts, want 2 (original + one resubmit)", got)
+	}
+	if got := opened.Load(); got != 2 {
+		t.Errorf("opened %d sessions, want 2 (the failed one is recycled)", got)
+	}
+	status, err := svc.Ledger().Status("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Spent != 1 {
+		t.Errorf("tenant charged %v for one query with one resubmit, want exactly 1", status.Spent)
+	}
+	m := svc.Metrics()
+	if m.Resubmits != 1 {
+		t.Errorf("Resubmits = %d, want 1", m.Resubmits)
+	}
+	if m.Served != 1 || m.Failed != 0 {
+		t.Errorf("Served/Failed = %d/%d, want 1/0", m.Served, m.Failed)
+	}
+
+	// The remaining budget still covers exactly one more query: had the
+	// retry been double-charged, this admission would have been refused.
+	st, err = svc.Do(context.Background(), Request{Tenant: "t", Epsilon: &e})
+	if err != nil || st.State != StateDone {
+		t.Fatalf("second query on remaining budget: %v, state %v", err, st.State)
+	}
+	if _, err := svc.Submit(Request{Tenant: "t", Epsilon: &e}); !errors.Is(err, dp.ErrBudgetExhausted) {
+		t.Fatalf("third query beyond budget: got %v, want ErrBudgetExhausted", err)
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResubmitOnlyOnce: a deployment that keeps losing nodes fails the
+// query after exactly two attempts (original + the single retry), and the
+// failure carried to the caller is the fleet-level QueryError.
+func TestResubmitOnlyOnce(t *testing.T) {
+	var opened, attempts, closed atomic.Int64
+	var failures atomic.Int64
+	failures.Store(100)
+	cfg := Config{
+		Open: func(ctx context.Context) (QueryRunner, error) {
+			opened.Add(1)
+			return &fleetFailRunner{failures: &failures, attempts: &attempts, closed: &closed}, nil
+		},
+		PoolCap: 1, Warm: 1,
+		DefaultBudget: math.Inf(1),
+		AllowUnnoised: true,
+		Logf:          func(string, ...any) {},
+	}
+	svc, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := svc.Do(context.Background(), Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed {
+		t.Fatalf("state %v, want failed after retry exhausted", st.State)
+	}
+	if !strings.Contains(st.Err, "node 3 failed") {
+		t.Errorf("caller error %q does not carry the fleet failure", st.Err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Errorf("query ran %d attempts, want 2", got)
+	}
+	m := svc.Metrics()
+	if m.Resubmits != 1 || m.Failed != 1 || m.Served != 0 {
+		t.Errorf("Resubmits/Failed/Served = %d/%d/%d, want 1/1/0", m.Resubmits, m.Failed, m.Served)
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -34,6 +34,7 @@ import (
 	"crypto/elliptic"
 	"crypto/rand"
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"math/big"
 	"sort"
@@ -49,6 +50,13 @@ type Params struct {
 	K     int // collusion bound; blocks have K+1 members
 	D     int // public degree bound
 	L     int // message bit-length (keys per node)
+	// Recoverable asks Setup to prefer an assignment in which every
+	// possible single node death leaves at least one viable replacement
+	// (see ReplacementOK). The draw stays uniform over such assignments;
+	// when the fleet is too small for the property to hold (or the redraw
+	// budget runs out) Setup falls back to an unconstrained draw and a
+	// later death may still hit ErrNoReplacement.
+	Recoverable bool
 }
 
 // Validate checks the parameter ranges.
@@ -188,18 +196,29 @@ func (tp *TrustedParty) Setup(regs []NodeRegistration) (*SetupResult, error) {
 		Certs:      make(map[network.NodeID][]BlockCert, n),
 		VerifyKey:  &tp.sk.PublicKey,
 	}
-	for _, id := range ids {
-		members, err := sampleBlock(ids, id, p.K+1)
+	// Certificates are the expensive part of setup, so when a recoverable
+	// assignment is requested only the (cheap) draw is retried.
+	for attempt := 1; ; attempt++ {
+		blocks := make(map[network.NodeID][]network.NodeID, n)
+		for _, id := range ids {
+			members, err := sampleBlock(ids, id, p.K+1)
+			if err != nil {
+				return nil, err
+			}
+			blocks[id] = members
+		}
+		agg, err := sampleBlock(ids, ids[0], p.K+1)
 		if err != nil {
 			return nil, err
 		}
-		result.Assignment.Blocks[id] = members
+		result.Assignment.Blocks = blocks
+		result.Assignment.AggBlock = agg
+		if !p.Recoverable || attempt >= recoverableDrawAttempts ||
+			EveryDeathRecoverable(result.Assignment, ids) {
+			break
+		}
 	}
-	agg, err := sampleBlock(ids, ids[0], p.K+1)
-	if err != nil {
-		return nil, err
-	}
-	result.Assignment.AggBlock = agg
+	var err error
 	result.Assignment.Sig, err = tp.sign(assignmentDigest(result.Assignment))
 	if err != nil {
 		return nil, err
@@ -233,6 +252,170 @@ func (tp *TrustedParty) Setup(regs []NodeRegistration) (*SetupResult, error) {
 		result.Certs[id] = certs
 	}
 	return result, nil
+}
+
+// ErrNoReplacement reports a death the recovery protocol cannot survive:
+// every surviving node already shares a block with the casualty, so any
+// stand-in would hold two of one block's k+1 shares and the collusion
+// bound would drop below k. The random assignment makes this unlikely but
+// possible (more so on tiny fleets); the query falls back to the fail-stop
+// abort and callers retry on a fresh deployment.
+var ErrNoReplacement = errors.New("trustedparty: no surviving node can replace the dead one (all share a block with it)")
+
+// recoverableDrawAttempts bounds the assignment redraws a Recoverable
+// setup performs before settling for an unconstrained draw. On fleets
+// where the property is achievable at all a handful of draws suffice; the
+// bound exists for tiny fleets (e.g. n = 3, k = 1) where no assignment
+// can make every death survivable.
+const recoverableDrawAttempts = 64
+
+// EveryDeathRecoverable reports whether the assignment survives any
+// single node death: for every node some other node shares no block with
+// it and could stand in (see ReplacementOK). The aggregation block counts
+// toward co-membership.
+func EveryDeathRecoverable(a Assignment, ids []network.NodeID) bool {
+	for _, dead := range ids {
+		ok := false
+		for _, repl := range ids {
+			if ReplacementOK(a, dead, repl) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ReplacementOK reports whether repl can stand in for dead under the given
+// assignment: repl must be a different node and must not already be a
+// member of any block that contains dead (a block cannot list the same
+// node twice). The aggregation block counts too.
+func ReplacementOK(a Assignment, dead, repl network.NodeID) bool {
+	if dead == repl {
+		return false
+	}
+	contains := func(members []network.NodeID, id network.NodeID) bool {
+		for _, m := range members {
+			if m == id {
+				return true
+			}
+		}
+		return false
+	}
+	for _, members := range a.Blocks {
+		if contains(members, dead) && contains(members, repl) {
+			return false
+		}
+	}
+	if contains(a.AggBlock, dead) && contains(a.AggBlock, repl) {
+		return false
+	}
+	return true
+}
+
+// Reblock produces a new setup in which repl takes over every block slot
+// held by dead, including ownership of dead's own block (repl becomes its
+// first member and thus the acting owner of dead's vertex). The assignment
+// is re-signed, and certificates are re-issued only for blocks whose
+// membership changed — re-randomized with the block owner's registered
+// neighbor keys, exactly as in Setup, so survivors' verification logic is
+// unchanged. regs must include registrations for every node whose
+// certificates are re-issued (in particular dead's own, since its block's
+// certificates are re-randomized with dead's neighbor keys, which the TP
+// retains from registration).
+func (tp *TrustedParty) Reblock(prev *SetupResult, regs []NodeRegistration, dead, repl network.NodeID) (*SetupResult, error) {
+	p := tp.params
+	if !ReplacementOK(prev.Assignment, dead, repl) {
+		return nil, fmt.Errorf("trustedparty: node %d cannot replace node %d (already a co-member)", repl, dead)
+	}
+	byID := make(map[network.NodeID]NodeRegistration, len(regs))
+	for _, r := range regs {
+		byID[r.ID] = r
+	}
+	if _, ok := byID[repl]; !ok {
+		return nil, fmt.Errorf("trustedparty: replacement node %d is not registered", repl)
+	}
+
+	substitute := func(members []network.NodeID) ([]network.NodeID, bool) {
+		changed := false
+		out := make([]network.NodeID, len(members))
+		for i, m := range members {
+			if m == dead {
+				out[i] = repl
+				changed = true
+			} else {
+				out[i] = m
+			}
+		}
+		if changed && len(out) > 1 {
+			// Restore canonical order: owner (slot 0) stays, rest sorted.
+			rest := out[1:]
+			sort.Slice(rest, func(a, b int) bool { return rest[a] < rest[b] })
+		}
+		return out, changed
+	}
+
+	next := &SetupResult{
+		Assignment: Assignment{Blocks: make(map[network.NodeID][]network.NodeID, len(prev.Assignment.Blocks))},
+		Certs:      make(map[network.NodeID][]BlockCert, len(prev.Certs)),
+		VerifyKey:  &tp.sk.PublicKey,
+	}
+	changedBlocks := make(map[network.NodeID]bool)
+	for id, members := range prev.Assignment.Blocks {
+		sub, changed := substitute(members)
+		next.Assignment.Blocks[id] = sub
+		if changed {
+			changedBlocks[id] = true
+		}
+	}
+	next.Assignment.AggBlock, _ = substitute(prev.Assignment.AggBlock)
+	var err error
+	next.Assignment.Sig, err = tp.sign(assignmentDigest(next.Assignment))
+	if err != nil {
+		return nil, err
+	}
+
+	for id, certs := range prev.Certs {
+		if !changedBlocks[id] {
+			next.Certs[id] = certs
+			continue
+		}
+		// Re-issue: same construction as Setup, with the new membership. The
+		// block key (and hence the neighbor keys used for re-randomization)
+		// stays the original owner's — for dead's own block that means dead's
+		// registered neighbor keys, which repl receives during recovery so it
+		// can adjust incoming transfers for the adopted vertex.
+		reg, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("trustedparty: no registration retained for node %d, cannot re-issue certificates", id)
+		}
+		members := next.Assignment.Blocks[id]
+		fresh := make([]BlockCert, p.D)
+		for j := 0; j < p.D; j++ {
+			nk := reg.NeighborKeys[j]
+			keys := make([][]elgamal.PublicKey, len(members))
+			for m, member := range members {
+				mreg, ok := byID[member]
+				if !ok {
+					return nil, fmt.Errorf("trustedparty: member %d not registered", member)
+				}
+				keys[m] = make([]elgamal.PublicKey, p.L)
+				for b := 0; b < p.L; b++ {
+					keys[m][b] = mreg.PublicKeys[b].Randomize(nk)
+				}
+			}
+			sig, err := tp.sign(certDigest(p.Group, keys))
+			if err != nil {
+				return nil, err
+			}
+			fresh[j] = BlockCert{Keys: keys, Sig: sig}
+		}
+		next.Certs[id] = fresh
+	}
+	return next, nil
 }
 
 // sampleBlock picks size distinct members including owner, uniformly from

@@ -64,6 +64,26 @@ type Config struct {
 	// and a root block combines the partials and adds the noise. 0 keeps
 	// the single aggregation block. The paper suggests a fan-in of 100.
 	AggFanIn int
+	// Recover enables phase-barrier checkpointing: at every barrier the
+	// runtime archives each node's share state and seals it into a
+	// per-node encrypted snapshot blob, paying the same per-barrier cost a
+	// cluster node pays to ship a ckptMsg. Off by default — a failed run
+	// then surfaces as an error, matching the fail-stop behavior tests pin.
+	Recover bool
+	// Chaos deterministically injects a node death mid-iteration (after the
+	// compute step of iteration Barrier, before its communicate) and drives
+	// the recovery path: re-block around the victim, restore the last
+	// barrier snapshot, re-share, and replay. Test/bench only: a chaos
+	// recovery mutates the deployment's assignment, so no other query may
+	// be in flight on the runtime when it fires.
+	Chaos *ChaosSpec
+}
+
+// ChaosSpec names the deterministic fault injection: Victim dies during
+// iteration Barrier of the first query attempt.
+type ChaosSpec struct {
+	Victim  network.NodeID
+	Barrier int
 }
 
 func (c *Config) defaults() {
@@ -112,6 +132,9 @@ type Report struct {
 	Iterations int
 	// UpdateAndGates and AggAndGates record circuit sizes (cost drivers).
 	UpdateAndGates, AggAndGates int
+	// Recoveries counts node deaths this query survived by re-blocking;
+	// ReplayedBarriers counts the lock-step barriers re-executed to resume.
+	Recoveries, ReplayedBarriers int
 }
 
 // TotalTime returns the summed phase durations.
@@ -136,6 +159,16 @@ type Runtime struct {
 
 	setup   *trustedparty.SetupResult
 	secrets map[network.NodeID]trustedparty.NodeSecrets
+	// tp and regs are retained from setup so a chaos recovery can re-block
+	// around a dead node: Reblock re-signs the substituted assignment and
+	// re-issues certificates from the registrations, exactly as the cluster
+	// coordinator does. recKey seals per-barrier checkpoint blobs.
+	tp     *trustedparty.TrustedParty
+	regs   []trustedparty.NodeRegistration
+	recKey []byte
+	// chaosFired latches the injected death: one deployment loses the
+	// victim once, after which every query runs on the re-blocked fleet.
+	chaosFired atomic.Bool
 
 	updCirc *circuit.Circuit
 
@@ -185,7 +218,14 @@ type Runtime struct {
 // every wire tag living under the query's "q/<id>" root so two queries'
 // protocol messages can never collide on the transport.
 type queryRun struct {
-	root       string // "q/<id>": the tag namespace all traffic lives under
+	root string // "q/<id>": the tag namespace all traffic lives under
+	// proto is the attempt-versioned protocol namespace: equal to root for
+	// the first attempt, "q/<id>/a/<attempt>" after a recovery, so a
+	// resumed attempt's GMW/transfer/OT streams can never collide with
+	// stale messages from the superseded one. Byte accounting and retire
+	// stay keyed by root, which covers both.
+	proto      string
+	attempt    int
 	sessions   [][]*gmw.Party
 	aggSession []*gmw.Party
 
@@ -193,6 +233,20 @@ type queryRun struct {
 	stateShares [][]uint64
 	// msgShares[vertex][slot][member]: input-message shares for next step.
 	msgShares [][][]uint64
+
+	// Barrier checkpoints (Config.Recover / Chaos): archive holds the full
+	// share state per barrier, ckpts the per-node encrypted snapshot blobs
+	// a cluster node would ship to the coordinator. lastBarrier is the
+	// newest archived barrier.
+	archive     map[int]*barrierState
+	ckpts       map[int]map[network.NodeID][]byte
+	lastBarrier int
+}
+
+// barrierState is a deep copy of the share arrays at one barrier.
+type barrierState struct {
+	state [][]uint64
+	msgs  [][][]uint64
 }
 
 // New builds a runtime: trusted-party setup, block GMW sessions, circuit
@@ -233,7 +287,7 @@ func New(ctx context.Context, cfg Config, prog *Program, g *Graph) (*Runtime, er
 	}
 
 	// Trusted-party setup (§3.4).
-	tpParams := trustedparty.Params{Group: cfg.Group, K: cfg.K, D: g.D, L: prog.MsgBits}
+	tpParams := trustedparty.Params{Group: cfg.Group, K: cfg.K, D: g.D, L: prog.MsgBits, Recoverable: cfg.Recover}
 	tp, err := trustedparty.New(tpParams)
 	if err != nil {
 		return nil, err
@@ -251,6 +305,12 @@ func New(ctx context.Context, cfg Config, prog *Program, g *Graph) (*Runtime, er
 	}
 	if r.setup, err = tp.Setup(regs); err != nil {
 		return nil, err
+	}
+	r.tp, r.regs = tp, regs
+	if cfg.Recover || cfg.Chaos != nil {
+		if r.recKey, err = NewRecoveryKey(); err != nil {
+			return nil, err
+		}
 	}
 
 	r.tparam = transfer.Params{Group: cfg.Group, K: cfg.K, L: prog.MsgBits, Alpha: cfg.Alpha}
@@ -369,13 +429,13 @@ func (r *Runtime) createSessions(ctx context.Context, qr *queryRun) error {
 
 	if err := r.parallelFor(g.N(), func(v int) error {
 		members := r.setup.Assignment.Blocks[g.NodeOf(v)]
-		s, err := mkSession(members, network.Tag(qr.root, "blk", v))
+		s, err := mkSession(members, network.Tag(qr.proto, "blk", v))
 		qr.sessions[v] = s
 		return err
 	}); err != nil {
 		return err
 	}
-	agg, err := mkSession(r.setup.Assignment.AggBlock, network.Tag(qr.root, "aggblk"))
+	agg, err := mkSession(r.setup.Assignment.AggBlock, network.Tag(qr.proto, "aggblk"))
 	if err != nil {
 		return err
 	}
@@ -485,7 +545,12 @@ func (r *Runtime) RunQueryID(ctx context.Context, qid, iterations int, epsilon f
 	r.certMu.Unlock()
 
 	g := r.graph
-	qr := &queryRun{root: network.Tag("q", qid)}
+	qr := &queryRun{root: network.Tag("q", qid), attempt: 1, lastBarrier: -1}
+	qr.proto = qr.root
+	if r.cfg.Recover || r.cfg.Chaos != nil {
+		qr.archive = make(map[int]*barrierState)
+		qr.ckpts = make(map[int]map[network.NodeID][]byte)
+	}
 	if err := r.createSessions(ctx, qr); err != nil {
 		return 0, nil, err
 	}
@@ -522,9 +587,12 @@ func (r *Runtime) RunQueryID(ctx context.Context, qid, iterations int, epsilon f
 	rep.InitTime = time.Since(t0)
 	rep.InitBytes = r.net.QueryBytes(qr.root) - b0
 	tr.SpanDur("phase/init", t0, rep.InitTime)
+	if err := r.recordBarrier(qr, 0); err != nil {
+		return 0, nil, err
+	}
 
 	// --- Iterations. ---
-	for it := 0; it <= iterations; it++ {
+	for it := 0; it <= iterations; {
 		t0, b0 = phaseStart()
 		obs.ReportProgress(ctx, fmt.Sprintf("iter/%d/compute", it))
 		outShares, err := r.computeStep(ctx, qr, it)
@@ -535,6 +603,18 @@ func (r *Runtime) RunQueryID(ctx context.Context, qid, iterations int, epsilon f
 		rep.ComputeBytes += r.net.QueryBytes(qr.root) - b0
 		if tr != nil {
 			tr.Span(fmt.Sprintf("iter/%d/compute", it), t0)
+		}
+
+		// Deterministic fault injection: the victim dies after this
+		// iteration's compute, taking its un-checkpointed progress with it.
+		// Recovery re-blocks, restores the last barrier, and replays.
+		if c := r.cfg.Chaos; c != nil && it == c.Barrier && r.chaosFired.CompareAndSwap(false, true) {
+			obs.ReportProgress(ctx, "recover")
+			if err := r.simRecover(ctx, qr, c.Victim, it, rep); err != nil {
+				return 0, nil, fmt.Errorf("vertex: recovery from node %d death: %w", c.Victim, err)
+			}
+			it = qr.lastBarrier
+			continue
 		}
 
 		if it == iterations {
@@ -550,6 +630,10 @@ func (r *Runtime) RunQueryID(ctx context.Context, qid, iterations int, epsilon f
 		if tr != nil {
 			tr.Span(fmt.Sprintf("iter/%d/communicate", it), t0)
 		}
+		if err := r.recordBarrier(qr, it+1); err != nil {
+			return 0, nil, err
+		}
+		it++
 	}
 
 	// --- Aggregation + noising (§3.6). ---
@@ -622,10 +706,12 @@ func (r *Runtime) parallelFor(n int, fn func(i int) error) error {
 // and sends, the members receive. Only indices of vertex v are written.
 func (r *Runtime) initSharesVertex(ctx context.Context, qr *queryRun, v, k1 int) error {
 	g := r.graph
-	owner := g.NodeOf(v)
-	members := r.setup.Assignment.Blocks[owner]
+	// The acting owner is the block's first member — the original owner
+	// until a recovery substitutes a replacement into the slot.
+	owner := r.ownerOf(v)
+	members := r.setup.Assignment.Blocks[g.NodeOf(v)]
 	ownerEP := r.net.Endpoint(owner)
-	tag := network.Tag(qr.root, "init", v)
+	tag := network.Tag(qr.proto, "init", v)
 
 	st := secretshare.SplitXOR(uint64(g.InitState[v]), k1, r.prog.StateBits)
 	msgs := make([][]uint64, g.D)
@@ -798,8 +884,13 @@ func (r *Runtime) runTransfer(ctx context.Context, qr *queryRun, iter, u, v, slo
 	sendersB := r.setup.Assignment.Blocks[uID]
 	recvB := r.setup.Assignment.Blocks[vID]
 	keys := r.recipientKeys(v, slotIn)
+	// The relay and adjuster roles belong to the vertices' acting owners;
+	// after a recovery the replacement plays the dead node's part, adjusting
+	// with the dead node's registered neighbor key (handed over with the
+	// re-issued certificates).
+	relayID, adjustID := r.ownerOf(u), r.ownerOf(v)
 	neighborKey := r.secrets[vID].NeighborKeys[slotIn]
-	tag := network.Tag(qr.root, "tx", iter, u, v)
+	tag := network.Tag(qr.proto, "tx", iter, u, v)
 
 	fresh := make([]uint64, k1)
 	errCh := make(chan error, 2*k1+2)
@@ -810,18 +901,18 @@ func (r *Runtime) runTransfer(ctx context.Context, qr *queryRun, iter, u, v, slo
 		go func() {
 			defer wg.Done()
 			ep := r.net.Endpoint(sendersB[m])
-			errCh <- transfer.SendShare(ctx, r.tparam, ep, uID, tag, shares[m], keys)
+			errCh <- transfer.SendShare(ctx, r.tparam, ep, relayID, tag, shares[m], keys)
 		}()
 	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		errCh <- transfer.RunRelay(ctx, r.tparam, r.net.Endpoint(uID), sendersB, vID, tag, dp.CryptoSource{})
+		errCh <- transfer.RunRelay(ctx, r.tparam, r.net.Endpoint(relayID), sendersB, adjustID, tag, dp.CryptoSource{})
 	}()
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		errCh <- transfer.RunAdjust(ctx, r.tparam, r.net.Endpoint(vID), uID, recvB, neighborKey, tag)
+		errCh <- transfer.RunAdjust(ctx, r.tparam, r.net.Endpoint(adjustID), relayID, recvB, neighborKey, tag)
 	}()
 	for m := 0; m < k1; m++ {
 		m := m
@@ -829,7 +920,7 @@ func (r *Runtime) runTransfer(ctx context.Context, qr *queryRun, iter, u, v, slo
 		go func() {
 			defer wg.Done()
 			keys := r.secrets[recvB[m]].PrivateKeys
-			share, err := transfer.ReceiveShare(ctx, r.tparam, r.net.Endpoint(recvB[m]), vID, tag, keys, r.table)
+			share, err := transfer.ReceiveShare(ctx, r.tparam, r.net.Endpoint(recvB[m]), adjustID, tag, keys, r.table)
 			fresh[m] = share
 			errCh <- err
 		}()
@@ -849,6 +940,203 @@ func (r *Runtime) runTransfer(ctx context.Context, qr *queryRun, iter, u, v, slo
 func (r *Runtime) recipientKeys(v, slotIn int) transfer.RecipientKeys {
 	cert := r.setup.Certs[r.graph.NodeOf(v)][slotIn] // B_v's keys re-randomized with v's slotIn-th neighbor key
 	return r.certCache.Keys(v, slotIn, transfer.RecipientKeys(cert.Keys))
+}
+
+// ownerOf returns the acting owner of vertex v: the first member of its
+// block. This is the registered owner g.NodeOf(v) until a recovery
+// substitutes a replacement into the slot.
+func (r *Runtime) ownerOf(v int) network.NodeID {
+	return r.setup.Assignment.Blocks[r.graph.NodeOf(v)][0]
+}
+
+// recordBarrier checkpoints the share state at barrier b: a deep copy for
+// in-process restore plus, per node, the encrypted snapshot blob a cluster
+// node would ship to the coordinator in a ckptMsg. No-op unless
+// checkpointing is enabled.
+func (r *Runtime) recordBarrier(qr *queryRun, b int) error {
+	if qr.archive == nil {
+		return nil
+	}
+	g := r.graph
+	bs := &barrierState{state: make([][]uint64, g.N()), msgs: make([][][]uint64, g.N())}
+	for v := 0; v < g.N(); v++ {
+		bs.state[v] = append([]uint64(nil), qr.stateShares[v]...)
+		bs.msgs[v] = make([][]uint64, len(qr.msgShares[v]))
+		for d := range qr.msgShares[v] {
+			bs.msgs[v][d] = append([]uint64(nil), qr.msgShares[v][d]...)
+		}
+	}
+	qr.archive[b] = bs
+	blobs := make(map[network.NodeID][]byte, g.N())
+	for v := 0; v < g.N(); v++ {
+		id := g.NodeOf(v)
+		snap := r.nodeSnapshot(bs, id, b)
+		blob, err := EncryptSnapshot(r.recKey, EncodeSnapshot(snap))
+		if err != nil {
+			return err
+		}
+		blobs[id] = blob
+	}
+	qr.ckpts[b] = blobs
+	qr.lastBarrier = b
+	return nil
+}
+
+// nodeSnapshot extracts node id's view of a barrier: its own share of every
+// vertex it is a block member of.
+func (r *Runtime) nodeSnapshot(bs *barrierState, id network.NodeID, b int) *Snapshot {
+	g := r.graph
+	snap := &Snapshot{Barrier: b, State: make(map[int]uint64), Msgs: make(map[int][]uint64)}
+	for v := 0; v < g.N(); v++ {
+		members := r.setup.Assignment.Blocks[g.NodeOf(v)]
+		for m, member := range members {
+			if member != id {
+				continue
+			}
+			snap.State[v] = bs.state[v][m]
+			ms := make([]uint64, len(bs.msgs[v]))
+			for d := range ms {
+				ms[d] = bs.msgs[v][d][m]
+			}
+			snap.Msgs[v] = ms
+			break
+		}
+	}
+	return snap
+}
+
+// simRecover performs the full recovery protocol in-process after victim
+// dies during iteration `it` of attempt 1:
+//
+//  1. pick the lowest-id replacement that is not a co-member of the victim
+//     anywhere, and have the trusted party re-block and re-issue certs;
+//  2. restore every survivor's share state from the last barrier's archive,
+//     and the victim's from its encrypted checkpoint blob — decrypted with
+//     the fleet recovery key the replacement holds, never the coordinator;
+//  3. re-randomize the changed blocks' shares with a reshare under the
+//     fresh "…/recover/…" tag namespace (the replacement learned the
+//     victim's old shares, so the sharing must be refreshed);
+//  4. rebuild all GMW sessions under the attempt-versioned tag root and
+//     resume the lock-step schedule from the restored barrier.
+func (r *Runtime) simRecover(ctx context.Context, qr *queryRun, victim network.NodeID, it int, rep *Report) error {
+	g := r.graph
+	B := qr.lastBarrier
+	if B < 0 {
+		return fmt.Errorf("no barrier checkpoint recorded (enable Config.Recover)")
+	}
+
+	var repl network.NodeID
+	for v := 0; v < g.N(); v++ {
+		id := g.NodeOf(v)
+		if id != victim && trustedparty.ReplacementOK(r.setup.Assignment, victim, id) {
+			repl = id
+			break
+		}
+	}
+	if repl == 0 {
+		return fmt.Errorf("replacing node %d: %w", victim, trustedparty.ErrNoReplacement)
+	}
+	oldBlocks := r.setup.Assignment.Blocks
+	newSetup, err := r.tp.Reblock(r.setup, r.regs, victim, repl)
+	if err != nil {
+		return err
+	}
+
+	// The victim's externalized state travels through the same codec a
+	// cluster checkpoint does: encrypted blob → snapshot → shares.
+	plain, err := DecryptSnapshot(r.recKey, qr.ckpts[B][victim])
+	if err != nil {
+		return err
+	}
+	vsnap, err := DecodeSnapshot(plain)
+	if err != nil {
+		return err
+	}
+	if vsnap.Barrier != B {
+		return fmt.Errorf("victim checkpoint is for barrier %d, want %d", vsnap.Barrier, B)
+	}
+
+	// Restore barrier B, remapping member slots to the new canonical order.
+	bs := qr.archive[B]
+	changed := make([]int, 0)
+	for v := 0; v < g.N(); v++ {
+		oldMembers := oldBlocks[g.NodeOf(v)]
+		newMembers := newSetup.Assignment.Blocks[g.NodeOf(v)]
+		oldIdx := make(map[network.NodeID]int, len(oldMembers))
+		for m, id := range oldMembers {
+			oldIdx[id] = m
+		}
+		state := make([]uint64, len(newMembers))
+		msgs := make([][]uint64, len(bs.msgs[v]))
+		for d := range msgs {
+			msgs[d] = make([]uint64, len(newMembers))
+		}
+		wasChanged := false
+		for m2, id := range newMembers {
+			if m1, ok := oldIdx[id]; ok {
+				state[m2] = bs.state[v][m1]
+				for d := range msgs {
+					msgs[d][m2] = bs.msgs[v][d][m1]
+				}
+				continue
+			}
+			// The replacement takes over the victim's slot with the shares
+			// from the victim's checkpoint.
+			wasChanged = true
+			state[m2] = vsnap.State[v]
+			for d := range msgs {
+				msgs[d][m2] = vsnap.Msgs[v][d]
+			}
+		}
+		qr.stateShares[v] = state
+		qr.msgShares[v] = msgs
+		if wasChanged {
+			changed = append(changed, v)
+		}
+	}
+
+	// Commit the new deployment view. Certificates for changed blocks were
+	// re-issued, so the fixed-base key cache must be rebuilt.
+	r.setup = newSetup
+	r.certCache = transfer.NewCertKeyCache()
+	r.certMu.Lock()
+	if r.tparam.PrecomputeWorthwhile(r.certUses) {
+		r.certCache.Enable()
+	}
+	r.certMu.Unlock()
+
+	qr.attempt++
+	qr.proto = network.Tag(qr.root, "a", qr.attempt)
+	if err := r.createSessions(ctx, qr); err != nil {
+		return err
+	}
+
+	// Refresh the changed blocks' sharings: the replacement knows the
+	// victim's old shares, so survivors re-randomize with it under the
+	// recovery namespace before any further computation.
+	if err := r.parallelFor(len(changed), func(i int) error {
+		v := changed[i]
+		members := r.setup.Assignment.Blocks[g.NodeOf(v)]
+		fresh, err := r.reshare(ctx, qr.stateShares[v], r.prog.StateBits, members, members, network.Tag(qr.proto, "recover", v, "st"))
+		if err != nil {
+			return err
+		}
+		qr.stateShares[v] = fresh
+		for d := range qr.msgShares[v] {
+			fresh, err := r.reshare(ctx, qr.msgShares[v][d], r.prog.MsgBits, members, members, network.Tag(qr.proto, "recover", v, "m", d))
+			if err != nil {
+				return err
+			}
+			qr.msgShares[v][d] = fresh
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	rep.Recoveries++
+	rep.ReplayedBarriers += it - B + 1
+	return nil
 }
 
 // reshare moves an XOR-shared word from the members of src to the members
@@ -991,7 +1279,7 @@ func (r *Runtime) aggregate(ctx context.Context, qr *queryRun, plan *aggPlan) (i
 	if err := r.parallelFor(g.N(), func(v int) error {
 		members := r.setup.Assignment.Blocks[g.NodeOf(v)]
 		var err error
-		cols[v], err = r.reshare(ctx, qr.stateShares[v], r.prog.StateBits, members, aggMembers, network.Tag(qr.root, "aggsh", v))
+		cols[v], err = r.reshare(ctx, qr.stateShares[v], r.prog.StateBits, members, aggMembers, network.Tag(qr.proto, "aggsh", v))
 		return err
 	}); err != nil {
 		return 0, err
@@ -1057,7 +1345,7 @@ func (r *Runtime) aggregateTree(ctx context.Context, qr *queryRun, plan *aggPlan
 		leafInput := make([][]uint8, k1)
 		for v := lo; v < hi; v++ {
 			members := r.setup.Assignment.Blocks[g.NodeOf(v)]
-			col, err := r.reshare(ctx, qr.stateShares[v], r.prog.StateBits, members, leafMembers, network.Tag(qr.root, "leafsh", grp, v))
+			col, err := r.reshare(ctx, qr.stateShares[v], r.prog.StateBits, members, leafMembers, network.Tag(qr.proto, "leafsh", grp, v))
 			if err != nil {
 				return err
 			}
@@ -1088,7 +1376,7 @@ func (r *Runtime) aggregateTree(ctx context.Context, qr *queryRun, plan *aggPlan
 	aggMembers := r.setup.Assignment.AggBlock
 	rootInput := make([][]uint8, k1)
 	for grp := 0; grp < nGroups; grp++ {
-		col, err := r.reshare(ctx, partialShares[grp], r.prog.AggBits, leafBlocks[grp], aggMembers, network.Tag(qr.root, "rootsh", grp))
+		col, err := r.reshare(ctx, partialShares[grp], r.prog.AggBits, leafBlocks[grp], aggMembers, network.Tag(qr.proto, "rootsh", grp))
 		if err != nil {
 			return 0, err
 		}

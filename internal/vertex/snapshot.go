@@ -1,0 +1,177 @@
+package vertex
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Snapshot is one node's externalized per-query share state at a phase
+// barrier: for every vertex the node is a block member of, its own XOR
+// share of the vertex state and of the D input-message slots. Barrier b is
+// the start of iteration b — barrier 0 is recorded right after the
+// initialization phase, barrier b (b ≥ 1) right after communicate(b−1).
+// Together with the public assignment this is everything a node needs to
+// re-enter the lock-step schedule at b; nothing else of a run's progress
+// lives on goroutine stacks.
+type Snapshot struct {
+	Barrier int
+	// State[v] is the node's share of vertex v's state word.
+	State map[int]uint64
+	// Msgs[v][d] is the node's share of vertex v's d-th input message slot.
+	Msgs map[int][]uint64
+}
+
+// Clone deep-copies the snapshot.
+func (s *Snapshot) Clone() *Snapshot {
+	c := &Snapshot{Barrier: s.Barrier, State: make(map[int]uint64, len(s.State)), Msgs: make(map[int][]uint64, len(s.Msgs))}
+	for v, w := range s.State {
+		c.State[v] = w
+	}
+	for v, ms := range s.Msgs {
+		c.Msgs[v] = append([]uint64(nil), ms...)
+	}
+	return c
+}
+
+// EncodeSnapshot serializes a snapshot deterministically (vertices in
+// ascending order) so digests over the encoding are stable.
+func EncodeSnapshot(s *Snapshot) []byte {
+	verts := make([]int, 0, len(s.State))
+	for v := range s.State {
+		verts = append(verts, v)
+	}
+	sort.Ints(verts)
+	var buf []byte
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(s.Barrier)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(verts)))
+	for _, v := range verts {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(v))
+		buf = binary.BigEndian.AppendUint64(buf, s.State[v])
+		ms := s.Msgs[v]
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(ms)))
+		for _, m := range ms {
+			buf = binary.BigEndian.AppendUint64(buf, m)
+		}
+	}
+	return buf
+}
+
+// DecodeSnapshot parses an EncodeSnapshot payload.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	rd := snapReader{data: data}
+	barrier := int(int32(rd.u32()))
+	nv := int(rd.u32())
+	if rd.err != nil || nv < 0 || nv > 1<<24 {
+		return nil, fmt.Errorf("vertex: malformed snapshot header")
+	}
+	s := &Snapshot{Barrier: barrier, State: make(map[int]uint64, nv), Msgs: make(map[int][]uint64, nv)}
+	for i := 0; i < nv; i++ {
+		v := int(rd.u32())
+		st := rd.u64()
+		nm := int(rd.u32())
+		if rd.err != nil || nm < 0 || nm > 1<<16 {
+			return nil, fmt.Errorf("vertex: malformed snapshot entry")
+		}
+		ms := make([]uint64, nm)
+		for d := range ms {
+			ms[d] = rd.u64()
+		}
+		if rd.err != nil {
+			return nil, fmt.Errorf("vertex: truncated snapshot")
+		}
+		s.State[v] = st
+		s.Msgs[v] = ms
+	}
+	if rd.off != len(data) {
+		return nil, fmt.Errorf("vertex: %d trailing snapshot bytes", len(data)-rd.off)
+	}
+	return s, nil
+}
+
+type snapReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *snapReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.data) {
+		r.err = fmt.Errorf("short read")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *snapReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.data) {
+		r.err = fmt.Errorf("short read")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+// RecoveryKeySize is the AES-256 key length used for checkpoint blobs.
+const RecoveryKeySize = 32
+
+// NewRecoveryKey draws a fresh fleet recovery key. The lowest-id node
+// generates it at engine bootstrap and distributes it to its peers over the
+// data plane, so the coordinator — which only ever stores the resulting
+// ciphertexts — cannot read any node's checkpointed shares (a colluding
+// coordinator+node pair could; see DESIGN.md).
+func NewRecoveryKey() ([]byte, error) {
+	key := make([]byte, RecoveryKeySize)
+	if _, err := crand.Read(key); err != nil {
+		return nil, fmt.Errorf("vertex: recovery keygen: %w", err)
+	}
+	return key, nil
+}
+
+// EncryptSnapshot seals an encoded snapshot with AES-256-GCM under the
+// fleet recovery key; the random nonce is prepended.
+func EncryptSnapshot(key, plaintext []byte) ([]byte, error) {
+	aead, err := snapshotAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := crand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("vertex: snapshot nonce: %w", err)
+	}
+	return aead.Seal(nonce, nonce, plaintext, nil), nil
+}
+
+// DecryptSnapshot opens an EncryptSnapshot ciphertext.
+func DecryptSnapshot(key, ciphertext []byte) ([]byte, error) {
+	aead, err := snapshotAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(ciphertext) < aead.NonceSize() {
+		return nil, fmt.Errorf("vertex: snapshot ciphertext too short")
+	}
+	nonce, sealed := ciphertext[:aead.NonceSize()], ciphertext[aead.NonceSize():]
+	plain, err := aead.Open(nil, nonce, sealed, nil)
+	if err != nil {
+		return nil, fmt.Errorf("vertex: snapshot decrypt: %w", err)
+	}
+	return plain, nil
+}
+
+func snapshotAEAD(key []byte) (cipher.AEAD, error) {
+	if len(key) != RecoveryKeySize {
+		return nil, fmt.Errorf("vertex: recovery key has %d bytes, want %d", len(key), RecoveryKeySize)
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}

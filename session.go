@@ -114,7 +114,11 @@ func (s *Session) SetMaxConcurrent(n int) {
 // (dp.ErrBudgetExhausted). A query submitted while MaxConcurrent queries
 // are already in flight is refused with ErrSessionBusy (and not charged).
 // Canceling ctx aborts the query; the session is then in an undefined
-// protocol state and only Close is safe.
+// protocol state and only Close is safe. A node death under
+// EngineConfig.Recover is NOT such an abort: the deployment re-blocks
+// around the casualty, the query resumes from its last checkpoint barrier
+// and returns normally (Report.Recoveries counts the deaths survived), and
+// the session stays usable for further queries on the shrunken fleet.
 func (s *Session) Query(ctx context.Context, q QuerySpec) (*Result, error) {
 	s.mu.Lock()
 	if s.closed {
